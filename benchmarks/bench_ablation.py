@@ -1,0 +1,21 @@
+"""Ablations of lib·erate's design choices (DESIGN.md §6)."""
+
+from repro.experiments.ablation import format_ablations, run_all_ablations
+
+from benchmarks.conftest import save_result
+
+
+def test_design_ablations(benchmark, results_dir):
+    results = benchmark.pedantic(run_all_ablations, rounds=1, iterations=1)
+    save_result(results_dir, "ablations", format_ablations(results))
+    by_name = {r.name: r for r in results}
+    # Pruning never costs extra replays and usually saves them.
+    pruning = by_name["evaluation-pruning"]
+    assert pruning.with_choice <= pruning.without_choice
+    # Byte-exact bisection costs more rounds than 4-byte regions (the price
+    # of exact matching fields).
+    granularity = by_name["bisection-granularity"]
+    assert granularity.with_choice > granularity.without_choice
+    # Port rotation is what makes GFC characterization correct at all.
+    rotation = by_name["gfc-port-rotation"]
+    assert rotation.with_choice == 1.0 and rotation.without_choice == 0.0

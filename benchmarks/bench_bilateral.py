@@ -1,0 +1,20 @@
+"""Bilateral evasion — the §6.5 dummy-prefix finding and the §7 outlook."""
+
+from repro.experiments.bilateral import format_bilateral, run_bilateral_matrix
+
+from benchmarks.conftest import save_result
+
+
+def test_bilateral_matrix(benchmark, results_dir):
+    results = benchmark.pedantic(run_bilateral_matrix, rounds=1, iterations=1)
+    save_result(results_dir, "bilateral", format_bilateral(results))
+    by_env = {r.env: r for r in results}
+    # Everything is differentiated at baseline.
+    assert all(r.baseline_differentiated for r in results)
+    # Paper: the dummy prefix evades testbed, T-Mobile, AT&T and the GFC...
+    for env in ("testbed", "tmobile", "att", "gfc"):
+        assert by_env[env].dummy_prefix_evades, env
+    # ...but not Iran, whose per-packet classifier keeps matching.
+    assert not by_env["iran"].dummy_prefix_evades
+    # §7: bilateral payload modification beats every classifier studied.
+    assert all(r.rotation_evades for r in results)

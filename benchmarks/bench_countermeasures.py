@@ -1,0 +1,46 @@
+"""§4.3 countermeasures — a norm-style normalizer vs. the taxonomy."""
+
+from repro.experiments.countermeasures import (
+    format_countermeasures,
+    neutralized,
+    run_countermeasure_study,
+    survivors,
+)
+
+from benchmarks.conftest import save_result
+
+
+def test_normalizer_countermeasure_study(benchmark, results_dir):
+    results = benchmark.pedantic(run_countermeasure_study, rounds=1, iterations=1)
+    save_result(results_dir, "countermeasures", format_countermeasures(results))
+    by_name = {r.technique: r for r in results}
+
+    # Filtering + TTL normalization wipe out the whole inert class (§4.3:
+    # "a network could detect and filter lib·erate's inert packets ...
+    # would render this class of techniques ineffective").
+    for result in results:
+        if result.category == "inert-insertion":
+            assert not result.evades_normalized, result.technique
+
+    # Fragment tricks and wire reordering die to reassembly/re-segmentation.
+    for name in ("ip-fragmentation", "ip-fragment-reorder", "tcp-segment-reorder"):
+        assert by_name[name].evades_plain and not by_name[name].evades_normalized
+
+    # Delay-based flushing survives: no normalizer can force the classifier
+    # to retain state longer ("require a middlebox to ... maintain state for
+    # longer durations than is done today").
+    assert by_name["flush-pause-after-match"].evades_normalized
+    assert by_name["flush-pause-before-match"].evades_normalized
+    # But the RST variants die: TTL normalization delivers the RST to the
+    # server, killing the very connection it was meant to protect.
+    assert not by_name["flush-rst-after-match"].evades_normalized
+
+    # In-order splitting survives packet-granularity normalization — the
+    # normalizer never holds data back, so a per-packet classifier behind it
+    # still sees the field cut.  Defeating it requires reassembly at the
+    # *classifier* (the GFC's design), exactly as §4.3 argues.
+    assert by_name["tcp-segment-split"].evades_normalized
+
+    # The countermeasure is meaningful: it neutralizes most of the arsenal.
+    assert len(neutralized(results)) >= 10
+    assert len(survivors(results)) <= 4

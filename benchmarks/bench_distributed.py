@@ -1,0 +1,25 @@
+"""§4.2 — distributing characterization across cooperating users."""
+
+from repro.core.distributed import speedup_from_distribution
+from repro.envs.testbed import make_testbed
+from repro.traffic.http import http_get_trace
+
+from benchmarks.conftest import save_result
+
+
+def test_distributed_characterization(benchmark, results_dir):
+    trace = http_get_trace("video.example.com", response_body=b"v" * 900)
+    stats = benchmark.pedantic(
+        speedup_from_distribution,
+        args=(make_testbed, trace),
+        kwargs={"users": 4},
+        rounds=1,
+        iterations=1,
+    )
+    content = "\n".join(f"{key}: {value:.1f}" for key, value in stats.items())
+    save_result(results_dir, "distributed_characterization", content)
+    # The per-user load (and wall-clock, with concurrent users) divides ~N.
+    assert stats["speedup"] >= 3.0
+    # Aggregated results are identical to a solo run.
+    assert stats["fields_agree"] == 1.0
+    assert stats["distributed_total_rounds"] >= stats["busiest_user_rounds"] * 3

@@ -1,0 +1,24 @@
+"""Figure 4 — GFC delay-based evasion success varies during the day (§6.5)."""
+
+from repro.experiments.figure4 import (
+    busy_and_quiet_summary,
+    format_figure4,
+    run_figure4,
+)
+
+from benchmarks.conftest import save_result
+
+
+def test_figure4_time_of_day(benchmark, results_dir):
+    samples = benchmark.pedantic(
+        run_figure4, kwargs={"trials": 6}, rounds=1, iterations=1
+    )
+    summary = busy_and_quiet_summary(samples)
+    content = format_figure4(samples) + f"\n\n{summary}"
+    save_result(results_dir, "figure4_gfc_flushing", content)
+    # Shape assertions matching the paper's reading of the figure:
+    # busy hours permit shorter delays, quiet hours defeat even 240 s.
+    assert summary["busy_success_rate"] == 1.0
+    assert summary["quiet_success_rate"] == 0.0
+    assert 10 <= summary["busy_min_delay"] <= 60
+    assert summary["busy_max_delay"] <= 240

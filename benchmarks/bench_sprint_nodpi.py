@@ -1,0 +1,20 @@
+"""§6.4 — Sprint: the probe battery finds no DPI-based differentiation."""
+
+from repro.experiments.sprint import format_sprint, run_sprint_detection, run_sprint_probes
+
+from benchmarks.conftest import save_result
+
+
+def test_sprint_probe_battery(benchmark, results_dir):
+    probes = benchmark.pedantic(run_sprint_probes, rounds=1, iterations=1)
+    save_result(results_dir, "sprint_nodpi", format_sprint(probes))
+    # No probe — different ports, content classes, inverted payloads — shows
+    # differential treatment.
+    assert all(not probe.differentiated for probe in probes)
+    rates = [p.throughput_mbps for p in probes if p.throughput_mbps]
+    assert max(rates) / min(rates) < 2.0  # no flow singled out
+
+
+def test_sprint_liberate_verdict(benchmark):
+    verdict = benchmark.pedantic(run_sprint_detection, rounds=1, iterations=1)
+    assert verdict  # lib·erate correctly reports "no differentiation"

@@ -1,0 +1,18 @@
+"""Table 1 — comparison between lib·erate and other evasion methods."""
+
+from repro.experiments.table1 import format_table1, liberate_row, run_table1
+
+from benchmarks.conftest import save_result
+
+
+def test_table1_comparison(benchmark, results_dir):
+    rows = benchmark(run_table1)
+    save_result(results_dir, "table1_comparison", format_table1(rows))
+    # The paper's claim: only lib·erate provides rule detection plus all
+    # three evasion families, client-only, at O(1) overhead.
+    derived = liberate_row()
+    assert derived.overhead == "O(1)"
+    assert derived.rule_detection and derived.split_reorder
+    assert derived.inert_injection and derived.flushing
+    others = [r for r in rows if r.method != "liberate"]
+    assert all(not (r.rule_detection and r.flushing) for r in others)

@@ -1,0 +1,21 @@
+"""Table 2 — measured per-flow overhead of each technique category (§5.3)."""
+
+from repro.experiments.paper_expectations import OVERHEAD
+from repro.experiments.table2 import format_table2, run_table2
+
+from benchmarks.conftest import save_result
+
+
+def test_table2_overhead(benchmark, results_dir):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_result(results_dir, "table2_overhead", format_table2(rows))
+    by_category = {r.category: r for r in rows}
+    # Inert insertion: k extra packets, k < 5 (paper §5.3).
+    assert by_category["inert-insertion"].max_packets <= OVERHEAD["inert_max_packets"]
+    # Splitting/reordering: k * 40-byte headers, no delay.
+    assert by_category["splitting"].max_seconds == 0.0
+    assert by_category["reordering"].max_seconds == 0.0
+    # Flushing: t seconds in the paper's 40-240 s range (or one RST packet).
+    low, high = OVERHEAD["flush_delay_range_seconds"]
+    assert low <= by_category["flushing"].max_seconds <= high
+    assert by_category["flushing"].max_packets <= 1

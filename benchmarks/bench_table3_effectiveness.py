@@ -1,0 +1,35 @@
+"""Table 3 — effectiveness of every evasion technique across all networks.
+
+The headline experiment: 26 techniques x {testbed, T-Mobile, GFC, Iran,
+AT&T} x {CC?, RS?} plus per-OS server responses, with contexts produced by
+the real characterization/localization phases.  The benchmark asserts
+cell-for-cell agreement with the paper.
+"""
+
+import pytest
+
+from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
+
+from benchmarks.conftest import save_result
+
+
+def test_table3_full_matrix(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_table3, kwargs={"characterize": True}, rounds=1, iterations=1
+    )
+    matches, total, mismatches = compare_with_paper(rows)
+    content = format_table3(rows) + f"\n\npaper agreement: {matches}/{total} cells"
+    if mismatches:
+        content += "\n" + "\n".join(f"  mismatch: {m}" for m in mismatches)
+    save_result(results_dir, "table3_effectiveness", content)
+    assert total >= 300
+    assert matches == total, mismatches
+
+
+def test_table3_fast_mode(benchmark, results_dir):
+    """Ground-truth contexts instead of live characterization (sanity check)."""
+    rows = benchmark.pedantic(
+        run_table3, kwargs={"characterize": False}, rounds=1, iterations=1
+    )
+    matches, total, mismatches = compare_with_paper(rows)
+    assert matches == total, mismatches

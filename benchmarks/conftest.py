@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers: every bench saves its paper-style table to disk."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist a rendered experiment table next to the benchmark data."""
+    (results_dir / f"{name}.txt").write_text(content + "\n")
+    print(f"\n=== {name} ===\n{content}\n")

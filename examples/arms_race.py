@@ -1,0 +1,70 @@
+"""The arms race, played out (§4.3 + §7).
+
+lib·erate "does not end the cat-and-mouse game ... rather, by automating
+evasion and adapting to changes in middlebox classifiers quickly, it makes
+countermeasures substantially more expensive for network providers."
+
+Three rounds:
+
+1. lib·erate deploys against the testbed classifier and wins cheaply.
+2. The operator deploys a norm-style traffic normalizer (the 2001-vintage
+   countermeasure the paper found nobody had deployed).  The old technique
+   dies — and the proxy's rule-change detection re-runs the pipeline and
+   finds a survivor automatically.
+3. The operator's last resort is a terminating proxy; lib·erate's unilateral
+   arsenal is out, and the bilateral §7 techniques take over.
+
+Run:  python examples/arms_race.py
+"""
+
+from repro import Liberate
+from repro.core.bilateral import run_bilateral_rotation
+from repro.envs import make_att, make_testbed
+from repro.middlebox.normalizer import TrafficNormalizer
+from repro.traffic import http_get_trace, video_stream_trace
+
+
+def main() -> None:
+    env = make_testbed()
+    trace = http_get_trace("video.example.com", response_body=b"stream" * 300)
+
+    print("=== round 1: lib*erate vs. a lenient classifier ===")
+    lib = Liberate(env, stop_at_first=True)
+    proxy = lib.deploy(trace)
+    outcome = proxy.run_flow(trace)
+    print(f"deployed {proxy.technique.name}: evaded={outcome.evaded}")
+
+    print()
+    print("=== round 2: the operator deploys a traffic normalizer ===")
+    env.path.elements.insert(0, TrafficNormalizer())
+    old = proxy.technique.name
+    outcome = proxy.run_flow(trace)  # fails once, triggering re-adaptation
+    print(
+        f"{old} against the normalizer: application broke "
+        f"(delivered intact: {outcome.delivered_ok}) — the TTL-normalized "
+        f"'inert' packet reached the server as real data"
+    )
+    followup = proxy.run_flow(trace)
+    print(
+        f"re-adapted to {proxy.technique.name}: evaded={followup.evaded} "
+        f"(the normalizer cannot merge segments it has not received, nor make "
+        f"the classifier retain state longer)"
+    )
+
+    print()
+    print("=== round 3: a terminating proxy forces bilateral evasion ===")
+    att = make_att()
+    video = video_stream_trace(host="video.nbcsports.com", total_bytes=300_000)
+    report = Liberate(att).run(video)
+    print(f"unilateral techniques that beat the terminating proxy: "
+          f"{len(report.evasion.working())}")
+    bilateral = run_bilateral_rotation(att, video, key=7)
+    print(
+        f"bilateral payload rotation: evaded={bilateral.evaded}, "
+        f"goodput={bilateral.throughput_bps / 1e6:.1f} Mbps "
+        f"(vs the 1.5 Mbps Stream Saver cap)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Reverse-engineering a UDP classifier: the Skype/STUN case (§6.1).
+
+The testbed DPI device identifies Skype by binary STUN structure — the
+paper's manual analysis traced the rule to the MS-SERVICE-QUALITY attribute
+(type 0x8055) in the first client packet.  lib·erate finds exactly those
+bytes automatically, via bit-inversion blinding, and discovers the
+position sensitivity (one prepended packet breaks classification).
+
+Run:  python examples/characterize_skype_udp.py
+"""
+
+from repro.core.characterization import Characterizer
+from repro.core.evaluation import EvasionEvaluator
+from repro.core.evasion.base import EvasionContext
+from repro.envs import make_testbed
+from repro.traffic import stun_trace
+
+
+def main() -> None:
+    env = make_testbed()
+    trace = stun_trace()
+
+    print("characterizing the UDP/STUN classifier...")
+    characterizer = Characterizer(env, trace)
+    report = characterizer.run()
+    print(f"  replay rounds: {report.rounds} (paper: 115)")
+    print(f"  matching fields (binary, not human-readable):")
+    for field in report.matching_fields:
+        hex_bytes = field.content.hex(" ")
+        print(f"    packet {field.packet_index} bytes [{field.start}:{field.end}] = {hex_bytes}")
+    cookie = bytes.fromhex("2112a442")
+    attribute = bytes.fromhex("8055")
+    joined = b"".join(f.content for f in report.matching_fields)
+    print(f"  includes STUN magic cookie: {cookie in joined}")
+    print(f"  includes MS-SERVICE-QUALITY (0x8055): {attribute in joined}")
+    print(f"  position-sensitive: prepend sensitivity = {report.prepend_sensitivity}")
+
+    print()
+    print("evaluating UDP evasion techniques...")
+    context = EvasionContext(
+        matching_fields=report.matching_fields,
+        packet_limit=report.packet_limit,
+        middlebox_hops=env.hops_to_middlebox,
+        protocol="udp",
+    )
+    evaluation = EvasionEvaluator(env, trace, context).run()
+    for result in evaluation.results:
+        mark = "works" if result.evaded else "fails"
+        print(f"  {result.technique:24s} {mark}")
+
+
+if __name__ == "__main__":
+    main()

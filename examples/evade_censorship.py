@@ -1,0 +1,61 @@
+"""Evading nation-scale censorship: the GFC and Iran case studies (§6.5, §6.6).
+
+Shows how the same automated pipeline adapts to two very different censors:
+
+* the Great Firewall injects RSTs, validates packets extensively, reassembles
+  streams fully, and blocks a server:port after two offenses — so lib·erate
+  rotates ports during characterization, and wins with TTL-limited inert
+  packets or pre-match RST flushing;
+* Iran's per-packet classifier can't be fooled by inert packets or flushing
+  at all — but splitting the keyword across two TCP segments walks right
+  through, and so does any port other than 80.
+
+Run:  python examples/evade_censorship.py
+"""
+
+from repro import Liberate
+from repro.envs import make_gfc, make_iran
+from repro.replay.session import ReplaySession
+from repro.traffic import http_get_trace
+
+
+def censored_visit(env, host: str) -> None:
+    print(f"=== {env.name}: visiting http://{host} ===")
+    trace = http_get_trace(host, response_body=b"<html>the forbidden page</html>" * 20)
+
+    # What happens without lib·erate?
+    naked = ReplaySession(env, trace).run()
+    print(
+        f"without liberate: blocked={naked.blocked} "
+        f"(RSTs={naked.rst_count}, block page={naked.block_page_received})"
+    )
+
+    # The full pipeline.
+    lib = Liberate(env)
+    report = lib.run(trace)
+    print(f"characterized in {report.characterization.rounds} replay rounds")
+    print(f"  {report.characterization.summary()}")
+    for note in report.characterization.notes:
+        print(f"  note: {note}")
+    working = [r.technique for r in report.evasion.working()]
+    print(f"working techniques: {', '.join(working) or 'none'}")
+
+    # Deploy and fetch the page for real.
+    proxy = lib.deploy(trace)
+    outcome = proxy.run_flow(trace)
+    print(
+        f"with {proxy.technique.name}: blocked={outcome.blocked}, "
+        f"page delivered={outcome.server_response_ok}"
+    )
+    print()
+
+
+def main() -> None:
+    gfc = make_gfc()
+    gfc.clock.at_hour(14)  # a busy hour, when even delay-flushing works
+    censored_visit(gfc, "economist.com")
+    censored_visit(make_iran(), "facebook.com")
+
+
+if __name__ == "__main__":
+    main()

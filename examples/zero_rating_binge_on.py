@@ -1,0 +1,62 @@
+"""T-Mobile Binge On: detect zero-rating, break the throttle, or masquerade (§6.2, §7).
+
+Three acts:
+
+1. **Detection** — Binge On is invisible except through the account's data
+   usage counter: classified video doesn't count against the quota (and is
+   "optimized" to ~1.5 Mbps).
+2. **Evasion** — reordering two TCP segments hides the flow from the
+   classifier entirely: full line rate, normal billing.
+3. **Masquerading** (§7 future work, implemented here) — the dual trick: an
+   inert TTL-limited packet carrying a *zero-rated* request makes an
+   arbitrary flow ride the zero-rated lane.
+
+Run:  python examples/zero_rating_binge_on.py
+"""
+
+from repro.core.evasion.base import EvasionContext
+from repro.core.evasion.reordering import TCPSegmentReorder
+from repro.core.masquerade import MasqueradeAsClass
+from repro.envs import make_tmobile
+from repro.replay.session import ReplaySession
+from repro.traffic import http_request, video_stream_trace
+
+
+def mbps(value: float | None) -> str:
+    return f"{value / 1e6:5.2f} Mbps" if value else "  n/a"
+
+
+def main() -> None:
+    env = make_tmobile()
+
+    print("=== act 1: what Binge On does to video ===")
+    video = video_stream_trace(host="d1.cloudfront.net", total_bytes=2_000_000)
+    outcome = ReplaySession(env, video).run()
+    print(f"zero-rated: {outcome.zero_rated}   goodput: {mbps(outcome.throughput_bps)}")
+
+    print()
+    print("=== act 2: evasion restores line rate ===")
+    context = EvasionContext(middlebox_hops=env.hops_to_middlebox, protocol="tcp")
+    evaded = ReplaySession(env, video).run(technique=TCPSegmentReorder(), context=context)
+    print(f"zero-rated: {evaded.zero_rated}   goodput: {mbps(evaded.throughput_bps)}")
+    print(f"payload intact end-to-end: {evaded.delivered_ok}")
+
+    print()
+    print("=== act 3: masquerading — free data for any flow ===")
+    other = video_stream_trace(
+        host="not-a-partner-cdn.org", total_bytes=2_000_000, name="other-cdn"
+    )
+    plain = ReplaySession(env, other).run()
+    print(f"plain replay zero-rated: {plain.zero_rated}")
+    favored = http_request("d1.cloudfront.net", "/movie.mp4")
+    masqueraded = ReplaySession(env, other).run(
+        technique=MasqueradeAsClass(favored), context=context
+    )
+    print(
+        f"masqueraded replay zero-rated: {masqueraded.zero_rated} "
+        f"(delivered intact: {masqueraded.delivered_ok})"
+    )
+
+
+if __name__ == "__main__":
+    main()

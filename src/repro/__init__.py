@@ -1,0 +1,78 @@
+"""repro — a faithful reproduction of lib·erate (IMC 2017).
+
+lib·erate is a library for exposing traffic-classification rules used by
+DPI middleboxes and evading them efficiently.  This package implements the
+complete system from the paper:
+
+* :mod:`repro.packets` — an IPv4/TCP/UDP/ICMP packet layer able to craft the
+  malformed packets the evasion taxonomy relies on,
+* :mod:`repro.netsim` — a virtual-clock network simulator with routers,
+  malformed-packet filters and token-bucket shapers,
+* :mod:`repro.endpoint` — simplified endpoint stacks with per-OS validation
+  models (Linux / macOS / Windows),
+* :mod:`repro.traffic` — application traffic generators (HTTP, TLS ClientHello
+  with SNI, STUN) and the trace record/replay format,
+* :mod:`repro.middlebox` — a configurable DPI engine plus profiles for every
+  middlebox evaluated in the paper,
+* :mod:`repro.envs` — ready-made test environments (testbed, T-Mobile, AT&T,
+  Sprint, the Great Firewall of China, Iran),
+* :mod:`repro.core` — lib·erate itself: differentiation detection, classifier
+  characterization, the evasion-technique taxonomy, evaluation and runtime
+  deployment,
+* :mod:`repro.replay` — replay client/server machinery.
+
+Quickstart::
+
+    from repro import Liberate
+    from repro.envs import make_testbed
+    from repro.traffic import http_get_trace
+
+    env = make_testbed()
+    trace = http_get_trace(host="video.example.com")
+    lib = Liberate(env)
+    report = lib.run(trace)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Liberate",
+    "LiberateReport",
+    "DetectionReport",
+    "CharacterizationReport",
+    "EvasionReport",
+    "Trace",
+    "TracePacket",
+    "LiberateSocket",
+    "LiberateProxy",
+    "RuleCache",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "Liberate": ("repro.core.pipeline", "Liberate"),
+    "LiberateReport": ("repro.core.report", "LiberateReport"),
+    "DetectionReport": ("repro.core.report", "DetectionReport"),
+    "CharacterizationReport": ("repro.core.report", "CharacterizationReport"),
+    "EvasionReport": ("repro.core.report", "EvasionReport"),
+    "Trace": ("repro.traffic.trace", "Trace"),
+    "TracePacket": ("repro.traffic.trace", "TracePacket"),
+    "LiberateSocket": ("repro.core.socketlib", "LiberateSocket"),
+    "LiberateProxy": ("repro.core.deployment", "LiberateProxy"),
+    "RuleCache": ("repro.core.cache", "RuleCache"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API to keep `import repro` cheap and cycle-free."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,1 @@
+"""Command-line interface: record/replay traces, run the pipeline, regenerate experiments."""

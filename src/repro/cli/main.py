@@ -1,0 +1,286 @@
+"""The ``liberate`` command.
+
+Subcommands mirror the paper's workflow over the simulated environments::
+
+    liberate envs                        # list environments
+    liberate run --env gfc --host economist.com
+    liberate detect --env tmobile --host d1.cloudfront.net
+    liberate characterize --env iran --host facebook.com
+    liberate table1 | table2 | table3 | figure4 | efficiency | throughput
+    liberate trace --host x.com --out trace.json   # save a workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.traffic.http import http_get_trace
+from repro.traffic.video import video_stream_trace
+
+
+def _make_env(name: str):
+    from repro.envs import ENVIRONMENT_FACTORIES
+
+    try:
+        return ENVIRONMENT_FACTORIES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown environment {name!r}; choose from {sorted(ENVIRONMENT_FACTORIES)}"
+        )
+
+
+def _make_trace(args: argparse.Namespace):
+    if getattr(args, "trace", None):
+        from repro.traffic.trace import Trace
+
+        return Trace.load(args.trace)
+    if getattr(args, "builtin", None):
+        from repro.traffic.builtin import builtin_trace
+
+        return builtin_trace(args.builtin)
+    if getattr(args, "video", False):
+        return video_stream_trace(host=args.host, total_bytes=args.size)
+    return http_get_trace(args.host, response_body=b"x" * args.size)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="video.example.com", help="hostname in the workload")
+    parser.add_argument("--video", action="store_true", help="use a video-stream workload")
+    parser.add_argument("--size", type=int, default=2_000, help="response body size in bytes")
+    parser.add_argument("--trace", help="load a recorded trace JSON instead")
+    parser.add_argument(
+        "--builtin", help="use a distributed built-in trace (see `liberate traces`)"
+    )
+
+
+def cmd_envs(_args: argparse.Namespace) -> int:
+    """List the available environments."""
+    from repro.envs import ENVIRONMENT_FACTORIES
+
+    for name, factory in sorted(ENVIRONMENT_FACTORIES.items()):
+        env = factory()
+        print(f"{name:10s} signal={env.signal.value:14s} middlebox at hop {env.hops_to_middlebox}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run the full four-phase pipeline."""
+    from repro.core.pipeline import Liberate
+
+    env = _make_env(args.env)
+    trace = _make_trace(args)
+    report = Liberate(env, stop_at_first=args.fast).run(trace)
+    print(report.summary())
+    if report.evasion is not None and args.verbose:
+        for result in report.evasion.results:
+            mark = "+" if result.evaded else "-"
+            print(f"  {mark} {result.technique:28s} ({result.category})")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Run only the differentiation-detection phase."""
+    from repro.core.detection import detect_differentiation
+
+    env = _make_env(args.env)
+    report = detect_differentiation(env, _make_trace(args))
+    print(report.summary())
+    return 0 if report.differentiated else 1
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Run only the characterization phase."""
+    from repro.core.characterization import CharacterizationError, Characterizer
+
+    env = _make_env(args.env)
+    try:
+        report = Characterizer(env, _make_trace(args)).run()
+    except CharacterizationError as error:
+        print(f"characterization failed: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    print(f"rounds={report.rounds} bytes={report.bytes_used}")
+    for note in report.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate and save a workload trace."""
+    trace = _make_trace(args)
+    trace.save(args.out)
+    print(f"saved {trace.name} ({trace.total_bytes()} bytes) to {args.out}")
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    """List the built-in traces, optionally exporting them all."""
+    from repro.traffic.builtin import builtin_trace, builtin_trace_names, export_builtin_traces
+
+    for name in builtin_trace_names():
+        trace = builtin_trace(name)
+        print(f"{name:14s} {trace.protocol:4s} port {trace.server_port:<5d} "
+              f"{trace.total_bytes():>8d} bytes")
+    if args.export:
+        written = export_builtin_traces(args.export)
+        print(f"exported {len(written)} traces to {args.export}")
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    """Regenerate Table 1."""
+    from repro.experiments.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1()))
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    """Regenerate Table 2."""
+    from repro.experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    """Regenerate Table 3 and compare against the paper."""
+    from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
+
+    rows = run_table3(characterize=not args.fast)
+    print(format_table3(rows))
+    matches, total, mismatches = compare_with_paper(rows)
+    print(f"\npaper agreement: {matches}/{total} cells")
+    for mismatch in mismatches:
+        print(f"  mismatch: {mismatch}")
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    """Regenerate Figure 4."""
+    from repro.experiments.figure4 import busy_and_quiet_summary, format_figure4, run_figure4
+
+    samples = run_figure4(trials=args.trials)
+    print(format_figure4(samples))
+    print(busy_and_quiet_summary(samples))
+    return 0
+
+
+def cmd_efficiency(_args: argparse.Namespace) -> int:
+    """Regenerate the §6 characterization-efficiency numbers."""
+    from repro.experiments.efficiency import format_efficiency, run_all
+
+    print(format_efficiency(run_all()))
+    return 0
+
+
+def cmd_throughput(_args: argparse.Namespace) -> int:
+    """Regenerate the §6.2 T-Mobile throughput comparison."""
+    from repro.experiments.throughput import format_throughput, run_tmus_throughput
+
+    print(format_throughput(run_tmus_throughput()))
+    return 0
+
+
+def cmd_bilateral(_args: argparse.Namespace) -> int:
+    """Run the bilateral (server-supported) evasion matrix (§7)."""
+    from repro.experiments.bilateral import format_bilateral, run_bilateral_matrix
+
+    print(format_bilateral(run_bilateral_matrix()))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the full measured-results markdown report."""
+    from repro.experiments.reportgen import write_report
+
+    target = write_report(args.out, figure4_trials=args.trials)
+    print(f"wrote {target}")
+    return 0
+
+
+def cmd_countermeasures(_args: argparse.Namespace) -> int:
+    """Run the §4.3 normalizer countermeasure study."""
+    from repro.experiments.countermeasures import (
+        format_countermeasures,
+        run_countermeasure_study,
+    )
+
+    print(format_countermeasures(run_countermeasure_study()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="liberate",
+        description="lib*erate (IMC 2017) reproduction: expose traffic-classification "
+        "rules and evade them, over simulated middlebox environments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("envs", help="list environments").set_defaults(func=cmd_envs)
+
+    run = sub.add_parser("run", help="full pipeline against one environment")
+    run.add_argument("--env", default="testbed")
+    run.add_argument("--fast", action="store_true", help="stop at the first working technique")
+    run.add_argument("--verbose", action="store_true")
+    _add_workload_args(run)
+    run.set_defaults(func=cmd_run)
+
+    detect = sub.add_parser("detect", help="differentiation detection only")
+    detect.add_argument("--env", default="testbed")
+    _add_workload_args(detect)
+    detect.set_defaults(func=cmd_detect)
+
+    char = sub.add_parser("characterize", help="classifier characterization only")
+    char.add_argument("--env", default="testbed")
+    _add_workload_args(char)
+    char.set_defaults(func=cmd_characterize)
+
+    trace = sub.add_parser("trace", help="generate + save a workload trace")
+    trace.add_argument("--out", required=True)
+    _add_workload_args(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    traces = sub.add_parser("traces", help="list / export the built-in trace set")
+    traces.add_argument("--export", help="directory to export all traces into")
+    traces.set_defaults(func=cmd_traces)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(func=cmd_table1)
+    sub.add_parser("table2", help="regenerate Table 2").set_defaults(func=cmd_table2)
+    t3 = sub.add_parser("table3", help="regenerate Table 3")
+    t3.add_argument("--fast", action="store_true", help="skip the characterization phase")
+    t3.set_defaults(func=cmd_table3)
+    f4 = sub.add_parser("figure4", help="regenerate Figure 4")
+    f4.add_argument("--trials", type=int, default=6)
+    f4.set_defaults(func=cmd_figure4)
+    sub.add_parser("efficiency", help="regenerate §6 efficiency numbers").set_defaults(
+        func=cmd_efficiency
+    )
+    sub.add_parser("throughput", help="regenerate §6.2 throughput numbers").set_defaults(
+        func=cmd_throughput
+    )
+    sub.add_parser("bilateral", help="run the §7 bilateral evasion matrix").set_defaults(
+        func=cmd_bilateral
+    )
+    sub.add_parser(
+        "countermeasures", help="run the §4.3 normalizer countermeasure study"
+    ).set_defaults(func=cmd_countermeasures)
+    report = sub.add_parser("report", help="regenerate the measured-results report")
+    report.add_argument("--out", required=True)
+    report.add_argument("--trials", type=int, default=3, help="Figure 4 trials per hour")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``liberate`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""lib·erate's core: detection, characterization, evasion, deployment.
+
+The four automated phases from the paper (Figure 1):
+
+1. :mod:`repro.core.detection` — does a middlebox differentiate this
+   application's traffic based on its content?
+2. :mod:`repro.core.characterization` — which bytes trigger classification,
+   and how much of the flow does the classifier look at?
+3. :mod:`repro.core.evaluation` — which evasion techniques from the taxonomy
+   (:mod:`repro.core.evasion`) actually work here?
+4. :mod:`repro.core.deployment` — apply the cheapest working technique to
+   live application traffic.
+
+:class:`repro.core.pipeline.Liberate` orchestrates all four.
+"""
+
+from repro.core.report import (
+    CharacterizationReport,
+    DetectionReport,
+    EvasionReport,
+    LiberateReport,
+    MatchingField,
+    TechniqueResult,
+)
+
+__all__ = [
+    "Liberate",
+    "CharacterizationReport",
+    "DetectionReport",
+    "EvasionReport",
+    "LiberateReport",
+    "MatchingField",
+    "TechniqueResult",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose Liberate to avoid import cycles during partial builds."""
+    if name == "Liberate":
+        from repro.core.pipeline import Liberate
+
+        return Liberate
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,109 @@
+"""Bilateral evasion (§7): techniques that assume server-side support.
+
+Unilateral evasion exploits middlebox implementation gaps, so every
+technique in Table 3 has a countermeasure.  With *both* endpoints running
+lib·erate, two far stronger moves open up:
+
+* **dummy prefix** — one packet of dummy payload at the start of the flow,
+  ignored by the cooperating server, breaks every protocol-anchored
+  classifier.  The paper measured this working against the testbed,
+  T-Mobile, AT&T and the GFC ("inserting even one packet carrying dummy
+  traffic ... evades classification in our testbed, T-Mobile, AT&T, and
+  the GFC").
+* **payload rotation** — transform the application bytes with a shared key
+  and undo it server-side.  The classifier sees content "not publicly known
+  by the differentiating ISP a priori" (§7); even a terminating proxy can
+  only pass it through unclassified.
+
+Neither is deployable unilaterally; both are implemented here to complete
+the paper's outlook section.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead
+from repro.envs.base import Environment
+from repro.replay.runner import ReplayRunner
+from repro.replay.session import ReplayOutcome, ReplaySession
+from repro.traffic.trace import Trace
+
+
+class BilateralDummyPrefix(EvasionTechnique):
+    """One dummy payload packet before the real dialogue (server ignores it).
+
+    Run it through a :class:`~repro.replay.session.ReplaySession` constructed
+    with ``tolerate_prefix=True`` — that models the cooperating server; the
+    :func:`run_bilateral_dummy_prefix` helper wires this up.
+    """
+
+    name = "bilateral-dummy-prefix"
+    category = "bilateral"
+    protocol = "tcp"
+    requires_server_support = True
+
+    def __init__(self, prefix: bytes = b"\x00") -> None:
+        if not prefix:
+            raise ValueError("the dummy prefix must be at least one byte")
+        self.prefix = prefix
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Send the dummy bytes as real stream data, then the dialogue."""
+        runner.send_message(self.prefix)
+        runner.overhead_packets += 1
+        runner.overhead_bytes += len(self.prefix) + 40
+        runner.send_default()
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One extra packet carrying the prefix."""
+        return Overhead(packets=1, bytes=len(self.prefix) + 40)
+
+
+def run_bilateral_dummy_prefix(
+    env: Environment,
+    trace: Trace,
+    prefix: bytes = b"\x00",
+    server_port: int | None = None,
+) -> ReplayOutcome:
+    """Replay *trace* with a dummy prefix against a cooperating server."""
+    session = ReplaySession(env, trace, server_port=server_port, tolerate_prefix=True)
+    context = EvasionContext(protocol="tcp", middlebox_hops=env.hops_to_middlebox)
+    return session.run(technique=BilateralDummyPrefix(prefix), context=context)
+
+
+def rotate_payload(payload: bytes, key: int) -> bytes:
+    """Byte-wise additive rotation with *key* (undone by rotating with -key)."""
+    return bytes((b + key) & 0xFF for b in payload)
+
+
+def unrotate_payload(payload: bytes, key: int) -> bytes:
+    """Invert :func:`rotate_payload`."""
+    return bytes((b - key) & 0xFF for b in payload)
+
+
+def encoded_wire_trace(trace: Trace, key: int) -> Trace:
+    """What the wire carries under payload rotation.
+
+    Client payloads travel rotated (the cooperating server decodes them
+    before interpreting); server responses are unchanged, and the replay
+    server's count-based triggering is oblivious to the transform.
+    """
+    rotated = [rotate_payload(p, key) for p in trace.client_payloads()]
+    return trace.with_client_payloads(rotated, name=f"{trace.name}:rot{key}")
+
+
+def run_bilateral_rotation(
+    env: Environment,
+    trace: Trace,
+    key: int = 7,
+    server_port: int | None = None,
+) -> ReplayOutcome:
+    """Replay *trace* with payload rotation against a cooperating server.
+
+    The outcome's delivery checks compare wire bytes against the rotated
+    expectation, which (rotation being a bijection) is equivalent to the
+    decoded stream matching the original application bytes.
+    """
+    if not 1 <= key <= 255:
+        raise ValueError("key must be in 1..255")
+    wire_trace = encoded_wire_trace(trace, key)
+    return ReplaySession(env, wire_trace, server_port=server_port).run()

@@ -1,0 +1,125 @@
+"""Shared characterization cache (§4.2).
+
+Characterization is the expensive phase (tens of minutes and megabytes in
+operational networks), but its result is valid until the classifier rule
+changes — and is the same for every user behind the same middlebox.  The
+paper proposes distributing test results "in a well known public location
+(e.g., a server or a DHT) so that all users can identify the matching rules
+without running additional tests".  This module provides that store: a
+JSON-serializable cache keyed by (network, application).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.report import CharacterizationReport, MatchingField
+
+
+def _report_to_dict(report: CharacterizationReport) -> dict:
+    data = asdict(report)
+    for key in ("matching_fields", "server_side_fields"):
+        data[key] = [
+            {
+                "packet_index": f["packet_index"],
+                "start": f["start"],
+                "end": f["end"],
+                "content": f["content"].hex(),
+            }
+            for f in data[key]
+        ]
+    return data
+
+
+def _report_from_dict(data: dict) -> CharacterizationReport:
+    def fields(items: list[dict]) -> list[MatchingField]:
+        return [
+            MatchingField(
+                packet_index=item["packet_index"],
+                start=item["start"],
+                end=item["end"],
+                content=bytes.fromhex(item["content"]),
+            )
+            for item in items
+        ]
+
+    return CharacterizationReport(
+        matching_fields=fields(data.get("matching_fields", [])),
+        server_side_fields=fields(data.get("server_side_fields", [])),
+        packet_limit=data.get("packet_limit"),
+        limit_is_packet_based=data.get("limit_is_packet_based", True),
+        inspects_all_packets=data.get("inspects_all_packets", False),
+        match_and_forget=data.get("match_and_forget", True),
+        prepend_sensitivity=data.get("prepend_sensitivity"),
+        rounds=data.get("rounds", 0),
+        bytes_used=data.get("bytes_used", 0),
+        port_rotation_used=data.get("port_rotation_used", False),
+        notes=list(data.get("notes", [])),
+    )
+
+
+class RuleCache:
+    """A shareable store of characterization results.
+
+    Keys are (network, application) pairs.  The store round-trips through
+    JSON so it can live on the "well known public location" of §4.2; users
+    who fetch it skip the characterization phase entirely (the efficiency
+    benches quantify the savings).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], CharacterizationReport] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, network: str, application: str) -> CharacterizationReport | None:
+        """Look up a cached characterization; counts hit/miss statistics."""
+        entry = self._entries.get((network, application))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, network: str, application: str, report: CharacterizationReport) -> None:
+        """Publish a characterization result for other users."""
+        self._entries[(network, application)] = report
+
+    def invalidate(self, network: str, application: str) -> None:
+        """Drop a stale entry (the classifier rule changed)."""
+        self._entries.pop((network, application), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the whole cache."""
+        return json.dumps(
+            [
+                {"network": network, "application": app, "report": _report_to_dict(report)}
+                for (network, app), report in self._entries.items()
+            ],
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "RuleCache":
+        """Load a cache previously produced by :meth:`to_json`."""
+        cache = cls()
+        for item in json.loads(document):
+            cache.put(item["network"], item["application"], _report_from_dict(item["report"]))
+        return cache
+
+    def save(self, path: str | Path) -> None:
+        """Write the cache to disk."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RuleCache":
+        """Read a cache from disk."""
+        return cls.from_json(Path(path).read_text())

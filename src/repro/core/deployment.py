@@ -1,0 +1,68 @@
+"""Phase 4: evasion deployment (§4.4).
+
+Once a working technique is known, lib·erate intercepts the application's
+live traffic (here: further replays of its flows) and applies the technique
+transparently.  Deployment also owns runtime adaptation: when a previously
+working technique stops evading, the classifier rule has probably changed
+and the characterization/evaluation phases must rerun (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique
+from repro.envs.base import Environment
+from repro.replay.session import ReplayOutcome, ReplaySession
+from repro.traffic.trace import Trace
+
+
+class LiberateProxy:
+    """The deployed transparent proxy: applies one technique to app traffic.
+
+    Args:
+        env: the network the application runs in.
+        technique: the selected (cheapest working) evasion technique.
+        context: the evasion context the technique parameterizes on.
+        on_rule_change: callback fired when evasion stops working; the
+            pipeline wires this to re-characterization.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        technique: EvasionTechnique,
+        context: EvasionContext,
+        on_rule_change: Callable[[], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.technique = technique
+        self.context = context
+        self.on_rule_change = on_rule_change
+        self.flows_handled = 0
+        self.rule_change_detected = False
+
+    def run_flow(self, trace: Trace, server_port: int | None = None) -> ReplayOutcome:
+        """Send one application flow through the evasion transform.
+
+        Detects classifier/network changes two ways: the flow is
+        differentiated despite the technique (§4.2: "if differentiation
+        occurs even when using a previously successful evasion technique …
+        lib·erate repeats the characterization and evasion steps"), or the
+        technique started *breaking the application* — e.g. a newly deployed
+        TTL-normalizer delivering our formerly-inert packets to the server.
+        Either way the pipeline reruns and the technique is swapped.
+        """
+        session = ReplaySession(self.env, trace, server_port=server_port)
+        outcome = session.run(technique=self.technique, context=self.context)
+        self.flows_handled += 1
+        broke_application = not (outcome.delivered_ok and outcome.server_response_ok)
+        if outcome.differentiated or broke_application:
+            self.rule_change_detected = True
+            if self.on_rule_change is not None:
+                self.on_rule_change()
+        return outcome
+
+    def overhead_estimate(self):
+        """The technique's per-flow cost (Table 2)."""
+        return self.technique.estimated_overhead(self.context)

@@ -1,0 +1,52 @@
+"""Phase 1: differentiation detection (§4.1, §5.1).
+
+Replay the recorded trace, then replay a bit-inverted control.  If the
+original is differentiated and the control is not, the trigger is the
+*content* — a DPI classifier.  Bit inversion (rather than randomization) is
+deterministic and guarantees every classification bit pattern is removed; the
+paper switched to it after random payloads occasionally matched rules by
+accident.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import DetectionReport
+from repro.envs.base import Environment
+from repro.replay.session import ReplaySession
+from repro.traffic.trace import Trace
+
+
+def detect_differentiation(
+    env: Environment, trace: Trace, server_port: int | None = None
+) -> DetectionReport:
+    """Run the original + bit-inverted control replays and compare treatment.
+
+    On networks with residual server:port blocking (the GFC), each replay
+    targets a fresh port so earlier tests can't contaminate the comparison
+    (§6.5's methodology).
+    """
+    original_port = server_port
+    control_port = server_port
+    if env.needs_port_rotation:
+        original_port = 8000 + (env.next_sport() % 20_000)
+        control_port = 8000 + (env.next_sport() % 20_000)
+    original = ReplaySession(env, trace, server_port=original_port).run()
+    control = ReplaySession(env, trace.inverted(), server_port=control_port).run()
+    report = DetectionReport(
+        differentiated=original.differentiated,
+        content_based=original.differentiated and not control.differentiated,
+        signal=env.signal.value,
+        rounds=2,
+        bytes_used=2 * trace.total_bytes(),
+    )
+    if original.differentiated and control.differentiated:
+        report.notes.append(
+            "control replay also differentiated: trigger is not payload content "
+            "(header-space or endpoint-based policy)"
+        )
+    if original.content_modified:
+        report.notes.append(
+            "server responses were modified in flight (content-modification "
+            "differentiation)"
+        )
+    return report

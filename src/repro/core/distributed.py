@@ -1,0 +1,95 @@
+"""Distributed characterization (§4.2).
+
+"An alternative approach to reduce runtimes is to distribute disjoint
+subsets of the tests among multiple users in the same network, and aggregate
+the results."  The replay rounds of a characterization run are independent
+given the bisection's control flow, so spreading them round-robin over N
+cooperating users divides each user's measurement load (and wall-clock
+time, since users run concurrently) by ~N.
+
+The paper also notes the drawback: the aggregated results sit in a public
+place where the adversary can read them — which is the same trade-off as
+:mod:`repro.core.cache`, where the results land afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.characterization import Characterizer
+from repro.core.report import CharacterizationReport
+from repro.envs.base import Environment
+from repro.traffic.trace import Trace
+
+
+@dataclass
+class UserLoad:
+    """Measurement load carried by one cooperating user."""
+
+    user: int
+    rounds: int = 0
+    bytes_used: int = 0
+
+
+class DistributedCharacterizer(Characterizer):
+    """A characterizer whose replay rounds are spread over N users.
+
+    Rounds are assigned round-robin — what the disjoint-subsets scheme
+    degenerates to when tests execute in bisection order.  Every replay
+    already uses a fresh client port, so the middlebox sees each user's
+    probes as unrelated flows.
+
+    Args:
+        users: number of cooperating users (≥1).
+    """
+
+    def __init__(self, env: Environment, trace: Trace, users: int = 4, **kwargs: object) -> None:
+        if users < 1:
+            raise ValueError("need at least one user")
+        super().__init__(env, trace, **kwargs)  # type: ignore[arg-type]
+        self.users = [UserLoad(user=i) for i in range(users)]
+        self._next_user = 0
+
+    def _replay(self, blind=None, prepend=None, server_blind=None) -> bool:  # type: ignore[override]
+        user = self.users[self._next_user]
+        self._next_user = (self._next_user + 1) % len(self.users)
+        before_rounds, before_bytes = self.rounds, self.bytes_used
+        result = super()._replay(blind=blind, prepend=prepend, server_blind=server_blind)
+        user.rounds += self.rounds - before_rounds
+        user.bytes_used += self.bytes_used - before_bytes
+        return result
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def max_user_rounds(self) -> int:
+        """The per-user measurement load (the quantity distribution reduces)."""
+        return max(user.rounds for user in self.users)
+
+    def run_distributed(self) -> tuple[CharacterizationReport, list[UserLoad]]:
+        """Characterize and return the report plus the per-user loads."""
+        report = self.run()
+        return report, list(self.users)
+
+
+def speedup_from_distribution(env_factory, trace: Trace, users: int = 4) -> dict[str, float]:
+    """Compare single-user vs. N-user characterization load.
+
+    Returns total rounds, the busiest user's rounds, and the effective
+    speedup (wall-clock divides by it when users run concurrently).
+    """
+    solo = Characterizer(env_factory(), trace)
+    solo.run()
+    distributed = DistributedCharacterizer(env_factory(), trace, users=users)
+    report, loads = distributed.run_distributed()
+    busiest = max(load.rounds for load in loads)
+    return {
+        "solo_rounds": float(solo.rounds),
+        "distributed_total_rounds": float(distributed.rounds),
+        "busiest_user_rounds": float(busiest),
+        "speedup": solo.rounds / busiest if busiest else float("inf"),
+        "fields_agree": float(
+            [f.content for f in report.matching_fields]
+            == [f.content for f in Characterizer(env_factory(), trace).find_matching_fields()]
+        ),
+    }

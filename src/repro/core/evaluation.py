@@ -1,0 +1,121 @@
+"""Phase 3: evasion evaluation (§4.3, §5.2).
+
+Run candidate techniques against the live classifier and record which ones
+work.  The taxonomy lets us prune efficiently: a classifier that inspects
+*every* packet (Iran) cannot be fooled by inert insertion or flushing, so
+those tests are skipped; match-and-forget classifiers get the cheap inert
+techniques first; previously-effective techniques are tried before exotic
+ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion import ALL_TECHNIQUES
+from repro.core.evasion.base import EvasionContext, EvasionTechnique
+from repro.core.report import EvasionReport, TechniqueResult
+from repro.envs.base import Environment
+from repro.replay.session import ReplayOutcome, ReplaySession
+from repro.traffic.trace import Trace
+
+#: Techniques that were effective across our study, tried first (§5.2:
+#: "lib·erate tests evasion techniques that were effective in our study
+#: first, based on the assumption that such classifier implementations are
+#: also deployed elsewhere").
+PREVIOUSLY_EFFECTIVE = (
+    "ip-low-ttl",
+    "tcp-segment-reorder",
+    "tcp-segment-split",
+    "udp-reorder",
+    "flush-rst-before-match",
+)
+
+
+class EvasionEvaluator:
+    """Evaluates the taxonomy against one (environment, trace) pair.
+
+    Args:
+        env: the environment under test.
+        trace: the differentiated dialogue.
+        context: characterization + localization results.
+        techniques: candidate techniques (defaults to the full taxonomy).
+        stop_at_first: stop once one technique works (deployment mode);
+            False exercises everything (the paper's study mode).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        trace: Trace,
+        context: EvasionContext,
+        techniques: tuple[EvasionTechnique, ...] = ALL_TECHNIQUES,
+        stop_at_first: bool = False,
+    ) -> None:
+        self.env = env
+        self.trace = trace
+        self.context = context
+        self.techniques = techniques
+        self.stop_at_first = stop_at_first
+        self._port_counter = trace.server_port
+
+    # ------------------------------------------------------------------
+    # test-plan construction
+    # ------------------------------------------------------------------
+    def plan(self) -> list[EvasionTechnique]:
+        """The ordered, pruned list of techniques to try."""
+        candidates = [t for t in self.techniques if t.applicable(self.context)]
+        if self.context.inspects_all_packets:
+            # §5.2: against inspect-everything classifiers, inert insertion
+            # cannot change the verdict and there is no state to flush —
+            # only splitting/reordering remain.
+            candidates = [
+                t for t in candidates if t.category in ("splitting", "reordering")
+            ]
+        effective_rank = {name: i for i, name in enumerate(PREVIOUSLY_EFFECTIVE)}
+        category_rank = {
+            "inert-insertion": 0 if self.context.match_and_forget else 2,
+            "splitting": 1,
+            "reordering": 1,
+            "flushing": 3,
+        }
+        return sorted(
+            candidates,
+            key=lambda t: (
+                effective_rank.get(t.name, len(effective_rank)),
+                category_rank.get(t.category, 9),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def run(self) -> EvasionReport:
+        """Try the planned techniques, recording results (and costs)."""
+        report = EvasionReport()
+        for technique in self.plan():
+            outcome = self.evaluate(technique)
+            result = TechniqueResult(
+                technique=technique.name,
+                category=technique.category,
+                evaded=outcome.evaded,
+                delivered_ok=outcome.delivered_ok,
+                differentiated=outcome.differentiated,
+                inert_reached_server=outcome.inert_reached_server,
+                overhead_packets=outcome.overhead_packets,
+                overhead_bytes=outcome.overhead_bytes,
+                overhead_seconds=outcome.overhead_seconds,
+            )
+            report.results.append(result)
+            report.rounds += 1
+            report.bytes_used += outcome.bytes_used
+            if self.stop_at_first and outcome.evaded:
+                break
+        return report
+
+    def evaluate(self, technique: EvasionTechnique) -> ReplayOutcome:
+        """One technique, one replay."""
+        port = self.trace.server_port
+        if self.env.needs_port_rotation:
+            self._port_counter += 1
+            port = 8000 + (self._port_counter % 20_000)
+        session = ReplaySession(self.env, self.trace, server_port=port)
+        return session.run(technique=technique, context=self.context)

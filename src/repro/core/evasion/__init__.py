@@ -1,0 +1,116 @@
+"""The classifier-evasion taxonomy (paper §4.3, Tables 2 and 3).
+
+Four categories, each exploiting a different gap between the middlebox's and
+the endpoints' views of a flow:
+
+* **inert packet insertion** (:mod:`repro.core.evasion.inert`) — packets the
+  classifier processes but the server never sees (TTL-limited) or rejects
+  (invalid header fields);
+* **payload splitting** (:mod:`repro.core.evasion.splitting`) — matching
+  fields cut across TCP segments or IP fragments;
+* **payload reordering** (:mod:`repro.core.evasion.reordering`) — valid
+  packets delivered out of order;
+* **classification flushing** (:mod:`repro.core.evasion.flushing`) — delays
+  and inert RSTs that evict classifier state.
+
+:data:`ALL_TECHNIQUES` lists one instance per Table 3 row, in table order.
+"""
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead
+from repro.core.evasion.flushing import (
+    PauseAfterMatch,
+    PauseBeforeMatch,
+    RSTAfterMatch,
+    RSTBeforeMatch,
+)
+from repro.core.evasion.inert import (
+    DeprecatedIPOptions,
+    InvalidDataOffset,
+    InvalidFlagCombination,
+    InvalidIPHeaderLength,
+    InvalidIPOptions,
+    InvalidIPVersion,
+    LowTTLInert,
+    NoACKFlag,
+    TotalLengthLong,
+    TotalLengthShort,
+    UDPInvalidChecksum,
+    UDPLengthLong,
+    UDPLengthShort,
+    WrongIPChecksum,
+    WrongProtocol,
+    WrongTCPChecksum,
+    WrongTCPSequence,
+)
+from repro.core.evasion.reordering import IPFragmentReorder, TCPSegmentReorder, UDPReorder
+from repro.core.evasion.splitting import IPFragmentation, TCPSegmentSplit
+
+#: Every technique, in the row order of the paper's Table 3.
+ALL_TECHNIQUES: tuple[EvasionTechnique, ...] = (
+    LowTTLInert(),
+    InvalidIPVersion(),
+    InvalidIPHeaderLength(),
+    TotalLengthLong(),
+    TotalLengthShort(),
+    WrongProtocol(),
+    WrongIPChecksum(),
+    InvalidIPOptions(),
+    DeprecatedIPOptions(),
+    WrongTCPSequence(),
+    WrongTCPChecksum(),
+    NoACKFlag(),
+    InvalidDataOffset(),
+    InvalidFlagCombination(),
+    UDPInvalidChecksum(),
+    UDPLengthLong(),
+    UDPLengthShort(),
+    IPFragmentation(),
+    TCPSegmentSplit(),
+    IPFragmentReorder(),
+    TCPSegmentReorder(),
+    UDPReorder(),
+    PauseAfterMatch(),
+    PauseBeforeMatch(),
+    RSTAfterMatch(),
+    RSTBeforeMatch(),
+)
+
+
+def techniques_by_name() -> dict[str, EvasionTechnique]:
+    """Name → technique lookup over :data:`ALL_TECHNIQUES`."""
+    return {t.name: t for t in ALL_TECHNIQUES}
+
+
+__all__ = [
+    "EvasionContext",
+    "EvasionTechnique",
+    "Overhead",
+    "ALL_TECHNIQUES",
+    "techniques_by_name",
+    "LowTTLInert",
+    "InvalidIPVersion",
+    "InvalidIPHeaderLength",
+    "TotalLengthLong",
+    "TotalLengthShort",
+    "WrongProtocol",
+    "WrongIPChecksum",
+    "InvalidIPOptions",
+    "DeprecatedIPOptions",
+    "WrongTCPSequence",
+    "WrongTCPChecksum",
+    "NoACKFlag",
+    "InvalidDataOffset",
+    "InvalidFlagCombination",
+    "UDPInvalidChecksum",
+    "UDPLengthLong",
+    "UDPLengthShort",
+    "IPFragmentation",
+    "TCPSegmentSplit",
+    "IPFragmentReorder",
+    "TCPSegmentReorder",
+    "UDPReorder",
+    "PauseAfterMatch",
+    "PauseBeforeMatch",
+    "RSTAfterMatch",
+    "RSTBeforeMatch",
+]

@@ -1,0 +1,120 @@
+"""Technique interface, evasion context, and cost model."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.report import MatchingField
+from repro.replay.runner import ReplayRunner
+
+
+@dataclass
+class EvasionContext:
+    """What the earlier phases learned — techniques parameterize on this.
+
+    Attributes:
+        matching_fields: byte regions that trigger classification
+            (characterization output); empty means "assume the first
+            payload packet matters".
+        packet_limit: classifier inspection window, when known.
+        inspects_all_packets: Iran-style per-packet classifiers.
+        match_and_forget: classification appears final once made.
+        middlebox_hops: router hops client-side of the classifier
+            (localization output); TTL-limited packets use hops+1.
+        protocol: "tcp" or "udp".
+        split_pieces: how many pieces splitting techniques aim for (§5.2
+            uses a conservative n = 10).
+        fragment_count: fragments per packet for IP fragmentation (m = 2).
+        flush_wait_seconds: pause length for delay-based flushing.
+        rst_flush_wait_seconds: pause after an inert RST (covers the
+            testbed's 10 s reduced timeout).
+        inert_packet_count: inert packets inserted before the matching
+            packet (k; the paper found k < 5 always, usually 1).
+    """
+
+    matching_fields: list[MatchingField] = field(default_factory=list)
+    packet_limit: int | None = None
+    inspects_all_packets: bool = False
+    match_and_forget: bool = True
+    middlebox_hops: int | None = None
+    protocol: str = "tcp"
+    split_pieces: int = 10
+    fragment_count: int = 2
+    flush_wait_seconds: float = 150.0
+    rst_flush_wait_seconds: float = 12.0
+    inert_packet_count: int = 1
+
+    def target_message_index(self) -> int:
+        """The client message containing the first matching field."""
+        if not self.matching_fields:
+            return 0
+        return min(f.packet_index for f in self.matching_fields)
+
+    def fields_in_message(self, index: int) -> list[MatchingField]:
+        """Matching fields inside client message *index*, sorted by offset."""
+        return sorted(
+            (f for f in self.matching_fields if f.packet_index == index),
+            key=lambda f: f.start,
+        )
+
+    def ttl_to_reach_classifier(self) -> int:
+        """A TTL that crosses the classifier but expires before the server."""
+        hops = self.middlebox_hops if self.middlebox_hops is not None else 0
+        return hops + 1
+
+
+@dataclass(frozen=True)
+class Overhead:
+    """Deployment cost of a technique (Table 2)."""
+
+    packets: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
+
+    def __str__(self) -> str:
+        parts = []
+        if self.packets:
+            parts.append(f"{self.packets} pkt")
+        if self.bytes:
+            parts.append(f"{self.bytes} B")
+        if self.seconds:
+            parts.append(f"{self.seconds:.0f} s")
+        return " + ".join(parts) if parts else "negligible"
+
+
+class EvasionTechnique(ABC):
+    """One entry in the evasion taxonomy.
+
+    Subclasses define the Table 3 row they reproduce (``name``), their
+    taxonomy ``category``, the transport ``protocol`` they apply to, and the
+    traffic transformation itself (:meth:`apply`).
+    """
+
+    name: str = "technique"
+    category: str = "inert-insertion"
+    protocol: str = "tcp"  # "tcp", "udp" or "any"
+
+    def applicable(self, ctx: EvasionContext) -> bool:
+        """Whether the technique can run against this flow at all."""
+        if self.protocol == "any":
+            return True
+        return self.protocol == ctx.protocol
+
+    @abstractmethod
+    def apply(self, runner: ReplayRunner) -> None:
+        """Emit the client side of the trace, transformed."""
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """The cost model entry for Table 2 (refined by measured overhead)."""
+        return Overhead()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def ctx_of(runner: ReplayRunner) -> EvasionContext:
+    """The runner's context, defaulting to a fresh one when absent."""
+    if isinstance(runner.context, EvasionContext):
+        return runner.context
+    return EvasionContext(protocol=runner.trace.protocol)

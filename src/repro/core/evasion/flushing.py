@@ -1,0 +1,120 @@
+"""Classification flushing (Table 3, bottom block).
+
+Middleboxes do not retain state forever: delays (sometimes time-of-day
+dependent — Figure 4) or inert RST packets evict a flow's classifier state,
+leaving the remaining traffic unclassified.  The "after match" variants hold
+back the tail of the matching message so the bulk transfer only starts once
+the state is gone; the "before match" variants flush the (still unmatched)
+flow-tracking entry so the matching packet is never inspected at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead, ctx_of
+from repro.replay.runner import ReplayRunner
+
+
+def _send_with_holdback(runner: ReplayRunner, between: "callable[[], None]") -> None:
+    """Send the first message minus its final byte, run *between*, send the rest.
+
+    The withheld byte keeps the replay server from responding until after the
+    flush, so the bulk transfer happens against a flushed classifier.
+    """
+    messages = runner.client_messages
+    if not messages:
+        between()
+        return
+    first = messages[0]
+    if len(first) > 1:
+        runner.send_message(first[:-1])
+        between()
+        runner.send_message(first[-1:])
+    else:
+        runner.send_message(first)
+        between()
+    for message in messages[1:]:
+        runner.send_message(message)
+
+
+class PauseAfterMatch(EvasionTechnique):
+    """IP: pause *t* seconds after the matching bytes were sent."""
+
+    name = "flush-pause-after-match"
+    category = "flushing"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Match, wait out the classifier's retention, then transfer."""
+        ctx = ctx_of(runner)
+        _send_with_holdback(runner, lambda: runner.pause(ctx.flush_wait_seconds))
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """t seconds of added latency, no extra packets."""
+        return Overhead(seconds=ctx.flush_wait_seconds)
+
+
+class PauseBeforeMatch(EvasionTechnique):
+    """IP: pause *t* seconds after the handshake, before any payload."""
+
+    name = "flush-pause-before-match"
+    category = "flushing"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Let the untouched flow-tracking entry expire, then send normally."""
+        ctx = ctx_of(runner)
+        runner.pause(ctx.flush_wait_seconds)
+        runner.send_default()
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """t seconds of added latency, no extra packets."""
+        return Overhead(seconds=ctx.flush_wait_seconds)
+
+
+class RSTAfterMatch(EvasionTechnique):
+    """TCP: a TTL-limited RST after the match flushes the verdict.
+
+    Table 3's "TTL-limited RST packet (a)".  The RST crosses the classifier
+    but expires before the server, so the connection itself survives.
+    """
+
+    name = "flush-rst-after-match"
+    category = "flushing"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Match, inject the inert RST, wait briefly, then transfer."""
+        ctx = ctx_of(runner)
+
+        def flush() -> None:
+            runner.send_inert_rst(ttl=ctx.ttl_to_reach_classifier())
+            runner.pause(ctx.rst_flush_wait_seconds)
+
+        _send_with_holdback(runner, flush)
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One inert packet (plus a short settle delay on some devices)."""
+        return Overhead(packets=1, bytes=40, seconds=ctx.rst_flush_wait_seconds)
+
+
+class RSTBeforeMatch(EvasionTechnique):
+    """TCP: a TTL-limited RST before any payload flushes flow tracking.
+
+    Table 3's "TTL-limited RST packet (b)" — the variant that works against
+    the GFC, whose state can be flushed only before a match.
+    """
+
+    name = "flush-rst-before-match"
+    category = "flushing"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Inject the inert RST right after the handshake, then send normally."""
+        ctx = ctx_of(runner)
+        runner.send_inert_rst(ttl=ctx.ttl_to_reach_classifier())
+        runner.pause(ctx.rst_flush_wait_seconds)
+        runner.send_default()
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One inert packet (plus a short settle delay on some devices)."""
+        return Overhead(packets=1, bytes=40, seconds=ctx.rst_flush_wait_seconds)

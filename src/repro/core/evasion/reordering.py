@@ -1,0 +1,81 @@
+"""Payload reordering (Table 3, middle block).
+
+The same cuts as splitting, transmitted out of order.  Defeats classifiers
+that assemble streams strictly in arrival order (T-Mobile ignores
+out-of-order segments entirely) while every mainstream OS reassembles
+correctly at the endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead, ctx_of
+from repro.core.evasion.splitting import IPFragmentation, pieces_from_cuts, split_points
+from repro.replay.runner import ReplayRunner
+
+
+class TCPSegmentReorder(EvasionTechnique):
+    """TCP: two segments cut inside the matching field, sent in reverse.
+
+    The paper found reversing the initial pieces reveals an effective order
+    "after just one try" (§5.2), so the minimal two-piece reversal is used.
+    """
+
+    name = "tcp-segment-reorder"
+    category = "reordering"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Send the matching message as two pieces, second piece first."""
+        ctx = ctx_of(runner)
+        target = ctx.target_message_index()
+        for index, message in enumerate(runner.client_messages):
+            if index != target or len(message) < 2:
+                runner.send_message(message)
+                continue
+            cuts = split_points(message, ctx.fields_in_message(index), budget=2)
+            pieces = pieces_from_cuts(message, cuts)
+            runner.send_pieces(list(reversed(pieces)), total_length=len(message))
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One extra header plus endpoint reassembly."""
+        return Overhead(packets=1, bytes=40)
+
+
+class IPFragmentReorder(IPFragmentation):
+    """IP: the fragmentation technique with reversed transmission order."""
+
+    name = "ip-fragment-reorder"
+    category = "reordering"
+
+    def fragment_order(self, count: int) -> list[int]:
+        """Reverse the fragments on the wire."""
+        return list(reversed(range(count)))
+
+
+class UDPReorder(EvasionTechnique):
+    """UDP: swap the matching datagram with its successor.
+
+    Datagram applications tolerate reordering by design; a classifier that
+    matches on packet *position* (the testbed's first-packet STUN rule)
+    does not.
+    """
+
+    name = "udp-reorder"
+    category = "reordering"
+    protocol = "udp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Send the client datagrams with the matching one displaced by one."""
+        ctx = ctx_of(runner)
+        messages = list(runner.client_messages)
+        target = ctx.target_message_index()
+        if target + 1 < len(messages):
+            messages[target], messages[target + 1] = messages[target + 1], messages[target]
+        elif len(messages) >= 2:
+            messages[-2], messages[-1] = messages[-1], messages[-2]
+        for message in messages:
+            runner.send_datagram(message)
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """No extra packets — only reordering."""
+        return Overhead()

@@ -1,0 +1,113 @@
+"""Payload splitting (Table 3, middle block).
+
+Matching fields are cut across packet boundaries — TCP segments or IP
+fragments — so classifiers that match per packet, or that stop reassembling
+after a small window, never see the field contiguously.  Every packet is
+valid, and the receiving OS reassembles transparently, so end-to-end
+integrity is free.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead, ctx_of
+from repro.core.report import MatchingField
+from repro.replay.runner import ReplayRunner
+
+
+def split_points(message: bytes, fields: list[MatchingField], budget: int) -> list[int]:
+    """Cut offsets that slice every matching field across boundaries.
+
+    At most *budget*-1 cuts are produced (so at most *budget* pieces); cuts
+    are placed densely inside matching fields, starting with the earliest.
+    Without known fields the first byte is isolated — the degenerate split
+    the paper found sufficient against the testbed device.
+    """
+    if budget < 2:
+        raise ValueError("need a budget of at least two pieces")
+    if not fields:
+        return [1] if len(message) > 1 else []
+    cuts: list[int] = []
+    per_field = max((budget - 1) // len(fields), 1)
+    for field in fields:
+        width = len(field)
+        if width <= 1:
+            cuts.append(min(field.start + 1, len(message) - 1))
+            continue
+        stride = max(width // (per_field + 1), 1)
+        position = field.start + stride
+        while position < field.end and len(cuts) < budget - 1:
+            cuts.append(position)
+            position += stride
+    unique = sorted({c for c in cuts if 0 < c < len(message)})
+    return unique[: budget - 1]
+
+
+def pieces_from_cuts(message: bytes, cuts: list[int]) -> list[tuple[int, bytes]]:
+    """Turn cut offsets into (offset, data) pieces covering the message."""
+    bounds = [0, *cuts, len(message)]
+    return [
+        (bounds[i], message[bounds[i] : bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+class TCPSegmentSplit(EvasionTechnique):
+    """TCP: break the matching packet into many small segments (§5.2, n ≤ 10)."""
+
+    name = "tcp-segment-split"
+    category = "splitting"
+    protocol = "tcp"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Split the matching message across segment boundaries."""
+        ctx = ctx_of(runner)
+        target = ctx.target_message_index()
+        for index, message in enumerate(runner.client_messages):
+            if index != target or len(message) < 2:
+                runner.send_message(message)
+                continue
+            cuts = split_points(message, ctx.fields_in_message(index), ctx.split_pieces)
+            runner.send_pieces(pieces_from_cuts(message, cuts))
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """k extra 40-byte headers plus server-side reassembly."""
+        return Overhead(packets=ctx.split_pieces - 1, bytes=(ctx.split_pieces - 1) * 40)
+
+
+class IPFragmentation(EvasionTechnique):
+    """IP: fragment the matching packet so the field spans fragments (m = 2)."""
+
+    name = "ip-fragmentation"
+    category = "splitting"
+    protocol = "tcp"
+
+    def fragment_order(self, count: int) -> list[int]:
+        """Transmission order of the fragments (identity here)."""
+        return list(range(count))
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Fragment the matching message with the cut inside the field."""
+        ctx = ctx_of(runner)
+        target = ctx.target_message_index()
+        for index, message in enumerate(runner.client_messages):
+            if index != target or len(message) < 16:
+                runner.send_message(message)
+                continue
+            size = self._fragment_size(message, ctx.fields_in_message(index))
+            count = -(-(len(message) + 20) // size)  # ceil over TCP header + payload
+            runner.send_fragmented(message, size, order=self.fragment_order(count))
+
+    def _fragment_size(self, message: bytes, fields: list[MatchingField]) -> int:
+        tcp_header = 20
+        if fields:
+            cut = tcp_header + fields[0].start + max(len(fields[0]) // 2, 1)
+        else:
+            cut = (tcp_header + len(message)) // 2
+        size = (cut // 8) * 8
+        upper = ((tcp_header + len(message) - 1) // 8) * 8
+        return max(8, min(size, max(upper, 8)))
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One extra 20-byte IP header per additional fragment."""
+        return Overhead(packets=ctx.fragment_count - 1, bytes=(ctx.fragment_count - 1) * 20)

@@ -1,0 +1,65 @@
+"""Middlebox localization via TTL-limited probes (§5.2).
+
+Works like traceroute/Tracebox: probes carrying *matching* content are sent
+with increasing TTL; the smallest TTL at which the differentiation signal
+fires is where the classifier sits.  The probe packet is inert (it repeats
+the current sequence number and dies before the server), and the carrier
+flow's payloads are bit-inverted so the carrier itself never matches — only
+the probe can trigger classification.
+"""
+
+from __future__ import annotations
+
+from repro.endpoint.rawclient import SegmentPlan
+from repro.envs.base import Environment
+from repro.replay.runner import ReplayRunner
+from repro.replay.session import ReplaySession
+from repro.traffic.trace import Trace
+
+DEFAULT_MAX_TTL = 24
+
+
+class _TTLProbe:
+    """Replay transform: inert matching-content probe at a fixed TTL."""
+
+    category = "localization"
+
+    def __init__(self, matching_payload: bytes, ttl: int) -> None:
+        self.matching_payload = matching_payload
+        self.ttl = ttl
+        self.name = f"ttl-probe-{ttl}"
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Send the TTL-limited probe, then the (inverted) carrier flow."""
+        runner.send_inert(
+            SegmentPlan(payload=self.matching_payload, ttl=self.ttl), count_overhead=False
+        )
+        runner.send_default()
+
+
+def locate_middlebox(
+    env: Environment,
+    trace: Trace,
+    max_ttl: int = DEFAULT_MAX_TTL,
+    server_port: int | None = None,
+) -> tuple[int | None, int]:
+    """Find the classifier's hop distance from the client.
+
+    Returns (hops, probe_rounds).  *hops* is the number of TTL-decrementing
+    hops client-side of the classifier (a packet needs TTL ≥ hops+1 to reach
+    it), or None when no TTL up to *max_ttl* triggered the signal.
+    """
+    matching = trace.client_payloads()[0] if trace.client_payloads() else b""
+    carrier = trace.inverted()
+    rounds = 0
+    port_base = server_port if server_port is not None else trace.server_port
+    for ttl in range(1, max_ttl + 1):
+        port = port_base
+        if env.needs_port_rotation:
+            port = 8000 + ((port_base + ttl) % 20_000)
+        probe = _TTLProbe(matching, ttl)
+        outcome = ReplaySession(env, carrier, server_port=port).run(technique=probe)
+        rounds += 1
+        if outcome.differentiated:
+            return ttl - 1, rounds
+    return None, rounds

@@ -1,0 +1,57 @@
+"""Masquerading (§7): be *mis*classified on purpose.
+
+Evasion makes classified traffic look unclassified; masquerading is the
+dual — making arbitrary traffic look like a *favored* class (e.g. zero-rated
+video under Binge On).  The mechanism is the same inert-packet machinery:
+a TTL-limited packet carrying the favored class's matching fields is
+inserted at the start of the flow, the match-and-forget classifier locks
+onto it, and the policy (zero-rating, prioritization) applies to the real
+traffic that follows.  The inert packet dies before the server, so the
+application is untouched.
+
+The paper lists this as supported future work ("Our framework supports
+masquerading as long as users supply traffic to place in inert packets");
+this module implements it.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique, Overhead, ctx_of
+from repro.endpoint.rawclient import SegmentPlan
+from repro.replay.runner import ReplayRunner
+
+
+class MasqueradeAsClass(EvasionTechnique):
+    """Make a flow classify as a chosen traffic class via an inert packet.
+
+    Args:
+        class_payload: bytes that match the favored class's rule — e.g. a
+            recorded zero-rated video request.  The user supplies this, as
+            §7 describes.
+    """
+
+    name = "masquerade-as-class"
+    category = "masquerading"
+    protocol = "tcp"
+
+    def __init__(self, class_payload: bytes) -> None:
+        if not class_payload:
+            raise ValueError("masquerading needs the favored class's payload")
+        self.class_payload = class_payload
+
+    def apply(self, runner: ReplayRunner) -> None:
+        """Send the masquerade probe, then the real traffic unmodified."""
+        ctx = ctx_of(runner)
+        runner.send_inert(
+            SegmentPlan(payload=self.class_payload, ttl=ctx.ttl_to_reach_classifier())
+        )
+        runner.send_default()
+
+    def estimated_overhead(self, ctx: EvasionContext) -> Overhead:
+        """One inert packet carrying the class payload."""
+        return Overhead(packets=1, bytes=len(self.class_payload) + 40)
+
+
+def masquerade_outcome_is_favored(outcome) -> bool:
+    """Did the middlebox grant the favored treatment (zero-rating) to the flow?"""
+    return bool(outcome.zero_rated) and outcome.delivered_ok

@@ -1,0 +1,172 @@
+"""The four-phase lib·erate orchestrator (Figure 1)."""
+
+from __future__ import annotations
+
+from repro.core.cache import RuleCache
+from repro.core.characterization import CharacterizationError, Characterizer
+from repro.core.deployment import LiberateProxy
+from repro.core.detection import detect_differentiation
+from repro.core.evaluation import EvasionEvaluator
+from repro.core.evasion import ALL_TECHNIQUES, techniques_by_name
+from repro.core.evasion.base import EvasionContext, EvasionTechnique
+from repro.core.localization import locate_middlebox
+from repro.core.report import CharacterizationReport, LiberateReport
+from repro.envs.base import Environment
+from repro.traffic.trace import Trace
+
+
+class Liberate:
+    """Automatic, adaptive, unilateral evasion of DPI differentiation.
+
+    Typical use::
+
+        lib = Liberate(env)
+        report = lib.run(trace)          # detect → characterize → evaluate
+        proxy = lib.deploy(trace)        # apply the best technique at runtime
+
+    Args:
+        env: the network environment the application runs in.
+        techniques: the evasion taxonomy (defaults to all of Table 3).
+        stop_at_first: during evaluation, stop at the first working
+            technique (fast deployment mode) instead of trying everything
+            (the paper's study mode).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        techniques: tuple[EvasionTechnique, ...] = ALL_TECHNIQUES,
+        stop_at_first: bool = False,
+        cache: "RuleCache | None" = None,
+    ) -> None:
+        self.env = env
+        self.techniques = techniques
+        self.stop_at_first = stop_at_first
+        self.cache = cache
+        self.last_report: LiberateReport | None = None
+
+    # ------------------------------------------------------------------
+    # the four phases
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> LiberateReport:
+        """Execute detection, characterization, localization and evaluation."""
+        detection = detect_differentiation(self.env, trace)
+        report = LiberateReport(
+            environment=self.env.name, trace=trace.name, detection=detection
+        )
+        if not detection.differentiated:
+            self.last_report = report
+            return report
+        if not detection.content_based:
+            detection.notes.append("differentiation is not content-based; out of scope")
+            self.last_report = report
+            return report
+
+        characterization = self.characterize(trace)
+        report.characterization = characterization
+
+        hops, probe_rounds = locate_middlebox(self.env, trace)
+        characterization.notes.append(
+            f"middlebox located {hops} hop(s) out"
+            if hops is not None
+            else "middlebox not locatable by TTL probing"
+        )
+        characterization.rounds += probe_rounds
+
+        context = self.build_context(characterization, hops, trace)
+        evaluator = EvasionEvaluator(
+            self.env,
+            trace,
+            context,
+            techniques=self.techniques,
+            stop_at_first=self.stop_at_first,
+        )
+        report.evasion = evaluator.run()
+        best = report.evasion.best()
+        report.deployed_technique = best.technique if best else None
+        self.last_report = report
+        return report
+
+    def characterize(self, trace: Trace) -> CharacterizationReport:
+        """Phase 2, consulting the shared rule cache (§4.2) when present."""
+        if self.cache is not None:
+            cached = self.cache.get(self.env.name, trace.name)
+            if cached is not None:
+                return cached
+        report = Characterizer(self.env, trace).run()
+        if self.cache is not None:
+            self.cache.put(self.env.name, trace.name, report)
+        return report
+
+    def build_context(
+        self,
+        characterization: CharacterizationReport,
+        hops: int | None,
+        trace: Trace,
+    ) -> EvasionContext:
+        """Translate phase-2/localization results into technique parameters."""
+        return EvasionContext(
+            matching_fields=characterization.matching_fields,
+            packet_limit=characterization.packet_limit,
+            inspects_all_packets=characterization.inspects_all_packets,
+            match_and_forget=characterization.match_and_forget,
+            middlebox_hops=hops,
+            protocol=trace.protocol,
+        )
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def deploy(self, trace: Trace) -> LiberateProxy:
+        """Run the pipeline if needed, then deploy the best technique.
+
+        Raises RuntimeError when no technique evades (e.g. AT&T's
+        transparent proxy — the paper's one unbeatable middlebox).
+        """
+        if self.last_report is None or self.last_report.trace != trace.name:
+            self.run(trace)
+        report = self.last_report
+        assert report is not None
+        if report.evasion is None or report.evasion.best() is None:
+            raise RuntimeError(f"no working evasion technique for {trace.name} in {self.env.name}")
+        best = report.evasion.best()
+        assert best is not None
+        technique = techniques_by_name()[best.technique]
+        assert report.characterization is not None
+        hops = None
+        context = EvasionContext(
+            matching_fields=report.characterization.matching_fields,
+            packet_limit=report.characterization.packet_limit,
+            inspects_all_packets=report.characterization.inspects_all_packets,
+            match_and_forget=report.characterization.match_and_forget,
+            middlebox_hops=self.env.hops_to_middlebox,
+            protocol=trace.protocol,
+        )
+        proxy = LiberateProxy(self.env, technique, context)
+        proxy.on_rule_change = lambda: self._readapt(proxy, trace)
+        return proxy
+
+    def _readapt(self, proxy: LiberateProxy, trace: Trace) -> None:
+        """Runtime adaptation: rerun the pipeline and swap the technique."""
+        if self.cache is not None:
+            self.cache.invalidate(self.env.name, trace.name)  # the rule changed
+        try:
+            report = self.run(trace)
+        except CharacterizationError:
+            return
+        if report.evasion is None:
+            return
+        best = report.evasion.best()
+        if best is None:
+            return
+        proxy.technique = techniques_by_name()[best.technique]
+        assert report.characterization is not None
+        proxy.context = EvasionContext(
+            matching_fields=report.characterization.matching_fields,
+            packet_limit=report.characterization.packet_limit,
+            inspects_all_packets=report.characterization.inspects_all_packets,
+            match_and_forget=report.characterization.match_and_forget,
+            middlebox_hops=self.env.hops_to_middlebox,
+            protocol=trace.protocol,
+        )
+        proxy.rule_change_detected = False

@@ -1,0 +1,187 @@
+"""Result types produced by lib·erate's four phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MatchingField:
+    """One classifier matching field found by characterization.
+
+    Attributes:
+        packet_index: which client payload (by trace order) contains it.
+        start / end: byte range [start, end) within that payload.
+        content: the bytes of the field, for human inspection.
+    """
+
+    packet_index: int
+    start: int
+    end: int
+    content: bytes
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        preview = self.content.decode("latin-1", "replace")
+        return f"pkt{self.packet_index}[{self.start}:{self.end}]={preview!r}"
+
+
+@dataclass
+class DetectionReport:
+    """Phase 1: is traffic differentiated, and is the trigger content-based?
+
+    Attributes:
+        differentiated: the original replay received differential treatment.
+        content_based: the bit-inverted control did *not*, implicating DPI.
+        signal: the environment's differentiation signal type.
+        rounds: replays consumed.
+        bytes_used: application bytes consumed across those replays.
+    """
+
+    differentiated: bool
+    content_based: bool
+    signal: str
+    rounds: int = 0
+    bytes_used: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        if not self.differentiated:
+            return "no differentiation detected"
+        kind = "content-based (DPI)" if self.content_based else "not content-based"
+        return f"differentiation detected via {self.signal}: {kind}"
+
+
+@dataclass
+class CharacterizationReport:
+    """Phase 2: the reverse-engineered classifier rule.
+
+    Attributes:
+        matching_fields: byte regions that trigger classification.
+        packet_limit: classifier inspection window in payload packets, or
+            None when it inspects the whole flow.
+        limit_is_packet_based: the window counts packets (vs. bytes).
+        inspects_all_packets: prepending up to the threshold never changed
+            classification (Iran-style per-packet classifiers).
+        match_and_forget: classification seems final once made.
+        prepend_sensitivity: smallest number of prepended packets that
+            changed classification (None = never within threshold).
+        rounds: replays consumed.
+        bytes_used: application bytes consumed across those replays.
+        port_rotation_used: replays were spread over server ports to dodge
+            residual blocking (GFC).
+    """
+
+    matching_fields: list[MatchingField] = field(default_factory=list)
+    server_side_fields: list[MatchingField] = field(default_factory=list)
+    packet_limit: int | None = None
+    limit_is_packet_based: bool = True
+    inspects_all_packets: bool = False
+    match_and_forget: bool = True
+    prepend_sensitivity: int | None = None
+    rounds: int = 0
+    bytes_used: int = 0
+    port_rotation_used: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        fields = ", ".join(str(f) for f in self.matching_fields) or "none found"
+        scope = (
+            "all packets"
+            if self.inspects_all_packets
+            else f"first {self.packet_limit} packets"
+            if self.packet_limit is not None
+            else "unknown window"
+        )
+        return f"{len(self.matching_fields)} matching field(s) [{fields}]; inspects {scope}"
+
+
+@dataclass
+class TechniqueResult:
+    """Phase 3: the outcome of trying one evasion technique.
+
+    Attributes:
+        technique: technique name.
+        category: taxonomy category (inert-insertion / splitting /
+            reordering / flushing).
+        evaded: classification changed AND the payload was delivered intact.
+        delivered_ok: server application received the exact payload.
+        differentiated: the differentiation signal still fired.
+        inert_reached_server: the crafted packets physically arrived at the
+            server (the RS? column), None when not applicable.
+        overhead_packets / overhead_bytes / overhead_seconds: deployment
+            cost of the technique (Table 2).
+        rounds: replays it took to evaluate (1 unless retried).
+    """
+
+    technique: str
+    category: str
+    evaded: bool
+    delivered_ok: bool
+    differentiated: bool
+    inert_reached_server: bool | None = None
+    overhead_packets: int = 0
+    overhead_bytes: int = 0
+    overhead_seconds: float = 0.0
+    rounds: int = 1
+    notes: str = ""
+
+
+@dataclass
+class EvasionReport:
+    """Phase 3 aggregate: every technique tried, ordered by the test plan."""
+
+    results: list[TechniqueResult] = field(default_factory=list)
+    rounds: int = 0
+    bytes_used: int = 0
+
+    def working(self) -> list[TechniqueResult]:
+        """The techniques that evaded classification."""
+        return [r for r in self.results if r.evaded]
+
+    def best(self) -> TechniqueResult | None:
+        """The cheapest working technique (packets, then bytes, then delay)."""
+        candidates = self.working()
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (r.overhead_seconds, r.overhead_packets, r.overhead_bytes),
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        ok = self.working()
+        if not ok:
+            return f"0/{len(self.results)} techniques evade"
+        best = self.best()
+        assert best is not None
+        return f"{len(ok)}/{len(self.results)} techniques evade; best: {best.technique}"
+
+
+@dataclass
+class LiberateReport:
+    """The full four-phase run."""
+
+    environment: str
+    trace: str
+    detection: DetectionReport
+    characterization: CharacterizationReport | None = None
+    evasion: EvasionReport | None = None
+    deployed_technique: str | None = None
+
+    def summary(self) -> str:
+        """Multi-line human summary of the whole run."""
+        lines = [f"lib*erate report — {self.trace} over {self.environment}"]
+        lines.append(f"  detection:        {self.detection.summary()}")
+        if self.characterization is not None:
+            lines.append(f"  characterization: {self.characterization.summary()}")
+        if self.evasion is not None:
+            lines.append(f"  evasion:          {self.evasion.summary()}")
+        if self.deployed_technique is not None:
+            lines.append(f"  deployed:         {self.deployed_technique}")
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""The linked-library deployment form (§3.1).
+
+The paper offers lib·erate either as a transparent proxy
+(:class:`~repro.core.deployment.LiberateProxy`) or as "a library that can be
+wrapped around existing socket libraries".  :class:`LiberateSocket` is that
+wrapper: a minimal socket-style API (connect / sendall / recv / close) whose
+sends flow through a selected evasion technique without the application
+knowing.
+
+Buffered sends matter: evasion techniques operate on *messages* (they need
+the whole matching field to place cuts and inert packets), so bytes are
+staged in :meth:`sendall` and transformed as one message per :meth:`flush`
+— mirroring how the real library would hook the socket's write path.
+"""
+
+from __future__ import annotations
+
+from repro.core.evasion.base import EvasionContext, EvasionTechnique
+from repro.endpoint.rawclient import RawTCPClient
+from repro.envs.base import Environment
+from repro.replay.runner import ReplayRunner
+from repro.traffic.trace import Trace, TracePacket
+from repro.packets.flow import Direction
+
+
+class LiberateSocket:
+    """A socket-like TCP client that transparently applies evasion.
+
+    Args:
+        env: the network environment to connect through.
+        technique: the evasion technique to apply to outgoing messages
+            (None sends plainly).
+        context: the technique's parameters (matching fields, hops, ...).
+        dport: destination port.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        technique: EvasionTechnique | None = None,
+        context: EvasionContext | None = None,
+        dport: int = 80,
+    ) -> None:
+        self.env = env
+        self.technique = technique
+        self.context = context if context is not None else EvasionContext(
+            middlebox_hops=env.hops_to_middlebox
+        )
+        self.dport = dport
+        self._client: RawTCPClient | None = None
+        self._send_buffer = bytearray()
+        self._recv_cursor = 0
+        self.connected = False
+
+    # ------------------------------------------------------------------
+    # socket-style API
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Open the connection (three-way handshake)."""
+        self._client = RawTCPClient(
+            self.env.path,
+            self.env.client_addr,
+            self.env.server_addr,
+            sport=self.env.next_sport(),
+            dport=self.dport,
+        )
+        if not self._client.connect():
+            raise ConnectionError("connection refused (RST or no answer)")
+        self.connected = True
+
+    def sendall(self, data: bytes) -> None:
+        """Stage application bytes for the next flush."""
+        if not self.connected:
+            raise ConnectionError("not connected")
+        self._send_buffer.extend(data)
+
+    def flush(self) -> None:
+        """Emit the staged bytes as one message, through the technique."""
+        if not self.connected or self._client is None:
+            raise ConnectionError("not connected")
+        if not self._send_buffer:
+            return
+        message = bytes(self._send_buffer)
+        self._send_buffer.clear()
+        trace = Trace(
+            name="socket-message",
+            protocol="tcp",
+            server_port=self.dport,
+            packets=[TracePacket(Direction.CLIENT_TO_SERVER, message)],
+        )
+        runner = ReplayRunner(
+            trace=trace, client=self._client, clock=self.env.clock, context=self.context
+        )
+        if self.technique is not None:
+            self.technique.apply(runner)
+        else:
+            runner.send_default()
+
+    def recv(self) -> bytes:
+        """Bytes the server has sent since the last recv call."""
+        if self._client is None:
+            return b""
+        stream = self._client.server_stream()
+        fresh = stream[self._recv_cursor :]
+        self._recv_cursor = len(stream)
+        return fresh
+
+    def close(self) -> None:
+        """Flush pending data and close the connection."""
+        if self._client is not None and self.connected:
+            self.flush()
+            self._client.close()
+        self.connected = False
+
+    def __enter__(self) -> "LiberateSocket":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,127 @@
+"""Per-OS packet validation models (the "Server Response" columns of Table 3).
+
+Whether an inert packet is truly inert depends on the receiving operating
+system: a packet the OS silently drops is perfect evasion material, one the
+OS delivers corrupts the application byte stream, and one the OS answers
+with a RST tears the connection down.  The profiles below encode the
+behaviour the paper measured for Linux, macOS and Windows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+
+class Verdict(enum.Enum):
+    """What the OS does with a questionable packet."""
+
+    DELIVER = "deliver"  # processed normally (payload may corrupt the app stream)
+    DROP = "drop"  # silently discarded — the packet is inert
+    RST = "rst"  # connection answered with a reset
+    DELIVER_TRUNCATED = "deliver-truncated"  # Linux's UDP short-length behaviour
+
+
+@dataclass(frozen=True)
+class OSProfile:
+    """How one operating system treats each packet anomaly.
+
+    Every field holds a :class:`Verdict`.  Checks that all mainstream OSes
+    agree on (bad checksums, impossible lengths) are fixed to DROP inside
+    the stacks and are not configurable here.
+    """
+
+    name: str
+    invalid_ip_options: Verdict = Verdict.DELIVER
+    deprecated_ip_options: Verdict = Verdict.DELIVER
+    invalid_tcp_flag_combo: Verdict = Verdict.DROP
+    udp_length_short: Verdict = Verdict.DROP
+
+    def verdict_for_ip(self, packet: IPPacket) -> Verdict:
+        """Mandatory IP-header validation plus the profile-specific option checks."""
+        if not packet.has_valid_version():
+            return Verdict.DROP
+        if not packet.has_valid_ihl():
+            return Verdict.DROP
+        if not packet.has_valid_total_length():
+            return Verdict.DROP
+        if not packet.has_valid_checksum():
+            return Verdict.DROP
+        if not packet.has_known_protocol():
+            return Verdict.DROP  # protocol unreachable in practice; inert either way
+        if packet.padded_options:
+            if not packet.has_wellformed_options():
+                return self.invalid_ip_options
+            if packet.has_deprecated_options():
+                return self.deprecated_ip_options
+        return Verdict.DELIVER
+
+    def verdict_for_tcp(self, packet: IPPacket, segment: TCPSegment, expected_seq: int | None) -> Verdict:
+        """TCP validation relative to connection state.
+
+        *expected_seq* is the next in-order sequence number the stack wants,
+        or None when the connection is not yet established.
+        """
+        if not segment.verify_checksum(packet.src, packet.dst):
+            return Verdict.DROP
+        if not segment.has_valid_data_offset():
+            return Verdict.DROP
+        if not segment.flags.is_valid_combination():
+            return self.invalid_tcp_flag_combo
+        if not segment.flags & (TCPFlags.SYN | TCPFlags.RST) and not segment.flags & TCPFlags.ACK:
+            # Established-state segment without ACK: all measured OSes drop it.
+            return Verdict.DROP
+        if expected_seq is not None and segment.payload:
+            distance = (segment.seq - expected_seq) & 0xFFFFFFFF
+            reverse = (expected_seq - segment.seq) & 0xFFFFFFFF
+            if min(distance, reverse) > (1 << 20):
+                return Verdict.DROP  # wildly out of window
+        return Verdict.DELIVER
+
+    def verdict_for_udp(self, packet: IPPacket, datagram: UDPDatagram) -> Verdict:
+        """UDP validation (checksum and declared-length consistency)."""
+        if not datagram.verify_checksum(packet.src, packet.dst):
+            return Verdict.DROP
+        if datagram.effective_length > datagram.wire_length():
+            return Verdict.DROP
+        if datagram.effective_length < datagram.wire_length():
+            if datagram.effective_length < 8:
+                return Verdict.DROP
+            return self.udp_length_short
+        return Verdict.DELIVER
+
+
+#: Linux: delivers packets with malformed/deprecated IP options, drops invalid
+#: flag combinations, reads short UDP datagrams up to the declared length.
+LINUX = OSProfile(
+    name="linux",
+    invalid_ip_options=Verdict.DELIVER,
+    deprecated_ip_options=Verdict.DELIVER,
+    invalid_tcp_flag_combo=Verdict.DROP,
+    udp_length_short=Verdict.DELIVER_TRUNCATED,
+)
+
+#: macOS behaves like Linux except it drops short UDP datagrams.
+MACOS = OSProfile(
+    name="macos",
+    invalid_ip_options=Verdict.DELIVER,
+    deprecated_ip_options=Verdict.DELIVER,
+    invalid_tcp_flag_combo=Verdict.DROP,
+    udp_length_short=Verdict.DROP,
+)
+
+#: Windows drops malformed IP options but answers invalid flag combinations
+#: with a RST (the one case where an "inert" packet kills the connection).
+WINDOWS = OSProfile(
+    name="windows",
+    invalid_ip_options=Verdict.DROP,
+    deprecated_ip_options=Verdict.DELIVER,
+    invalid_tcp_flag_combo=Verdict.RST,
+    udp_length_short=Verdict.DROP,
+)
+
+ALL_OS_PROFILES: tuple[OSProfile, ...] = (LINUX, MACOS, WINDOWS)

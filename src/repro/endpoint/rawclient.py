@@ -1,0 +1,366 @@
+"""Raw packet clients — the sending half lib·erate controls.
+
+lib·erate runs as a transparent proxy with raw-socket access, so the client
+side here is deliberately *not* a well-behaved kernel stack: it crafts every
+segment itself, can freeze arbitrary header fields, reorder, fragment, and
+insert inert packets.  Received packets are gathered by a
+:class:`ClientCollector` for inspection (RST detection, block pages, ICMP
+Time Exceeded during localization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.path import Path
+from repro.packets.icmp import ICMP_TIME_EXCEEDED
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+CLIENT_ISN = 7_000
+MTU_PAYLOAD = 1460
+
+
+class ClientCollector:
+    """The client-side endpoint: records everything arriving at the client.
+
+    When constructed with a clock, each arrival is timestamped (used for
+    throughput measurement).
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.packets: list[IPPacket] = []
+        self.arrival_times: list[float] = []
+        self._clock = clock
+
+    def receive(self, packet: IPPacket) -> list[IPPacket]:
+        """Record the packet; a raw client never auto-responds."""
+        self.packets.append(packet)
+        self.arrival_times.append(self._clock.now if self._clock is not None else 0.0)
+        return []
+
+    def timed_packets(self) -> list[tuple[float, IPPacket]]:
+        """(arrival time, packet) pairs in arrival order."""
+        return list(zip(self.arrival_times, self.packets))
+
+    def rst_packets(self) -> list[IPPacket]:
+        """All TCP RSTs received."""
+        return [
+            p
+            for p in self.packets
+            if p.tcp is not None and p.tcp.flags & TCPFlags.RST
+        ]
+
+    def icmp_time_exceeded(self) -> list[IPPacket]:
+        """All ICMP Time Exceeded messages received."""
+        return [
+            p
+            for p in self.packets
+            if p.icmp is not None and p.icmp.icmp_type == ICMP_TIME_EXCEEDED
+        ]
+
+    def server_stream(self, server: str, server_port: int, client_port: int) -> bytes:
+        """Reassemble (by sequence number) the data the server sent back."""
+        chunks: dict[int, bytes] = {}
+        for p in self.packets:
+            tcp = p.tcp
+            if tcp is None or p.src != server:
+                continue
+            if tcp.sport != server_port or tcp.dport != client_port:
+                continue
+            if tcp.payload:
+                chunks.setdefault(tcp.seq, tcp.payload)
+        stream = bytearray()
+        for seq in sorted(chunks):
+            stream.extend(chunks[seq])
+        return bytes(stream)
+
+    def udp_responses(self, server: str, server_port: int, client_port: int) -> list[bytes]:
+        """UDP payloads the server sent back, in arrival order."""
+        out = []
+        for p in self.packets:
+            udp = p.udp
+            if udp is None or p.src != server:
+                continue
+            if udp.sport != server_port or udp.dport != client_port:
+                continue
+            out.append(udp.payload)
+        return out
+
+    def reset(self) -> None:
+        """Forget everything received."""
+        self.packets.clear()
+
+
+@dataclass
+class SegmentPlan:
+    """Instructions for emitting one crafted TCP data packet.
+
+    ``seq`` of None means "the connection's next in-order sequence number";
+    the remaining fields override header values (None = correct value).
+    """
+
+    payload: bytes = b""
+    seq: int | None = None
+    advances_seq: bool = True  # inert packets repeat a seq without advancing it
+    ttl: int | None = None
+    flags: TCPFlags | None = None
+    tcp_checksum: int | None = None
+    data_offset: int | None = None
+    ip_version: int | None = None
+    ip_ihl: int | None = None
+    ip_total_length_delta: int | None = None
+    ip_protocol: int | None = None
+    ip_checksum: int | None = None
+    ip_options: bytes = b""
+    pause_before: float = 0.0
+
+
+def packet_from_plan(
+    plan: SegmentPlan,
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    default_seq: int,
+    ack: int,
+    default_ttl: int = 64,
+) -> IPPacket:
+    """Materialize a :class:`SegmentPlan` into a concrete packet.
+
+    Shared by the raw client and by harnesses that need the crafted packet
+    without a live connection (e.g. the per-OS server-response matrix).
+    """
+    seq = default_seq if plan.seq is None else plan.seq
+    segment = TCPSegment(
+        sport=sport,
+        dport=dport,
+        seq=seq,
+        ack=ack,
+        flags=plan.flags if plan.flags is not None else TCPFlags.ACK | TCPFlags.PSH,
+        payload=plan.payload,
+        checksum=plan.tcp_checksum,
+        data_offset=plan.data_offset,
+    )
+    packet = IPPacket(
+        src=src,
+        dst=dst,
+        transport=segment,
+        ttl=plan.ttl if plan.ttl is not None else default_ttl,
+        options=plan.ip_options,
+    )
+    if plan.ip_version is not None:
+        packet.version = plan.ip_version
+    if plan.ip_ihl is not None:
+        packet.ihl = plan.ip_ihl
+    if plan.ip_total_length_delta is not None:
+        packet.total_length = packet.wire_length() + plan.ip_total_length_delta
+    if plan.ip_protocol is not None:
+        packet.protocol = plan.ip_protocol
+    if plan.ip_checksum is not None:
+        packet.checksum = plan.ip_checksum
+    return packet
+
+
+class RawTCPClient:
+    """A raw TCP sender bound to a simulated path.
+
+    Args:
+        path: the network path to send over (this client installs itself as
+            the path's client endpoint).
+        src / dst: client and server addresses.
+        sport / dport: client and server ports.
+        ttl: default TTL for well-formed packets.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        src: str,
+        dst: str,
+        sport: int = 40_000,
+        dport: int = 80,
+        ttl: int = 64,
+    ) -> None:
+        self.path = path
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.ttl = ttl
+        self.collector = ClientCollector(clock=path.clock)
+        path.client_endpoint = self.collector
+        self.next_seq = CLIENT_ISN
+        self.server_ack = 0  # what we acknowledge of the server's stream
+        self.established = False
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> bool:
+        """Perform the three-way handshake; True on success."""
+        syn = TCPSegment(
+            sport=self.sport, dport=self.dport, seq=self.next_seq, flags=TCPFlags.SYN
+        )
+        self.path.send_from_client(IPPacket(src=self.src, dst=self.dst, transport=syn, ttl=self.ttl))
+        synack = self._find_synack()
+        if synack is None:
+            return False
+        self.next_seq += 1
+        self.server_ack = (synack.tcp.seq + 1) & 0xFFFFFFFF  # type: ignore[union-attr]
+        ack = TCPSegment(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.next_seq,
+            ack=self.server_ack,
+            flags=TCPFlags.ACK,
+        )
+        self.path.send_from_client(IPPacket(src=self.src, dst=self.dst, transport=ack, ttl=self.ttl))
+        self.established = True
+        return True
+
+    def _find_synack(self) -> IPPacket | None:
+        for p in reversed(self.collector.packets):
+            tcp = p.tcp
+            if (
+                tcp is not None
+                and tcp.flags & TCPFlags.SYN
+                and tcp.flags & TCPFlags.ACK
+                and tcp.sport == self.dport
+                and tcp.dport == self.sport
+            ):
+                return p
+        return None
+
+    def close(self) -> None:
+        """Send a FIN for the current connection."""
+        fin = TCPSegment(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.next_seq,
+            ack=self.server_ack,
+            flags=TCPFlags.FIN | TCPFlags.ACK,
+        )
+        self.next_seq += 1
+        self.path.send_from_client(IPPacket(src=self.src, dst=self.dst, transport=fin, ttl=self.ttl))
+
+    def abort(self) -> None:
+        """Send a RST for the current connection (full TTL)."""
+        self.send_rst()
+
+    def send_rst(self, ttl: int | None = None, seq: int | None = None) -> None:
+        """Send a RST, optionally TTL-limited so only the middlebox sees it."""
+        rst = TCPSegment(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.next_seq if seq is None else seq,
+            ack=self.server_ack,
+            flags=TCPFlags.RST,
+        )
+        packet = IPPacket(
+            src=self.src,
+            dst=self.dst,
+            transport=rst,
+            ttl=self.ttl if ttl is None else ttl,
+        )
+        self.path.send_from_client(packet)
+
+    # ------------------------------------------------------------------
+    # data transmission
+    # ------------------------------------------------------------------
+    def send_plan(self, plan: SegmentPlan) -> IPPacket:
+        """Craft and send one packet per *plan*; returns the packet sent."""
+        if plan.pause_before > 0:
+            self.path.clock.advance(plan.pause_before)
+        packet = packet_from_plan(
+            plan,
+            src=self.src,
+            dst=self.dst,
+            sport=self.sport,
+            dport=self.dport,
+            default_seq=self.next_seq,
+            ack=self.server_ack,
+            default_ttl=self.ttl,
+        )
+        if plan.seq is None and plan.advances_seq:
+            self.next_seq = (self.next_seq + len(plan.payload)) & 0xFFFFFFFF
+        self.path.send_from_client(packet)
+        return packet
+
+    def send_payload(self, payload: bytes, mss: int = MTU_PAYLOAD) -> None:
+        """Send *payload* as ordinary in-order, MSS-sized segments."""
+        for offset in range(0, len(payload), mss):
+            self.send_plan(SegmentPlan(payload=payload[offset : offset + mss]))
+        if not payload:
+            self.send_plan(SegmentPlan(payload=b""))
+
+    def send_raw(self, packet: IPPacket) -> None:
+        """Send an arbitrary pre-built packet."""
+        self.path.send_from_client(packet)
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def server_stream(self) -> bytes:
+        """Bytes the server has sent back on this connection."""
+        return self.collector.server_stream(self.dst, self.dport, self.sport)
+
+    def received_rst(self) -> bool:
+        """True when any RST for this connection arrived."""
+        return any(
+            p.tcp.sport == self.dport and p.tcp.dport == self.sport
+            for p in self.collector.rst_packets()
+        )
+
+
+class RawUDPClient:
+    """A raw UDP sender bound to a simulated path."""
+
+    def __init__(
+        self,
+        path: Path,
+        src: str,
+        dst: str,
+        sport: int = 41_000,
+        dport: int = 3478,
+        ttl: int = 64,
+    ) -> None:
+        self.path = path
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.ttl = ttl
+        self.collector = ClientCollector(clock=path.clock)
+        path.client_endpoint = self.collector
+
+    def send_datagram(
+        self,
+        payload: bytes,
+        ttl: int | None = None,
+        checksum: int | None = None,
+        length_delta: int | None = None,
+    ) -> IPPacket:
+        """Send one datagram, optionally with a corrupted checksum/length."""
+        datagram = UDPDatagram(sport=self.sport, dport=self.dport, payload=payload)
+        if checksum is not None:
+            datagram.checksum = checksum
+        if length_delta is not None:
+            datagram.length = datagram.wire_length() + length_delta
+        packet = IPPacket(
+            src=self.src,
+            dst=self.dst,
+            transport=datagram,
+            ttl=self.ttl if ttl is None else ttl,
+        )
+        self.path.send_from_client(packet)
+        return packet
+
+    def send_raw(self, packet: IPPacket) -> None:
+        """Send an arbitrary pre-built packet."""
+        self.path.send_from_client(packet)
+
+    def responses(self) -> list[bytes]:
+        """UDP payloads the server sent back."""
+        return self.collector.udp_responses(self.dst, self.dport, self.sport)

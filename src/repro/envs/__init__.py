@@ -1,0 +1,47 @@
+"""Ready-made evaluation environments.
+
+One factory per network the paper evaluated:
+
+* :func:`make_testbed` — client → carrier-grade DPI device → router → server,
+  with a ground-truth classification readout (§6.1);
+* :func:`make_tmobile` — Binge On zero-rating, detected through the account
+  usage counter (§6.2);
+* :func:`make_att` — Stream Saver's transparent HTTP proxy, detected through
+  throughput (§6.3);
+* :func:`make_sprint` — no DPI at all (§6.4);
+* :func:`make_gfc` — the Great Firewall of China, detected through injected
+  RSTs (§6.5);
+* :func:`make_iran` — Iran's per-packet, port-80-only censor, detected
+  through the 403 block page (§6.6).
+"""
+
+from repro.envs.base import Environment, SignalType
+from repro.envs.att import make_att
+from repro.envs.gfc import make_gfc
+from repro.envs.iran import make_iran
+from repro.envs.neutral import make_neutral
+from repro.envs.sprint import make_sprint
+from repro.envs.testbed import make_testbed
+from repro.envs.tmobile import make_tmobile
+
+ENVIRONMENT_FACTORIES = {
+    "testbed": make_testbed,
+    "tmobile": make_tmobile,
+    "att": make_att,
+    "sprint": make_sprint,
+    "gfc": make_gfc,
+    "iran": make_iran,
+}
+
+__all__ = [
+    "Environment",
+    "SignalType",
+    "make_testbed",
+    "make_tmobile",
+    "make_att",
+    "make_sprint",
+    "make_gfc",
+    "make_iran",
+    "make_neutral",
+    "ENVIRONMENT_FACTORIES",
+]

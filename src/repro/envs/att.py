@@ -1,0 +1,61 @@
+"""AT&T Stream Saver (§6.3).
+
+Behaviour encoded from the paper's findings:
+
+* a transparent HTTP proxy terminates port-80 TCP connections — the one
+  middlebox architecture that defeats every unilateral technique;
+* classification matches standard HTTP tokens from the client (``GET``,
+  ``HTTP/1.1``) *and* ``Content-Type: video`` from the server;
+* matched flows are throttled to 1.5 Mbps;
+* HTTPS (port 443) is not inspected at all, so moving off port 80 evades
+  Stream Saver entirely.
+"""
+
+from __future__ import annotations
+
+from repro.envs.base import Environment, SignalType
+from repro.middlebox.proxy import TransparentHTTPProxy
+from repro.netsim.clock import VirtualClock
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.shaper import PolicyState, TokenBucketShaper
+
+STREAM_SAVER_RATE_BPS = 1_500_000.0
+
+
+def make_att() -> Environment:
+    """Build the AT&T environment (transparent proxy on port 80)."""
+    clock = VirtualClock()
+    policy = PolicyState()
+    proxy = TransparentHTTPProxy(
+        policy_state=policy,
+        ports=frozenset({80}),
+        client_keywords=(b"GET", b"HTTP/1.1"),
+        server_keywords=(b"Content-Type: video",),
+        throttle_rate_bps=STREAM_SAVER_RATE_BPS,
+        name="att-proxy",
+    )
+    shaper = TokenBucketShaper(policy, base_rate_bps=12_000_000.0)
+    path = Path(
+        clock,
+        [
+            RouterHop("att-r1"),
+            RouterHop("att-r2"),
+            proxy,
+            shaper,
+            RouterHop("att-r3"),
+        ],
+    )
+    return Environment(
+        name="att",
+        clock=clock,
+        path=path,
+        policy_state=policy,
+        middlebox=proxy,
+        signal=SignalType.THROUGHPUT,
+        base_rate_bps=12_000_000.0,
+        throttle_threshold_bps=3_000_000.0,
+        hops_to_middlebox=2,
+        needs_port_rotation=False,
+        default_server_port=80,
+    )

@@ -1,0 +1,84 @@
+"""The Environment abstraction shared by all evaluation networks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.endpoint.osmodel import LINUX, OSProfile
+from repro.middlebox.accounting import UsageCounter
+from repro.middlebox.engine import DPIMiddlebox
+from repro.middlebox.proxy import TransparentHTTPProxy
+from repro.netsim.clock import VirtualClock
+from repro.netsim.path import Path
+from repro.netsim.shaper import PolicyState
+
+CLIENT_ADDR = "10.1.0.2"
+SERVER_ADDR = "203.0.113.50"
+
+
+class SignalType(enum.Enum):
+    """How differentiation manifests (and therefore how it is detected)."""
+
+    CLASSIFICATION = "classification"  # testbed: direct readout on the device
+    ZERO_RATING = "zero-rating"  # usage-counter inference (T-Mobile)
+    THROUGHPUT = "throughput"  # shaping shows up as low goodput (AT&T, Sprint)
+    RST_INJECTION = "rst"  # spurious RSTs (the GFC)
+    BLOCK_PAGE = "block-page"  # HTTP 403 + RSTs (Iran)
+
+
+@dataclass
+class Environment:
+    """One evaluation network: a path, a classifier, and a detection signal.
+
+    Attributes:
+        name: environment label ("testbed", "gfc", ...).
+        clock: the shared virtual clock.
+        path: the client⇄server element chain.
+        policy_state: marks shared between the middlebox and path elements.
+        middlebox: the classifier element (None for Sprint).
+        signal: how differentiation is detected here.
+        server_os: validation profile of the replay server's OS.
+        usage_counter: the accounting element (T-Mobile only).
+        base_rate_bps: nominal undifferentiated link rate.
+        throttle_threshold_bps: goodput below this ⇒ "throttled" for
+            THROUGHPUT-signal environments.
+        hops_to_middlebox: ground-truth router hops client-side of the
+            classifier (tests verify localization against this).
+        needs_port_rotation: characterization should use a fresh server port
+            per replay (the GFC's residual server:port blocking).
+        default_server_port: port the environment's canonical workload uses.
+    """
+
+    name: str
+    clock: VirtualClock
+    path: Path
+    policy_state: PolicyState
+    middlebox: DPIMiddlebox | TransparentHTTPProxy | None
+    signal: SignalType
+    server_os: OSProfile = LINUX
+    usage_counter: UsageCounter | None = None
+    base_rate_bps: float = 12_000_000.0
+    throttle_threshold_bps: float = 3_000_000.0
+    hops_to_middlebox: int = 1
+    needs_port_rotation: bool = False
+    default_server_port: int = 80
+    client_addr: str = CLIENT_ADDR
+    server_addr: str = SERVER_ADDR
+    _sport_counter: int = field(default=40_000, repr=False)
+
+    def next_sport(self) -> int:
+        """A fresh client port, so replays never collide in flow tables."""
+        self._sport_counter += 1
+        return self._sport_counter
+
+    def dpi(self) -> DPIMiddlebox | None:
+        """The middlebox as a DPI engine, or None (proxy/absent)."""
+        return self.middlebox if isinstance(self.middlebox, DPIMiddlebox) else None
+
+    def reset(self) -> None:
+        """Reset all network state (flows, marks, counters) — a fresh start."""
+        self.path.reset()
+        self.policy_state.reset()
+        if self.usage_counter is not None:
+            self.usage_counter.reset()

@@ -1,0 +1,96 @@
+"""Iran's national censor (§6.6).
+
+Behaviour encoded from the paper's findings:
+
+* per-packet classification: every packet is matched independently, with no
+  flow tracking — prepending up to 1,000 packets never changed results;
+* port-specific: only traffic to server port 80 is inspected (8080 escapes);
+* the block signal is an unsolicited "HTTP/1.1 403 Forbidden" plus two RSTs;
+* minimal header validation: even packets with bad TCP checksums, sequence
+  numbers, flags or IP options are inspected (so an inert packet carrying
+  blocked content gets the connection blocked — Table 3 footnote 3), but
+  all such malformed packets are dropped before reaching the server;
+* IP fragments are dropped before the classifier, and payload splitting
+  across TCP segments trivially evades the per-packet matcher.
+"""
+
+from __future__ import annotations
+
+from repro.envs.base import Environment, SignalType
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.policy import RulePolicy
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.validation import MiddleboxValidation
+from repro.netsim.clock import VirtualClock
+from repro.netsim.filters import FilterPolicy, MalformedPacketFilter
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.shaper import PolicyState, TokenBucketShaper
+
+#: Hostnames the Iran profile censors (facebook.com was the paper's probe).
+DEFAULT_CENSORED_HOSTS = (b"facebook.com", b"twitter.com")
+
+
+def make_iran(censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS) -> Environment:
+    """Build the Iran environment (classifier eight TTL hops out, port 80 only)."""
+    clock = VirtualClock()
+    policy = PolicyState()
+    rules = [
+        MatchRule(
+            name=f"iran:{host.decode('ascii', 'replace')}",
+            keywords=[host],
+            protocol="tcp",
+            direction="client",
+            ports=frozenset({80}),
+            policy=RulePolicy.block_with_page(),
+        )
+        for host in censored_hosts
+    ]
+    middlebox = DPIMiddlebox(
+        name="iran-dpi",
+        rules=rules,
+        policy_state=policy,
+        validation=MiddleboxValidation.partial_iran(),
+        reassembly=ReassemblyMode.PER_PACKET,
+        inspect_packet_limit=None,
+        match_and_forget=False,
+        require_protocol_anchor=False,
+        track_flows=False,  # stateless: inspects every packet of every flow
+        ports=frozenset({80}),
+        classify_udp=False,
+    )
+    pre_filter = MalformedPacketFilter(
+        FilterPolicy(drop_unknown_protocol=True, drop_ip_fragments=True),
+        name="iran-pre-filter",
+    )
+    post_filter = MalformedPacketFilter(
+        FilterPolicy(
+            drop_invalid_ip_options=True,
+            drop_deprecated_ip_options=True,
+            drop_bad_tcp_checksum=True,
+            drop_out_of_window_seq=True,
+            drop_missing_ack_flag=True,
+            drop_bad_data_offset=True,
+            drop_invalid_flag_combo=True,
+        ),
+        name="iran-post-filter",
+    )
+    pre_routers = [RouterHop(f"iran-r{i}") for i in range(1, 8)]
+    post_routers = [RouterHop(f"iran-r{i}") for i in range(8, 10)]
+    shaper = TokenBucketShaper(policy, base_rate_bps=12_000_000.0)
+    path = Path(
+        clock,
+        [pre_filter, *pre_routers, middlebox, post_filter, shaper, *post_routers],
+    )
+    return Environment(
+        name="iran",
+        clock=clock,
+        path=path,
+        policy_state=policy,
+        middlebox=middlebox,
+        signal=SignalType.BLOCK_PAGE,
+        base_rate_bps=12_000_000.0,
+        hops_to_middlebox=7,
+        needs_port_rotation=False,
+        default_server_port=80,
+    )

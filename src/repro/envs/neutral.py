@@ -1,0 +1,41 @@
+"""A neutral environment: no classifier, no filters — just routers.
+
+Used for the "Server Response" columns of Table 3: whether each OS drops,
+delivers, or RSTs lib·erate's crafted packets is measured against a path
+that interferes with nothing.
+"""
+
+from __future__ import annotations
+
+from repro.endpoint.osmodel import LINUX, OSProfile
+from repro.envs.base import Environment, SignalType
+from repro.netsim.clock import VirtualClock
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.shaper import PolicyState, TokenBucketShaper
+
+
+def make_neutral(server_os: OSProfile = LINUX) -> Environment:
+    """Build a clean path to a server running *server_os*."""
+    clock = VirtualClock()
+    policy = PolicyState()
+    path = Path(
+        clock,
+        [
+            RouterHop("neutral-r1", validate_ip_header=False),
+            TokenBucketShaper(policy, base_rate_bps=100_000_000.0),
+            RouterHop("neutral-r2", validate_ip_header=False),
+        ],
+    )
+    return Environment(
+        name=f"neutral-{server_os.name}",
+        clock=clock,
+        path=path,
+        policy_state=policy,
+        middlebox=None,
+        signal=SignalType.THROUGHPUT,
+        server_os=server_os,
+        base_rate_bps=100_000_000.0,
+        hops_to_middlebox=0,
+        default_server_port=80,
+    )

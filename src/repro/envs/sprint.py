@@ -1,0 +1,44 @@
+"""Sprint (§6.4): "mobile optimized" plans with no detectable DPI.
+
+The paper probed Sprint with different IPs, ports, real streaming flows and
+bit-inverted replays and found no pattern of differentiation, on either
+unlimited or limited plans.  The environment is therefore a plain best-effort
+path — the tool must correctly conclude that nothing content-based happens.
+"""
+
+from __future__ import annotations
+
+from repro.envs.base import Environment, SignalType
+from repro.netsim.clock import VirtualClock
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.shaper import PolicyState, TokenBucketShaper
+
+
+def make_sprint() -> Environment:
+    """Build the Sprint environment (no middlebox, best-effort path)."""
+    clock = VirtualClock()
+    policy = PolicyState()
+    shaper = TokenBucketShaper(policy, base_rate_bps=12_000_000.0)
+    path = Path(
+        clock,
+        [
+            RouterHop("sprint-r1"),
+            RouterHop("sprint-r2"),
+            shaper,
+            RouterHop("sprint-r3"),
+        ],
+    )
+    return Environment(
+        name="sprint",
+        clock=clock,
+        path=path,
+        policy_state=policy,
+        middlebox=None,
+        signal=SignalType.THROUGHPUT,
+        base_rate_bps=12_000_000.0,
+        throttle_threshold_bps=3_000_000.0,
+        hops_to_middlebox=0,
+        needs_port_rotation=False,
+        default_server_port=80,
+    )

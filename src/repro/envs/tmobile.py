@@ -1,0 +1,108 @@
+"""T-Mobile US (Binge On / Music Freedom) — zero-rating via DPI (§6.2).
+
+Behaviour encoded from the paper's findings:
+
+* matches hostnames in HTTP Host headers and in the TLS SNI field
+  (``cloudfront.net``, ``.googlevideo.com``);
+* reassembles TCP segments only in order, and only when the flow starts
+  with a recognizable protocol (one dummy byte up front breaks it);
+* searches a small window of payload packets, so splitting the matching
+  field across five or more packets — or any reordering — evades it;
+* validates the transport layer (checksums, sequence numbers, flags) but
+  not IP options;
+* does not classify UDP at all (QUIC escapes Binge On);
+* classification persists beyond 240 s of silence but flushes immediately
+  on a RST;
+* the carrier network itself drops nearly every malformed packet between
+  the classifier and the server, and virtually reassembles IP fragments.
+
+The differentiation signal is the account's data-usage counter: classified
+flows are zero-rated.
+"""
+
+from __future__ import annotations
+
+from repro.envs.base import Environment, SignalType
+from repro.middlebox.accounting import UsageCounter
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.policy import RulePolicy
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.validation import MiddleboxValidation
+from repro.netsim.clock import VirtualClock
+from repro.netsim.filters import FilterPolicy, MalformedPacketFilter
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.reassembler import FragmentReassembler
+from repro.netsim.shaper import PolicyState, TokenBucketShaper
+
+#: Content identifiers Binge On / Music Freedom match on.
+DEFAULT_ZERO_RATED_KEYWORDS = (b"cloudfront.net", b".googlevideo.com", b"spotify.com")
+
+
+def make_tmobile(
+    zero_rated_keywords: tuple[bytes, ...] = DEFAULT_ZERO_RATED_KEYWORDS,
+    inspect_packet_limit: int = 4,
+) -> Environment:
+    """Build the T-Mobile environment (classifier three TTL hops out)."""
+    clock = VirtualClock()
+    policy = PolicyState()
+    rules = [
+        MatchRule(
+            name=f"binge-on:{keyword.decode('ascii', 'replace')}",
+            keywords=[keyword],
+            protocol="tcp",
+            direction="client",
+            # Binge On zero-rates video *and* "optimizes" (shapes) it to
+            # roughly DVD bitrates — the §6.2 throughput experiment measures
+            # 1.48 Mbps average without lib·erate.
+            policy=RulePolicy.zero_rate(throttle_rate_bps=1_500_000.0),
+        )
+        for keyword in zero_rated_keywords
+    ]
+    middlebox = DPIMiddlebox(
+        name="tmus-dpi",
+        rules=rules,
+        policy_state=policy,
+        validation=MiddleboxValidation.partial_tmobile(),
+        reassembly=ReassemblyMode.IN_ORDER,
+        reassemble_ip_fragments=True,
+        inspect_packet_limit=inspect_packet_limit,
+        match_and_forget=True,
+        require_protocol_anchor=True,
+        track_flows=True,
+        classify_udp=False,
+        pre_match_timeout=None,  # persists beyond the 240 s we could test
+        post_match_timeout=None,
+        rst_flush_pre_match=True,
+        rst_flush_post_match=True,
+    )
+    usage_counter = UsageCounter(policy)
+    post_filter = MalformedPacketFilter(FilterPolicy.strict_carrier(), name="tmus-carrier-filter")
+    shaper = TokenBucketShaper(policy, base_rate_bps=12_000_000.0)
+    path = Path(
+        clock,
+        [
+            usage_counter,
+            RouterHop("tmus-r1"),
+            RouterHop("tmus-r2"),
+            middlebox,
+            post_filter,
+            FragmentReassembler(),
+            shaper,
+            RouterHop("tmus-r3"),
+            RouterHop("tmus-r4"),
+        ],
+    )
+    return Environment(
+        name="tmobile",
+        clock=clock,
+        path=path,
+        policy_state=policy,
+        middlebox=middlebox,
+        signal=SignalType.ZERO_RATING,
+        usage_counter=usage_counter,
+        base_rate_bps=12_000_000.0,
+        hops_to_middlebox=2,
+        needs_port_rotation=False,
+        default_server_port=80,
+    )

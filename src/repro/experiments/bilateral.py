@@ -1,0 +1,70 @@
+"""Bilateral evasion across all environments (§6.5 finding + §7 outlook).
+
+The paper measured one bilateral trick — a single dummy packet at flow
+start, ignored by a cooperating server — evading the testbed, T-Mobile,
+AT&T and the GFC (not Iran, whose per-packet classifier keeps matching).
+The §7 outlook adds payload modification "not publicly known by the
+differentiating ISP a priori"; payload rotation is its minimal instance and
+beats *everything*, including Iran and AT&T's terminating proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bilateral import run_bilateral_dummy_prefix, run_bilateral_rotation
+from repro.envs import ENVIRONMENT_FACTORIES
+from repro.experiments.workloads import tcp_workload
+from repro.replay.session import ReplaySession
+
+BILATERAL_ENVS = ("testbed", "tmobile", "gfc", "iran", "att")
+
+
+@dataclass
+class BilateralResult:
+    """One environment's outcome for both bilateral techniques."""
+
+    env: str
+    baseline_differentiated: bool
+    dummy_prefix_evades: bool
+    rotation_evades: bool
+
+
+def run_bilateral_matrix(env_names: tuple[str, ...] = BILATERAL_ENVS) -> list[BilateralResult]:
+    """Measure both bilateral techniques against every environment."""
+    results = []
+    for name in env_names:
+        env = ENVIRONMENT_FACTORIES[name]()
+        trace = tcp_workload(name)
+        port = 8000 + env.next_sport() % 20_000 if env.needs_port_rotation else None
+        baseline = ReplaySession(env, trace, server_port=port).run()
+
+        port = 8000 + env.next_sport() % 20_000 if env.needs_port_rotation else None
+        prefix = run_bilateral_dummy_prefix(env, trace, server_port=port)
+
+        port = 8000 + env.next_sport() % 20_000 if env.needs_port_rotation else None
+        rotation = run_bilateral_rotation(env, trace, key=7, server_port=port)
+
+        results.append(
+            BilateralResult(
+                env=name,
+                baseline_differentiated=baseline.differentiated,
+                dummy_prefix_evades=prefix.evaded,
+                rotation_evades=rotation.evaded,
+            )
+        )
+    return results
+
+
+def format_bilateral(results: list[BilateralResult]) -> str:
+    """Render the bilateral matrix."""
+    lines = [
+        f"{'env':10s} {'baseline diff':>14s} {'dummy prefix':>13s} {'rotation':>9s}",
+        "-" * 50,
+    ]
+    for result in results:
+        lines.append(
+            f"{result.env:10s} {str(result.baseline_differentiated):>14s} "
+            f"{str(result.dummy_prefix_evades):>13s} {str(result.rotation_evades):>9s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""The values the paper reports, for side-by-side comparison.
+
+These are *expectations to compare against*, never inputs to the simulation:
+the environments encode mechanisms (validation strictness, reassembly modes,
+port scoping) described in the paper's prose, and the experiment harnesses
+measure outcomes.  This module is the paper's half of the comparison printed
+in EXPERIMENTS.md.
+
+Cell notation for Table 3 follows the paper: "Y" = ✓, "N" = ×, "-" = not
+applicable, and digit suffixes reference the paper's footnotes ("Y2" = ✓
+with footnote 2, etc.).
+"""
+
+from __future__ import annotations
+
+#: Table 3 — (CC?, RS?) per environment, plus the AT&T single column and the
+#: per-OS server responses (Linux, macOS, Windows).
+TABLE3: dict[str, dict[str, tuple[str, ...]]] = {
+    # technique:            testbed      tmobile      gfc          iran         att    linux  mac    win
+    "ip-low-ttl": {
+        "testbed": ("Y", "N"), "tmobile": ("Y", "N"), "gfc": ("Y", "N"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("-", "-", "-"),
+    },
+    "ip-invalid-version": {
+        "testbed": ("N", "N"), "tmobile": ("N", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-invalid-ihl": {
+        "testbed": ("N", "N"), "tmobile": ("N", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-length-long": {
+        "testbed": ("Y", "N"), "tmobile": ("N", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-length-short": {
+        "testbed": ("N", "N"), "tmobile": ("N", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-wrong-protocol": {
+        "testbed": ("Y1", "Y"), "tmobile": ("N", "Y"), "gfc": ("N", "Y"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-wrong-checksum": {
+        "testbed": ("Y", "N"), "tmobile": ("N", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-invalid-options": {
+        "testbed": ("Y", "Y"), "tmobile": ("Y", "N"), "gfc": ("N", "N"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("N", "N", "Y"),
+    },
+    "ip-deprecated-options": {
+        "testbed": ("Y", "Y"), "tmobile": ("Y", "N"), "gfc": ("N", "N"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("N", "N", "N"),
+    },
+    "tcp-wrong-seq": {
+        "testbed": ("Y", "Y"), "tmobile": ("N", "N"), "gfc": ("N", "Y"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-wrong-checksum": {
+        "testbed": ("Y", "Y"), "tmobile": ("N", "N"), "gfc": ("Y", "Y4"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-no-ack-flag": {
+        "testbed": ("Y", "N"), "tmobile": ("N", "N"), "gfc": ("Y", "Y"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-invalid-data-offset": {
+        "testbed": ("N", "Y"), "tmobile": ("N", "N"), "gfc": ("N", "Y"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-invalid-flags": {
+        "testbed": ("Y", "Y"), "tmobile": ("N", "N"), "gfc": ("N", "Y"),
+        "iran": ("N3", "N"), "att": ("N",), "os": ("Y", "Y", "N6"),
+    },
+    "udp-invalid-checksum": {
+        "testbed": ("Y", "Y"), "tmobile": ("-", "N"), "gfc": ("-", "Y"),
+        "iran": ("-", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "udp-length-long": {
+        "testbed": ("Y", "Y"), "tmobile": ("-", "N"), "gfc": ("-", "N"),
+        "iran": ("-", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "udp-length-short": {
+        "testbed": ("Y", "Y"), "tmobile": ("-", "N"), "gfc": ("-", "N"),
+        "iran": ("-", "Y"), "att": ("N",), "os": ("Y5", "Y", "Y"),
+    },
+    "ip-fragmentation": {
+        "testbed": ("Y", "Y2"), "tmobile": ("N", "Y2"), "gfc": ("N", "Y2"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-segment-split": {
+        "testbed": ("Y", "Y"), "tmobile": ("Y", "Y"), "gfc": ("N", "Y"),
+        "iran": ("Y", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "ip-fragment-reorder": {
+        "testbed": ("Y", "Y2"), "tmobile": ("N", "Y2"), "gfc": ("N", "Y2"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "tcp-segment-reorder": {
+        "testbed": ("Y", "Y"), "tmobile": ("Y", "Y"), "gfc": ("N", "Y"),
+        "iran": ("Y", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "udp-reorder": {
+        "testbed": ("Y", "Y"), "tmobile": ("-", "Y"), "gfc": ("-", "Y"),
+        "iran": ("-", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "flush-pause-after-match": {
+        "testbed": ("Y", "Y"), "tmobile": ("N", "Y"), "gfc": ("N", "Y"),
+        "iran": ("N", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "flush-pause-before-match": {
+        "testbed": ("Y", "Y"), "tmobile": ("N", "Y"), "gfc": ("Y7", "Y"),
+        "iran": ("N", "Y"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "flush-rst-after-match": {
+        "testbed": ("Y", "N"), "tmobile": ("Y", "N"), "gfc": ("N", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+    "flush-rst-before-match": {
+        "testbed": ("Y", "N"), "tmobile": ("Y", "N"), "gfc": ("Y", "N"),
+        "iran": ("N", "N"), "att": ("N",), "os": ("Y", "Y", "Y"),
+    },
+}
+
+#: §6.1–6.6 — characterization efficiency per environment.
+EFFICIENCY: dict[str, dict[str, object]] = {
+    "testbed-http": {"rounds_max": 70, "minutes_max": 10, "bytes_per_round_max": 2_000},
+    "testbed-skype": {"rounds": 115, "fields_within_packets": 6},
+    "tmobile": {"rounds_range": (80, 95), "minutes": 23, "megabytes": 18},
+    "att": {"rounds": 71},
+    "gfc": {"rounds": 86, "minutes_max": 15, "kilobytes_max": 400},
+    "iran": {"rounds": 75, "minutes": 10, "kilobytes": 300},
+}
+
+#: §6.2 — Amazon Prime Video replay over T-Mobile, Mbps.
+TMOBILE_THROUGHPUT = {
+    "without_liberate_avg": 1.48,
+    "without_liberate_peak": 4.8,
+    "with_liberate_avg": 4.1,
+    "with_liberate_peak": 11.2,
+}
+
+#: §5.3 — evasion overhead bounds.
+OVERHEAD = {
+    "inert_max_packets": 5,
+    "flush_delay_range_seconds": (40, 240),
+    "testbed_flush_timeout": 120,
+    "testbed_rst_timeout": 10,
+}
+
+#: Table 1 — comparison with other evasion approaches (qualitative).
+TABLE1_ROWS = [
+    # method, overhead, client-only, app-agnostic, rule-detect, split/reorder,
+    # inert-injection, flushing, validated-in-wild
+    ("VPN", "O(n)", False, True, False, False, False, False, None),
+    ("Covert channels", "O(n)", False, False, False, False, False, False, False),
+    ("Obfuscation", "O(n)", False, False, False, False, False, False, True),
+    ("Domain fronting", "O(1)", False, False, False, False, False, False, True),
+    ("Kreibich et al.", "O(1)", True, True, False, False, True, False, False),
+    ("liberate", "O(1)", True, True, True, True, True, True, True),
+]

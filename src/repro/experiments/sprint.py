@@ -1,0 +1,80 @@
+"""§6.4 — Sprint: probing finds no DPI-based differentiation.
+
+The paper tried different ports, streaming flows, replays to its own
+servers, originals and bit-inverted variants — and found no pattern of
+differential bandwidth.  The harness runs the same probe battery and
+verifies that lib·erate correctly concludes "no differentiation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detection import detect_differentiation
+from repro.envs.sprint import make_sprint
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+from repro.traffic.video import video_stream_trace
+
+
+@dataclass
+class SprintProbe:
+    """One probe flow's observed treatment."""
+
+    label: str
+    throughput_mbps: float | None
+    differentiated: bool
+
+
+def run_sprint_probes() -> list[SprintProbe]:
+    """The §6.4 probe battery: varied ports, content, and inversions."""
+    env = make_sprint()
+    probes = []
+    flows = [
+        ("video port 80", video_stream_trace(host="video.example.com", total_bytes=200_000)),
+        (
+            "video port 8080",
+            video_stream_trace(
+                host="video.example.com", total_bytes=200_000, server_port=8080, name="v8080"
+            ),
+        ),
+        (
+            "music stream",
+            video_stream_trace(host="spotify.example.com", total_bytes=200_000, name="music"),
+        ),
+        (
+            "inverted video",
+            video_stream_trace(host="video.example.com", total_bytes=200_000).inverted(),
+        ),
+        ("plain web page", http_get_trace("news.example.org", response_body=b"n" * 100_000)),
+    ]
+    for label, trace in flows:
+        outcome = ReplaySession(env, trace).run()
+        probes.append(
+            SprintProbe(
+                label=label,
+                throughput_mbps=(outcome.throughput_bps or 0.0) / 1e6
+                if outcome.throughput_bps
+                else None,
+                differentiated=outcome.differentiated,
+            )
+        )
+    return probes
+
+
+def run_sprint_detection() -> bool:
+    """lib·erate's own verdict: True when (correctly) nothing is detected."""
+    env = make_sprint()
+    report = detect_differentiation(
+        env, video_stream_trace(host="video.example.com", total_bytes=200_000)
+    )
+    return not report.differentiated
+
+
+def format_sprint(probes: list[SprintProbe]) -> str:
+    """Render the probe battery results."""
+    lines = [f"{'probe':18s} {'Mbps':>7s} {'differentiated':>15s}", "-" * 44]
+    for probe in probes:
+        rate = f"{probe.throughput_mbps:.1f}" if probe.throughput_mbps else "n/a"
+        lines.append(f"{probe.label:18s} {rate:>7s} {str(probe.differentiated):>15s}")
+    return "\n".join(lines)

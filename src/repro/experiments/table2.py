@@ -1,0 +1,80 @@
+"""Table 2 — measured per-flow overhead of each technique category.
+
+The paper's cost model: inert insertion costs k extra packets (k < 5),
+splitting/reordering cost k*40 bytes of extra headers plus reassembly,
+flushing costs t seconds (or one packet for the RST variant).  The harness
+runs every technique against the testbed and aggregates the *measured*
+overhead per category, checking it against those bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.evasion import ALL_TECHNIQUES
+from repro.envs import make_testbed
+from repro.experiments.workloads import prepare
+from repro.replay.session import ReplaySession
+
+
+@dataclass
+class OverheadRow:
+    """Measured cost envelope for one taxonomy category."""
+
+    category: str
+    techniques: int
+    max_packets: int
+    max_bytes: int
+    max_seconds: float
+    description: str
+
+
+CATEGORY_DESCRIPTIONS = {
+    "inert-insertion": "Inject packet that either does not reach the server, or reaches but is dropped.",
+    "splitting": "Divide a flow's payload into packets of different sizes from the original.",
+    "reordering": "Reorder packets relative to the original flow.",
+    "flushing": "Cause a classifier to flush its classification result.",
+}
+
+
+def run_table2(characterize: bool = False) -> list[OverheadRow]:
+    """Measure every technique's overhead on the testbed workloads."""
+    prep = prepare(make_testbed(), characterize=characterize)
+    per_category: dict[str, list[tuple[int, int, float]]] = {}
+    for technique in ALL_TECHNIQUES:
+        protocol = "udp" if technique.protocol == "udp" else "tcp"
+        trace = prep.udp_trace if protocol == "udp" else prep.tcp_trace
+        context = prep.udp_context if protocol == "udp" else prep.tcp_context
+        if not technique.applicable(context):
+            continue
+        outcome = ReplaySession(prep.env, trace).run(technique=technique, context=context)
+        per_category.setdefault(technique.category, []).append(
+            (outcome.overhead_packets, outcome.overhead_bytes, outcome.overhead_seconds)
+        )
+    rows = []
+    for category, samples in per_category.items():
+        rows.append(
+            OverheadRow(
+                category=category,
+                techniques=len(samples),
+                max_packets=max(p for p, _b, _s in samples),
+                max_bytes=max(b for _p, b, _s in samples),
+                max_seconds=max(s for _p, _b, s in samples),
+                description=CATEGORY_DESCRIPTIONS.get(category, ""),
+            )
+        )
+    order = ["inert-insertion", "splitting", "reordering", "flushing"]
+    rows.sort(key=lambda r: order.index(r.category) if r.category in order else 9)
+    return rows
+
+
+def format_table2(rows: list[OverheadRow]) -> str:
+    """Render the overhead table."""
+    header = f"{'Technique':18s} {'#':>2s} {'pkts':>5s} {'bytes':>7s} {'secs':>7s}  Description"
+    lines = [header, "-" * 100]
+    for row in rows:
+        lines.append(
+            f"{row.category:18s} {row.techniques:2d} {row.max_packets:5d} "
+            f"{row.max_bytes:7d} {row.max_seconds:7.1f}  {row.description}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Canonical workloads and evasion contexts for the experiment harnesses.
+
+One TCP trace and one UDP trace per environment, mirroring the recordings
+the paper used (§6): HTTP video over the testbed/T-Mobile/AT&T, censored
+websites for the GFC/Iran, and Skype/STUN for UDP.  Contexts are produced by
+actually running lib·erate's characterization and localization phases — the
+experiments measure the whole system, not hand-fed parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterization import Characterizer
+from repro.core.evasion.base import EvasionContext
+from repro.core.localization import locate_middlebox
+from repro.core.report import CharacterizationReport
+from repro.envs.base import Environment
+from repro.traffic.http import http_get_trace
+from repro.traffic.stun import stun_trace
+from repro.traffic.trace import Trace
+from repro.traffic.video import video_stream_trace
+
+#: Environments whose middlebox classifies UDP traffic at all.
+UDP_CLASSIFYING_ENVS = frozenset({"testbed"})
+
+
+def tcp_workload(env_name: str) -> Trace:
+    """The canonical TCP dialogue for one environment."""
+    if env_name == "testbed":
+        return http_get_trace("video.example.com", response_body=b"v" * 900)
+    if env_name == "tmobile":
+        return video_stream_trace(host="d1.cloudfront.net", total_bytes=250_000)
+    if env_name == "gfc":
+        return http_get_trace("economist.com", response_body=b"<html>news</html>" * 60)
+    if env_name == "iran":
+        return http_get_trace("facebook.com", response_body=b"<html>feed</html>" * 40)
+    if env_name == "att":
+        return video_stream_trace(
+            host="video.nbcsports.com", total_bytes=300_000, name="nbcsports"
+        )
+    if env_name == "sprint":
+        return video_stream_trace(host="d1.cloudfront.net", total_bytes=250_000)
+    raise KeyError(env_name)
+
+
+def udp_workload(env_name: str) -> Trace:
+    """The canonical UDP dialogue (Skype/STUN) — identical everywhere."""
+    return stun_trace()
+
+
+@dataclass
+class PreparedEnvironment:
+    """An environment plus the phase-2/localization results for its workloads."""
+
+    env: Environment
+    tcp_trace: Trace
+    udp_trace: Trace
+    tcp_context: EvasionContext
+    udp_context: EvasionContext
+    characterization: CharacterizationReport | None
+    hops: int | None
+
+
+def prepare(env: Environment, characterize: bool = True) -> PreparedEnvironment:
+    """Characterize + localize an environment's workloads, build contexts.
+
+    With ``characterize=False`` (fast mode for unit tests) the contexts fall
+    back to the environment's ground-truth hop count and a keyword guess
+    from the trace, skipping the replay-heavy phases.
+    """
+    tcp = tcp_workload(env.name)
+    udp = udp_workload(env.name)
+    characterization: CharacterizationReport | None = None
+    hops: int | None = env.hops_to_middlebox
+
+    if characterize and env.middlebox is not None:
+        characterizer = Characterizer(env, tcp)
+        characterization = characterizer.run()
+        located, _rounds = locate_middlebox(env, tcp)
+        if located is not None:
+            hops = located
+        tcp_context = EvasionContext(
+            matching_fields=characterization.matching_fields,
+            packet_limit=characterization.packet_limit,
+            inspects_all_packets=characterization.inspects_all_packets,
+            match_and_forget=characterization.match_and_forget,
+            middlebox_hops=hops,
+            protocol="tcp",
+        )
+    else:
+        tcp_context = _fallback_context(env, tcp, "tcp", hops)
+
+    udp_context = EvasionContext(
+        matching_fields=[],  # the STUN rule is positional: packet 0
+        packet_limit=6 if env.name in UDP_CLASSIFYING_ENVS else None,
+        inspects_all_packets=False,
+        match_and_forget=True,
+        middlebox_hops=hops,
+        protocol="udp",
+    )
+    return PreparedEnvironment(
+        env=env,
+        tcp_trace=tcp,
+        udp_trace=udp,
+        tcp_context=tcp_context,
+        udp_context=udp_context,
+        characterization=characterization,
+        hops=hops,
+    )
+
+
+def _fallback_context(
+    env: Environment, trace: Trace, protocol: str, hops: int | None
+) -> EvasionContext:
+    from repro.core.report import MatchingField
+
+    fields = []
+    payload = trace.client_payloads()[0] if trace.client_payloads() else b""
+    host = trace.metadata.get("host", "")
+    if host:
+        index = payload.find(host.encode("ascii"))
+        if index >= 0:
+            fields.append(MatchingField(0, index, index + len(host), host.encode("ascii")))
+    return EvasionContext(
+        matching_fields=fields,
+        packet_limit=4,
+        inspects_all_packets=(env.name == "iran"),
+        match_and_forget=(env.name != "iran"),
+        middlebox_hops=hops,
+        protocol=protocol,
+    )

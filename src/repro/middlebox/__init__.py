@@ -1,0 +1,31 @@
+"""A configurable DPI middlebox engine and per-environment profiles.
+
+The engine (:mod:`repro.middlebox.engine`) implements the mechanisms the
+paper reverse-engineered from operational classifiers: keyword rules over
+HTTP payloads / SNI fields / STUN attributes, per-packet vs. stream
+reassembly, packet-count inspection windows, match-and-forget semantics,
+incomplete header validation, classification flushing, and policy actions
+(throttling, zero-rating, RST/block-page censorship).
+
+Profiles in :mod:`repro.middlebox.profiles` configure the engine to behave
+like each middlebox the paper evaluated.
+"""
+
+from repro.middlebox.accounting import UsageCounter
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.policy import BlockBehavior, PolicyAction, RulePolicy
+from repro.middlebox.proxy import TransparentHTTPProxy
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.validation import MiddleboxValidation
+
+__all__ = [
+    "UsageCounter",
+    "DPIMiddlebox",
+    "ReassemblyMode",
+    "BlockBehavior",
+    "PolicyAction",
+    "RulePolicy",
+    "TransparentHTTPProxy",
+    "MatchRule",
+    "MiddleboxValidation",
+]

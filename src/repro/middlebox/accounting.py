@@ -1,0 +1,71 @@
+"""Cellular data-usage accounting (the zero-rating detection signal).
+
+T-Mobile's Binge On is detected through the account's data-usage counter:
+classified (zero-rated) traffic does not count against the quota.  The paper
+notes the counter "may either be slightly out of date, or include data from
+background traffic", forcing ≥200 KB replays for reliable inference (§6.2).
+Both imperfections are modeled here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.ip import IPPacket
+
+
+class UsageCounter(NetworkElement):
+    """Counts quota bytes; zero-rated flows are exempt.
+
+    Args:
+        policy_state: where the middlebox marks zero-rated flows.
+        noise_bytes: maximum background-traffic noise added per reading.
+        seed: RNG seed for deterministic noise.
+    """
+
+    name = "usage-counter"
+
+    def __init__(
+        self,
+        policy_state: PolicyState,
+        noise_bytes: int = 60_000,
+        seed: int = 2017,
+    ) -> None:
+        self.policy_state = policy_state
+        self.noise_bytes = noise_bytes
+        self._rng = random.Random(seed)
+        self._counted = 0
+        self._background = 0
+
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Charge non-zero-rated payload bytes to the quota; always forward."""
+        key = FiveTuple.of(packet)
+        payload_len = len(packet.app_payload)
+        if payload_len and not self.policy_state.is_zero_rated(key):
+            self._counted += payload_len
+        return [packet]
+
+    def read(self) -> int:
+        """A quota reading: true usage plus accumulated background noise.
+
+        Each read may pull in more background traffic, so two consecutive
+        reads can differ even with no test traffic in between — exactly the
+        effect that forces large replays.
+        """
+        self._background += self._rng.randint(0, self.noise_bytes)
+        return self._counted + self._background
+
+    @property
+    def exact(self) -> int:
+        """Ground-truth usage (tests only; the detection code uses read())."""
+        return self._counted
+
+    def reset(self) -> None:
+        """Zero the counter (a new billing window)."""
+        self._counted = 0
+        self._background = 0

@@ -1,0 +1,672 @@
+"""The DPI middlebox engine.
+
+One engine class expresses every classifier implementation the paper
+reverse-engineered, through configuration:
+
+* **reassembly mode** — per-packet matching (Iran, the testbed device),
+  in-order-only stream assembly that ignores out-of-order segments
+  (T-Mobile), or full endpoint-grade reassembly (the GFC);
+* **inspection window** — how many payload packets are examined before the
+  classifier commits to a final verdict ("match and forget");
+* **protocol anchoring** — whether the first payload must look like a known
+  protocol (the reason one dummy byte at the start of a flow breaks
+  classification in the testbed, T-Mobile and the GFC);
+* **validation** — which malformed packets are still fed to the matcher
+  (:mod:`repro.middlebox.validation`), the crack every inert-packet
+  technique slips through;
+* **state retention** — pre-match and post-match flush timeouts, RST-driven
+  flushing, and the GFC's residual server:port blocking.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.middlebox.policy import PolicyAction
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.state import UNCLASSIFIED_FINAL, FlowState
+from repro.middlebox.validation import MiddleboxValidation
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.fragment import reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+#: Protocol prefixes an anchoring classifier accepts at stream offset zero.
+PROTOCOL_ANCHORS: tuple[bytes, ...] = (b"GET", b"POST", b"HEAD", b"PUT", b"HTTP/", b"\x16\x03")
+
+#: Stream-reassembling classifiers wait for this many contiguous bytes
+#: before judging the protocol anchor.
+ANCHOR_MIN_BYTES = 5
+
+TimeoutSpec = float | None | Callable[[float], float | None]
+
+
+class ReassemblyMode(enum.Enum):
+    """How the classifier turns packets into a matchable buffer."""
+
+    PER_PACKET = "per-packet"  # each packet matched independently
+    IN_ORDER = "in-order"  # stream assembly, out-of-order segments ignored
+    FULL = "full"  # endpoint-grade stream assembly with OOO buffering
+
+
+class DPIMiddlebox(NetworkElement):
+    """A configurable deep-packet-inspection middlebox.
+
+    Args:
+        name: element label.
+        rules: the classification rules to evaluate.
+        policy_state: shared marks read by shapers / accounting elements.
+        validation: which malformed packets still reach the matcher.
+        reassembly: see :class:`ReassemblyMode`.
+        reassemble_ip_fragments: virtually reassemble fragments for
+            inspection (the fragments themselves are forwarded untouched).
+        inspect_packet_limit: payload packets examined per flow before a
+            final verdict (None = unlimited).
+        inspect_byte_limit: bytes examined per flow (None = unlimited).
+        match_and_forget: commit to a final verdict (match or not) and stop
+            inspecting; False re-evaluates every packet forever.
+        require_protocol_anchor: give up unless the stream starts with a
+            known protocol prefix.
+        track_flows: classify only flows whose creation (SYN / first UDP
+            packet) was seen; False (Iran) matches statelessly per packet.
+        ports: restrict inspection to these server ports (None = all).
+        classify_udp: whether UDP traffic is classified at all (no
+            operational network we tested did).
+        pre_match_timeout: seconds of silence after which an unmatched
+            flow's state is flushed; may be a callable of the current clock
+            (the GFC's time-of-day behaviour).
+        post_match_timeout: seconds after which a verdict is flushed.
+        rst_flush_pre_match: a client RST before a match flushes flow state.
+        rst_flush_post_match: a client RST after a match flushes the verdict.
+        rst_timeout_reduction: instead of flushing, a RST shortens both
+            timeouts to this value (testbed behaviour: 120 s → 10 s).
+        endpoint_block_threshold: after this many blocked flows to the same
+            (server, port), block that endpoint outright (GFC: 2).
+        endpoint_block_duration: seconds the endpoint stays blocked.
+        protocol_agnostic_flow_keying: attribute packets to flows by port
+            pair even when the IP protocol field is wrong — the testbed
+            device behaved this way (Table 3 footnote 1), which is why the
+            *wrong protocol* inert technique evaded it.
+        max_flows: flow-table capacity; beyond it the least-recently-active
+            flow is evicted (marks cleared).  This is the mechanism the
+            paper hypothesizes behind Figure 4's busy-hour flushing:
+            "classification results being flushed due to scarce resources".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rules: list[MatchRule],
+        policy_state: PolicyState,
+        validation: MiddleboxValidation | None = None,
+        reassembly: ReassemblyMode = ReassemblyMode.PER_PACKET,
+        reassemble_ip_fragments: bool = False,
+        inspect_packet_limit: int | None = None,
+        inspect_byte_limit: int | None = None,
+        match_and_forget: bool = True,
+        require_protocol_anchor: bool = False,
+        track_flows: bool = True,
+        ports: frozenset[int] | None = None,
+        classify_udp: bool = True,
+        udp_inspect_packet_limit: int | None = None,
+        pre_match_timeout: TimeoutSpec = None,
+        post_match_timeout: TimeoutSpec = None,
+        rst_flush_pre_match: bool = False,
+        rst_flush_post_match: bool = False,
+        rst_timeout_reduction: float | None = None,
+        endpoint_block_threshold: int | None = None,
+        endpoint_block_duration: float = 90.0,
+        protocol_agnostic_flow_keying: bool = False,
+        max_flows: int | None = None,
+    ) -> None:
+        self.name = name
+        self.rules = list(rules)
+        self.policy_state = policy_state
+        self.validation = validation if validation is not None else MiddleboxValidation.lax()
+        self.reassembly = reassembly
+        self.reassemble_ip_fragments = reassemble_ip_fragments
+        self.inspect_packet_limit = inspect_packet_limit
+        self.inspect_byte_limit = inspect_byte_limit
+        self.match_and_forget = match_and_forget
+        self.require_protocol_anchor = require_protocol_anchor
+        self.track_flows = track_flows
+        self.ports = frozenset(ports) if ports is not None else None
+        self.classify_udp = classify_udp
+        self.udp_inspect_packet_limit = (
+            udp_inspect_packet_limit if udp_inspect_packet_limit is not None else inspect_packet_limit
+        )
+        self.pre_match_timeout = pre_match_timeout
+        self.post_match_timeout = post_match_timeout
+        self.rst_flush_pre_match = rst_flush_pre_match
+        self.rst_flush_post_match = rst_flush_post_match
+        self.rst_timeout_reduction = rst_timeout_reduction
+        self.endpoint_block_threshold = endpoint_block_threshold
+        self.endpoint_block_duration = endpoint_block_duration
+        self.protocol_agnostic_flow_keying = protocol_agnostic_flow_keying
+        self.max_flows = max_flows
+        self.evictions = 0
+
+        self._flows: dict[FiveTuple, FlowState] = {}
+        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
+        self._endpoint_block_counts: dict[tuple[str, int], int] = {}
+        self._endpoint_block_until: dict[tuple[str, int], float] = {}
+        self.match_log: list[tuple[float, str, FiveTuple]] = []
+
+    # ==================================================================
+    # NetworkElement interface
+    # ==================================================================
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Observe one packet: update classifier state, apply policies, forward."""
+        now = ctx.clock.now
+        self._expire(now)
+
+        inspect_target = packet
+        if packet.is_fragment:
+            if not self.reassemble_ip_fragments:
+                return [packet]  # cannot attribute a fragment to a flow
+            whole = self._feed_fragment(packet)
+            if whole is None:
+                return [packet]
+            inspect_target = whole
+
+        key = self._flow_key(inspect_target)
+        if key is None:
+            return [packet]  # non-TCP/UDP (wrong protocol field, ICMP, ...)
+
+        if self._endpoint_blocked(inspect_target, now, ctx):
+            return []
+
+        if not self.track_flows:
+            self._stateless_inspect(inspect_target, ctx)
+            return [packet]
+
+        state = self._flow_for(inspect_target, key, now)
+        if state is None:
+            return [packet]  # untracked mid-flow traffic is invisible to us
+        state.last_packet_time = now
+
+        tcp = inspect_target.tcp
+        if tcp is not None and tcp.flags & TCPFlags.RST:
+            self._handle_rst(state, key)
+            return [packet]
+
+        if not self._in_scope(state):
+            return [packet]
+
+        if state.blocked and state.matched_rule is not None:
+            if inspect_target.app_payload:
+                self._apply_block(state, state.matched_rule, inspect_target, ctx)
+            return [packet]
+
+        if state.inspection_finished:
+            return [packet]
+
+        self._inspect(state, inspect_target, now, ctx)
+        return [packet]
+
+    def _flow_key(self, packet: IPPacket) -> FiveTuple | None:
+        """The flow a packet belongs to, honoring protocol-agnostic keying."""
+        key = FiveTuple.of(packet)
+        if key is None or not self.protocol_agnostic_flow_keying:
+            return key
+        if packet.tcp is not None:
+            return FiveTuple(key.src, key.sport, key.dst, key.dport, 6)
+        if packet.udp is not None:
+            return FiveTuple(key.src, key.sport, key.dst, key.dport, 17)
+        return key
+
+    def _transport_protocol(self, packet: IPPacket) -> int:
+        """The protocol used for inspection dispatch (honors agnostic keying)."""
+        if self.protocol_agnostic_flow_keying:
+            if packet.tcp is not None:
+                return 6
+            if packet.udp is not None:
+                return 17
+        return packet.effective_protocol
+
+    def reset(self) -> None:
+        """Forget every flow, fragment buffer, block counter and log entry."""
+        self._flows.clear()
+        self._fragments.clear()
+        self._endpoint_block_counts.clear()
+        self._endpoint_block_until.clear()
+        self.match_log.clear()
+
+    # ==================================================================
+    # flow bookkeeping
+    # ==================================================================
+    def _flow_for(self, packet: IPPacket, key: FiveTuple, now: float) -> FlowState | None:
+        normalized = key.normalized()
+        state = self._flows.get(normalized)
+        if state is not None:
+            return state
+        tcp = packet.tcp
+        is_flow_start = (
+            self._transport_protocol(packet) == 17
+            or (tcp is not None and tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK)
+        )
+        if not is_flow_start:
+            return None  # mid-flow packet for a flow we never tracked (or flushed)
+        protocol = "udp" if self._transport_protocol(packet) == 17 else "tcp"
+        expected_seq = None
+        if tcp is not None:
+            expected_seq = (tcp.seq + 1) & 0xFFFFFFFF
+        if self.max_flows is not None and len(self._flows) >= self.max_flows:
+            self._evict_lru()
+        state = FlowState(
+            client_tuple=key,
+            protocol=protocol,
+            server_port=key.dport,
+            created_at=now,
+            last_packet_time=now,
+            expected_seq=expected_seq,
+        )
+        self._flows[normalized] = state
+        return state
+
+    def _evict_lru(self) -> None:
+        """Capacity pressure: drop the least-recently-active flow's state."""
+        victim = min(self._flows, key=lambda k: self._flows[k].last_packet_time)
+        self._forget_flow(victim)
+        self.evictions += 1
+
+    def _in_scope(self, state: FlowState) -> bool:
+        if self.ports is not None and state.server_port not in self.ports:
+            return False
+        if state.protocol == "udp" and not self.classify_udp:
+            return False
+        return True
+
+    def _resolve_timeout(self, spec: TimeoutSpec, now: float) -> float | None:
+        if callable(spec):
+            return spec(now)
+        return spec
+
+    def _expire(self, now: float) -> None:
+        stale: list[FiveTuple] = []
+        for normalized, state in self._flows.items():
+            timeout: float | None
+            if state.timeout_override is not None:
+                timeout = state.timeout_override
+            elif state.matched_rule is not None:
+                timeout = self._resolve_timeout(self.post_match_timeout, now)
+            elif state.verdict is None:
+                timeout = self._resolve_timeout(self.pre_match_timeout, now)
+            else:
+                timeout = self._resolve_timeout(self.post_match_timeout, now)
+            if timeout is not None and now - state.last_packet_time > timeout:
+                stale.append(normalized)
+        for normalized in stale:
+            self._forget_flow(normalized)
+        expired_endpoints = [
+            endpoint
+            for endpoint, until in self._endpoint_block_until.items()
+            if now > until
+        ]
+        for endpoint in expired_endpoints:
+            del self._endpoint_block_until[endpoint]
+            self.policy_state.blocked_endpoints.discard(endpoint)
+            self._endpoint_block_counts.pop(endpoint, None)
+
+    def _forget_flow(self, normalized: FiveTuple) -> None:
+        state = self._flows.pop(normalized, None)
+        if state is None:
+            return
+        self.policy_state.throttled_flows.pop(normalized, None)
+        self.policy_state.zero_rated_flows.discard(normalized)
+
+    def _handle_rst(self, state: FlowState, key: FiveTuple) -> None:
+        matched = state.matched_rule is not None
+        if matched and self.rst_flush_post_match:
+            self._forget_flow(key.normalized())
+        elif not matched and self.rst_flush_pre_match:
+            self._forget_flow(key.normalized())
+        elif self.rst_timeout_reduction is not None:
+            state.timeout_override = self.rst_timeout_reduction
+
+    # ==================================================================
+    # fragment handling (virtual reassembly for inspection only)
+    # ==================================================================
+    def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
+        key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
+        bucket = self._fragments.setdefault(key, [])
+        bucket.append(packet)
+        whole = reassemble_fragments(bucket)
+        if whole is not None:
+            del self._fragments[key]
+        return whole
+
+    # ==================================================================
+    # inspection
+    # ==================================================================
+    def _inspect(
+        self, state: FlowState, packet: IPPacket, now: float, ctx: TransitContext
+    ) -> None:
+        if not self.validation.ip_inspectable(packet):
+            return
+        direction = state.direction_of(packet.src, self._sport_of(packet))
+        payload = b""
+        if self._transport_protocol(packet) == 6 and packet.tcp is not None:
+            payload = self._tcp_payload_for_matching(state, packet, packet.tcp, direction)
+        elif self._transport_protocol(packet) == 17 and packet.udp is not None:
+            if not self.validation.udp_inspectable(packet, packet.udp):
+                return
+            payload = packet.udp.payload
+        if not payload:
+            return
+
+        if direction == "client":
+            index = state.client_packets
+            state.client_packets += 1
+        else:
+            index = state.server_packets
+            state.server_packets += 1
+
+        buffer = self._buffer_for_matching(state, payload, direction)
+
+        if direction == "client" and self.require_protocol_anchor and state.anchor_ok is None:
+            self._decide_anchor(state, payload, buffer, index)
+            if state.anchor_ok is False:
+                if self.match_and_forget:
+                    state.verdict = UNCLASSIFIED_FINAL
+                return
+        if (
+            direction == "client"
+            and self.require_protocol_anchor
+            and state.anchor_ok is None
+            and state.protocol == "tcp"
+        ):
+            # Stream modes postpone the anchor decision until enough bytes
+            # assemble; matching waits with it.
+            if self._window_exhausted(state) and self.match_and_forget:
+                state.verdict = UNCLASSIFIED_FINAL
+            return
+
+        matched = self._match_rules(state, buffer, payload, index, direction)
+        if matched is not None:
+            state.verdict = matched
+            state.match_time = now
+            self.match_log.append((now, matched.name, state.client_tuple))
+            self._apply_policy(state, matched, packet, ctx)
+            return
+
+        if self._window_exhausted(state) and self.match_and_forget:
+            state.verdict = UNCLASSIFIED_FINAL
+
+    def _decide_anchor(self, state: FlowState, payload: bytes, buffer: bytes, index: int) -> None:
+        """Settle the protocol-anchor check when enough evidence exists.
+
+        Per-packet classifiers judge the first payload packet as-is (one
+        byte of leading payload defeats them); stream classifiers judge the
+        assembled stream once at least ``ANCHOR_MIN_BYTES`` are contiguous.
+        """
+        if state.protocol == "udp":
+            state.anchor_ok = True
+            return
+        if self.reassembly is ReassemblyMode.PER_PACKET:
+            if index == 0:
+                state.anchor_ok = payload.startswith(PROTOCOL_ANCHORS)
+            return
+        if len(buffer) >= ANCHOR_MIN_BYTES:
+            state.anchor_ok = buffer.startswith(PROTOCOL_ANCHORS)
+
+    def _sport_of(self, packet: IPPacket) -> int:
+        transport = packet.transport
+        return getattr(transport, "sport", 0)
+
+    def _tcp_payload_for_matching(
+        self, state: FlowState, packet: IPPacket, segment: TCPSegment, direction: str
+    ) -> bytes:
+        expected = state.expected_seq if direction == "client" else None
+        if not self.validation.tcp_inspectable(packet, segment, expected):
+            return b""
+        payload = segment.payload
+        if not payload:
+            return b""
+        if self.reassembly is ReassemblyMode.PER_PACKET or direction == "server":
+            return payload
+        # Stream modes track the client's sequence space.
+        if state.expected_seq is None:
+            state.expected_seq = segment.seq  # no SYN seen (shouldn't happen when tracked)
+        ahead = (segment.seq - state.expected_seq) & 0xFFFFFFFF
+        if ahead == 0:
+            state.expected_seq = (state.expected_seq + len(payload)) & 0xFFFFFFFF
+            assembled = bytearray(payload)
+            if self.reassembly is ReassemblyMode.FULL:
+                while state.expected_seq in state.ooo_segments:
+                    chunk = state.ooo_segments.pop(state.expected_seq)
+                    assembled.extend(chunk)
+                    state.expected_seq = (state.expected_seq + len(chunk)) & 0xFFFFFFFF
+            return bytes(assembled)
+        if ahead < 0x8000_0000:
+            # Future data: only FULL mode buffers it; IN_ORDER ignores it.
+            if self.reassembly is ReassemblyMode.FULL:
+                state.ooo_segments.setdefault(segment.seq, payload)
+            return b""
+        behind = 0x1_0000_0000 - ahead
+        if behind >= len(payload):
+            return b""  # duplicate of old data
+        fresh = payload[behind:]
+        state.expected_seq = (state.expected_seq + len(fresh)) & 0xFFFFFFFF
+        return fresh
+
+    def _buffer_for_matching(self, state: FlowState, payload: bytes, direction: str) -> bytes:
+        if self.reassembly is ReassemblyMode.PER_PACKET:
+            return payload
+        buffer = state.client_buffer if direction == "client" else state.server_buffer
+        buffer.extend(payload)
+        if self.inspect_byte_limit is not None:
+            del buffer[self.inspect_byte_limit :]
+        return bytes(buffer)
+
+    def _match_rules(
+        self, state: FlowState, buffer: bytes, packet_payload: bytes, index: int, direction: str
+    ) -> MatchRule | None:
+        for rule in self.rules:
+            if not rule.applies_to(state.protocol, state.server_port, direction):
+                continue
+            if rule.position is not None:
+                if index != rule.position:
+                    continue
+                if rule.matches_buffer(packet_payload):
+                    return rule
+                continue
+            if rule.matches_buffer(buffer):
+                return rule
+        return None
+
+    def _window_exhausted(self, state: FlowState) -> bool:
+        limit = (
+            self.udp_inspect_packet_limit if state.protocol == "udp" else self.inspect_packet_limit
+        )
+        if limit is not None and state.client_packets >= limit:
+            return True
+        if (
+            self.inspect_byte_limit is not None
+            and len(state.client_buffer) >= self.inspect_byte_limit
+        ):
+            return True
+        return False
+
+    # ==================================================================
+    # stateless (Iran-style) inspection
+    # ==================================================================
+    def _stateless_inspect(self, packet: IPPacket, ctx: TransitContext) -> None:
+        key = FiveTuple.of(packet)
+        if key is None:
+            return
+        if not self.validation.ip_inspectable(packet):
+            return
+        protocol = "udp" if packet.effective_protocol == 17 else "tcp"
+        if protocol == "udp" and not self.classify_udp:
+            return
+        payload = b""
+        server_port = key.dport
+        direction = "client"
+        if packet.effective_protocol == 6 and packet.tcp is not None:
+            if not self.validation.tcp_inspectable(packet, packet.tcp, None):
+                return
+            payload = packet.tcp.payload
+            # Heuristic orientation: traffic *to* a rule port is client-side.
+            if self.ports is not None and packet.tcp.sport in self.ports:
+                direction = "server"
+                server_port = key.sport
+        elif packet.effective_protocol == 17 and packet.udp is not None:
+            if not self.validation.udp_inspectable(packet, packet.udp):
+                return
+            payload = packet.udp.payload
+        if not payload:
+            return
+        if self.ports is not None and server_port not in self.ports:
+            return
+        for rule in self.rules:
+            if not rule.applies_to(protocol, server_port, direction):
+                continue
+            if rule.matches_buffer(payload):
+                self.match_log.append((ctx.clock.now, rule.name, key))
+                self._apply_stateless_policy(rule, packet, key, ctx)
+                return
+
+    # ==================================================================
+    # policy application
+    # ==================================================================
+    def _apply_policy(
+        self, state: FlowState, rule: MatchRule, packet: IPPacket, ctx: TransitContext
+    ) -> None:
+        key = state.client_tuple
+        action = rule.policy.action
+        if action is PolicyAction.THROTTLE:
+            self.policy_state.throttle(key, rule.policy.throttle_rate_bps)
+        elif action is PolicyAction.ZERO_RATE:
+            self.policy_state.zero_rate(key)
+            if rule.policy.also_throttle:
+                self.policy_state.throttle(key, rule.policy.throttle_rate_bps)
+        elif action in (PolicyAction.BLOCK_RST, PolicyAction.BLOCK_PAGE):
+            state.blocked = True
+            self._register_endpoint_block(key, ctx)
+            self._apply_block(state, rule, packet, ctx)
+
+    def _apply_stateless_policy(
+        self, rule: MatchRule, packet: IPPacket, key: FiveTuple, ctx: TransitContext
+    ) -> None:
+        action = rule.policy.action
+        if action is PolicyAction.THROTTLE:
+            self.policy_state.throttle(key, rule.policy.throttle_rate_bps)
+        elif action is PolicyAction.ZERO_RATE:
+            self.policy_state.zero_rate(key)
+        elif action in (PolicyAction.BLOCK_RST, PolicyAction.BLOCK_PAGE):
+            self._inject_block(rule, key, packet, ctx)
+
+    def _register_endpoint_block(self, key: FiveTuple, ctx: TransitContext) -> None:
+        if self.endpoint_block_threshold is None:
+            return
+        endpoint = (key.dst, key.dport)
+        self._endpoint_block_counts[endpoint] = self._endpoint_block_counts.get(endpoint, 0) + 1
+        if self._endpoint_block_counts[endpoint] >= self.endpoint_block_threshold:
+            self.policy_state.blocked_endpoints.add(endpoint)
+            self._endpoint_block_until[endpoint] = ctx.clock.now + self.endpoint_block_duration
+
+    def _endpoint_blocked(
+        self, packet: IPPacket, now: float, ctx: TransitContext
+    ) -> bool:
+        key = FiveTuple.of(packet)
+        if key is None:
+            return False
+        endpoint = (key.dst, key.dport)
+        if endpoint not in self.policy_state.blocked_endpoints:
+            return False
+        # Disrupt the connection attempt outright.
+        rst = TCPSegment(
+            sport=key.dport,
+            dport=key.sport,
+            seq=0,
+            ack=0,
+            flags=TCPFlags.RST,
+        )
+        if packet.effective_protocol == 6:
+            ctx.inject_back(IPPacket(src=key.dst, dst=key.src, transport=rst))
+        return True
+
+    def _apply_block(
+        self, state: FlowState, rule: MatchRule, packet: IPPacket, ctx: TransitContext
+    ) -> None:
+        self._inject_block(rule, state.client_tuple, packet, ctx)
+
+    def _inject_block(
+        self, rule: MatchRule, client_tuple: FiveTuple, packet: IPPacket, ctx: TransitContext
+    ) -> None:
+        behavior = rule.policy.block
+        client, sport = client_tuple.src, client_tuple.sport
+        server, dport = client_tuple.dst, client_tuple.dport
+        going_to_server = packet.dst == server
+        seq_guess = 0
+        tcp = packet.tcp
+        if tcp is not None:
+            seq_guess = (tcp.seq + len(tcp.payload)) & 0xFFFFFFFF
+
+        def toward_client(transport: TCPSegment) -> None:
+            injected = IPPacket(src=server, dst=client, transport=transport)
+            if going_to_server:
+                ctx.inject_back(injected)
+            else:
+                ctx.inject_forward(injected)
+
+        def toward_server(transport: TCPSegment) -> None:
+            injected = IPPacket(src=client, dst=server, transport=transport)
+            if going_to_server:
+                ctx.inject_forward(injected)
+            else:
+                ctx.inject_back(injected)
+
+        if behavior.block_page is not None:
+            toward_client(
+                TCPSegment(
+                    sport=dport,
+                    dport=sport,
+                    seq=1,
+                    ack=seq_guess,
+                    flags=TCPFlags.ACK | TCPFlags.PSH,
+                    payload=behavior.block_page,
+                )
+            )
+        for _ in range(behavior.rsts_to_client):
+            toward_client(
+                TCPSegment(sport=dport, dport=sport, seq=1, ack=seq_guess, flags=TCPFlags.RST)
+            )
+        for _ in range(behavior.rsts_to_server):
+            toward_server(
+                TCPSegment(sport=sport, dport=dport, seq=seq_guess, flags=TCPFlags.RST)
+            )
+
+    # ==================================================================
+    # readout (testbed ground truth)
+    # ==================================================================
+    def classification_of(self, client: str, sport: int, server: str, dport: int) -> str | None:
+        """The current verdict for a flow: rule name, "unclassified-final", or None."""
+        for protocol in (6, 17):
+            lookup = FiveTuple(
+                src=client, sport=sport, dst=server, dport=dport, protocol=protocol
+            ).normalized()
+            state = self._flows.get(lookup)
+            if state is not None:
+                if isinstance(state.verdict, MatchRule):
+                    return state.verdict.name
+                return state.verdict
+        if not self.track_flows:
+            # Stateless classifiers keep no flow table; the match log is the
+            # only readout.
+            for _time, rule_name, key in reversed(self.match_log):
+                if key.src == client and key.sport == sport and key.dport == dport:
+                    return rule_name
+        return None
+
+    def ever_matched(self, client: str, sport: int) -> bool:
+        """True when any match was logged for this client endpoint (any flow)."""
+        return any(
+            key.src == client and key.sport == sport for _t, _rule, key in self.match_log
+        )

@@ -1,0 +1,205 @@
+"""A norm-style traffic normalizer (Kreibich et al. 2001) — the countermeasure.
+
+§4.3's "Evasion countermeasures" discussion: a network can deploy a
+normalizer ahead of its classifier that (a) drops lib·erate's inert packets,
+(b) raises suspiciously low TTLs so nothing can die between the classifier
+and the server, and (c) reassembles and re-segments TCP streams so splitting
+and reordering present the classifier with clean, in-order, coalesced data.
+The paper found, strikingly, that none of the operational middleboxes had
+deployed these 15-year-old defenses.
+
+The price the paper predicts is also modeled: TTL normalization un-inerts
+TTL-limited packets (their junk now *reaches the server*), and full
+reassembly costs state.  The classification-flushing techniques survive by
+construction — no normalizer can force a classifier to retain state longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.packets.flow import Direction
+from repro.packets.fragment import reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+NORMALIZED_MSS = 1460
+
+
+@dataclass
+class _NormalizedFlow:
+    expected_seq: int
+    ooo: dict[int, bytes] = field(default_factory=dict)
+
+
+class TrafficNormalizer(NetworkElement):
+    """Normalizes client→server TCP traffic ahead of a classifier.
+
+    Args:
+        min_ttl: packets arriving with a smaller TTL are raised to this
+            value (defeats TTL-limited insertion, with the paper's caveat
+            that the packet then reaches the server).
+        strip_ip_options: remove all IP options (defeats the options rows).
+        coalesce: reassemble and re-emit in-order MSS segments (defeats
+            splitting and reordering).
+    """
+
+    def __init__(
+        self,
+        min_ttl: int = 32,
+        strip_ip_options: bool = True,
+        coalesce: bool = True,
+        name: str = "normalizer",
+    ) -> None:
+        self.name = name
+        self.min_ttl = min_ttl
+        self.strip_ip_options = strip_ip_options
+        self.coalesce = coalesce
+        self.dropped: list[IPPacket] = []
+        self._flows: dict[tuple[str, int, str, int], _NormalizedFlow] = {}
+        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
+
+    # ------------------------------------------------------------------
+    # element interface
+    # ------------------------------------------------------------------
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Validate, de-fragment, raise TTLs, strip options, coalesce streams."""
+        if direction is not Direction.CLIENT_TO_SERVER:
+            return [packet]
+        if packet.is_fragment:
+            whole = self._feed_fragment(packet)
+            if whole is None:
+                return []
+            packet = whole
+        if not self._wellformed(packet):
+            self.dropped.append(packet)
+            return []
+        packet = self._scrub(packet)
+        tcp = packet.tcp
+        if tcp is None or packet.effective_protocol != 6 or not self.coalesce:
+            return [packet]
+        return self._coalesce_tcp(packet, tcp)
+
+    def reset(self) -> None:
+        """Forget all flow and fragment state."""
+        self.dropped.clear()
+        self._flows.clear()
+        self._fragments.clear()
+
+    def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
+        key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
+        bucket = self._fragments.setdefault(key, [])
+        bucket.append(packet)
+        whole = reassemble_fragments(bucket)
+        if whole is not None:
+            del self._fragments[key]
+        return whole
+
+    # ------------------------------------------------------------------
+    # the norm rule set
+    # ------------------------------------------------------------------
+    def _wellformed(self, packet: IPPacket) -> bool:
+        if not (
+            packet.has_valid_version()
+            and packet.has_valid_ihl()
+            and packet.has_valid_total_length()
+            and packet.has_valid_checksum()
+            and packet.has_known_protocol()
+        ):
+            return False
+        if packet.padded_options and not packet.has_wellformed_options():
+            return False
+        tcp = packet.tcp
+        if tcp is not None and packet.effective_protocol == 6:
+            if not tcp.has_valid_data_offset():
+                return False
+            if not tcp.verify_checksum(packet.src, packet.dst):
+                return False
+            if not tcp.flags.is_valid_combination():
+                return False
+            if (
+                tcp.payload
+                and not tcp.flags & (TCPFlags.SYN | TCPFlags.RST)
+                and not tcp.flags & TCPFlags.ACK
+            ):
+                return False
+        udp = packet.udp
+        if udp is not None and packet.effective_protocol == 17:
+            if not udp.verify_checksum(packet.src, packet.dst):
+                return False
+            if not udp.has_valid_length():
+                return False
+        return True
+
+    def _scrub(self, packet: IPPacket) -> IPPacket:
+        changes: dict[str, object] = {}
+        if packet.ttl < self.min_ttl:
+            changes["ttl"] = self.min_ttl
+        if self.strip_ip_options and packet.padded_options:
+            changes["options"] = b""
+            changes["ihl"] = None
+        if changes:
+            changes["checksum"] = None
+            packet = packet.copy(**changes)
+        return packet
+
+    # ------------------------------------------------------------------
+    # stream coalescing
+    # ------------------------------------------------------------------
+    def _coalesce_tcp(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
+        key = (packet.src, tcp.sport, packet.dst, tcp.dport)
+        if tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK:
+            self._flows[key] = _NormalizedFlow(expected_seq=(tcp.seq + 1) & 0xFFFFFFFF)
+            return [packet]
+        if tcp.flags & TCPFlags.RST:
+            self._flows.pop(key, None)
+            return [packet]
+        flow = self._flows.get(key)
+        if flow is None or not tcp.payload:
+            return [packet]
+        fresh = self._reassemble(flow, tcp)
+        if not fresh:
+            return []  # out-of-order or duplicate: held until in order
+        return self._emit(packet, tcp, flow, fresh)
+
+    def _reassemble(self, flow: _NormalizedFlow, tcp: TCPSegment) -> bytes:
+        seq, payload = tcp.seq, tcp.payload
+        ahead = (seq - flow.expected_seq) & 0xFFFFFFFF
+        if 0 < ahead < 0x8000_0000:
+            flow.ooo.setdefault(seq, payload)
+            return b""
+        if ahead != 0:
+            behind = 0x1_0000_0000 - ahead
+            if behind >= len(payload):
+                return b""
+            payload = payload[behind:]
+        fresh = bytearray(payload)
+        flow.expected_seq = (flow.expected_seq + len(payload)) & 0xFFFFFFFF
+        while flow.expected_seq in flow.ooo:
+            chunk = flow.ooo.pop(flow.expected_seq)
+            fresh.extend(chunk)
+            flow.expected_seq = (flow.expected_seq + len(chunk)) & 0xFFFFFFFF
+        return bytes(fresh)
+
+    def _emit(
+        self, original: IPPacket, tcp: TCPSegment, flow: _NormalizedFlow, data: bytes
+    ) -> list[IPPacket]:
+        start_seq = (flow.expected_seq - len(data)) & 0xFFFFFFFF
+        packets = []
+        for offset in range(0, len(data), NORMALIZED_MSS):
+            chunk = data[offset : offset + NORMALIZED_MSS]
+            segment = TCPSegment(
+                sport=tcp.sport,
+                dport=tcp.dport,
+                seq=(start_seq + offset) & 0xFFFFFFFF,
+                ack=tcp.ack,
+                flags=TCPFlags.ACK | TCPFlags.PSH | (tcp.flags & TCPFlags.FIN),
+                payload=chunk,
+            )
+            packets.append(
+                IPPacket(src=original.src, dst=original.dst, transport=segment, ttl=original.ttl)
+            )
+        return packets

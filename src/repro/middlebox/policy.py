@@ -1,0 +1,90 @@
+"""Policy actions a classifier rule can apply to a matched flow."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PolicyAction(enum.Enum):
+    """What happens to a flow once a rule matches it."""
+
+    NONE = "none"  # classify only (visible in the testbed readout)
+    THROTTLE = "throttle"  # token-bucket shaping at a configured rate
+    ZERO_RATE = "zero-rate"  # exempt from the data quota (Binge On)
+    BLOCK_RST = "block-rst"  # inject RSTs toward both endpoints (GFC style)
+    BLOCK_PAGE = "block-page"  # inject an HTTP 403 plus RSTs (Iran style)
+
+
+@dataclass(frozen=True)
+class BlockBehavior:
+    """How a blocking middlebox disrupts a matched flow.
+
+    Attributes:
+        rsts_to_client: number of RSTs spoofed toward the client (the GFC
+            sent 3-5; Iran sent 2).
+        rsts_to_server: number of RSTs spoofed toward the server.
+        block_page: optional payload injected toward the client before the
+            RSTs (Iran's "HTTP/1.1 403 Forbidden").
+        drop_matched_flow: when True, subsequent client packets of the
+            blocked flow are dropped instead of forwarded.
+    """
+
+    rsts_to_client: int = 3
+    rsts_to_server: int = 1
+    block_page: bytes | None = None
+    drop_matched_flow: bool = False
+
+
+IRAN_BLOCK_PAGE = (
+    b"HTTP/1.1 403 Forbidden\r\nContent-Type: text/html\r\nContent-Length: 20\r\n\r\n"
+    b"<html>blocked</html>"
+)
+
+
+@dataclass(frozen=True)
+class RulePolicy:
+    """The concrete policy attached to a rule.
+
+    Attributes:
+        action: the policy class.
+        throttle_rate_bps: shaping rate for THROTTLE.
+        block: blocking details for BLOCK_RST / BLOCK_PAGE.
+    """
+
+    action: PolicyAction = PolicyAction.NONE
+    throttle_rate_bps: float = 1_500_000.0
+    block: BlockBehavior = BlockBehavior()
+    also_throttle: bool = False  # zero-rated video is *also* shaped (Binge On)
+
+    @classmethod
+    def throttle(cls, rate_bps: float) -> "RulePolicy":
+        """A shaping policy at *rate_bps*."""
+        return cls(action=PolicyAction.THROTTLE, throttle_rate_bps=rate_bps)
+
+    @classmethod
+    def zero_rate(cls, throttle_rate_bps: float | None = None) -> "RulePolicy":
+        """A zero-rating policy, optionally with Binge On-style shaping."""
+        if throttle_rate_bps is not None:
+            return cls(
+                action=PolicyAction.ZERO_RATE,
+                throttle_rate_bps=throttle_rate_bps,
+                also_throttle=True,
+            )
+        return cls(action=PolicyAction.ZERO_RATE)
+
+    @classmethod
+    def block_with_rsts(cls, to_client: int = 3, to_server: int = 1) -> "RulePolicy":
+        """A GFC-style RST-injection policy."""
+        return cls(
+            action=PolicyAction.BLOCK_RST,
+            block=BlockBehavior(rsts_to_client=to_client, rsts_to_server=to_server),
+        )
+
+    @classmethod
+    def block_with_page(cls, page: bytes = IRAN_BLOCK_PAGE) -> "RulePolicy":
+        """An Iran-style block-page + RST policy."""
+        return cls(
+            action=PolicyAction.BLOCK_PAGE,
+            block=BlockBehavior(rsts_to_client=2, rsts_to_server=1, block_page=page),
+        )

@@ -1,0 +1,258 @@
+"""A transparent HTTP proxy middlebox (AT&T Stream Saver).
+
+AT&T's Stream Saver terminates port-80 TCP connections: it is an endpoint,
+not a passive observer.  That defeats every unilateral evasion technique in
+the paper's taxonomy (Table 3's all-× AT&T column) because the proxy
+validates packets like a host, reassembles the stream, and forwards a
+*normalized* copy.  The only way around it the paper found is to leave its
+scope entirely — use a port other than 80 (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.fragment import reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+PROXY_MSS = 1460
+ANCHORS = (b"GET", b"POST", b"HEAD", b"PUT")
+
+
+@dataclass
+class _ProxiedConnection:
+    client: str
+    client_port: int
+    server: str
+    server_port: int
+    expected_seq: int
+    emit_seq: int
+    ooo: dict[int, bytes] = field(default_factory=dict)
+    client_buffer: bytearray = field(default_factory=bytearray)
+    server_buffer: bytearray = field(default_factory=bytearray)
+    client_matched: bool = False
+    server_matched: bool = False
+    throttled: bool = False
+    closed: bool = False
+
+
+class TransparentHTTPProxy(NetworkElement):
+    """Terminates and re-originates port-80 TCP flows, classifying in between.
+
+    Args:
+        policy_state: shared marks (throttle) read by the path shaper.
+        ports: TCP server ports the proxy intercepts (Stream Saver: {80}).
+        client_keywords: patterns that must all appear in the client stream.
+        server_keywords: patterns that must all appear in the server stream.
+        throttle_rate_bps: shaping rate applied once both sides match.
+    """
+
+    def __init__(
+        self,
+        policy_state: PolicyState,
+        ports: frozenset[int] = frozenset({80}),
+        client_keywords: tuple[bytes, ...] = (b"GET", b"HTTP/1.1"),
+        server_keywords: tuple[bytes, ...] = (b"Content-Type: video",),
+        throttle_rate_bps: float = 1_500_000.0,
+        name: str = "transparent-proxy",
+    ) -> None:
+        self.name = name
+        self.policy_state = policy_state
+        self.ports = frozenset(ports)
+        self.client_keywords = tuple(client_keywords)
+        self.server_keywords = tuple(server_keywords)
+        self.throttle_rate_bps = throttle_rate_bps
+        self._connections: dict[tuple[str, int, str, int], _ProxiedConnection] = {}
+        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
+        self.dropped: list[IPPacket] = []
+
+    # ------------------------------------------------------------------
+    # element interface
+    # ------------------------------------------------------------------
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Terminate in-scope flows; forward everything else untouched."""
+        if packet.is_fragment:
+            whole = self._feed_fragment(packet)
+            if whole is None:
+                return []  # the proxy host buffers fragments; nothing forwards yet
+            packet = whole
+        tcp = packet.tcp
+        if tcp is None or packet.effective_protocol != 6:
+            return [packet]  # non-TCP (including wrong-protocol packets) is tunneled
+        in_scope = (
+            tcp.dport in self.ports
+            if direction is Direction.CLIENT_TO_SERVER
+            else tcp.sport in self.ports
+        )
+        if not in_scope:
+            return [packet]
+        if direction is Direction.CLIENT_TO_SERVER:
+            return self._client_to_server(packet, tcp)
+        return self._server_to_client(packet, tcp)
+
+    def reset(self) -> None:
+        """Forget all proxied connections."""
+        self._connections.clear()
+        self._fragments.clear()
+        self.dropped.clear()
+
+    # ------------------------------------------------------------------
+    # client → server leg (the terminated side)
+    # ------------------------------------------------------------------
+    def _client_to_server(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
+        if not self._host_grade_valid(packet, tcp):
+            self.dropped.append(packet)
+            return []
+        key = (packet.src, tcp.sport, packet.dst, tcp.dport)
+        conn = self._connections.get(key)
+
+        if tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK:
+            self._connections[key] = _ProxiedConnection(
+                client=packet.src,
+                client_port=tcp.sport,
+                server=packet.dst,
+                server_port=tcp.dport,
+                expected_seq=(tcp.seq + 1) & 0xFFFFFFFF,
+                emit_seq=(tcp.seq + 1) & 0xFFFFFFFF,
+            )
+            return [packet]  # the handshake is relayed
+
+        if conn is None:
+            return []  # mid-flow traffic for a connection we never saw
+        if tcp.flags & TCPFlags.RST:
+            conn.closed = True
+            return [packet]
+        if conn.closed:
+            return []
+
+        forwarded: list[IPPacket] = []
+        if tcp.payload:
+            fresh = self._reassemble(conn, tcp)
+            if fresh:
+                conn.client_buffer.extend(fresh)
+                self._classify(conn)
+                forwarded.extend(self._normalized_packets(packet, conn, fresh))
+        else:
+            forwarded.append(packet)  # bare ACKs keep the far handshake moving
+        if tcp.flags & TCPFlags.FIN:
+            conn.closed = True
+            fin = TCPSegment(
+                sport=conn.client_port,
+                dport=conn.server_port,
+                seq=conn.emit_seq,
+                ack=tcp.ack,
+                flags=TCPFlags.FIN | TCPFlags.ACK,
+            )
+            forwarded.append(IPPacket(src=conn.client, dst=conn.server, transport=fin))
+        return forwarded
+
+    def _server_to_client(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
+        key = (packet.dst, tcp.dport, packet.src, tcp.sport)
+        conn = self._connections.get(key)
+        if conn is not None and tcp.payload:
+            conn.server_buffer.extend(tcp.payload)
+            self._classify(conn)
+        return [packet]
+
+    # ------------------------------------------------------------------
+    # host-grade validation: the proxy is an endpoint
+    # ------------------------------------------------------------------
+    def _host_grade_valid(self, packet: IPPacket, tcp: TCPSegment) -> bool:
+        if not (
+            packet.has_valid_version()
+            and packet.has_valid_ihl()
+            and packet.has_valid_total_length()
+            and packet.has_valid_checksum()
+        ):
+            return False
+        if packet.padded_options and not packet.has_wellformed_options():
+            return False
+        if not tcp.has_valid_data_offset():
+            return False
+        if not tcp.verify_checksum(packet.src, packet.dst):
+            return False
+        if not tcp.flags.is_valid_combination():
+            return False
+        if tcp.payload and not tcp.flags & (TCPFlags.SYN | TCPFlags.RST) and not tcp.flags & TCPFlags.ACK:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # stream machinery
+    # ------------------------------------------------------------------
+    def _reassemble(self, conn: _ProxiedConnection, tcp: TCPSegment) -> bytes:
+        seq, payload = tcp.seq, tcp.payload
+        ahead = (seq - conn.expected_seq) & 0xFFFFFFFF
+        if 0 < ahead < 0x8000_0000:
+            conn.ooo.setdefault(seq, payload)
+            return b""
+        if ahead != 0:
+            behind = 0x1_0000_0000 - ahead
+            if behind >= len(payload):
+                return b""
+            payload = payload[behind:]
+            seq = conn.expected_seq
+        fresh = bytearray(payload)
+        conn.expected_seq = (conn.expected_seq + len(payload)) & 0xFFFFFFFF
+        while conn.expected_seq in conn.ooo:
+            chunk = conn.ooo.pop(conn.expected_seq)
+            fresh.extend(chunk)
+            conn.expected_seq = (conn.expected_seq + len(chunk)) & 0xFFFFFFFF
+        return bytes(fresh)
+
+    def _normalized_packets(
+        self, original: IPPacket, conn: _ProxiedConnection, data: bytes
+    ) -> list[IPPacket]:
+        packets = []
+        for offset in range(0, len(data), PROXY_MSS):
+            chunk = data[offset : offset + PROXY_MSS]
+            segment = TCPSegment(
+                sport=conn.client_port,
+                dport=conn.server_port,
+                seq=conn.emit_seq,
+                ack=original.tcp.ack if original.tcp else 0,
+                flags=TCPFlags.ACK | TCPFlags.PSH,
+                payload=chunk,
+            )
+            conn.emit_seq = (conn.emit_seq + len(chunk)) & 0xFFFFFFFF
+            packets.append(IPPacket(src=conn.client, dst=conn.server, transport=segment))
+        return packets
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def _classify(self, conn: _ProxiedConnection) -> None:
+        if conn.throttled:
+            return
+        if not conn.client_matched:
+            anchored = bytes(conn.client_buffer[:4]).startswith(ANCHORS)
+            if anchored and all(k in conn.client_buffer for k in self.client_keywords):
+                conn.client_matched = True
+        if not conn.server_matched:
+            if all(k in conn.server_buffer for k in self.server_keywords):
+                conn.server_matched = True
+        if conn.client_matched and conn.server_matched:
+            conn.throttled = True
+            key = FiveTuple(
+                src=conn.client,
+                sport=conn.client_port,
+                dst=conn.server,
+                dport=conn.server_port,
+                protocol=6,
+            )
+            self.policy_state.throttle(key, self.throttle_rate_bps)
+
+    def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
+        key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
+        bucket = self._fragments.setdefault(key, [])
+        bucket.append(packet)
+        whole = reassemble_fragments(bucket)
+        if whole is not None:
+            del self._fragments[key]
+        return whole

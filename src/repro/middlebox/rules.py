@@ -1,0 +1,95 @@
+"""Traffic-classification rules.
+
+The paper found operational classifiers matching keywords in HTTP payloads
+(hostnames, content types, user agents), TLS SNI fields (which appear in
+cleartext inside the ClientHello), and protocol-specific fields such as the
+STUN ``MS-SERVICE-QUALITY`` attribute.  :class:`MatchRule` expresses all of
+these as byte-pattern searches over whatever buffer the engine's reassembly
+mode produces, optionally restricted by port, direction, protocol, and
+packet position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middlebox.policy import RulePolicy
+from repro.traffic.stun import ATTR_MS_SERVICE_QUALITY, parse_stun_attributes
+
+
+@dataclass
+class MatchRule:
+    """One classification rule.
+
+    Attributes:
+        name: label shown in classification readouts ("binge-on", ...).
+        keywords: byte patterns searched in the inspected buffer.
+        require_all: when True all keywords must appear; otherwise any one.
+        protocol: "tcp", "udp" or "any".
+        ports: server ports the rule applies to (None = every port).
+        direction: "client", "server" or "both" — whose payloads to search.
+        position: when set, the rule only matches in the payload packet at
+            this index within the flow (the testbed's STUN rule matched only
+            the first client packet).
+        stun_attribute: when set, the rule instead requires a parseable STUN
+            message carrying this attribute type.
+        policy: what to do on match.
+    """
+
+    name: str
+    keywords: list[bytes] = field(default_factory=list)
+    require_all: bool = False
+    protocol: str = "tcp"
+    ports: frozenset[int] | None = None
+    direction: str = "client"
+    position: int | None = None
+    stun_attribute: int | None = None
+    policy: RulePolicy = field(default_factory=RulePolicy)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("tcp", "udp", "any"):
+            raise ValueError(f"bad protocol {self.protocol!r}")
+        if self.direction not in ("client", "server", "both"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if not self.keywords and self.stun_attribute is None:
+            raise ValueError("a rule needs keywords or a STUN attribute")
+        if self.ports is not None:
+            self.ports = frozenset(self.ports)
+
+    # ------------------------------------------------------------------
+    # applicability
+    # ------------------------------------------------------------------
+    def applies_to(self, protocol: str, server_port: int, direction: str) -> bool:
+        """Whether the rule is in scope for this flow context."""
+        if self.protocol != "any" and self.protocol != protocol:
+            return False
+        if self.ports is not None and server_port not in self.ports:
+            return False
+        if self.direction != "both" and self.direction != direction:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def matches_buffer(self, buffer: bytes) -> bool:
+        """Search the reassembled (or per-packet) buffer for the rule's patterns."""
+        if self.stun_attribute is not None:
+            attributes = parse_stun_attributes(buffer)
+            return attributes is not None and self.stun_attribute in attributes
+        if self.require_all:
+            return all(keyword in buffer for keyword in self.keywords)
+        return any(keyword in buffer for keyword in self.keywords)
+
+
+def skype_stun_rule(policy: RulePolicy) -> MatchRule:
+    """The testbed's Skype rule: MS-SERVICE-QUALITY in the first client packet."""
+    return MatchRule(
+        name="skype-stun",
+        keywords=[],
+        protocol="udp",
+        direction="client",
+        position=0,
+        stun_attribute=ATTR_MS_SERVICE_QUALITY,
+        policy=policy,
+    )

@@ -1,0 +1,68 @@
+"""Per-flow classifier state kept by the DPI engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middlebox.rules import MatchRule
+from repro.packets.flow import FiveTuple
+
+#: Sentinel verdict: the inspection window was exhausted without a match and
+#: the classifier has moved on ("match and forget" of a non-match).
+UNCLASSIFIED_FINAL = "unclassified-final"
+
+
+@dataclass
+class FlowState:
+    """Everything the classifier remembers about one flow.
+
+    Attributes:
+        client_tuple: the five-tuple as seen from the client side (the SYN
+            sender, or the first UDP packet's sender).
+        created_at / last_packet_time: clock readings for flush timers.
+        verdict: None while inspecting, a :class:`MatchRule` after a match,
+            or :data:`UNCLASSIFIED_FINAL` once the window closed.
+        match_time: when the verdict was reached.
+        client_packets / server_packets: payload-carrying packets counted in
+            each direction (inspection-window accounting).
+        client_buffer / server_buffer: the bytes fed to the matcher so far.
+        expected_seq: stream-tracking position for in-order / full modes.
+        ooo_segments: out-of-order segments buffered in FULL mode.
+        anchor_ok: None before the anchor check, then its boolean result.
+        blocked: True once a blocking policy fired for the flow.
+        timeout_override: when set, replaces both flush timeouts (the
+            testbed shortens its timeout to 10 s after seeing a RST).
+    """
+
+    client_tuple: FiveTuple
+    protocol: str
+    server_port: int
+    created_at: float
+    last_packet_time: float
+    verdict: MatchRule | str | None = None
+    match_time: float | None = None
+    client_packets: int = 0
+    server_packets: int = 0
+    client_buffer: bytearray = field(default_factory=bytearray)
+    server_buffer: bytearray = field(default_factory=bytearray)
+    expected_seq: int | None = None
+    ooo_segments: dict[int, bytes] = field(default_factory=dict)
+    anchor_ok: bool | None = None
+    blocked: bool = False
+    timeout_override: float | None = None
+
+    @property
+    def matched_rule(self) -> MatchRule | None:
+        """The matched rule, or None for unclassified / window-closed flows."""
+        return self.verdict if isinstance(self.verdict, MatchRule) else None
+
+    @property
+    def inspection_finished(self) -> bool:
+        """True once the classifier will not look at further packets."""
+        return self.verdict is not None
+
+    def direction_of(self, src: str, sport: int) -> str:
+        """"client" when (src, sport) is the flow's client endpoint else "server"."""
+        if src == self.client_tuple.src and sport == self.client_tuple.sport:
+            return "client"
+        return "server"

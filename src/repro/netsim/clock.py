@@ -1,0 +1,54 @@
+"""Virtual time.
+
+All timing-sensitive behaviour — middlebox flush timeouts, the GFC's
+time-of-day effects (Figure 4), throughput measurement — reads this clock.
+Time never advances implicitly; tests and the replay driver move it.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock.
+
+    Attributes:
+        now: current simulated time in seconds since the simulation epoch.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before the epoch")
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by *seconds* (must be non-negative); returns now."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += seconds
+        return self.now
+
+    def sleep(self, seconds: float) -> float:
+        """Alias of :meth:`advance`, reads naturally in replay code."""
+        return self.advance(seconds)
+
+    @property
+    def hour_of_day(self) -> float:
+        """The local hour of day in [0, 24) — drives time-of-day models."""
+        return (self.now % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+    def at_hour(self, hour: float) -> None:
+        """Jump forward to the next occurrence of *hour* (0-24) local time."""
+        if not 0 <= hour < 24:
+            raise ValueError("hour must be in [0, 24)")
+        target = hour * SECONDS_PER_HOUR
+        today = self.now % SECONDS_PER_DAY
+        delta = target - today
+        if delta < 0:
+            delta += SECONDS_PER_DAY
+        self.advance(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self.now:.3f})"

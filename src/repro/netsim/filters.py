@@ -1,0 +1,197 @@
+"""In-network filtering of malformed packets.
+
+The paper found that "many of the inert packets that worked in our testbed
+were dropped in every operational network we tested … likely due to routers
+and/or firewalls that drop malformed packets" (§7).  Each operational
+environment configures a :class:`FilterPolicy` describing exactly which
+anomalies its path drops; the filter element applies it.
+
+The GFC path additionally rewrote bad TCP checksums before they reached our
+server (Table 3, footnote 4) — :class:`TCPChecksumNormalizer` models that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+#: Sequence numbers further than this from the expected value count as
+#: "wildly out of window" for stateful firewalls.
+SEQ_WINDOW = 1 << 20
+
+
+@dataclass
+class FilterPolicy:
+    """Which malformed packets an in-network filter drops.
+
+    Every flag defaults to False (pass everything), matching the testbed's
+    permissive path; environment factories switch on what their network was
+    observed to drop.
+    """
+
+    drop_bad_ip_header: bool = False  # invalid version / IHL / total length / IP checksum
+    drop_invalid_ip_options: bool = False
+    drop_deprecated_ip_options: bool = False
+    drop_any_ip_options: bool = False
+    drop_unknown_protocol: bool = False
+    drop_ip_fragments: bool = False
+    drop_bad_tcp_checksum: bool = False
+    drop_out_of_window_seq: bool = False
+    drop_missing_ack_flag: bool = False
+    drop_bad_data_offset: bool = False
+    drop_invalid_flag_combo: bool = False
+    drop_bad_udp_checksum: bool = False
+    drop_bad_udp_length: bool = False
+
+    @classmethod
+    def permissive(cls) -> "FilterPolicy":
+        """A policy that drops nothing."""
+        return cls()
+
+    @classmethod
+    def strict_carrier(cls) -> "FilterPolicy":
+        """Everything-validating cellular carrier profile (observed for TMUS)."""
+        return cls(
+            drop_bad_ip_header=True,
+            drop_invalid_ip_options=True,
+            drop_deprecated_ip_options=True,
+            drop_ip_fragments=False,
+            drop_bad_tcp_checksum=True,
+            drop_out_of_window_seq=True,
+            drop_missing_ack_flag=True,
+            drop_bad_data_offset=True,
+            drop_invalid_flag_combo=True,
+            drop_bad_udp_checksum=True,
+            drop_bad_udp_length=True,
+        )
+
+
+class MalformedPacketFilter(NetworkElement):
+    """Drops packets according to a :class:`FilterPolicy`.
+
+    Keeps lightweight per-flow TCP state (expected next sequence number,
+    learned from handshakes and forwarded data) so the *out-of-window
+    sequence* check can be enforced the way stateful carrier firewalls do.
+    """
+
+    def __init__(self, policy: FilterPolicy, name: str = "filter") -> None:
+        self.policy = policy
+        self.name = name
+        self.dropped: list[IPPacket] = []
+        self._next_seq: dict[FiveTuple, int] = {}
+
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Apply the policy; forward, or record and drop."""
+        if self._should_drop(packet):
+            self.dropped.append(packet)
+            return []
+        self._track(packet)
+        return [packet]
+
+    def _should_drop(self, packet: IPPacket) -> bool:
+        policy = self.policy
+        if policy.drop_bad_ip_header and not (
+            packet.has_valid_version()
+            and packet.has_valid_ihl()
+            and packet.has_valid_total_length()
+            and packet.has_valid_checksum()
+        ):
+            return True
+        if packet.padded_options:
+            if policy.drop_any_ip_options:
+                return True
+            if policy.drop_invalid_ip_options and not packet.has_wellformed_options():
+                return True
+            if policy.drop_deprecated_ip_options and packet.has_deprecated_options():
+                return True
+        if policy.drop_unknown_protocol and not packet.has_known_protocol():
+            return True
+        if policy.drop_ip_fragments and packet.is_fragment:
+            return True
+        tcp = packet.tcp
+        if tcp is not None and packet.effective_protocol == 6:
+            if policy.drop_bad_tcp_checksum and not tcp.verify_checksum(packet.src, packet.dst):
+                return True
+            if policy.drop_bad_data_offset and not tcp.has_valid_data_offset():
+                return True
+            if policy.drop_invalid_flag_combo and not tcp.flags.is_valid_combination():
+                return True
+            if policy.drop_missing_ack_flag and self._missing_ack(packet, tcp):
+                return True
+            if policy.drop_out_of_window_seq and self._out_of_window(packet, tcp):
+                return True
+        udp = packet.udp
+        if udp is not None and packet.effective_protocol == 17:
+            if policy.drop_bad_udp_checksum and not udp.verify_checksum(packet.src, packet.dst):
+                return True
+            if policy.drop_bad_udp_length and not udp.has_valid_length():
+                return True
+        return False
+
+    def _missing_ack(self, packet: IPPacket, tcp: TCPSegment) -> bool:
+        # The initial SYN legitimately has no ACK; RST-only is also normal.
+        if tcp.flags & (TCPFlags.SYN | TCPFlags.RST):
+            return False
+        return not tcp.flags & TCPFlags.ACK
+
+    def _out_of_window(self, packet: IPPacket, tcp: TCPSegment) -> bool:
+        key = FiveTuple.of(packet)
+        if key is None:
+            return False
+        expected = self._next_seq.get(key)
+        if expected is None:
+            return False
+        distance = (tcp.seq - expected) & 0xFFFFFFFF
+        reverse_distance = (expected - tcp.seq) & 0xFFFFFFFF
+        return min(distance, reverse_distance) > SEQ_WINDOW
+
+    def _track(self, packet: IPPacket) -> None:
+        tcp = packet.tcp
+        key = FiveTuple.of(packet)
+        if tcp is None or key is None:
+            return
+        advance = len(tcp.payload)
+        if tcp.flags & (TCPFlags.SYN | TCPFlags.FIN):
+            advance += 1
+        self._next_seq[key] = (tcp.seq + advance) & 0xFFFFFFFF
+
+    def reset(self) -> None:
+        """Forget drops and flow state."""
+        self.dropped.clear()
+        self._next_seq.clear()
+
+
+class TCPChecksumNormalizer(NetworkElement):
+    """Rewrites incorrect TCP checksums to the correct value.
+
+    Models the NAT-like device on the GFC path that corrected our corrupted
+    checksums before the packets arrived at the server (Table 3 footnote 4).
+    """
+
+    name = "checksum-normalizer"
+
+    def __init__(self) -> None:
+        self.normalized_count = 0
+
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Fix the TCP checksum in place when it is wrong; always forward."""
+        tcp = packet.tcp
+        if tcp is not None and not tcp.verify_checksum(packet.src, packet.dst):
+            self.normalized_count += 1
+            fixed = packet.copy()
+            assert fixed.tcp is not None
+            fixed.tcp.checksum = None  # recompute on serialization
+            return [fixed]
+        return [packet]
+
+    def reset(self) -> None:
+        """Reset the normalization counter."""
+        self.normalized_count = 0

@@ -1,0 +1,59 @@
+"""Propagation latency and policy-driven delay (the paper's latency signal).
+
+The differentiation-detection methodology the paper builds on ([32])
+observes "bandwidth limitations, latency differences, content modification,
+blocking, and zero-rating".  The token-bucket shaper covers bandwidth; this
+element covers latency: a fixed per-packet propagation delay, plus an extra
+penalty for flows the middlebox marked (de-prioritization queueing).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.ip import IPPacket
+
+
+class LatencyElement(NetworkElement):
+    """Charges propagation delay to the virtual clock per traversing packet.
+
+    Args:
+        base_delay: seconds added for every packet.
+        deprioritized_extra: additional seconds for throttle-marked flows
+            (models a low-priority queue).
+        policy_state: where marks live (None disables the penalty).
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.005,
+        deprioritized_extra: float = 0.0,
+        policy_state: PolicyState | None = None,
+        name: str = "latency",
+    ) -> None:
+        if base_delay < 0 or deprioritized_extra < 0:
+            raise ValueError("delays cannot be negative")
+        self.name = name
+        self.base_delay = base_delay
+        self.deprioritized_extra = deprioritized_extra
+        self.policy_state = policy_state
+        self.packets_delayed = 0
+
+    def process(
+        self, packet: IPPacket, direction: Direction, ctx: TransitContext
+    ) -> list[IPPacket]:
+        """Advance the clock by the packet's queueing + propagation delay."""
+        delay = self.base_delay
+        if self.policy_state is not None and self.deprioritized_extra > 0:
+            key = FiveTuple.of(packet)
+            if self.policy_state.throttle_rate_for(key) is not None:
+                delay += self.deprioritized_extra
+        if delay > 0:
+            ctx.clock.advance(delay)
+            self.packets_delayed += 1
+        return [packet]
+
+    def reset(self) -> None:
+        """Reset the delay counter."""
+        self.packets_delayed = 0

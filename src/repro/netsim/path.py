@@ -1,0 +1,131 @@
+"""Path composition: endpoints connected through an ordered element chain.
+
+Packets travel synchronously.  An element may inject packets back toward the
+sender (ICMP Time Exceeded, censor RSTs) or forward toward the destination;
+injected packets traverse the remaining elements exactly as real ones would.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import NetworkElement, TransitContext
+from repro.packets.flow import Direction
+from repro.packets.ip import IPPacket
+
+
+class Endpoint(Protocol):
+    """Anything that can terminate a path (client or server stack)."""
+
+    def receive(self, packet: IPPacket) -> list[IPPacket]:
+        """Accept a packet; return response packets to send back."""
+
+
+class _SinkEndpoint:
+    """Default endpoint that silently swallows packets."""
+
+    def receive(self, packet: IPPacket) -> list[IPPacket]:
+        return []
+
+
+class Path:
+    """A bidirectional chain: client endpoint ⇄ elements ⇄ server endpoint.
+
+    Elements are ordered from the client side to the server side.  The
+    endpoints are attached after construction (they usually need the path's
+    clock).
+
+    Args:
+        clock: shared virtual clock.
+        elements: processing stages, client side first.
+        max_depth: recursion guard against response loops.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        elements: list[NetworkElement],
+        max_depth: int = 50,
+    ) -> None:
+        self.clock = clock
+        self.elements = list(elements)
+        self.client_endpoint: Endpoint = _SinkEndpoint()
+        self.server_endpoint: Endpoint = _SinkEndpoint()
+        self.max_depth = max_depth
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def send_from_client(self, packet: IPPacket) -> None:
+        """Inject *packet* at the client edge, traveling toward the server."""
+        self._propagate(packet, Direction.CLIENT_TO_SERVER, index=0, depth=0)
+
+    def send_from_server(self, packet: IPPacket) -> None:
+        """Inject *packet* at the server edge, traveling toward the client."""
+        self._propagate(
+            packet, Direction.SERVER_TO_CLIENT, index=len(self.elements) - 1, depth=0
+        )
+
+    def element_named(self, name: str) -> NetworkElement:
+        """Look an element up by name (raises KeyError when absent)."""
+        for element in self.elements:
+            if element.name == name:
+                return element
+        raise KeyError(name)
+
+    def reset(self) -> None:
+        """Reset every element's per-flow state (between independent replays)."""
+        for element in self.elements:
+            element.reset()
+
+    # ------------------------------------------------------------------
+    # propagation machinery
+    # ------------------------------------------------------------------
+    def _propagate(self, packet: IPPacket, direction: Direction, index: int, depth: int) -> None:
+        if depth > self.max_depth:
+            raise RuntimeError("packet propagation exceeded max depth (response loop?)")
+        step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
+        current = packet
+        i = index
+        while 0 <= i < len(self.elements):
+            element = self.elements[i]
+            ctx = self._context_for(i, direction, depth)
+            outputs = element.process(current, direction, ctx)
+            if not outputs:
+                return
+            # An element may emit several packets (e.g. reassembly flushes);
+            # all but the last recurse, the last continues the loop.
+            for extra in outputs[:-1]:
+                self._propagate(extra, direction, i + step, depth + 1)
+            current = outputs[-1]
+            i += step
+        self._deliver_to_endpoint(current, direction, depth)
+
+    def _deliver_to_endpoint(self, packet: IPPacket, direction: Direction, depth: int) -> None:
+        if direction is Direction.CLIENT_TO_SERVER:
+            responses = self.server_endpoint.receive(packet)
+            for response in responses:
+                self._propagate(
+                    response,
+                    Direction.SERVER_TO_CLIENT,
+                    index=len(self.elements) - 1,
+                    depth=depth + 1,
+                )
+        else:
+            responses = self.client_endpoint.receive(packet)
+            for response in responses:
+                self._propagate(response, Direction.CLIENT_TO_SERVER, index=0, depth=depth + 1)
+
+    def _context_for(self, element_index: int, direction: Direction, depth: int) -> TransitContext:
+        step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
+
+        def inject_back(injected: IPPacket) -> None:
+            self._propagate(injected, direction.reversed, element_index - step, depth + 1)
+
+        def inject_forward(injected: IPPacket) -> None:
+            self._propagate(injected, direction, element_index + step, depth + 1)
+
+        return TransitContext(
+            clock=self.clock, inject_back=inject_back, inject_forward=inject_forward
+        )

@@ -1,0 +1,42 @@
+"""Packet layer: IPv4, TCP, UDP and ICMP construction, parsing and mangling.
+
+The evasion techniques in lib·erate operate purely on wire-format header
+fields, so this package provides bit-exact serialization together with
+*override* hooks (``checksum``, ``total_length``, ``data_offset`` …) that let
+callers craft deliberately malformed packets — the raw material of the inert
+packet insertion taxonomy.
+"""
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.fragment import fragment_packet, reassemble_fragments
+from repro.packets.icmp import ICMPMessage, icmp_time_exceeded
+from repro.packets.ip import IPPacket, IPProto
+from repro.packets.options import (
+    deprecated_ip_option,
+    invalid_ip_option,
+    nop_padding,
+    record_route_option,
+)
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+__all__ = [
+    "internet_checksum",
+    "pseudo_header",
+    "Direction",
+    "FiveTuple",
+    "fragment_packet",
+    "reassemble_fragments",
+    "ICMPMessage",
+    "icmp_time_exceeded",
+    "IPPacket",
+    "IPProto",
+    "deprecated_ip_option",
+    "invalid_ip_option",
+    "nop_padding",
+    "record_route_option",
+    "TCPFlags",
+    "TCPSegment",
+    "UDPDatagram",
+]

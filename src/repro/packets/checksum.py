@@ -1,0 +1,58 @@
+"""RFC 1071 internet checksum and the TCP/UDP pseudo-header.
+
+Every header in this package carries a ``checksum`` field that defaults to
+``None`` ("compute the correct value on serialization").  Setting it to a
+concrete number freezes that value on the wire, which is how the *wrong
+checksum* inert-packet techniques are built.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum over *data*.
+
+    Odd-length input is implicitly zero-padded, as specified by RFC 1071.
+    The result is the value to place in a header checksum field (i.e. the
+    complement of the one's-complement sum).
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True when *data* (including its checksum field) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def ip_to_bytes(address: str) -> bytes:
+    """Convert a dotted-quad IPv4 address string to its 4-byte form."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError as exc:
+        raise ValueError(f"not an IPv4 address: {address!r}") from exc
+    if any(o < 0 or o > 255 for o in octets):
+        raise ValueError(f"octet out of range in {address!r}")
+    return bytes(octets)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    """Convert a 4-byte address back to dotted-quad form."""
+    if len(raw) != 4:
+        raise ValueError("IPv4 address must be 4 bytes")
+    return ".".join(str(b) for b in raw)
+
+
+def pseudo_header(src: str, dst: str, protocol: int, length: int) -> bytes:
+    """Build the 12-byte TCP/UDP pseudo-header used in checksum computation."""
+    return ip_to_bytes(src) + ip_to_bytes(dst) + struct.pack("!BBH", 0, protocol, length)

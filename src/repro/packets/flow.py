@@ -1,0 +1,74 @@
+"""Flow identification: five-tuples, bidirectional keys, directions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.packets.ip import IPPacket
+
+
+class Direction(enum.Enum):
+    """The direction a packet travels relative to the lib·erate client."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    @property
+    def reversed(self) -> "Direction":
+        """The opposite direction."""
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """A unidirectional flow identifier (src, sport, dst, dport, protocol)."""
+
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    protocol: int
+
+    @classmethod
+    def of(cls, packet: IPPacket) -> "FiveTuple | None":
+        """Extract the five-tuple of *packet*, or None for non-TCP/UDP packets."""
+        transport = packet.transport
+        sport = getattr(transport, "sport", None)
+        dport = getattr(transport, "dport", None)
+        if sport is None or dport is None:
+            return None
+        return cls(
+            src=packet.src,
+            sport=sport,
+            dst=packet.dst,
+            dport=dport,
+            protocol=packet.effective_protocol,
+        )
+
+    @property
+    def reversed(self) -> "FiveTuple":
+        """The five-tuple of the reverse direction."""
+        return FiveTuple(
+            src=self.dst, sport=self.dport, dst=self.src, dport=self.sport, protocol=self.protocol
+        )
+
+    def normalized(self) -> "FiveTuple":
+        """A direction-independent key: the lexicographically smaller endpoint first.
+
+        Both directions of the same connection normalize to the same value,
+        which is what middlebox flow tables key on.
+        """
+        a = (self.src, self.sport)
+        b = (self.dst, self.dport)
+        if a <= b:
+            return self
+        return self.reversed
+
+    def __str__(self) -> str:
+        return f"{self.src}:{self.sport}->{self.dst}:{self.dport}/{self.protocol}"

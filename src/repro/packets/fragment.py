@@ -1,0 +1,91 @@
+"""IP fragmentation and reassembly.
+
+The *payload splitting/reordering via IP fragments* techniques (Table 3)
+split one IP datagram into several fragments.  Fragments carry raw transport
+bytes (a receiver cannot parse half a TCP header), so reassembly restores the
+original typed packet.
+"""
+
+from __future__ import annotations
+
+from repro.packets.ip import IPPacket
+
+FRAGMENT_UNIT = 8  # fragment offsets are expressed in 8-byte units
+
+
+def fragment_packet(
+    packet: IPPacket, fragment_size: int, identification: int | None = None
+) -> list[IPPacket]:
+    """Split *packet* into fragments of at most *fragment_size* payload bytes.
+
+    *fragment_size* is rounded down to a multiple of 8 (the fragment-offset
+    unit); it must be at least 8.  Returns the fragments in order.  A packet
+    whose payload fits in one fragment is returned unchanged (as a one-element
+    list).
+    """
+    if fragment_size < FRAGMENT_UNIT:
+        raise ValueError("fragment_size must be at least 8 bytes")
+    fragment_size -= fragment_size % FRAGMENT_UNIT
+    body = packet.payload_bytes
+    if len(body) <= fragment_size:
+        return [packet]
+    if packet.df:
+        raise ValueError("cannot fragment a packet with DF set")
+    ident = identification if identification is not None else packet.identification or 0x4242
+    fragments: list[IPPacket] = []
+    offset = 0
+    while offset < len(body):
+        chunk = body[offset : offset + fragment_size]
+        last = offset + len(chunk) >= len(body)
+        fragments.append(
+            packet.copy(
+                transport=chunk,
+                protocol=packet.effective_protocol,
+                identification=ident,
+                mf=not last,
+                frag_offset=offset // FRAGMENT_UNIT,
+                total_length=None,
+                checksum=None,
+            )
+        )
+        offset += len(chunk)
+    return fragments
+
+
+def reassemble_fragments(fragments: list[IPPacket]) -> IPPacket | None:
+    """Reassemble fragments (any order) into the original packet.
+
+    Returns None when the fragment set is incomplete (holes, missing last
+    fragment) or inconsistent.  On success the transport layer is re-parsed
+    into its typed form.
+    """
+    if not fragments:
+        return None
+    ordered = sorted(fragments, key=lambda p: p.frag_offset)
+    first = ordered[0]
+    if first.frag_offset != 0:
+        return None
+    body = bytearray()
+    expected_offset = 0
+    saw_last = False
+    for frag in ordered:
+        if frag.frag_offset * FRAGMENT_UNIT != expected_offset:
+            return None  # hole or overlap
+        chunk = frag.transport if isinstance(frag.transport, bytes) else frag.payload_bytes
+        body.extend(chunk)
+        expected_offset += len(chunk)
+        if not frag.mf:
+            saw_last = True
+            break
+    if not saw_last:
+        return None
+    whole = first.copy(
+        transport=bytes(body),
+        protocol=first.effective_protocol,
+        mf=False,
+        frag_offset=0,
+        total_length=None,
+        checksum=None,
+    )
+    # Re-parse the transport into a typed object via a serialization round-trip.
+    return IPPacket.from_bytes(whole.to_bytes())

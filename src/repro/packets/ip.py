@@ -1,0 +1,305 @@
+"""IPv4 packet construction and parsing.
+
+``IPPacket`` is the unit that travels through the simulated network.  Header
+fields that default to ``None`` (``ihl``, ``total_length``, ``protocol``,
+``checksum``) are computed on serialization; explicit values freeze arbitrary
+— possibly invalid — numbers on the wire.  That override mechanism is the
+foundation of the *inert packet insertion* taxonomy (paper §4.3, Table 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.packets.checksum import bytes_to_ip, internet_checksum, ip_to_bytes
+from repro.packets.icmp import ICMP_PROTO, ICMPMessage
+from repro.packets.options import options_are_wellformed, options_contain_deprecated
+from repro.packets.tcp import TCP_PROTO, TCPSegment
+from repro.packets.udp import UDP_PROTO, UDPDatagram
+
+IP_HEADER_MIN = 20
+
+Transport = TCPSegment | UDPDatagram | ICMPMessage | bytes
+
+
+class IPProto(enum.IntEnum):
+    """IP protocol numbers used in this reproduction."""
+
+    ICMP = ICMP_PROTO
+    TCP = TCP_PROTO
+    UDP = UDP_PROTO
+
+
+_PROTO_FOR_TYPE: dict[type, int] = {
+    TCPSegment: TCP_PROTO,
+    UDPDatagram: UDP_PROTO,
+    ICMPMessage: ICMP_PROTO,
+}
+
+
+@dataclass
+class IPPacket:
+    """An IPv4 packet wrapping a transport-layer payload.
+
+    Attributes:
+        src: dotted-quad source address.
+        dst: dotted-quad destination address.
+        transport: a :class:`TCPSegment`, :class:`UDPDatagram`,
+            :class:`ICMPMessage`, or raw ``bytes`` (used for fragments).
+        ttl: time-to-live; decremented by each router hop in the simulator.
+        version: IP version field; 4 unless crafting an invalid packet.
+        ihl: header length in 32-bit words; ``None`` computes it.
+        tos: type-of-service byte.
+        total_length: header+payload length field; ``None`` computes it.
+        identification: fragment identification.
+        df / mf: Don't Fragment / More Fragments flags.
+        frag_offset: fragment offset in 8-byte units.
+        protocol: protocol number; ``None`` derives it from *transport*.
+        checksum: header checksum; ``None`` computes it.
+        options: raw IP option bytes (padded to 4-byte multiple on wire).
+    """
+
+    src: str
+    dst: str
+    transport: Transport = b""
+    ttl: int = 64
+    version: int = 4
+    ihl: int | None = None
+    tos: int = 0
+    total_length: int | None = None
+    identification: int = 0
+    df: bool = False
+    mf: bool = False
+    frag_offset: int = 0
+    protocol: int | None = None
+    checksum: int | None = None
+    options: bytes = b""
+
+    # ------------------------------------------------------------------
+    # derived header fields
+    # ------------------------------------------------------------------
+    @property
+    def padded_options(self) -> bytes:
+        """IP options padded with zero bytes to a 4-byte boundary."""
+        remainder = len(self.options) % 4
+        if remainder:
+            return self.options + b"\x00" * (4 - remainder)
+        return self.options
+
+    @property
+    def header_length(self) -> int:
+        """Actual serialized header length in bytes (ignores IHL override)."""
+        return IP_HEADER_MIN + len(self.padded_options)
+
+    @property
+    def effective_ihl(self) -> int:
+        """The IHL field value that will appear on the wire."""
+        if self.ihl is not None:
+            return self.ihl
+        return self.header_length // 4
+
+    @property
+    def effective_protocol(self) -> int:
+        """The protocol field value that will appear on the wire."""
+        if self.protocol is not None:
+            return self.protocol
+        for klass, number in _PROTO_FOR_TYPE.items():
+            if isinstance(self.transport, klass):
+                return number
+        return 0xFF  # raw bytes with no declared protocol
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """The serialized transport payload (checksums computed in context)."""
+        if isinstance(self.transport, bytes):
+            return self.transport
+        return self.transport.to_bytes(self.src, self.dst)
+
+    @property
+    def effective_total_length(self) -> int:
+        """The total-length field value that will appear on the wire."""
+        if self.total_length is not None:
+            return self.total_length
+        return self.header_length + len(self.payload_bytes)
+
+    def wire_length(self) -> int:
+        """Actual number of bytes the packet occupies on the wire."""
+        return self.header_length + len(self.payload_bytes)
+
+    # ------------------------------------------------------------------
+    # typed transport accessors
+    # ------------------------------------------------------------------
+    @property
+    def tcp(self) -> TCPSegment | None:
+        """The TCP segment, or None if the payload is not parsed TCP."""
+        return self.transport if isinstance(self.transport, TCPSegment) else None
+
+    @property
+    def udp(self) -> UDPDatagram | None:
+        """The UDP datagram, or None if the payload is not parsed UDP."""
+        return self.transport if isinstance(self.transport, UDPDatagram) else None
+
+    @property
+    def icmp(self) -> ICMPMessage | None:
+        """The ICMP message, or None if the payload is not parsed ICMP."""
+        return self.transport if isinstance(self.transport, ICMPMessage) else None
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when the packet is one fragment of a larger datagram."""
+        return self.mf or self.frag_offset > 0
+
+    @property
+    def app_payload(self) -> bytes:
+        """Application bytes carried by the transport layer (empty for ICMP/raw)."""
+        if isinstance(self.transport, (TCPSegment, UDPDatagram)):
+            return self.transport.payload
+        return b""
+
+    # ------------------------------------------------------------------
+    # validity predicates — used by middlebox/OS validation models
+    # ------------------------------------------------------------------
+    def has_valid_version(self) -> bool:
+        """True when the version field is 4."""
+        return self.version == 4
+
+    def has_valid_ihl(self) -> bool:
+        """True when the IHL matches the actual header length."""
+        return self.effective_ihl * 4 == self.header_length and self.effective_ihl >= 5
+
+    def has_valid_total_length(self) -> bool:
+        """True when the total-length field matches the actual wire length."""
+        return self.effective_total_length == self.wire_length()
+
+    def total_length_too_long(self) -> bool:
+        """True when the declared total length exceeds the actual bytes."""
+        return self.effective_total_length > self.wire_length()
+
+    def total_length_too_short(self) -> bool:
+        """True when the declared total length understates the actual bytes."""
+        return self.effective_total_length < self.wire_length()
+
+    def has_valid_checksum(self) -> bool:
+        """True when the header checksum is correct (or auto-computed)."""
+        if self.checksum is None:
+            return True
+        correct = self._header_bytes(checksum=0)
+        expected = internet_checksum(correct)
+        return expected == self.checksum
+
+    def has_wellformed_options(self) -> bool:
+        """True when the IP option list is structurally valid."""
+        return options_are_wellformed(self.padded_options)
+
+    def has_deprecated_options(self) -> bool:
+        """True when the option list contains RFC 6814-deprecated options."""
+        return options_contain_deprecated(self.padded_options)
+
+    def has_known_protocol(self) -> bool:
+        """True when the declared protocol is ICMP, TCP or UDP."""
+        return self.effective_protocol in (ICMP_PROTO, TCP_PROTO, UDP_PROTO)
+
+    def protocol_matches_transport(self) -> bool:
+        """True when the declared protocol agrees with the parsed transport."""
+        if isinstance(self.transport, bytes):
+            return True  # nothing to contradict
+        return self.effective_protocol == _PROTO_FOR_TYPE[type(self.transport)]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def _header_bytes(self, checksum: int) -> bytes:
+        flags_frag = (0x4000 if self.df else 0) | (0x2000 if self.mf else 0)
+        flags_frag |= self.frag_offset & 0x1FFF
+        return (
+            struct.pack(
+                "!BBHHHBBH",
+                ((self.version & 0xF) << 4) | (self.effective_ihl & 0xF),
+                self.tos,
+                self.effective_total_length & 0xFFFF,
+                self.identification & 0xFFFF,
+                flags_frag,
+                self.ttl & 0xFF,
+                self.effective_protocol & 0xFF,
+                checksum,
+            )
+            + ip_to_bytes(self.src)
+            + ip_to_bytes(self.dst)
+            + self.padded_options
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full packet (header + transport) to wire bytes."""
+        if self.checksum is not None:
+            csum = self.checksum
+        else:
+            csum = internet_checksum(self._header_bytes(checksum=0))
+        return self._header_bytes(csum) + self.payload_bytes
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IPPacket":
+        """Parse a packet from wire bytes.
+
+        The transport layer is parsed into a typed object only for complete
+        (non-fragmented) TCP/UDP/ICMP datagrams; anything else stays raw.
+        """
+        if len(raw) < IP_HEADER_MIN:
+            raise ValueError("truncated IP header")
+        ver_ihl, tos, total_length, identification, flags_frag, ttl, protocol, checksum = (
+            struct.unpack("!BBHHHBBH", raw[:12])
+        )
+        version = ver_ihl >> 4
+        ihl = ver_ihl & 0xF
+        header_len = max(ihl * 4, IP_HEADER_MIN)
+        if header_len > len(raw):
+            raise ValueError("IHL overruns packet")
+        src = bytes_to_ip(raw[12:16])
+        dst = bytes_to_ip(raw[16:20])
+        options = raw[IP_HEADER_MIN:header_len]
+        body = raw[header_len:]
+        mf = bool(flags_frag & 0x2000)
+        frag_offset = flags_frag & 0x1FFF
+        transport: Transport = body
+        if not mf and frag_offset == 0:
+            try:
+                if protocol == TCP_PROTO:
+                    transport = TCPSegment.from_bytes(body)
+                elif protocol == UDP_PROTO:
+                    transport = UDPDatagram.from_bytes(body)
+                elif protocol == ICMP_PROTO:
+                    transport = ICMPMessage.from_bytes(body)
+            except ValueError:
+                transport = body
+        return cls(
+            src=src,
+            dst=dst,
+            transport=transport,
+            ttl=ttl,
+            version=version,
+            ihl=ihl,
+            tos=tos,
+            total_length=total_length,
+            identification=identification,
+            df=bool(flags_frag & 0x4000),
+            mf=mf,
+            frag_offset=frag_offset,
+            protocol=protocol,
+            checksum=checksum,
+            options=options,
+        )
+
+    def copy(self, **changes: object) -> "IPPacket":
+        """Return a copy with *changes* applied.
+
+        The transport object is also copied when it is a dataclass, so the
+        copy can be mutated independently.
+        """
+        new = replace(self, **changes)  # type: ignore[arg-type]
+        if "transport" not in changes and not isinstance(new.transport, bytes):
+            new.transport = replace(new.transport)
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IP({self.src}->{self.dst} ttl={self.ttl} proto={self.effective_protocol} {self.transport!r})"

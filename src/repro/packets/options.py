@@ -1,0 +1,108 @@
+"""IPv4 option encoding, including the invalid/deprecated options lib·erate injects.
+
+The *IP Invalid Options* and *IP Deprecated Options* rows of the paper's
+Table 3 rely on options that middleboxes and server OSes treat differently
+(Honda et al. showed middleboxes often mishandle header options).  We provide
+constructors for well-formed, deprecated and outright malformed options.
+"""
+
+from __future__ import annotations
+
+import struct
+
+# Option type numbers (copied flag << 7 | class << 5 | number).
+IPOPT_EOL = 0
+IPOPT_NOP = 1
+IPOPT_SECURITY = 130  # deprecated (RFC 791 security option, obsoleted by RFC 1108)
+IPOPT_LSRR = 131
+IPOPT_STREAM_ID = 136  # deprecated by RFC 6814
+IPOPT_SSRR = 137
+IPOPT_RECORD_ROUTE = 7
+IPOPT_TIMESTAMP = 68
+
+#: Option numbers formally deprecated by RFC 6814.
+DEPRECATED_OPTION_TYPES = frozenset({IPOPT_SECURITY, IPOPT_STREAM_ID})
+
+
+def pad_options(options: bytes) -> bytes:
+    """Pad *options* with EOL bytes to a multiple of four, as the IHL requires."""
+    remainder = len(options) % 4
+    if remainder:
+        options += b"\x00" * (4 - remainder)
+    return options
+
+
+def nop_padding(count: int = 4) -> bytes:
+    """Return *count* NOP option bytes — valid, innocuous options."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return bytes([IPOPT_NOP]) * count
+
+
+def record_route_option(slots: int = 3) -> bytes:
+    """Return a valid Record Route option with *slots* empty address slots."""
+    if not 1 <= slots <= 9:
+        raise ValueError("record route supports 1-9 slots")
+    length = 3 + 4 * slots
+    return pad_options(struct.pack("!BBB", IPOPT_RECORD_ROUTE, length, 4) + b"\x00" * (4 * slots))
+
+
+def deprecated_ip_option() -> bytes:
+    """Return a syntactically valid but deprecated Stream ID option (RFC 6814)."""
+    return pad_options(struct.pack("!BBH", IPOPT_STREAM_ID, 4, 0x1234))
+
+
+def invalid_ip_option() -> bytes:
+    """Return a malformed option: unknown type with a length that overruns.
+
+    The declared length (40) exceeds the actual option bytes present, which is
+    exactly the kind of inconsistency the paper found middleboxes fail to
+    validate while most server OSes drop the packet.
+    """
+    return pad_options(struct.pack("!BB", 0x99, 40) + b"\x00\x00")
+
+
+def options_are_wellformed(options: bytes) -> bool:
+    """Walk an option list and check structural validity.
+
+    Returns False for unknown option types with bad lengths, lengths that
+    overrun the option area, or lengths below the 2-byte minimum.
+    """
+    i = 0
+    n = len(options)
+    while i < n:
+        opt_type = options[i]
+        if opt_type == IPOPT_EOL:
+            return True
+        if opt_type == IPOPT_NOP:
+            i += 1
+            continue
+        if i + 1 >= n:
+            return False
+        length = options[i + 1]
+        if length < 2 or i + length > n:
+            return False
+        i += length
+    return True
+
+
+def options_contain_deprecated(options: bytes) -> bool:
+    """Return True when the option list contains an RFC 6814 deprecated option."""
+    i = 0
+    n = len(options)
+    while i < n:
+        opt_type = options[i]
+        if opt_type == IPOPT_EOL:
+            return False
+        if opt_type == IPOPT_NOP:
+            i += 1
+            continue
+        if opt_type in DEPRECATED_OPTION_TYPES:
+            return True
+        if i + 1 >= n:
+            return False
+        length = options[i + 1]
+        if length < 2:
+            return False
+        i += length
+    return False

@@ -1,0 +1,207 @@
+"""TCP segment construction and parsing.
+
+``TCPSegment`` keeps header fields as attributes and serializes bit-exactly.
+Fields whose default is ``None`` (``data_offset``, ``checksum``) are computed
+on serialization; setting them explicitly freezes an arbitrary — possibly
+invalid — value, which is how the TCP inert-packet techniques are crafted.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+
+TCP_PROTO = 6
+TCP_HEADER_MIN = 20
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control flags (RFC 793 plus ECN bits)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+    def is_valid_combination(self) -> bool:
+        """Return False for nonsensical flag combinations (e.g. SYN|FIN).
+
+        The check mirrors what strict stacks and NIDS normalizers reject:
+        SYN together with FIN or RST, a segment with no flags at all, or the
+        "christmas tree" pattern with every flag lit.
+        """
+        flags = TCPFlags(self)
+        if not flags:
+            return False
+        if flags & TCPFlags.SYN and flags & (TCPFlags.FIN | TCPFlags.RST):
+            return False
+        if flags & TCPFlags.RST and flags & TCPFlags.FIN:
+            return False
+        all_lit = (
+            TCPFlags.FIN | TCPFlags.SYN | TCPFlags.RST | TCPFlags.PSH | TCPFlags.ACK | TCPFlags.URG
+        )
+        if flags & all_lit == all_lit:
+            return False
+        return True
+
+
+@dataclass
+class TCPSegment:
+    """A TCP segment.
+
+    Attributes:
+        sport: source port.
+        dport: destination port.
+        seq: sequence number.
+        ack: acknowledgment number.
+        flags: :class:`TCPFlags` combination.
+        window: receive window.
+        urgent: urgent pointer.
+        options: raw TCP option bytes (padded to 4-byte multiple on wire).
+        payload: application bytes carried by the segment.
+        data_offset: header length in 32-bit words; ``None`` computes the
+            correct value, an explicit value may declare an invalid offset.
+        checksum: ``None`` computes the correct value against the enclosing
+            IP pseudo-header; an explicit value is emitted verbatim.
+    """
+
+    sport: int = 0
+    dport: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags.ACK
+    window: int = 65535
+    urgent: int = 0
+    options: bytes = b""
+    payload: bytes = b""
+    data_offset: int | None = None
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        self.flags = TCPFlags(self.flags)
+        for name in ("sport", "dport"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+        self.seq &= 0xFFFFFFFF
+        self.ack &= 0xFFFFFFFF
+
+    @property
+    def padded_options(self) -> bytes:
+        """Options padded with zero bytes to a 4-byte boundary."""
+        remainder = len(self.options) % 4
+        if remainder:
+            return self.options + b"\x00" * (4 - remainder)
+        return self.options
+
+    @property
+    def effective_data_offset(self) -> int:
+        """The data offset that will appear on the wire."""
+        if self.data_offset is not None:
+            return self.data_offset
+        return (TCP_HEADER_MIN + len(self.padded_options)) // 4
+
+    @property
+    def header_length(self) -> int:
+        """Actual serialized header length in bytes (ignores overrides)."""
+        return TCP_HEADER_MIN + len(self.padded_options)
+
+    def wire_length(self) -> int:
+        """Total serialized length: header plus payload."""
+        return self.header_length + len(self.payload)
+
+    def has_valid_data_offset(self) -> bool:
+        """True when the declared data offset matches the actual header."""
+        return self.effective_data_offset * 4 == self.header_length
+
+    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
+        """Serialize the segment.
+
+        When *src* and *dst* are given and ``checksum`` is ``None`` the
+        correct checksum is computed over the pseudo-header; otherwise a
+        checksum of zero (or the explicit override) is emitted.
+        """
+        options = self.padded_options
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.sport,
+            self.dport,
+            self.seq,
+            self.ack,
+            (self.effective_data_offset & 0xF) << 12 | (int(self.flags) & 0xFF),
+            self.window,
+            0,
+            self.urgent,
+        )
+        segment = header + options + self.payload
+        if self.checksum is not None:
+            csum = self.checksum
+        elif src is not None and dst is not None:
+            pseudo = pseudo_header(src, dst, TCP_PROTO, len(segment))
+            csum = internet_checksum(pseudo + segment)
+        else:
+            csum = 0
+        return segment[:16] + struct.pack("!H", csum) + segment[18:]
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "TCPSegment":
+        """Parse a segment from wire bytes.
+
+        The declared data offset is honored when splitting header from
+        payload; a declared offset that overruns the buffer raises
+        ``ValueError`` (matching what a stack would reject).
+        """
+        if len(raw) < TCP_HEADER_MIN:
+            raise ValueError("truncated TCP header")
+        sport, dport, seq, ack, off_flags, window, checksum, urgent = struct.unpack(
+            "!HHIIHHHH", raw[:TCP_HEADER_MIN]
+        )
+        data_offset = off_flags >> 12
+        flags = TCPFlags(off_flags & 0xFF)
+        header_len = data_offset * 4
+        if header_len < TCP_HEADER_MIN or header_len > len(raw):
+            raise ValueError(f"invalid data offset {data_offset}")
+        options = raw[TCP_HEADER_MIN:header_len]
+        payload = raw[header_len:]
+        return cls(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            options=options,
+            payload=payload,
+            data_offset=data_offset,
+            checksum=checksum,
+        )
+
+    def verify_checksum(self, src: str, dst: str) -> bool:
+        """Check whether the segment's checksum is correct for *src*/*dst*.
+
+        A ``None`` checksum (not yet serialized) counts as correct since
+        serialization would fill in the right value.
+        """
+        if self.checksum is None:
+            return True
+        expected = replace(self, checksum=None).to_bytes(src, dst)
+        actual = struct.unpack("!H", expected[16:18])[0]
+        return actual == self.checksum
+
+    def copy(self, **changes: object) -> "TCPSegment":
+        """Return a copy with *changes* applied (dataclasses.replace wrapper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TCP({self.sport}->{self.dport} seq={self.seq} ack={self.ack} "
+            f"flags={self.flags!r} len={len(self.payload)})"
+        )

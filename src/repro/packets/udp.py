@@ -1,0 +1,102 @@
+"""UDP datagram construction and parsing.
+
+The ``length`` and ``checksum`` fields accept explicit overrides so callers
+can craft the *UDP Length longer/shorter than payload* and *UDP Invalid
+Checksum* inert packets from the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.packets.checksum import internet_checksum, pseudo_header
+
+UDP_PROTO = 17
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UDPDatagram:
+    """A UDP datagram.
+
+    Attributes:
+        sport: source port.
+        dport: destination port.
+        payload: application bytes.
+        length: ``None`` computes header+payload; an explicit value is
+            emitted verbatim (possibly inconsistent with the payload).
+        checksum: ``None`` computes the correct value against the enclosing
+            IP pseudo-header; an explicit value is emitted verbatim.
+    """
+
+    sport: int = 0
+    dport: int = 0
+    payload: bytes = b""
+    length: int | None = None
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("sport", "dport"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+
+    @property
+    def effective_length(self) -> int:
+        """The length field value that will appear on the wire."""
+        if self.length is not None:
+            return self.length
+        return UDP_HEADER_LEN + len(self.payload)
+
+    def wire_length(self) -> int:
+        """Actual serialized length (header + payload, ignoring overrides)."""
+        return UDP_HEADER_LEN + len(self.payload)
+
+    def has_valid_length(self) -> bool:
+        """True when the declared length matches header + payload exactly."""
+        return self.effective_length == self.wire_length()
+
+    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
+        """Serialize the datagram, computing the checksum when possible."""
+        header = struct.pack("!HHHH", self.sport, self.dport, self.effective_length & 0xFFFF, 0)
+        datagram = header + self.payload
+        if self.checksum is not None:
+            csum = self.checksum
+        elif src is not None and dst is not None:
+            pseudo = pseudo_header(src, dst, UDP_PROTO, len(datagram))
+            csum = internet_checksum(pseudo + datagram)
+            if csum == 0:
+                csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        else:
+            csum = 0
+        return datagram[:6] + struct.pack("!H", csum) + datagram[8:]
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "UDPDatagram":
+        """Parse a datagram from wire bytes (declared length preserved)."""
+        if len(raw) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        sport, dport, length, checksum = struct.unpack("!HHHH", raw[:UDP_HEADER_LEN])
+        return cls(
+            sport=sport,
+            dport=dport,
+            payload=raw[UDP_HEADER_LEN:],
+            length=length,
+            checksum=checksum,
+        )
+
+    def verify_checksum(self, src: str, dst: str) -> bool:
+        """Check the datagram checksum against the pseudo-header for src/dst."""
+        if self.checksum is None or self.checksum == 0:
+            return True  # zero means "checksum not used" in UDP over IPv4
+        expected_wire = replace(self, checksum=None).to_bytes(src, dst)
+        expected = struct.unpack("!H", expected_wire[6:8])[0]
+        return expected == self.checksum
+
+    def copy(self, **changes: object) -> "UDPDatagram":
+        """Return a copy with *changes* applied."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UDP({self.sport}->{self.dport} len={len(self.payload)})"

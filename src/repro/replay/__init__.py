@@ -1,0 +1,14 @@
+"""Replay machinery: run a recorded trace through an environment and observe.
+
+:class:`~repro.replay.session.ReplaySession` sets up the replay server, a
+raw client, drives the dialogue (optionally transformed by an evasion
+technique via :class:`~repro.replay.runner.ReplayRunner`), and produces a
+:class:`~repro.replay.session.ReplayOutcome` containing every observable the
+paper's measurements rely on: delivery integrity, RSTs/block pages,
+throughput, zero-rating, and — in the testbed — the classifier verdict.
+"""
+
+from repro.replay.runner import ReplayRunner
+from repro.replay.session import ReplayOutcome, ReplaySession
+
+__all__ = ["ReplayRunner", "ReplayOutcome", "ReplaySession"]

@@ -1,0 +1,42 @@
+"""Application traffic generation and the trace record/replay format.
+
+The classifiers in the paper key on HTTP Host headers, TLS Server Name
+Indication, and STUN message attributes; the generators here produce
+wire-accurate bytes for all three, wrapped in :class:`~repro.traffic.trace.Trace`
+objects that the replay machinery and lib·erate itself consume.
+"""
+
+from repro.traffic.http import (
+    http_get_trace,
+    http_request,
+    http_response,
+)
+from repro.traffic.pcap import read_pcap, tap_to_pcap, write_pcap
+from repro.traffic.quic import quic_initial, quic_video_trace
+from repro.traffic.recorder import TraceRecorder
+from repro.traffic.stun import stun_binding_request, stun_binding_response, stun_trace
+from repro.traffic.tls import client_hello, extract_sni, tls_trace
+from repro.traffic.trace import Trace, TracePacket, invert_bits
+from repro.traffic.video import video_stream_trace
+
+__all__ = [
+    "http_get_trace",
+    "http_request",
+    "http_response",
+    "stun_binding_request",
+    "stun_binding_response",
+    "stun_trace",
+    "client_hello",
+    "extract_sni",
+    "tls_trace",
+    "Trace",
+    "TracePacket",
+    "invert_bits",
+    "video_stream_trace",
+    "read_pcap",
+    "tap_to_pcap",
+    "write_pcap",
+    "TraceRecorder",
+    "quic_initial",
+    "quic_video_trace",
+]

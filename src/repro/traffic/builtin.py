@@ -1,0 +1,126 @@
+"""Built-in application traces (§5: "we can provide built-in traces that are
+distributed with the tool").
+
+One canonical recording per application the paper tested, keyed by the
+names used in §6.  Traces are generated deterministically on first access
+and can be exported to a directory of JSON files for distribution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.traffic.http import http_get_trace
+from repro.traffic.quic import quic_video_trace
+from repro.traffic.stun import stun_trace
+from repro.traffic.tls import tls_trace
+from repro.traffic.trace import Trace
+from repro.traffic.video import video_stream_trace
+
+
+def _youtube_http() -> Trace:
+    return video_stream_trace(
+        host="r4---sn-p5qlsnz6.googlevideo.com",
+        path="/videoplayback?id=dQw4w9",
+        total_bytes=400_000,
+        name="youtube-http",
+    )
+
+
+def _youtube_tls() -> Trace:
+    return tls_trace("r4---sn-p5qlsnz6.googlevideo.com", name="youtube-tls")
+
+
+def _youtube_quic() -> Trace:
+    return quic_video_trace(total_bytes=400_000, name="youtube-quic")
+
+
+def _prime_video() -> Trace:
+    return video_stream_trace(
+        host="d1.cloudfront.net",
+        path="/prime/ep01/segment-000.mp4",
+        total_bytes=400_000,
+        name="prime-video",
+    )
+
+
+def _spotify() -> Trace:
+    return http_get_trace(
+        "audio-fa.spotify.com",
+        path="/audio/track-01.ogg",
+        response_body=b"OggS" + bytes(200_000),
+        content_type="audio/ogg",
+        name="spotify",
+    )
+
+
+def _skype() -> Trace:
+    return stun_trace(name="skype")
+
+
+def _economist() -> Trace:
+    return http_get_trace(
+        "economist.com",
+        path="/news/leaders/latest",
+        response_body=b"<html>this week</html>" * 100,
+        name="economist",
+    )
+
+
+def _facebook() -> Trace:
+    return http_get_trace(
+        "facebook.com",
+        path="/feed",
+        response_body=b"<html>feed</html>" * 80,
+        name="facebook",
+    )
+
+
+def _nbcsports() -> Trace:
+    return video_stream_trace(
+        host="video.nbcsports.com",
+        path="/highlights/clip.mp4",
+        total_bytes=400_000,
+        name="nbcsports",
+    )
+
+
+BUILTIN_BUILDERS: dict[str, Callable[[], Trace]] = {
+    "youtube-http": _youtube_http,
+    "youtube-tls": _youtube_tls,
+    "youtube-quic": _youtube_quic,
+    "prime-video": _prime_video,
+    "spotify": _spotify,
+    "skype": _skype,
+    "economist": _economist,
+    "facebook": _facebook,
+    "nbcsports": _nbcsports,
+}
+
+
+def builtin_trace_names() -> list[str]:
+    """The names of the distributed trace set."""
+    return sorted(BUILTIN_BUILDERS)
+
+
+def builtin_trace(name: str) -> Trace:
+    """Build the named trace (deterministic; a fresh object each call)."""
+    try:
+        return BUILTIN_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"no built-in trace {name!r}; available: {', '.join(builtin_trace_names())}"
+        ) from None
+
+
+def export_builtin_traces(directory: str | Path) -> list[Path]:
+    """Write every built-in trace to *directory* as JSON; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in builtin_trace_names():
+        path = target / f"{name}.trace.json"
+        builtin_trace(name).save(path)
+        written.append(path)
+    return written

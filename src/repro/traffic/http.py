@@ -1,0 +1,74 @@
+"""HTTP request/response generation.
+
+The operational classifiers matched human-readable strings in HTTP traffic:
+hostnames in the Host header (``cloudfront.net``, ``economist.com``,
+``facebook.com``), standard request tokens (``GET``, ``HTTP/1.1``) and the
+``Content-Type: video`` response header (AT&T Stream Saver).
+"""
+
+from __future__ import annotations
+
+from repro.packets.flow import Direction
+from repro.traffic.trace import Trace, TracePacket
+
+DEFAULT_USER_AGENT = "Mozilla/5.0 (X11; Linux x86_64) repro-liberate/1.0"
+
+
+def http_request(
+    host: str,
+    path: str = "/",
+    user_agent: str = DEFAULT_USER_AGENT,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Build a GET request for *host* *path*."""
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        f"User-Agent: {user_agent}",
+        "Accept: */*",
+        "Connection: keep-alive",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def http_response(
+    body: bytes,
+    status: str = "200 OK",
+    content_type: str = "text/html",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Build an HTTP/1.1 response carrying *body*."""
+    lines = [
+        f"HTTP/1.1 {status}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def http_get_trace(
+    host: str,
+    path: str = "/",
+    response_body: bytes = b"<html>hello</html>",
+    content_type: str = "text/html",
+    server_port: int = 80,
+    name: str | None = None,
+) -> Trace:
+    """A one-request HTTP dialogue: GET from the client, 200 from the server."""
+    request = http_request(host, path)
+    response = http_response(response_body, content_type=content_type)
+    return Trace(
+        name=name or host,
+        protocol="tcp",
+        server_port=server_port,
+        packets=[
+            TracePacket(direction=Direction.CLIENT_TO_SERVER, payload=request, time=0.0),
+            TracePacket(direction=Direction.SERVER_TO_CLIENT, payload=response, time=0.05),
+        ],
+        metadata={"application": "http", "host": host},
+    )

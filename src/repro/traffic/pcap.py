@@ -1,0 +1,87 @@
+"""PCAP export/import for simulated captures.
+
+A :class:`~repro.netsim.element.PacketTap` placed on a path records every
+packet with virtual-clock timestamps; this module serializes those captures
+to standard pcap files (LINKTYPE_RAW — raw IPv4) so they can be opened in
+Wireshark/tcpdump for debugging, and reads them back for tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.netsim.element import PacketTap
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_RAW = 101  # raw IP packets, no link-layer header
+DEFAULT_SNAPLEN = 65_535
+
+
+def write_pcap(path: str | Path, records: list[tuple[float, bytes]]) -> int:
+    """Write (timestamp, raw-IP-bytes) records to *path*; returns the count.
+
+    Timestamps are virtual-clock seconds; they land in the pcap as seconds +
+    microseconds since the epoch, preserving relative timing.
+    """
+    out = bytearray()
+    out += struct.pack(
+        "!IHHiIII",
+        PCAP_MAGIC,
+        PCAP_VERSION[0],
+        PCAP_VERSION[1],
+        0,  # thiszone
+        0,  # sigfigs
+        DEFAULT_SNAPLEN,
+        LINKTYPE_RAW,
+    )
+    for timestamp, raw in records:
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        captured = raw[:DEFAULT_SNAPLEN]
+        out += struct.pack("!IIII", seconds, micros, len(captured), len(raw))
+        out += captured
+    Path(path).write_bytes(bytes(out))
+    return len(records)
+
+
+def read_pcap(path: str | Path) -> list[tuple[float, bytes]]:
+    """Read a pcap written by :func:`write_pcap` (big-endian, raw-IP)."""
+    data = Path(path).read_bytes()
+    if len(data) < 24:
+        raise ValueError("truncated pcap header")
+    magic, major, minor, _zone, _sigfigs, _snaplen, linktype = struct.unpack(
+        "!IHHiIII", data[:24]
+    )
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"unsupported pcap magic {magic:#x}")
+    if linktype != LINKTYPE_RAW:
+        raise ValueError(f"unsupported linktype {linktype}")
+    records = []
+    position = 24
+    while position + 16 <= len(data):
+        seconds, micros, captured_len, _original_len = struct.unpack(
+            "!IIII", data[position : position + 16]
+        )
+        position += 16
+        payload = data[position : position + captured_len]
+        if len(payload) != captured_len:
+            raise ValueError("truncated pcap record")
+        position += captured_len
+        records.append((seconds + micros / 1_000_000, payload))
+    return records
+
+
+def tap_to_pcap(tap: PacketTap, path: str | Path) -> int:
+    """Serialize everything a :class:`PacketTap` saw into a pcap file."""
+    records = []
+    for record in tap.records:
+        try:
+            records.append((record.time, record.packet.to_bytes()))
+        except (ValueError, OverflowError):
+            continue  # a deliberately unserializable crafted packet
+    return write_pcap(path, records)

@@ -1,0 +1,84 @@
+"""QUIC-shaped UDP traffic (§6.2 footnote 10).
+
+"YouTube flows using QUIC (an application-layer transport built atop UDP)
+are not classified or zero rated by T-Mobile" — and the GFC did not classify
+UDP either, so "users can view otherwise censored content on YouTube simply
+by using the QUIC protocol" (§6.5).  This module generates structurally
+plausible QUIC Initial packets (long header, version 1) so those findings
+can be demonstrated: the SNI equivalent hides inside an encrypted CRYPTO
+payload no keyword rule can see.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packets.flow import Direction
+from repro.traffic.trace import Trace, TracePacket
+
+QUIC_VERSION_1 = 0x00000001
+LONG_HEADER_INITIAL = 0xC0  # long header form + fixed bit, type Initial
+
+
+def quic_initial(
+    dcid: bytes = b"\x11\x22\x33\x44\x55\x66\x77\x88",
+    scid: bytes = b"\xaa\xbb\xcc\xdd",
+    payload_size: int = 1200,
+    seed: int = 0x51,
+) -> bytes:
+    """A QUIC v1 Initial packet with an opaque (encrypted-looking) payload.
+
+    Real QUIC Initials are padded to at least 1200 bytes; the payload here
+    is a deterministic pseudo-random byte stream — exactly what a DPI
+    keyword matcher sees in genuine QUIC, since even the Initial's CRYPTO
+    frames are encrypted with connection-derived keys.
+    """
+    header = bytes([LONG_HEADER_INITIAL])
+    header += struct.pack("!I", QUIC_VERSION_1)
+    header += bytes([len(dcid)]) + dcid
+    header += bytes([len(scid)]) + scid
+    header += b"\x00"  # token length (varint 0)
+    body_len = max(payload_size - len(header) - 2, 16)
+    header += struct.pack("!H", 0x4000 | body_len)  # 2-byte varint length
+    state = seed or 1
+    body = bytearray()
+    for _ in range(body_len):
+        state = (state * 1_103_515_245 + 12_345) & 0x7FFFFFFF
+        body.append(state & 0xFF)
+    return header + bytes(body)
+
+
+def is_quic_initial(payload: bytes) -> bool:
+    """Structural check: does this datagram look like a QUIC v1 Initial?"""
+    if len(payload) < 7:
+        return False
+    if payload[0] & 0xC0 != 0xC0:
+        return False
+    version = struct.unpack("!I", payload[1:5])[0]
+    return version == QUIC_VERSION_1
+
+
+def quic_video_trace(
+    total_bytes: int = 100_000, server_port: int = 443, name: str = "youtube-quic"
+) -> Trace:
+    """A QUIC video session: Initial exchange, then opaque media datagrams."""
+    packets = [
+        TracePacket(Direction.CLIENT_TO_SERVER, quic_initial(seed=0x51), 0.0),
+        TracePacket(Direction.SERVER_TO_CLIENT, quic_initial(seed=0x52), 0.02),
+    ]
+    t = 0.02
+    sent = 0
+    chunk_index = 0
+    while sent < total_bytes:
+        t += 0.002
+        chunk = quic_initial(payload_size=1200, seed=0x100 + chunk_index)
+        chunk_index += 1
+        packets.append(TracePacket(Direction.SERVER_TO_CLIENT, chunk, t))
+        sent += len(chunk)
+    return Trace(
+        name=name,
+        protocol="udp",
+        server_port=server_port,
+        packets=packets,
+        metadata={"application": "quic-video"},
+    )

@@ -1,0 +1,100 @@
+"""STUN message generation (the Skype/UDP workload).
+
+The testbed classifier identified Skype by the ``MS-SERVICE-QUALITY``
+attribute (type 0x8055) in the first STUN packet from the client (§6.1).
+We build RFC 5389 binding requests carrying that Microsoft vendor attribute.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packets.flow import Direction
+from repro.traffic.trace import Trace, TracePacket
+
+STUN_BINDING_REQUEST = 0x0001
+STUN_BINDING_RESPONSE = 0x0101
+STUN_MAGIC_COOKIE = 0x2112A442
+ATTR_MS_SERVICE_QUALITY = 0x8055
+ATTR_SOFTWARE = 0x8022
+ATTR_XOR_MAPPED_ADDRESS = 0x0020
+
+
+def _attribute(attr_type: int, value: bytes) -> bytes:
+    padded = value + b"\x00" * ((4 - len(value) % 4) % 4)
+    return struct.pack("!HH", attr_type, len(value)) + padded
+
+
+def stun_message(message_type: int, attributes: bytes, transaction_id: bytes) -> bytes:
+    """Assemble a STUN message with the RFC 5389 magic cookie."""
+    if len(transaction_id) != 12:
+        raise ValueError("STUN transaction id must be 12 bytes")
+    header = struct.pack("!HHI", message_type, len(attributes), STUN_MAGIC_COOKIE)
+    return header + transaction_id + attributes
+
+
+def stun_binding_request(
+    transaction_id: bytes = b"liberate-txn",
+    include_service_quality: bool = True,
+) -> bytes:
+    """A binding request, optionally carrying MS-SERVICE-QUALITY (0x8055)."""
+    attributes = _attribute(ATTR_SOFTWARE, b"Skype")
+    if include_service_quality:
+        # stream kind (audio=1), quality level (best-effort=1)
+        attributes += _attribute(ATTR_MS_SERVICE_QUALITY, struct.pack("!HH", 1, 1))
+    return stun_message(STUN_BINDING_REQUEST, attributes, transaction_id)
+
+
+def stun_binding_response(transaction_id: bytes = b"liberate-txn") -> bytes:
+    """A binding response echoing the transaction id."""
+    mapped = _attribute(ATTR_XOR_MAPPED_ADDRESS, struct.pack("!BBH4s", 0, 1, 0, b"\x00" * 4))
+    return stun_message(STUN_BINDING_RESPONSE, mapped, transaction_id)
+
+
+def parse_stun_attributes(payload: bytes) -> dict[int, bytes] | None:
+    """Parse the attributes of a STUN message, or None when not STUN.
+
+    Used by the DPI engine — recognition requires the magic cookie, matching
+    how the testbed device keyed on STUN structure.
+    """
+    if len(payload) < 20:
+        return None
+    _mtype, length, cookie = struct.unpack("!HHI", payload[:8])
+    if cookie != STUN_MAGIC_COOKIE:
+        return None
+    attributes: dict[int, bytes] = {}
+    body = payload[20 : 20 + length]
+    pos = 0
+    while pos + 4 <= len(body):
+        attr_type, attr_len = struct.unpack("!HH", body[pos : pos + 4])
+        pos += 4
+        value = body[pos : pos + attr_len]
+        if len(value) != attr_len:
+            break
+        attributes[attr_type] = value
+        pos += attr_len + ((4 - attr_len % 4) % 4)
+    return attributes
+
+
+def stun_trace(server_port: int = 3478, name: str = "skype") -> Trace:
+    """A Skype-like UDP dialogue: STUN binding plus media-ish packets.
+
+    The classified attribute sits in the first client packet, matching the
+    testbed finding that matching fields lie within the first six packets.
+    """
+    media = [bytes([0x80, 0x60 + i, 0, i]) + bytes(range(i, i + 24)) for i in range(4)]
+    packets = [
+        TracePacket(Direction.CLIENT_TO_SERVER, stun_binding_request(), time=0.0),
+        TracePacket(Direction.SERVER_TO_CLIENT, stun_binding_response(), time=0.02),
+        TracePacket(Direction.CLIENT_TO_SERVER, media[0], time=0.05),
+        TracePacket(Direction.SERVER_TO_CLIENT, media[1], time=0.07),
+        TracePacket(Direction.CLIENT_TO_SERVER, media[2], time=0.09),
+        TracePacket(Direction.CLIENT_TO_SERVER, media[3], time=0.11),
+    ]
+    return Trace(
+        name=name,
+        protocol="udp",
+        server_port=server_port,
+        packets=packets,
+        metadata={"application": "skype"},
+    )

@@ -1,0 +1,117 @@
+"""TLS ClientHello generation and SNI extraction.
+
+T-Mobile's Binge On classifier matched ``.googlevideo.com`` in the Server
+Name Indication extension of the TLS handshake (§6.2), so we generate
+wire-accurate ClientHello records and provide the extraction routine the
+DPI engine uses.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.packets.flow import Direction
+from repro.traffic.trace import Trace, TracePacket
+
+TLS_HANDSHAKE = 0x16
+TLS_CLIENT_HELLO = 0x01
+TLS_SERVER_HELLO = 0x02
+TLS_VERSION_1_2 = 0x0303
+SNI_EXTENSION = 0x0000
+
+_CIPHER_SUITES = bytes.fromhex("c02bc02fc02cc030cca9cca8c013c014009c009d002f0035")
+
+
+def _sni_extension(server_name: str) -> bytes:
+    name_bytes = server_name.encode("ascii")
+    entry = struct.pack("!BH", 0, len(name_bytes)) + name_bytes  # type 0 = host_name
+    server_name_list = struct.pack("!H", len(entry)) + entry
+    return struct.pack("!HH", SNI_EXTENSION, len(server_name_list)) + server_name_list
+
+
+def client_hello(server_name: str, session_id: bytes = b"") -> bytes:
+    """Build a TLS 1.2 ClientHello record carrying an SNI for *server_name*."""
+    random = bytes(range(32))
+    body = struct.pack("!H", TLS_VERSION_1_2)
+    body += random
+    body += struct.pack("!B", len(session_id)) + session_id
+    body += struct.pack("!H", len(_CIPHER_SUITES)) + _CIPHER_SUITES
+    body += b"\x01\x00"  # one compression method: null
+    extensions = _sni_extension(server_name)
+    extensions += struct.pack("!HH", 0x000A, 4) + struct.pack("!H", 2) + b"\x00\x17"  # groups
+    body += struct.pack("!H", len(extensions)) + extensions
+    handshake = struct.pack("!B", TLS_CLIENT_HELLO) + struct.pack("!I", len(body))[1:] + body
+    record = struct.pack("!BHH", TLS_HANDSHAKE, TLS_VERSION_1_2, len(handshake)) + handshake
+    return record
+
+
+def server_hello() -> bytes:
+    """Build a minimal, structurally plausible ServerHello record."""
+    random = bytes(reversed(range(32)))
+    body = struct.pack("!H", TLS_VERSION_1_2) + random + b"\x00"  # empty session id
+    body += bytes.fromhex("c02b") + b"\x00"  # chosen suite, null compression
+    handshake = struct.pack("!B", TLS_SERVER_HELLO) + struct.pack("!I", len(body))[1:] + body
+    return struct.pack("!BHH", TLS_HANDSHAKE, TLS_VERSION_1_2, len(handshake)) + handshake
+
+
+def extract_sni(stream: bytes) -> str | None:
+    """Extract the SNI hostname from the start of a TLS byte stream.
+
+    Returns None when the stream does not begin with a parseable ClientHello
+    carrying an SNI extension.  Tolerates truncated streams (returns None)
+    rather than raising — DPI engines must not crash on partial handshakes.
+    """
+    if len(stream) < 9 or stream[0] != TLS_HANDSHAKE:
+        return None
+    record_len = struct.unpack("!H", stream[3:5])[0]
+    record = stream[5 : 5 + record_len]
+    if len(record) < 4 or record[0] != TLS_CLIENT_HELLO:
+        return None
+    body = record[4:]
+    try:
+        pos = 2 + 32  # version + random
+        session_len = body[pos]
+        pos += 1 + session_len
+        suites_len = struct.unpack("!H", body[pos : pos + 2])[0]
+        pos += 2 + suites_len
+        compression_len = body[pos]
+        pos += 1 + compression_len
+        if pos + 2 > len(body):
+            return None
+        ext_total = struct.unpack("!H", body[pos : pos + 2])[0]
+        pos += 2
+        end = min(pos + ext_total, len(body))
+        while pos + 4 <= end:
+            ext_type, ext_len = struct.unpack("!HH", body[pos : pos + 4])
+            pos += 4
+            if ext_type == SNI_EXTENSION:
+                if pos + 2 > len(body):
+                    return None
+                entry_pos = pos + 2
+                if entry_pos + 3 > len(body):
+                    return None
+                name_len = struct.unpack("!H", body[entry_pos + 1 : entry_pos + 3])[0]
+                name = body[entry_pos + 3 : entry_pos + 3 + name_len]
+                if len(name) != name_len:
+                    return None
+                return name.decode("ascii", errors="replace")
+            pos += ext_len
+    except (IndexError, struct.error):
+        return None
+    return None
+
+
+def tls_trace(server_name: str, server_port: int = 443, name: str | None = None) -> Trace:
+    """A TLS handshake dialogue: ClientHello then ServerHello."""
+    return Trace(
+        name=name or server_name,
+        protocol="tcp",
+        server_port=server_port,
+        packets=[
+            TracePacket(
+                direction=Direction.CLIENT_TO_SERVER, payload=client_hello(server_name), time=0.0
+            ),
+            TracePacket(direction=Direction.SERVER_TO_CLIENT, payload=server_hello(), time=0.04),
+        ],
+        metadata={"application": "tls", "sni": server_name},
+    )

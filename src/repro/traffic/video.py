@@ -1,0 +1,47 @@
+"""Streaming-video trace generation (the Binge On / Stream Saver workloads)."""
+
+from __future__ import annotations
+
+from repro.packets.flow import Direction
+from repro.traffic.http import http_request, http_response
+from repro.traffic.trace import Trace, TracePacket
+
+CHUNK = 1460
+
+
+def video_stream_trace(
+    host: str = "d1.cloudfront.net",
+    path: str = "/movies/segment-001.mp4",
+    total_bytes: int = 200_000,
+    server_port: int = 80,
+    name: str | None = None,
+) -> Trace:
+    """An HTTP video stream: one GET, then *total_bytes* of MP4-ish payload.
+
+    The body arrives as many server→client payloads so shaping has packets
+    to act on, like the Amazon Prime Video replay from §6.2.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    request = http_request(host, path, extra_headers={"Range": "bytes=0-"})
+    body = (b"\x00\x00\x00\x18ftypmp42" + bytes(range(248))) * (total_bytes // 256 + 1)
+    body = body[:total_bytes]
+    header = http_response(b"", content_type="video/mp4")
+    header = header.replace(b"Content-Length: 0", f"Content-Length: {total_bytes}".encode())
+    packets = [
+        TracePacket(Direction.CLIENT_TO_SERVER, request, time=0.0),
+        TracePacket(Direction.SERVER_TO_CLIENT, header, time=0.05),
+    ]
+    t = 0.05
+    for offset in range(0, len(body), CHUNK):
+        t += 0.001
+        packets.append(
+            TracePacket(Direction.SERVER_TO_CLIENT, body[offset : offset + CHUNK], time=t)
+        )
+    return Trace(
+        name=name or f"video:{host}",
+        protocol="tcp",
+        server_port=server_port,
+        packets=packets,
+        metadata={"application": "video", "host": host},
+    )

@@ -1,0 +1,123 @@
+"""Shared fixtures: environments, workloads, and small builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.endpoint.apps import EchoApp
+from repro.endpoint.rawclient import RawTCPClient
+from repro.endpoint.tcpstack import TCPServerStack
+from repro.envs import (
+    make_att,
+    make_gfc,
+    make_iran,
+    make_neutral,
+    make_sprint,
+    make_testbed,
+    make_tmobile,
+)
+from repro.netsim.clock import VirtualClock
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.traffic.http import http_get_trace
+from repro.traffic.stun import stun_trace
+from repro.traffic.video import video_stream_trace
+
+CLIENT = "10.1.0.2"
+SERVER = "203.0.113.50"
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def testbed():
+    return make_testbed()
+
+
+@pytest.fixture
+def tmobile():
+    return make_tmobile()
+
+
+@pytest.fixture
+def gfc():
+    return make_gfc()
+
+
+@pytest.fixture
+def iran():
+    return make_iran()
+
+
+@pytest.fixture
+def att():
+    return make_att()
+
+
+@pytest.fixture
+def sprint():
+    return make_sprint()
+
+
+@pytest.fixture
+def neutral():
+    return make_neutral()
+
+
+@pytest.fixture
+def classified_trace():
+    """An HTTP dialogue the testbed device classifies."""
+    return http_get_trace("video.example.com", response_body=b"v" * 600)
+
+
+@pytest.fixture
+def neutral_trace():
+    """An HTTP dialogue no classifier matches."""
+    return http_get_trace("plain.example.org", response_body=b"p" * 600)
+
+
+@pytest.fixture
+def censored_trace():
+    """The GFC's probe workload."""
+    return http_get_trace("economist.com", response_body=b"<html>news</html>" * 40)
+
+
+@pytest.fixture
+def iran_trace():
+    """Iran's probe workload."""
+    return http_get_trace("facebook.com")
+
+
+@pytest.fixture
+def skype_trace():
+    return stun_trace()
+
+
+@pytest.fixture
+def video_trace():
+    return video_stream_trace(host="d1.cloudfront.net", total_bytes=250_000)
+
+
+def make_direct_link(app=None, server_os=None):
+    """A two-router path with a TCP echo server — for stack-level tests."""
+    from repro.endpoint.osmodel import LINUX
+
+    clock = VirtualClock()
+    path = Path(clock, [RouterHop("r1"), RouterHop("r2")])
+    stack = TCPServerStack(
+        SERVER, os_profile=server_os or LINUX, app=app if app is not None else EchoApp()
+    )
+    path.server_endpoint = stack
+    client = RawTCPClient(path, CLIENT, SERVER, sport=40_001, dport=80)
+    return clock, path, stack, client
+
+
+def tcp_packet(payload=b"", seq=1, flags=TCPFlags.ACK | TCPFlags.PSH, **ip_kwargs):
+    """A quick client→server TCP packet for unit tests."""
+    segment = TCPSegment(sport=40_001, dport=80, seq=seq, ack=1, flags=flags, payload=payload)
+    return IPPacket(src=CLIENT, dst=SERVER, transport=segment, **ip_kwargs)

@@ -1,0 +1,120 @@
+"""Tests for bilateral evasion (§7) and the pcap exporter."""
+
+import pytest
+
+from repro.core.bilateral import (
+    BilateralDummyPrefix,
+    encoded_wire_trace,
+    rotate_payload,
+    run_bilateral_dummy_prefix,
+    run_bilateral_rotation,
+    unrotate_payload,
+)
+from repro.netsim.element import PacketTap
+from repro.replay.session import ReplaySession
+from repro.traffic.pcap import read_pcap, tap_to_pcap, write_pcap
+
+
+class TestRotation:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert unrotate_payload(rotate_payload(data, 42), 42) == data
+
+    def test_changes_every_byte(self):
+        data = b"GET / HTTP/1.1"
+        assert all(a != b for a, b in zip(data, rotate_payload(data, 7)))
+
+    def test_encoded_wire_trace_rotates_client_only(self, classified_trace):
+        wire = encoded_wire_trace(classified_trace, 7)
+        assert wire.client_bytes() == rotate_payload(classified_trace.client_bytes(), 7)
+        assert wire.server_bytes() == classified_trace.server_bytes()
+
+    def test_key_validated(self, testbed, classified_trace):
+        with pytest.raises(ValueError):
+            run_bilateral_rotation(testbed, classified_trace, key=0)
+
+
+class TestBilateralOutcomes:
+    def test_rotation_beats_testbed(self, testbed, classified_trace):
+        assert run_bilateral_rotation(testbed, classified_trace).evaded
+
+    def test_rotation_beats_iran(self, iran, iran_trace):
+        """The per-packet classifier has nothing to match on rotated bytes."""
+        assert run_bilateral_rotation(iran, iran_trace).evaded
+
+    def test_rotation_beats_att_proxy(self, att):
+        from repro.traffic.video import video_stream_trace
+
+        trace = video_stream_trace(host="video.nbcsports.com", total_bytes=200_000)
+        outcome = run_bilateral_rotation(att, trace)
+        assert outcome.evaded
+        assert outcome.throughput_bps > 5_000_000  # full line rate
+
+    def test_dummy_prefix_beats_gfc(self, gfc, censored_trace):
+        assert run_bilateral_dummy_prefix(gfc, censored_trace).evaded
+
+    def test_dummy_prefix_fails_iran(self, iran, iran_trace):
+        outcome = run_bilateral_dummy_prefix(iran, iran_trace)
+        assert not outcome.evaded
+
+    def test_dummy_prefix_needs_server_support(self, testbed, classified_trace):
+        """Without tolerate_prefix, the prefix corrupts the delivered stream."""
+        from repro.core.evasion.base import EvasionContext
+
+        session = ReplaySession(testbed, classified_trace, tolerate_prefix=False)
+        outcome = session.run(
+            technique=BilateralDummyPrefix(), context=EvasionContext(middlebox_hops=0)
+        )
+        assert not outcome.delivered_ok
+
+    def test_prefix_validated(self):
+        with pytest.raises(ValueError):
+            BilateralDummyPrefix(b"")
+
+
+class TestPcap:
+    def test_write_read_roundtrip(self, tmp_path):
+        records = [(0.5, b"\x45" + bytes(39)), (1.25, bytes(60))]
+        target = tmp_path / "capture.pcap"
+        assert write_pcap(target, records) == 2
+        restored = read_pcap(target)
+        assert len(restored) == 2
+        assert restored[0][0] == pytest.approx(0.5)
+        assert restored[0][1] == records[0][1]
+        assert restored[1][1] == records[1][1]
+
+    def test_empty_capture(self, tmp_path):
+        target = tmp_path / "empty.pcap"
+        write_pcap(target, [])
+        assert read_pcap(target) == []
+
+    def test_rejects_garbage(self, tmp_path):
+        target = tmp_path / "bad.pcap"
+        target.write_bytes(b"\x00" * 30)
+        with pytest.raises(ValueError):
+            read_pcap(target)
+
+    def test_tap_capture_of_real_session(self, tmp_path, testbed, neutral_trace):
+        tap = PacketTap("capture-tap")
+        testbed.path.elements.insert(0, tap)
+        try:
+            ReplaySession(testbed, neutral_trace).run()
+        finally:
+            testbed.path.elements.remove(tap)
+        target = tmp_path / "session.pcap"
+        count = tap_to_pcap(tap, target)
+        assert count > 4  # handshake + data both ways
+        restored = read_pcap(target)
+        assert len(restored) == count
+        # Parse one captured packet back into our own packet type.
+        from repro.packets.ip import IPPacket
+
+        parsed = IPPacket.from_bytes(restored[0][1])
+        assert parsed.src == testbed.client_addr
+
+    def test_timestamps_preserve_order(self, tmp_path):
+        records = [(float(i) * 0.001, bytes(20)) for i in range(50)]
+        target = tmp_path / "ordered.pcap"
+        write_pcap(target, records)
+        times = [t for t, _raw in read_pcap(target)]
+        assert times == sorted(times)

@@ -1,0 +1,108 @@
+"""Tests for the built-in trace library and the report generator."""
+
+import pytest
+
+from repro.replay.session import ReplaySession
+from repro.traffic.builtin import (
+    BUILTIN_BUILDERS,
+    builtin_trace,
+    builtin_trace_names,
+    export_builtin_traces,
+)
+from repro.traffic.trace import Trace
+
+
+class TestBuiltinTraces:
+    def test_all_names_build(self):
+        for name in builtin_trace_names():
+            trace = builtin_trace(name)
+            assert trace.total_bytes() > 0
+            assert trace.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            builtin_trace("netflix-4k")
+
+    def test_deterministic(self):
+        assert builtin_trace("economist").to_json() == builtin_trace("economist").to_json()
+
+    def test_fresh_objects(self):
+        assert builtin_trace("skype") is not builtin_trace("skype")
+
+    def test_export_roundtrip(self, tmp_path):
+        written = export_builtin_traces(tmp_path)
+        assert len(written) == len(BUILTIN_BUILDERS)
+        for path in written:
+            restored = Trace.load(path)
+            assert restored.total_bytes() > 0
+
+    def test_builtin_traces_drive_the_paper_scenarios(self, tmobile, gfc, iran):
+        """The distributed trace set triggers each network's classifier."""
+        assert ReplaySession(tmobile, builtin_trace("prime-video")).run().zero_rated
+        assert ReplaySession(gfc, builtin_trace("economist")).run().differentiated
+        assert ReplaySession(iran, builtin_trace("facebook")).run().differentiated
+
+    def test_quic_builtin_escapes_everywhere(self, tmobile, gfc):
+        for env in (tmobile, gfc):
+            outcome = ReplaySession(env, builtin_trace("youtube-quic")).run()
+            assert not outcome.differentiated
+
+    def test_youtube_tls_sni(self):
+        from repro.traffic.tls import extract_sni
+
+        trace = builtin_trace("youtube-tls")
+        assert extract_sni(trace.client_payloads()[0]).endswith(".googlevideo.com")
+
+
+class TestReportGenerator:
+    def test_generates_markdown(self, tmp_path):
+        from repro.experiments.reportgen import write_report
+
+        target = write_report(
+            tmp_path / "measured.md",
+            include_table3=True,
+            include_figure4=False,
+            include_efficiency=False,
+            include_bilateral=False,
+            include_countermeasures=True,
+        )
+        content = target.read_text()
+        assert content.startswith("# lib·erate reproduction")
+        assert "Table 3" in content
+        assert "Paper agreement" in content
+        assert "Countermeasures" in content
+
+    def test_sections_toggle(self):
+        from repro.experiments.reportgen import generate_report
+
+        report = generate_report(
+            include_table3=False,
+            include_figure4=True,
+            include_efficiency=False,
+            include_bilateral=False,
+            include_countermeasures=False,
+            figure4_trials=1,
+        )
+        assert "Figure 4" in report
+        assert "Table 3" not in report
+
+
+class TestTracesCLI:
+    def test_traces_listing(self, capsys):
+        from repro.cli.main import main
+
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "youtube-quic" in out and "economist" in out
+
+    def test_traces_export(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        assert main(["traces", "--export", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("*.trace.json"))) == len(BUILTIN_BUILDERS)
+
+    def test_builtin_workload_flag(self, capsys):
+        from repro.cli.main import main
+
+        assert main(["detect", "--env", "gfc", "--builtin", "economist"]) == 0
+        assert "content-based" in capsys.readouterr().out

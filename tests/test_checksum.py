@@ -1,0 +1,76 @@
+"""Unit tests for the RFC 1071 checksum and address helpers."""
+
+import pytest
+
+from repro.packets.checksum import (
+    bytes_to_ip,
+    internet_checksum,
+    ip_to_bytes,
+    pseudo_header,
+    verify_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # Classic example from RFC 1071 discussions.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_inserting_checksum_verifies(self):
+        data = b"\x45\x00\x00\x1c\x00\x01\x00\x00\x40\x06\x00\x00" + bytes(8)
+        csum = internet_checksum(data)
+        patched = data[:10] + csum.to_bytes(2, "big") + data[12:]
+        assert verify_checksum(patched)
+
+    def test_corruption_detected(self):
+        data = b"\x45\x00\x00\x1c\x00\x01\x00\x00\x40\x06\x00\x00" + bytes(8)
+        csum = internet_checksum(data)
+        patched = bytearray(data[:10] + csum.to_bytes(2, "big") + data[12:])
+        patched[0] ^= 0xFF
+        assert not verify_checksum(bytes(patched))
+
+    def test_result_is_16_bit(self):
+        assert 0 <= internet_checksum(bytes(range(256)) * 7) <= 0xFFFF
+
+
+class TestAddressConversion:
+    def test_roundtrip(self):
+        assert bytes_to_ip(ip_to_bytes("192.0.2.33")) == "192.0.2.33"
+
+    def test_known_bytes(self):
+        assert ip_to_bytes("10.0.0.1") == b"\x0a\x00\x00\x01"
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            ip_to_bytes("10.0.0")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_bytes("10.0.0.256")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            ip_to_bytes("a.b.c.d")
+
+    def test_bytes_to_ip_needs_four(self):
+        with pytest.raises(ValueError):
+            bytes_to_ip(b"\x01\x02\x03")
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        header = pseudo_header("1.2.3.4", "5.6.7.8", 6, 20)
+        assert header == b"\x01\x02\x03\x04\x05\x06\x07\x08\x00\x06\x00\x14"
+
+    def test_length_field(self):
+        assert pseudo_header("0.0.0.0", "0.0.0.0", 17, 0xABCD)[-2:] == b"\xab\xcd"

@@ -1,0 +1,83 @@
+"""Tests for the ``liberate`` command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("envs", "run", "detect", "characterize", "table1", "figure4"):
+            args = parser.parse_args([command] if command != "trace" else [command, "--out", "x"])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_envs(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("testbed", "tmobile", "gfc", "iran", "att", "sprint"):
+            assert name in out
+
+    def test_detect_differentiated(self, capsys):
+        code = main(["detect", "--env", "testbed", "--host", "video.example.com"])
+        assert code == 0
+        assert "content-based" in capsys.readouterr().out
+
+    def test_detect_clean_exits_nonzero(self):
+        assert main(["detect", "--env", "sprint", "--host", "whatever.org"]) == 1
+
+    def test_characterize(self, capsys):
+        code = main(["characterize", "--env", "iran", "--host", "facebook.com"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "facebook.com" in out
+        assert "rounds=" in out
+
+    def test_characterize_clean_fails(self, capsys):
+        code = main(["characterize", "--env", "sprint", "--host", "nothing.org"])
+        assert code == 1
+
+    def test_run_fast(self, capsys):
+        code = main(["run", "--env", "testbed", "--host", "video.example.com", "--fast"])
+        assert code == 0
+        assert "deployed:" in capsys.readouterr().out
+
+    def test_run_verbose_lists_techniques(self, capsys):
+        main(["run", "--env", "iran", "--host", "facebook.com", "--verbose"])
+        out = capsys.readouterr().out
+        assert "tcp-segment-split" in out or "tcp-segment-reorder" in out
+
+    def test_unknown_env_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--env", "nonexistent"])
+
+    def test_trace_save_and_reuse(self, tmp_path, capsys):
+        target = tmp_path / "t.json"
+        assert main(["trace", "--host", "economist.com", "--out", str(target)]) == 0
+        assert target.exists()
+        code = main(["detect", "--env", "gfc", "--trace", str(target)])
+        assert code == 0
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "liberate" in capsys.readouterr().out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--trials", "1"]) == 0
+        assert "hour" in capsys.readouterr().out
+
+    def test_bilateral(self, capsys):
+        assert main(["bilateral"]) == 0
+        out = capsys.readouterr().out
+        assert "dummy prefix" in out and "rotation" in out
+
+    def test_countermeasures(self, capsys):
+        assert main(["countermeasures"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out and "survivors" in out

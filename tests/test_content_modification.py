@@ -1,0 +1,51 @@
+"""Content-modification detection (one of [32]'s differentiation types)."""
+
+from repro.core.detection import detect_differentiation
+from repro.netsim.element import NetworkElement
+from repro.packets.flow import Direction
+from repro.replay.session import ReplaySession
+
+
+class _ResponseRewriter(NetworkElement):
+    """Rewrites server payload bytes in flight (same length, different content)."""
+
+    name = "rewriter"
+
+    def process(self, packet, direction, ctx):
+        tcp = packet.tcp
+        if direction is Direction.SERVER_TO_CLIENT and tcp is not None and tcp.payload:
+            modified = packet.copy()
+            modified.tcp.payload = bytes((b ^ 0x20) for b in tcp.payload)
+            modified.tcp.checksum = None
+            return [modified]
+        return [packet]
+
+
+class TestContentModification:
+    def test_clean_path_not_flagged(self, testbed, neutral_trace):
+        outcome = ReplaySession(testbed, neutral_trace).run()
+        assert not outcome.content_modified
+        assert outcome.server_response_ok
+
+    def test_rewriter_flagged(self, neutral, neutral_trace):
+        neutral.path.elements.append(_ResponseRewriter())
+        try:
+            outcome = ReplaySession(neutral, neutral_trace).run()
+        finally:
+            neutral.path.elements.pop()
+        assert outcome.content_modified
+        assert not outcome.server_response_ok
+        assert outcome.delivered_ok  # the client->server direction was untouched
+
+    def test_detection_notes_modification(self, neutral, neutral_trace):
+        neutral.path.elements.append(_ResponseRewriter())
+        try:
+            report = detect_differentiation(neutral, neutral_trace)
+        finally:
+            neutral.path.elements.pop()
+        assert any("modified in flight" in note for note in report.notes)
+
+    def test_truncated_response_is_not_modification(self, gfc, censored_trace):
+        """A blocked flow loses bytes; that is blocking, not rewriting."""
+        outcome = ReplaySession(gfc, censored_trace).run()
+        assert not outcome.content_modified

@@ -1,0 +1,101 @@
+"""Tests for distributed characterization (§4.2) and LRU state eviction."""
+
+import pytest
+
+from repro.core.characterization import Characterizer
+from repro.core.distributed import DistributedCharacterizer, speedup_from_distribution
+from repro.envs.testbed import make_testbed
+from repro.traffic.http import http_get_trace
+
+from tests.test_engine import Driver, GET, make_engine
+
+
+class TestDistributedCharacterization:
+    def test_fields_identical_to_solo(self, testbed, classified_trace):
+        solo = Characterizer(make_testbed(), classified_trace)
+        solo_fields = [f.content for f in solo.find_matching_fields()]
+        distributed = DistributedCharacterizer(testbed, classified_trace, users=4)
+        report, _loads = distributed.run_distributed()
+        assert [f.content for f in report.matching_fields] == solo_fields
+
+    def test_load_divides_across_users(self, classified_trace):
+        distributed = DistributedCharacterizer(make_testbed(), classified_trace, users=4)
+        distributed.run_distributed()
+        loads = [user.rounds for user in distributed.users]
+        assert sum(loads) == distributed.rounds
+        # round-robin keeps the spread tight
+        assert max(loads) - min(loads) <= 1
+
+    def test_speedup_near_user_count(self, classified_trace):
+        stats = speedup_from_distribution(make_testbed, classified_trace, users=4)
+        assert stats["speedup"] >= 3.0
+        assert stats["fields_agree"] == 1.0
+
+    def test_single_user_degenerates_to_solo(self, classified_trace):
+        distributed = DistributedCharacterizer(make_testbed(), classified_trace, users=1)
+        distributed.run_distributed()
+        assert distributed.users[0].rounds == distributed.rounds
+
+    def test_user_count_validated(self, testbed, classified_trace):
+        with pytest.raises(ValueError):
+            DistributedCharacterizer(testbed, classified_trace, users=0)
+
+    def test_bytes_accounted(self, classified_trace):
+        distributed = DistributedCharacterizer(make_testbed(), classified_trace, users=3)
+        distributed.run_distributed()
+        assert sum(u.bytes_used for u in distributed.users) == distributed.bytes_used
+
+
+class TestLRUEviction:
+    def fill(self, engine, count, base_sport=41_000):
+        drivers = []
+        for i in range(count):
+            driver = Driver(engine, sport=base_sport + i)
+            driver.syn()
+            drivers.append(driver)
+        return drivers
+
+    def test_capacity_enforced(self):
+        engine, _ = make_engine(max_flows=5)
+        self.fill(engine, 8)
+        assert len(engine._flows) <= 5
+        assert engine.evictions == 3
+
+    def test_lru_victim_selection(self):
+        engine, _ = make_engine(max_flows=3)
+        drivers = self.fill(engine, 3)
+        # touch flows 1 and 2 so flow 0 is the LRU victim
+        drivers[1].clock.advance(1.0)
+        drivers[1].data(b"keepalive-one")
+        drivers[2].data(b"keepalive-two")
+        extra = Driver(engine, sport=42_000)
+        extra.syn()
+        assert drivers[0].classification() is None  # evicted
+        assert drivers[1].classification() is not None or len(engine._flows) == 3
+
+    def test_eviction_clears_marks(self):
+        engine, policy = make_engine(max_flows=1)
+        driver = Driver(engine, sport=42_100)
+        driver.syn()
+        driver.data(GET)
+        assert policy.throttled_flows
+        newcomer = Driver(engine, sport=42_101)
+        newcomer.syn()  # evicts the classified flow
+        assert not policy.throttled_flows
+
+    def test_capacity_pressure_enables_flush_evasion(self):
+        """The Figure 4 mechanism: under load, pausing lets background flows
+        push yours out of the table — mid-flow traffic then goes uninspected."""
+        engine, _ = make_engine(max_flows=4, pre_match_timeout=None)
+        victim = Driver(engine, sport=42_200)
+        victim.syn()
+        # background load arrives while the victim's flow is idle
+        self.fill(engine, 6, base_sport=42_300)
+        victim.data(GET)  # state evicted: never inspected
+        assert victim.classification() is None
+
+    def test_no_capacity_means_no_eviction(self):
+        engine, _ = make_engine(max_flows=None)
+        self.fill(engine, 20)
+        assert engine.evictions == 0
+        assert len(engine._flows) == 20

@@ -1,0 +1,276 @@
+"""Unit tests for the DPI engine: rules, validation, windows, anchors."""
+
+import pytest
+
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.policy import PolicyAction, RulePolicy
+from repro.middlebox.rules import MatchRule, skype_stun_rule
+from repro.middlebox.validation import MiddleboxValidation
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+from repro.traffic.stun import stun_binding_request
+
+CLIENT, SERVER = "10.1.0.2", "203.0.113.50"
+
+
+def make_engine(**overrides):
+    policy = overrides.pop("policy_state", PolicyState())
+    defaults = dict(
+        name="dpi",
+        rules=[
+            MatchRule(
+                name="video",
+                keywords=[b"video.example.com"],
+                policy=RulePolicy.throttle(1_500_000),
+            )
+        ],
+        policy_state=policy,
+        validation=MiddleboxValidation.lax(),
+        reassembly=ReassemblyMode.PER_PACKET,
+        inspect_packet_limit=5,
+        match_and_forget=True,
+        require_protocol_anchor=True,
+        track_flows=True,
+    )
+    defaults.update(overrides)
+    return DPIMiddlebox(**defaults), policy
+
+
+class Driver:
+    """Feeds a synthetic TCP flow through an engine."""
+
+    def __init__(self, engine, sport=40_100, dport=80):
+        self.engine = engine
+        self.clock = VirtualClock()
+        self.injected_back = []
+        self.injected_forward = []
+        self.sport, self.dport = sport, dport
+        self.seq = 1_000
+        self.ctx = TransitContext(
+            clock=self.clock,
+            inject_back=self.injected_back.append,
+            inject_forward=self.injected_forward.append,
+        )
+
+    def syn(self):
+        segment = TCPSegment(sport=self.sport, dport=self.dport, seq=self.seq, flags=TCPFlags.SYN)
+        self.engine.process(
+            IPPacket(src=CLIENT, dst=SERVER, transport=segment),
+            Direction.CLIENT_TO_SERVER,
+            self.ctx,
+        )
+        self.seq += 1
+
+    def data(self, payload, advance=True, **seg_overrides):
+        fields = dict(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.seq,
+            ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=payload,
+        )
+        fields.update(seg_overrides)
+        segment = TCPSegment(**fields)
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+        out = self.engine.process(packet, Direction.CLIENT_TO_SERVER, self.ctx)
+        if advance and "seq" not in seg_overrides:
+            self.seq += len(payload)
+        return out
+
+    def rst(self):
+        segment = TCPSegment(sport=self.sport, dport=self.dport, seq=self.seq, flags=TCPFlags.RST)
+        self.engine.process(
+            IPPacket(src=CLIENT, dst=SERVER, transport=segment),
+            Direction.CLIENT_TO_SERVER,
+            self.ctx,
+        )
+
+    def classification(self):
+        return self.engine.classification_of(CLIENT, self.sport, SERVER, self.dport)
+
+
+GET = b"GET / HTTP/1.1\r\nHost: video.example.com\r\n\r\n"
+NEUTRAL = b"GET / HTTP/1.1\r\nHost: plain.example.org\r\n\r\n"
+
+
+class TestBasicClassification:
+    def test_keyword_match(self):
+        engine, policy = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)
+        assert driver.classification() == "video"
+        assert policy.throttled_flows  # policy applied
+
+    def test_no_match(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(NEUTRAL)
+        assert driver.classification() is None
+
+    def test_match_and_forget_final(self):
+        engine, _ = make_engine(inspect_packet_limit=2)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(NEUTRAL)
+        driver.data(b"padding-one")
+        driver.data(GET)  # third payload packet: window closed
+        assert driver.classification() == "unclassified-final"
+
+    def test_untracked_flow_ignored(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.data(GET)  # no SYN seen
+        assert driver.classification() is None
+
+    def test_port_scoping(self):
+        engine, _ = make_engine(ports=frozenset({80}))
+        driver = Driver(engine, dport=8080)
+        driver.syn()
+        driver.data(GET)
+        assert driver.classification() is None
+
+    def test_forwards_packets(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        out = driver.data(GET)
+        assert len(out) == 1
+
+    def test_reset(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)
+        engine.reset()
+        assert driver.classification() is None
+        assert engine.match_log == []
+
+
+class TestAnchor:
+    def test_dummy_first_byte_defeats_anchor(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"X")
+        driver.data(GET)
+        assert driver.classification() == "unclassified-final"
+
+    def test_tls_anchor_accepted(self):
+        from repro.traffic.tls import client_hello
+
+        engine, _ = make_engine(
+            rules=[MatchRule(name="sni", keywords=[b".googlevideo.com"])]
+        )
+        driver = Driver(engine, dport=443)
+        driver.syn()
+        driver.data(client_hello("r1.googlevideo.com"))
+        assert driver.classification() == "sni"
+
+    def test_anchor_disabled(self):
+        engine, _ = make_engine(require_protocol_anchor=False)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"X")
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+
+class TestValidationIntegration:
+    def test_lax_engine_counts_bad_checksum(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"innocuous-junk", advance=False, checksum=0xDEAD)
+        driver.data(GET)
+        # junk consumed the anchor slot: classification gone
+        assert driver.classification() == "unclassified-final"
+
+    def test_strict_engine_ignores_bad_checksum(self):
+        engine, _ = make_engine(validation=MiddleboxValidation.partial_tmobile())
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"innocuous-junk", advance=False, checksum=0xDEAD)
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+    def test_structural_damage_always_ignored(self):
+        engine, _ = make_engine()  # even the lax testbed can't parse these
+        driver = Driver(engine)
+        driver.syn()
+        packet_seq = driver.seq
+        segment = TCPSegment(
+            sport=driver.sport, dport=80, seq=packet_seq, ack=1,
+            flags=TCPFlags.ACK, payload=b"junk", data_offset=15,
+        )
+        engine.process(
+            IPPacket(src=CLIENT, dst=SERVER, transport=segment),
+            Direction.CLIENT_TO_SERVER,
+            driver.ctx,
+        )
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+    def test_wrong_protocol_agnostic_keying(self):
+        engine, _ = make_engine(protocol_agnostic_flow_keying=True)
+        driver = Driver(engine)
+        driver.syn()
+        segment = TCPSegment(
+            sport=driver.sport, dport=80, seq=driver.seq, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"innocuous-junk",
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment, protocol=0xFD)
+        engine.process(packet, Direction.CLIENT_TO_SERVER, driver.ctx)
+        driver.data(GET)
+        assert driver.classification() == "unclassified-final"
+
+    def test_wrong_protocol_strict_keying(self):
+        engine, _ = make_engine(protocol_agnostic_flow_keying=False)
+        driver = Driver(engine)
+        driver.syn()
+        segment = TCPSegment(
+            sport=driver.sport, dport=80, seq=driver.seq, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"innocuous-junk",
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment, protocol=0xFD)
+        engine.process(packet, Direction.CLIENT_TO_SERVER, driver.ctx)
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+
+class TestUDPClassification:
+    def drive_udp(self, engine, payloads, sport=41_000, dport=3478):
+        clock = VirtualClock()
+        ctx = TransitContext(clock=clock, inject_back=lambda p: None, inject_forward=lambda p: None)
+        for payload in payloads:
+            datagram = UDPDatagram(sport=sport, dport=dport, payload=payload)
+            engine.process(
+                IPPacket(src=CLIENT, dst=SERVER, transport=datagram),
+                Direction.CLIENT_TO_SERVER,
+                ctx,
+            )
+        return engine.classification_of(CLIENT, sport, SERVER, dport)
+
+    def test_stun_rule_position_zero(self):
+        engine, _ = make_engine(rules=[skype_stun_rule(RulePolicy.throttle(1e6))])
+        assert self.drive_udp(engine, [stun_binding_request(), b"media"]) == "skype-stun"
+
+    def test_stun_rule_misses_when_displaced(self):
+        engine, _ = make_engine(
+            rules=[skype_stun_rule(RulePolicy.throttle(1e6))], udp_inspect_packet_limit=6
+        )
+        result = self.drive_udp(engine, [b"media-first", stun_binding_request()])
+        assert result != "skype-stun"
+
+    def test_udp_not_classified_when_disabled(self):
+        engine, _ = make_engine(
+            rules=[skype_stun_rule(RulePolicy.throttle(1e6))], classify_udp=False
+        )
+        assert self.drive_udp(engine, [stun_binding_request()]) is None

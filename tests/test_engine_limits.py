@@ -1,0 +1,121 @@
+"""Engine inspection limits: byte windows, UDP windows, scope edge cases."""
+
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.policy import RulePolicy
+
+from tests.test_engine import Driver, GET, NEUTRAL, make_engine
+
+
+class TestByteLimit:
+    def make(self, byte_limit):
+        return make_engine(
+            reassembly=ReassemblyMode.IN_ORDER,
+            inspect_packet_limit=None,
+            inspect_byte_limit=byte_limit,
+            require_protocol_anchor=False,
+        )
+
+    def test_match_within_byte_window(self):
+        engine, _ = self.make(byte_limit=1024)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+    def test_field_beyond_byte_window_missed(self):
+        engine, _ = self.make(byte_limit=16)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)  # "video.example.com" starts past byte 16
+        assert driver.classification() != "video"
+
+    def test_byte_window_exhaustion_is_final(self):
+        engine, _ = self.make(byte_limit=16)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"A" * 32)
+        assert driver.classification() == "unclassified-final"
+        driver.data(GET)
+        assert driver.classification() == "unclassified-final"
+
+
+class TestWindowEdges:
+    def test_limit_one_only_first_packet(self):
+        engine, _ = make_engine(inspect_packet_limit=1, require_protocol_anchor=False)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(NEUTRAL)
+        driver.data(GET)
+        assert driver.classification() == "unclassified-final"
+
+    def test_match_on_window_edge(self):
+        engine, _ = make_engine(inspect_packet_limit=2, require_protocol_anchor=False)
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(NEUTRAL)
+        driver.data(GET)  # exactly the last inspected packet
+        assert driver.classification() == "video"
+
+    def test_no_match_and_forget_keeps_looking(self):
+        engine, _ = make_engine(
+            inspect_packet_limit=None,
+            match_and_forget=False,
+            require_protocol_anchor=False,
+        )
+        driver = Driver(engine)
+        driver.syn()
+        for _ in range(8):
+            driver.data(NEUTRAL)
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+    def test_pure_acks_not_counted(self):
+        engine, _ = make_engine(inspect_packet_limit=1, require_protocol_anchor=False)
+        driver = Driver(engine)
+        driver.syn()
+        for _ in range(5):
+            driver.data(b"")  # empty segments must not burn the window
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+
+class TestScope:
+    def test_multiple_rules_first_match_wins(self):
+        engine, _ = make_engine(
+            rules=[
+                MatchRule(name="first", keywords=[b"video.example.com"]),
+                MatchRule(name="second", keywords=[b"GET"]),
+            ],
+        )
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)
+        assert driver.classification() == "first"
+
+    def test_rule_port_scope_vs_engine_port_scope(self):
+        engine, _ = make_engine(
+            rules=[
+                MatchRule(
+                    name="video80",
+                    keywords=[b"video.example.com"],
+                    ports=frozenset({80}),
+                )
+            ],
+        )
+        on_80 = Driver(engine, sport=40_500, dport=80)
+        on_80.syn()
+        on_80.data(GET)
+        assert on_80.classification() == "video80"
+        on_81 = Driver(engine, sport=40_501, dport=81)
+        on_81.syn()
+        on_81.data(GET)
+        assert on_81.classification() != "video80"
+
+    def test_ever_matched(self):
+        engine, _ = make_engine()
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(GET)
+        assert engine.ever_matched("10.1.0.2", driver.sport)
+        assert not engine.ever_matched("10.1.0.2", driver.sport + 1)

@@ -1,0 +1,212 @@
+"""Engine reassembly modes, stream desync, windows and fragment handling."""
+
+from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
+from repro.middlebox.policy import RulePolicy
+from repro.middlebox.rules import MatchRule
+from repro.middlebox.validation import MiddleboxValidation
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction
+from repro.packets.fragment import fragment_packet
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+from tests.test_engine import CLIENT, SERVER, Driver, GET, make_engine
+
+
+def split(payload, *cuts):
+    bounds = [0, *cuts, len(payload)]
+    return [(bounds[i], payload[bounds[i] : bounds[i + 1]]) for i in range(len(bounds) - 1)]
+
+
+class StreamDriver(Driver):
+    """Driver that can emit pieces at explicit offsets."""
+
+    def pieces(self, pieces):
+        base = self.seq
+        total = max(offset + len(data) for offset, data in pieces)
+        for offset, data in pieces:
+            self.data(data, seq=base + offset)
+        self.seq = base + total
+
+
+class TestPerPacketMode:
+    def test_split_keyword_across_packets_evades(self):
+        engine, _ = make_engine(reassembly=ReassemblyMode.PER_PACKET)
+        driver = StreamDriver(engine)
+        driver.syn()
+        cut = GET.find(b"video.example.com") + 5
+        driver.pieces(split(GET, cut))
+        assert driver.classification() != "video"
+
+    def test_unsplit_keyword_matches(self):
+        engine, _ = make_engine(reassembly=ReassemblyMode.PER_PACKET)
+        driver = StreamDriver(engine)
+        driver.syn()
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+
+class TestInOrderMode:
+    def make(self, limit=4):
+        return make_engine(
+            reassembly=ReassemblyMode.IN_ORDER,
+            inspect_packet_limit=limit,
+            validation=MiddleboxValidation.partial_tmobile(),
+        )
+
+    def test_in_order_split_within_window_matches(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        cut = GET.find(b"video.example.com") + 5
+        driver.pieces(split(GET, cut))  # 2 pieces, both in window
+        assert driver.classification() == "video"
+
+    def test_split_beyond_window_evades(self):
+        engine, _ = self.make(limit=4)
+        driver = StreamDriver(engine)
+        driver.syn()
+        start = GET.find(b"video.example.com")
+        cuts = [start + i for i in range(1, 6)]  # field spans 6 pieces
+        driver.pieces(split(GET, *cuts))
+        assert driver.classification() == "unclassified-final"
+
+    def test_out_of_order_ignored(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        cut = GET.find(b"video.example.com") + 5
+        pieces = split(GET, cut)
+        driver.pieces(list(reversed(pieces)))
+        assert driver.classification() != "video"
+
+    def test_desync_by_inert_payload(self):
+        """A TTL-limited inert packet advances the stream cursor (TMUS, §6.2)."""
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        driver.data(b"GETX-innocuous-padding-qq", advance=False)  # inert at same seq
+        driver.data(GET)  # looks like old data to the middlebox now
+        assert driver.classification() != "video"
+
+
+class TestFullMode:
+    def make(self, **overrides):
+        return make_engine(
+            reassembly=ReassemblyMode.FULL,
+            inspect_packet_limit=None,
+            validation=MiddleboxValidation.extensive(),
+            **overrides,
+        )
+
+    def test_out_of_order_reassembled(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        cut = GET.find(b"video.example.com") + 5
+        pieces = split(GET, cut)
+        driver.pieces(list(reversed(pieces)))
+        assert driver.classification() == "video"
+
+    def test_many_way_split_reassembled(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        start = GET.find(b"video.example.com")
+        cuts = [start + i for i in range(1, 8)]
+        driver.pieces(split(GET, *cuts))
+        assert driver.classification() == "video"
+
+    def test_one_byte_first_segment_still_matches(self):
+        """Deferred anchor: stream classifiers tolerate tiny first segments."""
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        driver.pieces(split(GET, 1))
+        assert driver.classification() == "video"
+
+    def test_dummy_prefix_still_breaks_anchor(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        driver.data(b"ZZZZZZ")
+        driver.data(GET)
+        assert driver.classification() == "unclassified-final"
+
+    def test_seq_validation_rejects_wild_inert(self):
+        engine, _ = self.make()
+        driver = StreamDriver(engine)
+        driver.syn()
+        driver.data(b"innocuous-junk-payload", seq=driver.seq + 0x30000000)
+        driver.data(GET)
+        assert driver.classification() == "video"
+
+
+class TestFragments:
+    def fragmented_get(self, driver):
+        segment = TCPSegment(
+            sport=driver.sport,
+            dport=driver.dport,
+            seq=driver.seq,
+            ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=GET,
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+        return fragment_packet(packet, 24)
+
+    def test_non_reassembling_engine_misses_fragments(self):
+        engine, _ = make_engine(reassemble_ip_fragments=False)
+        driver = Driver(engine)
+        driver.syn()
+        for fragment in self.fragmented_get(driver):
+            engine.process(fragment, Direction.CLIENT_TO_SERVER, driver.ctx)
+        assert driver.classification() != "video"
+
+    def test_reassembling_engine_sees_fragments(self):
+        engine, _ = make_engine(reassemble_ip_fragments=True)
+        driver = Driver(engine)
+        driver.syn()
+        for fragment in self.fragmented_get(driver):
+            engine.process(fragment, Direction.CLIENT_TO_SERVER, driver.ctx)
+        assert driver.classification() == "video"
+
+    def test_fragments_forwarded_unmodified(self):
+        engine, _ = make_engine(reassemble_ip_fragments=True)
+        driver = Driver(engine)
+        driver.syn()
+        outputs = []
+        for fragment in self.fragmented_get(driver):
+            outputs += engine.process(fragment, Direction.CLIENT_TO_SERVER, driver.ctx)
+        assert all(o.is_fragment for o in outputs)
+
+
+class TestServerSideMatching:
+    def test_server_direction_rule(self):
+        engine, policy = make_engine(
+            rules=[
+                MatchRule(
+                    name="resp-video",
+                    keywords=[b"Content-Type: video"],
+                    direction="server",
+                    policy=RulePolicy.throttle(1e6),
+                )
+            ],
+            require_protocol_anchor=False,
+        )
+        driver = Driver(engine)
+        driver.syn()
+        driver.data(b"GET /v HTTP/1.1\r\n\r\n")
+        response = TCPSegment(
+            sport=80, dport=driver.sport, seq=9_000, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=b"HTTP/1.1 200 OK\r\nContent-Type: video/mp4\r\n\r\n",
+        )
+        engine.process(
+            IPPacket(src=SERVER, dst=CLIENT, transport=response),
+            Direction.SERVER_TO_CLIENT,
+            driver.ctx,
+        )
+        assert driver.classification() == "resp-video"

@@ -1,0 +1,89 @@
+"""GFC and Iran environment behaviour (§6.5, §6.6)."""
+
+import pytest
+
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+
+
+class TestGFC:
+    def test_censored_host_blocked_with_rsts(self, gfc, censored_trace):
+        outcome = ReplaySession(gfc, censored_trace).run()
+        assert outcome.differentiated
+        assert 3 <= outcome.rst_count <= 5  # "blocked by 3-5 RST packets"
+        assert not outcome.server_response_ok
+
+    def test_harmless_host_untouched(self, gfc):
+        outcome = ReplaySession(gfc, http_get_trace("harmless.org")).run()
+        assert not outcome.differentiated
+        assert outcome.delivered_ok and outcome.server_response_ok
+
+    def test_blocks_on_any_port(self, gfc, censored_trace):
+        outcome = ReplaySession(gfc, censored_trace, server_port=9000).run()
+        assert outcome.differentiated
+
+    def test_residual_endpoint_blocking(self, gfc, censored_trace):
+        """After two blocked flows, even innocuous traffic to that
+        server:port is disrupted (§6.5)."""
+        for _ in range(2):
+            ReplaySession(gfc, censored_trace).run()
+        innocuous = ReplaySession(gfc, http_get_trace("harmless.org")).run()
+        assert innocuous.differentiated  # connection refused by injected RST
+
+    def test_residual_blocking_is_per_port(self, gfc, censored_trace):
+        for _ in range(2):
+            ReplaySession(gfc, censored_trace).run()
+        other_port = ReplaySession(
+            gfc, http_get_trace("harmless.org", server_port=8081)
+        ).run()
+        assert not other_port.differentiated
+
+    def test_needs_port_rotation_flag(self, gfc):
+        assert gfc.needs_port_rotation
+
+    def test_hops_ground_truth(self, gfc):
+        assert gfc.hops_to_middlebox == 9
+
+    def test_full_reassembly(self, gfc):
+        from repro.middlebox.engine import ReassemblyMode
+
+        assert gfc.dpi().reassembly is ReassemblyMode.FULL
+
+    def test_udp_not_classified(self, gfc, skype_trace):
+        outcome = ReplaySession(gfc, skype_trace).run()
+        assert not outcome.differentiated
+
+
+class TestIran:
+    def test_blocked_with_403_and_rsts(self, iran, iran_trace):
+        outcome = ReplaySession(iran, iran_trace).run()
+        assert outcome.differentiated
+        assert outcome.block_page_received
+        assert outcome.rst_count == 2  # "403 Forbidden ... two RST packets"
+
+    def test_port_8080_escapes(self, iran, iran_trace):
+        """Only port 80 is inspected (§6.6)."""
+        outcome = ReplaySession(iran, iran_trace, server_port=8080).run()
+        assert not outcome.differentiated
+        assert outcome.delivered_ok
+
+    def test_harmless_traffic_untouched(self, iran):
+        outcome = ReplaySession(iran, http_get_trace("harmless.org")).run()
+        assert not outcome.differentiated
+
+    def test_prepending_many_packets_never_helps(self, iran, iran_trace):
+        """The classifier checks every packet — up to 1,000 prepends in the
+        paper; a representative 20 here."""
+        padded = iran_trace.prepend_client_payloads([b"Z" * 1400] * 20)
+        outcome = ReplaySession(iran, padded).run()
+        assert outcome.differentiated
+
+    def test_stateless_engine(self, iran):
+        assert not iran.dpi().track_flows
+
+    def test_hops_ground_truth(self, iran):
+        assert iran.hops_to_middlebox == 7
+
+    def test_udp_not_classified(self, iran, skype_trace):
+        outcome = ReplaySession(iran, skype_trace).run()
+        assert not outcome.differentiated

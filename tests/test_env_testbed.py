@@ -1,0 +1,61 @@
+"""Testbed environment behaviour (§6.1)."""
+
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+from repro.traffic.stun import stun_trace
+from repro.traffic.tls import tls_trace
+
+
+class TestTestbedClassification:
+    def test_classified_host_throttled(self, testbed, classified_trace):
+        outcome = ReplaySession(testbed, classified_trace).run()
+        assert outcome.differentiated
+        assert outcome.classification == "testbed:video.example.com"
+        assert outcome.delivered_ok and outcome.server_response_ok
+
+    def test_neutral_host_untouched(self, testbed, neutral_trace):
+        outcome = ReplaySession(testbed, neutral_trace).run()
+        assert not outcome.differentiated
+        assert outcome.classification is None
+
+    def test_udp_stun_classified(self, testbed, skype_trace):
+        outcome = ReplaySession(testbed, skype_trace).run()
+        assert outcome.differentiated
+        assert outcome.classification == "skype-stun"
+        assert outcome.delivered_ok
+
+    def test_inverted_control_not_classified(self, testbed, classified_trace):
+        outcome = ReplaySession(testbed, classified_trace.inverted()).run()
+        assert not outcome.differentiated
+
+    def test_classification_readout_is_ground_truth(self, testbed, classified_trace):
+        session = ReplaySession(testbed, classified_trace)
+        outcome = session.run()
+        dpi = testbed.dpi()
+        assert dpi is not None
+        assert dpi.classification_of(
+            testbed.client_addr, session.sport, testbed.server_addr, session.server_port
+        ) == outcome.classification
+
+    def test_multiple_hosts_have_rules(self, testbed):
+        for host in ("spotify.example.com", "espn.example.com"):
+            outcome = ReplaySession(testbed, http_get_trace(host)).run()
+            assert outcome.classification is not None
+
+    def test_sessions_are_isolated(self, testbed, classified_trace, neutral_trace):
+        classified = ReplaySession(testbed, classified_trace).run()
+        neutral = ReplaySession(testbed, neutral_trace).run()
+        assert classified.differentiated and not neutral.differentiated
+
+
+class TestTestbedTiming:
+    def test_flush_timeout_is_120s(self, testbed):
+        dpi = testbed.dpi()
+        assert dpi.post_match_timeout == 120.0
+        assert dpi.pre_match_timeout == 120.0
+
+    def test_rst_reduces_timeout_to_10s(self, testbed):
+        assert testbed.dpi().rst_timeout_reduction == 10.0
+
+    def test_hops_ground_truth(self, testbed):
+        assert testbed.hops_to_middlebox == 0

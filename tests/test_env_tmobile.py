@@ -1,0 +1,61 @@
+"""T-Mobile environment behaviour (§6.2)."""
+
+import pytest
+
+from repro.replay.session import ReplaySession
+from repro.traffic.tls import tls_trace
+from repro.traffic.trace import Trace, TracePacket
+from repro.traffic.video import video_stream_trace
+from repro.packets.flow import Direction
+
+
+class TestBingeOn:
+    def test_video_zero_rated_and_shaped(self, tmobile, video_trace):
+        outcome = ReplaySession(tmobile, video_trace).run()
+        assert outcome.differentiated
+        assert outcome.zero_rated
+        assert outcome.throughput_bps is not None
+        assert outcome.throughput_bps < 3_000_000  # Binge On "optimization"
+
+    def test_neutral_video_full_speed(self, tmobile):
+        trace = video_stream_trace(host="neutral-cdn.org", total_bytes=250_000, name="neutral")
+        outcome = ReplaySession(tmobile, trace).run()
+        assert not outcome.differentiated
+        assert outcome.throughput_bps > 5_000_000
+
+    def test_sni_matching(self, tmobile):
+        """Binge On matches .googlevideo.com inside the TLS ClientHello."""
+        hello = tls_trace("r4---sn-ab5l6ne7.googlevideo.com")
+        # pad the dialogue so the usage counter has enough signal
+        hello.packets.append(
+            TracePacket(Direction.SERVER_TO_CLIENT, b"\x17\x03\x03" + b"\x00" * 250_000, 0.1)
+        )
+        outcome = ReplaySession(tmobile, hello).run()
+        assert outcome.zero_rated
+
+    def test_udp_never_classified(self, tmobile, skype_trace):
+        """QUIC/UDP escapes Binge On entirely (§6.2)."""
+        outcome = ReplaySession(tmobile, skype_trace).run()
+        assert not outcome.differentiated
+        assert tmobile.dpi().match_log == []
+
+    def test_small_replays_unreliable(self, tmobile):
+        """Under ~200 KB the usage counter's noise can flip the inference."""
+        tiny = video_stream_trace(host="d1.cloudfront.net", total_bytes=2_000, name="tiny")
+        readings = [ReplaySession(tmobile, tiny).run().zero_rated for _ in range(6)]
+        # not asserting a specific pattern — only that the 250 KB fixture is
+        # the reliable one, per the paper's 200 KB threshold
+        big = ReplaySession(tmobile, video_stream_trace(total_bytes=250_000)).run()
+        assert big.zero_rated
+
+    def test_classification_persists_beyond_240s(self, tmobile):
+        assert tmobile.dpi().post_match_timeout is None
+        assert tmobile.dpi().rst_flush_post_match
+
+    def test_hops_ground_truth(self, tmobile):
+        assert tmobile.hops_to_middlebox == 2
+
+    def test_in_order_only_reassembly(self, tmobile):
+        from repro.middlebox.engine import ReassemblyMode
+
+        assert tmobile.dpi().reassembly is ReassemblyMode.IN_ORDER

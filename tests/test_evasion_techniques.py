@@ -1,0 +1,245 @@
+"""Per-technique behaviour tests, anchored to Table 3's key cells."""
+
+import pytest
+
+from repro.core.evasion import ALL_TECHNIQUES, techniques_by_name
+from repro.core.evasion.base import EvasionContext
+from repro.core.evasion.flushing import (
+    PauseAfterMatch,
+    PauseBeforeMatch,
+    RSTAfterMatch,
+    RSTBeforeMatch,
+)
+from repro.core.evasion.inert import (
+    InvalidIPOptions,
+    InvalidIPVersion,
+    LowTTLInert,
+    UDPInvalidChecksum,
+    WrongTCPChecksum,
+)
+from repro.core.evasion.reordering import TCPSegmentReorder, UDPReorder
+from repro.core.evasion.splitting import (
+    IPFragmentation,
+    TCPSegmentSplit,
+    pieces_from_cuts,
+    split_points,
+)
+from repro.core.report import MatchingField
+from repro.replay.session import ReplaySession
+
+
+def fields_for(trace, *keywords):
+    data = trace.client_bytes()
+    fields = []
+    for keyword in keywords:
+        index = data.find(keyword)
+        assert index >= 0
+        fields.append(MatchingField(0, index, index + len(keyword), keyword))
+    return fields
+
+
+def context_for(env, trace, *keywords, **overrides):
+    defaults = dict(
+        matching_fields=fields_for(trace, *keywords),
+        middlebox_hops=env.hops_to_middlebox,
+        packet_limit=4,
+        protocol=trace.protocol,
+    )
+    defaults.update(overrides)
+    return EvasionContext(**defaults)
+
+
+class TestRegistry:
+    def test_26_table3_rows(self):
+        assert len(ALL_TECHNIQUES) == 26
+
+    def test_names_unique(self):
+        names = [t.name for t in ALL_TECHNIQUES]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert techniques_by_name()["ip-low-ttl"].category == "inert-insertion"
+
+    def test_categories(self):
+        categories = {t.category for t in ALL_TECHNIQUES}
+        assert categories == {"inert-insertion", "splitting", "reordering", "flushing"}
+
+    def test_udp_applicability(self):
+        udp_ctx = EvasionContext(protocol="udp")
+        assert UDPInvalidChecksum().applicable(udp_ctx)
+        assert not TCPSegmentSplit().applicable(udp_ctx)
+        assert LowTTLInert().applicable(udp_ctx)  # protocol "any"
+
+
+class TestSplitPoints:
+    def test_cuts_inside_field(self):
+        message = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"
+        field = MatchingField(0, 22, 33, b"example.com")
+        cuts = split_points(message, [field], budget=10)
+        assert cuts
+        assert all(22 < cut < 33 for cut in cuts)
+
+    def test_budget_respected(self):
+        message = bytes(200)
+        field = MatchingField(0, 10, 150, b"x" * 140)
+        cuts = split_points(message, [field], budget=5)
+        assert len(cuts) <= 4
+
+    def test_no_fields_isolates_first_byte(self):
+        assert split_points(b"abcdef", [], budget=10) == [1]
+
+    def test_pieces_cover_message(self):
+        message = b"0123456789"
+        pieces = pieces_from_cuts(message, [3, 7])
+        assert b"".join(data for _offset, data in pieces) == message
+        assert [offset for offset, _data in pieces] == [0, 3, 7]
+
+    def test_budget_minimum(self):
+        with pytest.raises(ValueError):
+            split_points(b"abc", [], budget=1)
+
+
+class TestAgainstTestbed:
+    """Spot checks of Table 3's testbed column at the technique level."""
+
+    def run(self, env, trace, technique, ctx):
+        return ReplaySession(env, trace).run(technique=technique, context=ctx)
+
+    def test_low_ttl_evades_and_stays_inert(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, LowTTLInert(), ctx)
+        assert outcome.evaded
+        assert outcome.inert_reached_server is False
+
+    def test_invalid_version_fails(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, InvalidIPVersion(), ctx)
+        assert not outcome.evaded
+        assert outcome.differentiated
+
+    def test_invalid_options_evade_but_break_linux_delivery(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, InvalidIPOptions(), ctx)
+        assert not outcome.differentiated  # classification changed...
+        assert not outcome.delivered_ok  # ...but Linux delivered the junk
+
+    def test_segment_split_evades(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, TCPSegmentSplit(), ctx)
+        assert outcome.evaded
+
+    def test_reorder_evades(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, TCPSegmentReorder(), ctx)
+        assert outcome.evaded
+
+    def test_fragmentation_evades(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, IPFragmentation(), ctx)
+        assert outcome.evaded
+        assert outcome.inert_reached_server  # reassembled en route (footnote 2)
+
+    def test_pause_flushes(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, PauseAfterMatch(), ctx)
+        assert outcome.evaded
+        assert outcome.overhead_seconds >= 120
+
+    def test_rst_flush(self, testbed, classified_trace):
+        ctx = context_for(testbed, classified_trace, b"video.example.com")
+        outcome = self.run(testbed, classified_trace, RSTAfterMatch(), ctx)
+        assert outcome.evaded
+        assert outcome.inert_reached_server is False  # TTL-limited RST died
+
+    def test_udp_reorder_evades_stun(self, testbed, skype_trace):
+        ctx = EvasionContext(protocol="udp", middlebox_hops=0)
+        outcome = self.run(testbed, skype_trace, UDPReorder(), ctx)
+        assert outcome.evaded
+
+    def test_udp_bad_checksum_evades(self, testbed, skype_trace):
+        ctx = EvasionContext(protocol="udp", middlebox_hops=0)
+        outcome = self.run(testbed, skype_trace, UDPInvalidChecksum(), ctx)
+        assert outcome.evaded
+        assert outcome.inert_reached_server  # reaches, then the OS drops it
+
+
+class TestAgainstGFC:
+    def test_rst_before_match_works(self, gfc, censored_trace):
+        ctx = context_for(gfc, censored_trace, b"GET", b"economist.com")
+        outcome = ReplaySession(gfc, censored_trace).run(
+            technique=RSTBeforeMatch(), context=ctx
+        )
+        assert outcome.evaded
+
+    def test_rst_after_match_fails(self, gfc, censored_trace):
+        ctx = context_for(gfc, censored_trace, b"GET", b"economist.com")
+        outcome = ReplaySession(gfc, censored_trace, server_port=8201).run(
+            technique=RSTAfterMatch(), context=ctx
+        )
+        assert outcome.differentiated
+
+    def test_pause_before_match_busy_hours_only(self, censored_trace):
+        from repro.envs.gfc import make_gfc
+
+        # Busy hour: flush happens within 150 s.
+        busy = make_gfc()
+        busy.clock.at_hour(14)
+        ctx = context_for(busy, censored_trace, b"GET", b"economist.com", flush_wait_seconds=150.0)
+        outcome = ReplaySession(busy, censored_trace).run(
+            technique=PauseBeforeMatch(), context=ctx
+        )
+        assert outcome.evaded
+        # Quiet hour: state never flushes within the probe ceiling.
+        quiet = make_gfc()
+        quiet.clock.at_hour(3)
+        ctx = context_for(quiet, censored_trace, b"GET", b"economist.com", flush_wait_seconds=240.0)
+        outcome = ReplaySession(quiet, censored_trace).run(
+            technique=PauseBeforeMatch(), context=ctx
+        )
+        assert not outcome.evaded
+
+    def test_wrong_tcp_checksum_changes_classification_but_breaks_flow(
+        self, gfc, censored_trace
+    ):
+        """Footnote 4: the checksum gets corrected en route, so the inert
+        packet reaches the server as valid data."""
+        ctx = context_for(gfc, censored_trace, b"GET", b"economist.com")
+        outcome = ReplaySession(gfc, censored_trace, server_port=8202).run(
+            technique=WrongTCPChecksum(), context=ctx
+        )
+        assert not outcome.differentiated  # CC = Y
+        assert outcome.inert_reached_server  # RS = Y (normalized checksum)
+        assert not outcome.delivered_ok  # ... which corrupts the stream
+
+
+class TestAgainstIran:
+    def test_split_evades_per_packet_classifier(self, iran, iran_trace):
+        ctx = context_for(iran, iran_trace, b"facebook.com", inspects_all_packets=True)
+        outcome = ReplaySession(iran, iran_trace).run(technique=TCPSegmentSplit(), context=ctx)
+        assert outcome.evaded
+
+    def test_inert_insertion_fails(self, iran, iran_trace):
+        ctx = context_for(iran, iran_trace, b"facebook.com", inspects_all_packets=True)
+        outcome = ReplaySession(iran, iran_trace).run(technique=LowTTLInert(), context=ctx)
+        assert outcome.differentiated
+
+    def test_fragments_dropped_before_classifier(self, iran, iran_trace):
+        ctx = context_for(iran, iran_trace, b"facebook.com", inspects_all_packets=True)
+        outcome = ReplaySession(iran, iran_trace).run(technique=IPFragmentation(), context=ctx)
+        assert not outcome.delivered_ok  # the network eats fragments (§6.6)
+
+
+class TestOverheadModel:
+    def test_inert_overhead_small(self):
+        ctx = EvasionContext()
+        for name in ("ip-low-ttl", "tcp-wrong-checksum", "ip-invalid-options"):
+            overhead = techniques_by_name()[name].estimated_overhead(ctx)
+            assert overhead.packets <= 5  # §5.3: k always less than 5
+
+    def test_flushing_overhead_in_paper_range(self):
+        ctx = EvasionContext()
+        overhead = PauseAfterMatch().estimated_overhead(ctx)
+        assert 40 <= overhead.seconds <= 240
+
+    def test_reorder_costs_nothing_extra(self):
+        assert UDPReorder().estimated_overhead(EvasionContext()).packets == 0

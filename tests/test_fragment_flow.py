@@ -1,0 +1,113 @@
+"""Unit tests for IP fragmentation/reassembly and flow keys."""
+
+import pytest
+
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.fragment import fragment_packet, reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPSegment
+from repro.packets.udp import UDPDatagram
+
+
+def big_packet(payload=b"x" * 100):
+    return IPPacket(
+        src="10.0.0.1",
+        dst="10.0.0.2",
+        transport=TCPSegment(sport=1, dport=80, seq=5, payload=payload),
+    )
+
+
+class TestFragmentation:
+    def test_fragments_cover_payload(self):
+        packet = big_packet()
+        fragments = fragment_packet(packet, 32)
+        assert len(fragments) > 1
+        total = sum(
+            len(f.transport) for f in fragments if isinstance(f.transport, bytes)
+        )
+        assert total == packet.wire_length() - packet.header_length
+
+    def test_offsets_are_8_byte_units(self):
+        for fragment in fragment_packet(big_packet(), 32):
+            assert fragment.frag_offset % 1 == 0  # stored in units already
+        offsets = [f.frag_offset for f in fragment_packet(big_packet(), 32)]
+        assert offsets == sorted(offsets)
+
+    def test_last_fragment_has_no_mf(self):
+        fragments = fragment_packet(big_packet(), 32)
+        assert not fragments[-1].mf
+        assert all(f.mf for f in fragments[:-1])
+
+    def test_small_packet_unfragmented(self):
+        packet = big_packet(b"x")
+        assert fragment_packet(packet, 1000) == [packet]
+
+    def test_df_refuses(self):
+        packet = big_packet()
+        packet.df = True
+        with pytest.raises(ValueError):
+            fragment_packet(packet, 32)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            fragment_packet(big_packet(), 4)
+
+
+class TestReassembly:
+    def test_in_order(self):
+        packet = big_packet()
+        whole = reassemble_fragments(fragment_packet(packet, 32))
+        assert whole is not None
+        assert whole.tcp is not None
+        assert whole.tcp.payload == packet.tcp.payload
+
+    def test_out_of_order(self):
+        packet = big_packet()
+        fragments = fragment_packet(packet, 24)
+        whole = reassemble_fragments(list(reversed(fragments)))
+        assert whole is not None
+        assert whole.tcp.payload == packet.tcp.payload
+
+    def test_missing_fragment_returns_none(self):
+        fragments = fragment_packet(big_packet(), 24)
+        assert reassemble_fragments(fragments[:-1]) is None
+        assert reassemble_fragments(fragments[1:]) is None
+
+    def test_empty_returns_none(self):
+        assert reassemble_fragments([]) is None
+
+    def test_udp_reassembles_typed(self):
+        packet = IPPacket(
+            src="10.0.0.1",
+            dst="10.0.0.2",
+            transport=UDPDatagram(sport=1, dport=53, payload=b"u" * 64),
+        )
+        whole = reassemble_fragments(fragment_packet(packet, 24))
+        assert whole is not None and whole.udp is not None
+        assert whole.udp.payload == b"u" * 64
+
+
+class TestFiveTuple:
+    def test_of_tcp_packet(self):
+        ft = FiveTuple.of(big_packet())
+        assert ft == FiveTuple("10.0.0.1", 1, "10.0.0.2", 80, 6)
+
+    def test_of_non_transport_is_none(self):
+        packet = IPPacket(src="1.1.1.1", dst="2.2.2.2", transport=b"raw")
+        assert FiveTuple.of(packet) is None
+
+    def test_normalized_symmetric(self):
+        ft = FiveTuple("10.0.0.9", 999, "10.0.0.2", 80, 6)
+        assert ft.normalized() == ft.reversed.normalized()
+
+    def test_reversed(self):
+        ft = FiveTuple("a.b.c.d", 1, "e.f.g.h", 2, 17)
+        assert ft.reversed.src == "e.f.g.h"
+        assert ft.reversed.reversed == ft
+
+    def test_direction_reversed(self):
+        assert Direction.CLIENT_TO_SERVER.reversed is Direction.SERVER_TO_CLIENT
+        assert Direction.SERVER_TO_CLIENT.reversed is Direction.CLIENT_TO_SERVER
+
+    def test_direction_str(self):
+        assert str(Direction.CLIENT_TO_SERVER) == "c2s"

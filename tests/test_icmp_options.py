@@ -1,0 +1,86 @@
+"""Unit tests for ICMP messages and IP option constructors."""
+
+import pytest
+
+from repro.packets.icmp import (
+    ICMP_TIME_EXCEEDED,
+    ICMPMessage,
+    icmp_time_exceeded,
+)
+from repro.packets.options import (
+    DEPRECATED_OPTION_TYPES,
+    deprecated_ip_option,
+    invalid_ip_option,
+    nop_padding,
+    options_are_wellformed,
+    options_contain_deprecated,
+    pad_options,
+    record_route_option,
+)
+
+
+class TestICMP:
+    def test_roundtrip(self):
+        message = ICMPMessage(icmp_type=8, code=0, rest=b"\x00\x01\x00\x02", payload=b"ping")
+        parsed = ICMPMessage.from_bytes(message.to_bytes())
+        assert parsed.icmp_type == 8
+        assert parsed.rest == b"\x00\x01\x00\x02"
+        assert parsed.payload == b"ping"
+
+    def test_time_exceeded_builder(self):
+        original = bytes(range(40))
+        message = icmp_time_exceeded(original)
+        assert message.icmp_type == ICMP_TIME_EXCEEDED
+        assert message.is_time_exceeded
+        assert message.payload == original[:28]
+
+    def test_rest_length_enforced(self):
+        with pytest.raises(ValueError):
+            ICMPMessage(rest=b"\x00")
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            ICMPMessage.from_bytes(b"\x0b\x00")
+
+    def test_wire_length(self):
+        assert ICMPMessage(payload=b"abc").wire_length() == 11
+
+
+class TestOptions:
+    def test_nop_padding(self):
+        assert nop_padding(4) == b"\x01\x01\x01\x01"
+
+    def test_nop_padding_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nop_padding(-1)
+
+    def test_record_route_wellformed(self):
+        assert options_are_wellformed(record_route_option())
+
+    def test_record_route_slot_bounds(self):
+        with pytest.raises(ValueError):
+            record_route_option(slots=10)
+
+    def test_invalid_option_malformed(self):
+        assert not options_are_wellformed(invalid_ip_option())
+
+    def test_deprecated_option_wellformed_but_deprecated(self):
+        option = deprecated_ip_option()
+        assert options_are_wellformed(option)
+        assert options_contain_deprecated(option)
+
+    def test_nop_not_deprecated(self):
+        assert not options_contain_deprecated(nop_padding())
+
+    def test_pad_options_multiple_of_four(self):
+        assert len(pad_options(b"\x01\x01\x01")) == 4
+        assert pad_options(b"") == b""
+
+    def test_deprecated_type_constants(self):
+        assert 136 in DEPRECATED_OPTION_TYPES  # Stream ID (RFC 6814)
+
+    def test_eol_terminates_walk(self):
+        assert options_are_wellformed(b"\x00\xff\xff")  # junk after EOL ignored
+
+    def test_length_overrun_detected(self):
+        assert not options_are_wellformed(b"\x07\x40")  # claims 64 bytes

@@ -1,0 +1,131 @@
+"""Unit tests for IPv4 packet construction, parsing and validity predicates."""
+
+import pytest
+
+from repro.packets.ip import IPPacket, IPProto
+from repro.packets.options import deprecated_ip_option, invalid_ip_option, nop_padding
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+
+def make_packet(**kwargs):
+    defaults = dict(
+        src="10.0.0.1",
+        dst="10.0.0.2",
+        transport=TCPSegment(sport=1234, dport=80, seq=7, payload=b"hello"),
+    )
+    defaults.update(kwargs)
+    return IPPacket(**defaults)
+
+
+class TestSerialization:
+    def test_roundtrip_tcp(self):
+        packet = make_packet()
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.src == "10.0.0.1"
+        assert parsed.dst == "10.0.0.2"
+        assert parsed.tcp is not None
+        assert parsed.tcp.payload == b"hello"
+        assert parsed.effective_protocol == IPProto.TCP
+
+    def test_roundtrip_udp(self):
+        packet = make_packet(transport=UDPDatagram(sport=1, dport=53, payload=b"q"))
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.udp is not None
+        assert parsed.udp.payload == b"q"
+
+    def test_header_checksum_auto(self):
+        parsed = IPPacket.from_bytes(make_packet().to_bytes())
+        assert parsed.has_valid_checksum()
+
+    def test_tcp_checksum_auto(self):
+        parsed = IPPacket.from_bytes(make_packet().to_bytes())
+        assert parsed.tcp.verify_checksum(parsed.src, parsed.dst)
+
+    def test_total_length_auto(self):
+        packet = make_packet()
+        assert packet.effective_total_length == packet.wire_length()
+
+    def test_options_padded_into_ihl(self):
+        packet = make_packet(options=nop_padding(3))
+        assert packet.effective_ihl == 6  # 20 + 4 bytes of options
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.has_valid_ihl()
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            IPPacket.from_bytes(b"\x45\x00")
+
+    def test_ttl_serialized(self):
+        parsed = IPPacket.from_bytes(make_packet(ttl=3).to_bytes())
+        assert parsed.ttl == 3
+
+
+class TestValidityPredicates:
+    def test_valid_packet_passes_everything(self):
+        packet = make_packet()
+        assert packet.has_valid_version()
+        assert packet.has_valid_ihl()
+        assert packet.has_valid_total_length()
+        assert packet.has_valid_checksum()
+        assert packet.has_wellformed_options()
+        assert not packet.has_deprecated_options()
+        assert packet.has_known_protocol()
+
+    def test_invalid_version(self):
+        assert not make_packet(version=6).has_valid_version()
+
+    def test_invalid_ihl(self):
+        assert not make_packet(ihl=3).has_valid_ihl()
+
+    def test_total_length_long(self):
+        packet = make_packet()
+        packet.total_length = packet.wire_length() + 100
+        assert packet.total_length_too_long()
+        assert not packet.has_valid_total_length()
+
+    def test_total_length_short(self):
+        packet = make_packet()
+        packet.total_length = packet.wire_length() - 10
+        assert packet.total_length_too_short()
+
+    def test_wrong_checksum(self):
+        assert not make_packet(checksum=0xBEEF).has_valid_checksum()
+
+    def test_invalid_options_detected(self):
+        assert not make_packet(options=invalid_ip_option()).has_wellformed_options()
+
+    def test_deprecated_options_detected(self):
+        packet = make_packet(options=deprecated_ip_option())
+        assert packet.has_wellformed_options()
+        assert packet.has_deprecated_options()
+
+    def test_unknown_protocol(self):
+        assert not make_packet(protocol=0xFD).has_known_protocol()
+
+    def test_protocol_mismatch(self):
+        packet = make_packet(protocol=17)  # UDP number on a TCP payload
+        assert not packet.protocol_matches_transport()
+
+
+class TestAccessors:
+    def test_tcp_accessor(self):
+        assert make_packet().tcp is not None
+        assert make_packet().udp is None
+
+    def test_app_payload(self):
+        assert make_packet().app_payload == b"hello"
+
+    def test_fragment_flag(self):
+        assert make_packet(mf=True).is_fragment
+        assert make_packet(frag_offset=10).is_fragment
+        assert not make_packet().is_fragment
+
+    def test_copy_is_deep_for_transport(self):
+        packet = make_packet()
+        clone = packet.copy()
+        clone.tcp.payload = b"other"
+        assert packet.tcp.payload == b"hello"
+
+    def test_copy_applies_changes(self):
+        assert make_packet().copy(ttl=9).ttl == 9

@@ -1,0 +1,33 @@
+"""Tests for middlebox localization via TTL probes (§5.2)."""
+
+from repro.core.localization import locate_middlebox
+
+
+class TestLocalization:
+    def test_testbed_zero_hops(self, testbed, classified_trace):
+        hops, rounds = locate_middlebox(testbed, classified_trace)
+        assert hops == 0
+        assert rounds >= 1
+
+    def test_tmobile_two_hops(self, tmobile, video_trace):
+        hops, _ = locate_middlebox(tmobile, video_trace)
+        assert hops == 2
+
+    def test_gfc_nine_hops(self, gfc, censored_trace):
+        """TTL=10 reaches the GFC (§6.5) — nine decrementing hops out."""
+        hops, _ = locate_middlebox(gfc, censored_trace)
+        assert hops == 9
+
+    def test_iran_seven_hops(self, iran, iran_trace):
+        """"The classifier is eight hops away" — probes with TTL 8 reach it."""
+        hops, _ = locate_middlebox(iran, iran_trace)
+        assert hops == 7
+
+    def test_sprint_nothing_found(self, sprint, video_trace):
+        hops, rounds = locate_middlebox(sprint, video_trace, max_ttl=6)
+        assert hops is None
+        assert rounds == 6
+
+    def test_rounds_scale_with_distance(self, gfc, censored_trace):
+        _, rounds = locate_middlebox(gfc, censored_trace)
+        assert rounds == 10  # one probe per TTL until the signal fires

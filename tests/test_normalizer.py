@@ -1,0 +1,156 @@
+"""Unit tests for the norm-style traffic normalizer."""
+
+import pytest
+
+from repro.endpoint.rawclient import SegmentPlan
+from repro.middlebox.normalizer import TrafficNormalizer
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.packets.flow import Direction
+from repro.packets.fragment import fragment_packet
+from repro.packets.ip import IPPacket
+from repro.packets.options import deprecated_ip_option
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+CLIENT, SERVER = "10.1.0.2", "203.0.113.50"
+
+
+def ctx():
+    return TransitContext(
+        clock=VirtualClock(), inject_back=lambda p: None, inject_forward=lambda p: None
+    )
+
+
+class Feeder:
+    def __init__(self, normalizer):
+        self.normalizer = normalizer
+        self.ctx = ctx()
+        self.seq = 1_000
+
+    def syn(self, sport=40_600):
+        segment = TCPSegment(sport=sport, dport=80, seq=self.seq, flags=TCPFlags.SYN)
+        out = self.normalizer.process(
+            IPPacket(src=CLIENT, dst=SERVER, transport=segment),
+            Direction.CLIENT_TO_SERVER,
+            self.ctx,
+        )
+        self.seq += 1
+        return out
+
+    def data(self, payload, seq=None, sport=40_600, **overrides):
+        fields = dict(
+            sport=sport, dport=80, seq=self.seq if seq is None else seq, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=payload,
+        )
+        fields.update(overrides)
+        segment = TCPSegment(**fields)
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+        out = self.normalizer.process(packet, Direction.CLIENT_TO_SERVER, self.ctx)
+        if seq is None:
+            self.seq += len(payload)
+        return out
+
+
+class TestValidation:
+    def test_drops_bad_checksums(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        assert feeder.data(b"junk", checksum=0xDEAD, seq=feeder.seq) == []
+        assert normalizer.dropped
+
+    def test_drops_invalid_flags(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        assert feeder.data(b"junk", flags=TCPFlags.SYN | TCPFlags.FIN, seq=feeder.seq) == []
+
+    def test_drops_wrong_protocol(self):
+        normalizer = TrafficNormalizer()
+        packet = IPPacket(
+            src=CLIENT,
+            dst=SERVER,
+            transport=TCPSegment(sport=1, dport=80, seq=1, payload=b"x"),
+            protocol=0xFD,
+        )
+        assert normalizer.process(packet, Direction.CLIENT_TO_SERVER, ctx()) == []
+
+
+class TestScrubbing:
+    def test_raises_low_ttl(self):
+        normalizer = TrafficNormalizer(min_ttl=32, coalesce=False)
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        segment = TCPSegment(
+            sport=40_600, dport=80, seq=feeder.seq, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"x",
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment, ttl=3)
+        (out,) = normalizer.process(packet, Direction.CLIENT_TO_SERVER, ctx())
+        assert out.ttl == 32
+
+    def test_strips_options(self):
+        normalizer = TrafficNormalizer(coalesce=False)
+        segment = TCPSegment(sport=40_600, dport=80, seq=9, flags=TCPFlags.ACK, payload=b"")
+        packet = IPPacket(
+            src=CLIENT, dst=SERVER, transport=segment, options=deprecated_ip_option()
+        )
+        (out,) = normalizer.process(packet, Direction.CLIENT_TO_SERVER, ctx())
+        assert out.padded_options == b""
+        assert out.has_valid_ihl()
+
+    def test_server_direction_untouched(self):
+        normalizer = TrafficNormalizer()
+        segment = TCPSegment(sport=80, dport=40_600, seq=9, checksum=0xDEAD, payload=b"x")
+        packet = IPPacket(src=SERVER, dst=CLIENT, transport=segment, ttl=2)
+        assert normalizer.process(packet, Direction.SERVER_TO_CLIENT, ctx()) == [packet]
+
+
+class TestCoalescing:
+    def test_reorders_to_in_order(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        base = feeder.seq
+        assert feeder.data(b"world", seq=base + 5) == []  # held
+        out = feeder.data(b"hello", seq=base)
+        stream = b"".join(p.tcp.payload for p in out)
+        assert stream == b"helloworld"
+        seqs = [p.tcp.seq for p in out]
+        assert seqs == sorted(seqs)
+
+    def test_duplicates_suppressed(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        base = feeder.seq
+        feeder.data(b"abc", seq=base)
+        assert feeder.data(b"abc", seq=base) == []  # pure retransmit
+
+    def test_fragments_reassembled(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        segment = TCPSegment(
+            sport=40_600, dport=80, seq=feeder.seq, ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"F" * 100,
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+        outputs = []
+        for fragment in fragment_packet(packet, 40):
+            outputs += normalizer.process(fragment, Direction.CLIENT_TO_SERVER, ctx_ := feeder.ctx)
+        assert b"".join(p.tcp.payload for p in outputs) == b"F" * 100
+        assert all(not p.is_fragment for p in outputs)
+
+    def test_untracked_flow_passes_through(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        out = feeder.data(b"mid-flow")  # no SYN seen
+        assert len(out) == 1
+
+    def test_reset(self):
+        normalizer = TrafficNormalizer()
+        feeder = Feeder(normalizer)
+        feeder.syn()
+        normalizer.reset()
+        assert normalizer._flows == {}

@@ -1,0 +1,136 @@
+"""Unit tests for the per-OS validation profiles (Table 3 rightmost columns)."""
+
+import pytest
+
+from repro.endpoint.osmodel import ALL_OS_PROFILES, LINUX, MACOS, WINDOWS, Verdict
+from repro.packets.ip import IPPacket
+from repro.packets.options import deprecated_ip_option, invalid_ip_option
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+
+def ip_packet(**kwargs):
+    defaults = dict(
+        src="10.0.0.1",
+        dst="10.0.0.2",
+        transport=TCPSegment(sport=1, dport=80, seq=500, payload=b"x"),
+    )
+    defaults.update(kwargs)
+    return IPPacket(**defaults)
+
+
+class TestIPVerdicts:
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_clean_packet_delivered(self, profile):
+        assert profile.verdict_for_ip(ip_packet()) is Verdict.DELIVER
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_mandatory_drops(self, profile):
+        assert profile.verdict_for_ip(ip_packet(version=6)) is Verdict.DROP
+        assert profile.verdict_for_ip(ip_packet(ihl=3)) is Verdict.DROP
+        assert profile.verdict_for_ip(ip_packet(checksum=0xBEEF)) is Verdict.DROP
+        assert profile.verdict_for_ip(ip_packet(protocol=0xFD)) is Verdict.DROP
+        long_packet = ip_packet()
+        long_packet.total_length = long_packet.wire_length() + 77
+        assert profile.verdict_for_ip(long_packet) is Verdict.DROP
+
+    def test_invalid_options_linux_delivers(self):
+        packet = ip_packet(options=invalid_ip_option())
+        assert LINUX.verdict_for_ip(packet) is Verdict.DELIVER
+        assert MACOS.verdict_for_ip(packet) is Verdict.DELIVER
+
+    def test_invalid_options_windows_drops(self):
+        packet = ip_packet(options=invalid_ip_option())
+        assert WINDOWS.verdict_for_ip(packet) is Verdict.DROP
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_deprecated_options_delivered_everywhere(self, profile):
+        packet = ip_packet(options=deprecated_ip_option())
+        assert profile.verdict_for_ip(packet) is Verdict.DELIVER
+
+
+class TestTCPVerdicts:
+    def segment(self, **kwargs):
+        defaults = dict(sport=1, dport=80, seq=500, flags=TCPFlags.ACK | TCPFlags.PSH, payload=b"x")
+        defaults.update(kwargs)
+        return TCPSegment(**defaults)
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_bad_checksum_dropped(self, profile):
+        segment = self.segment(checksum=0xDEAD)
+        packet = ip_packet(transport=segment)
+        assert profile.verdict_for_tcp(packet, segment, expected_seq=500) is Verdict.DROP
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_bad_data_offset_dropped(self, profile):
+        segment = self.segment(data_offset=15)
+        packet = ip_packet(transport=segment)
+        assert profile.verdict_for_tcp(packet, segment, expected_seq=500) is Verdict.DROP
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_missing_ack_dropped(self, profile):
+        segment = self.segment(flags=TCPFlags.PSH)
+        packet = ip_packet(transport=segment)
+        assert profile.verdict_for_tcp(packet, segment, expected_seq=500) is Verdict.DROP
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_wild_seq_dropped(self, profile):
+        segment = self.segment(seq=500 + 0x30000000)
+        packet = ip_packet(transport=segment)
+        assert profile.verdict_for_tcp(packet, segment, expected_seq=500) is Verdict.DROP
+
+    def test_invalid_flags_linux_macos_drop(self):
+        segment = self.segment(flags=TCPFlags.SYN | TCPFlags.FIN | TCPFlags.ACK)
+        packet = ip_packet(transport=segment)
+        assert LINUX.verdict_for_tcp(packet, segment, 500) is Verdict.DROP
+        assert MACOS.verdict_for_tcp(packet, segment, 500) is Verdict.DROP
+
+    def test_invalid_flags_windows_rsts(self):
+        segment = self.segment(flags=TCPFlags.SYN | TCPFlags.FIN | TCPFlags.ACK)
+        packet = ip_packet(transport=segment)
+        assert WINDOWS.verdict_for_tcp(packet, segment, 500) is Verdict.RST
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_clean_segment_delivered(self, profile):
+        segment = self.segment()
+        packet = ip_packet(transport=segment)
+        assert profile.verdict_for_tcp(packet, segment, expected_seq=500) is Verdict.DELIVER
+
+
+class TestUDPVerdicts:
+    def datagram(self, **kwargs):
+        defaults = dict(sport=1, dport=53, payload=b"payload-bytes")
+        defaults.update(kwargs)
+        return UDPDatagram(**defaults)
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_bad_checksum_dropped(self, profile):
+        datagram = self.datagram(checksum=0xDEAD)
+        packet = ip_packet(transport=datagram)
+        assert profile.verdict_for_udp(packet, datagram) is Verdict.DROP
+
+    @pytest.mark.parametrize("profile", ALL_OS_PROFILES, ids=lambda p: p.name)
+    def test_length_long_dropped(self, profile):
+        datagram = self.datagram()
+        datagram.length = datagram.wire_length() + 9
+        packet = ip_packet(transport=datagram)
+        assert profile.verdict_for_udp(packet, datagram) is Verdict.DROP
+
+    def test_length_short_linux_truncates(self):
+        datagram = self.datagram()
+        datagram.length = datagram.wire_length() - 4
+        packet = ip_packet(transport=datagram)
+        assert LINUX.verdict_for_udp(packet, datagram) is Verdict.DELIVER_TRUNCATED
+
+    def test_length_short_macos_windows_drop(self):
+        datagram = self.datagram()
+        datagram.length = datagram.wire_length() - 4
+        packet = ip_packet(transport=datagram)
+        assert MACOS.verdict_for_udp(packet, datagram) is Verdict.DROP
+        assert WINDOWS.verdict_for_udp(packet, datagram) is Verdict.DROP
+
+    def test_length_below_header_dropped_even_on_linux(self):
+        datagram = self.datagram()
+        datagram.length = 4
+        packet = ip_packet(transport=datagram)
+        assert LINUX.verdict_for_udp(packet, datagram) is Verdict.DROP

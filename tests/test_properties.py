@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import MatchingField
+from repro.core.evasion.splitting import pieces_from_cuts, split_points
+from repro.netsim.clock import VirtualClock
+from repro.netsim.shaper import TokenBucket
+from repro.packets.checksum import internet_checksum, verify_checksum
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.fragment import fragment_packet, reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+from repro.traffic.trace import Trace, TracePacket, invert_bits
+
+payloads = st.binary(min_size=0, max_size=512)
+small_payloads = st.binary(min_size=1, max_size=128)
+ports = st.integers(min_value=1, max_value=65_535)
+
+
+class TestChecksumProperties:
+    @given(payloads)
+    def test_checksum_then_verify(self, data):
+        csum = internet_checksum(data + b"\x00\x00")
+        if len(data) % 2:
+            data += b"\x00"
+        assert verify_checksum(data + csum.to_bytes(2, "big"))
+
+    @given(payloads)
+    def test_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestInvertProperties:
+    @given(payloads)
+    def test_involution(self, data):
+        assert invert_bits(invert_bits(data)) == data
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_always_differs(self, data):
+        assert invert_bits(data) != data
+
+
+class TestPacketRoundtrip:
+    @given(small_payloads, ports, ports, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_tcp_roundtrip(self, payload, sport, dport, seq):
+        packet = IPPacket(
+            src="10.0.0.1",
+            dst="10.0.0.2",
+            transport=TCPSegment(sport=sport, dport=dport, seq=seq, payload=payload),
+        )
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.tcp is not None
+        assert parsed.tcp.payload == payload
+        assert parsed.tcp.seq == seq
+        assert parsed.has_valid_checksum()
+        assert parsed.tcp.verify_checksum(parsed.src, parsed.dst)
+
+    @given(small_payloads, ports, ports)
+    def test_udp_roundtrip(self, payload, sport, dport):
+        packet = IPPacket(
+            src="192.0.2.1",
+            dst="192.0.2.2",
+            transport=UDPDatagram(sport=sport, dport=dport, payload=payload),
+        )
+        parsed = IPPacket.from_bytes(packet.to_bytes())
+        assert parsed.udp is not None
+        assert parsed.udp.payload == payload
+        assert parsed.udp.verify_checksum(parsed.src, parsed.dst)
+
+
+class TestFragmentProperties:
+    @given(
+        st.binary(min_size=30, max_size=400),
+        st.integers(min_value=8, max_value=64),
+        st.randoms(use_true_random=False),
+    )
+    def test_fragment_reassemble_any_order(self, payload, size, rng):
+        packet = IPPacket(
+            src="10.0.0.1",
+            dst="10.0.0.2",
+            transport=TCPSegment(sport=1, dport=2, seq=3, payload=payload),
+        )
+        fragments = fragment_packet(packet, size)
+        rng.shuffle(fragments)
+        whole = reassemble_fragments(fragments)
+        assert whole is not None
+        assert whole.tcp is not None
+        assert whole.tcp.payload == payload
+
+    @given(st.binary(min_size=30, max_size=200), st.integers(min_value=8, max_value=40))
+    def test_incomplete_never_reassembles(self, payload, size):
+        packet = IPPacket(
+            src="10.0.0.1",
+            dst="10.0.0.2",
+            transport=TCPSegment(sport=1, dport=2, payload=payload),
+        )
+        fragments = fragment_packet(packet, size)
+        if len(fragments) > 1:
+            assert reassemble_fragments(fragments[:-1]) is None
+
+
+class TestTraceProperties:
+    traces = st.lists(
+        st.tuples(st.sampled_from([Direction.CLIENT_TO_SERVER, Direction.SERVER_TO_CLIENT]), payloads),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(traces)
+    def test_json_roundtrip(self, spec):
+        trace = Trace(
+            name="prop",
+            protocol="tcp",
+            server_port=80,
+            packets=[TracePacket(direction, payload) for direction, payload in spec],
+        )
+        restored = Trace.from_json(trace.to_json())
+        assert restored.client_bytes() == trace.client_bytes()
+        assert restored.server_bytes() == trace.server_bytes()
+
+    @given(traces)
+    def test_inverted_preserves_structure(self, spec):
+        trace = Trace(
+            name="prop",
+            protocol="tcp",
+            server_port=80,
+            packets=[TracePacket(direction, payload) for direction, payload in spec],
+        )
+        inverted = trace.inverted()
+        assert len(inverted.packets) == len(trace.packets)
+        assert inverted.total_bytes() == trace.total_bytes()
+        assert inverted.inverted().client_bytes() == trace.client_bytes()
+
+    @given(traces)
+    def test_replay_steps_monotone(self, spec):
+        trace = Trace(
+            name="prop",
+            protocol="tcp",
+            server_port=80,
+            packets=[TracePacket(direction, payload) for direction, payload in spec],
+        )
+        thresholds = [s.client_bytes_threshold for s in trace.replay_steps()]
+        assert thresholds == sorted(thresholds)
+
+
+class TestSplitProperties:
+    @given(st.binary(min_size=20, max_size=300), st.integers(min_value=2, max_value=12))
+    def test_pieces_reconstruct(self, message, budget):
+        field_start = len(message) // 4
+        field_end = min(field_start + 10, len(message))
+        fields = [
+            MatchingField(0, field_start, field_end, message[field_start:field_end])
+        ]
+        cuts = split_points(message, fields, budget)
+        pieces = pieces_from_cuts(message, cuts)
+        assert b"".join(data for _offset, data in pieces) == message
+        assert len(pieces) <= budget
+        offsets = [offset for offset, _data in pieces]
+        assert offsets == sorted(offsets)
+
+    @given(st.binary(min_size=20, max_size=300))
+    def test_cut_lands_inside_field(self, message):
+        field_start = 5
+        field_end = 15
+        fields = [MatchingField(0, field_start, field_end, message[field_start:field_end])]
+        cuts = split_points(message, fields, budget=10)
+        assert any(field_start < cut < field_end for cut in cuts)
+
+
+class TestTCPStackProperties:
+    @settings(deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.binary(min_size=1, max_size=600),
+        st.lists(st.integers(min_value=1, max_value=599), max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_reassembly_under_arbitrary_split_and_order(self, payload, cut_spec, rng):
+        """Whatever the segmentation and wire order, the stack delivers the
+        exact byte stream — the invariant every splitting/reordering evasion
+        relies on."""
+        from tests.conftest import CLIENT, make_direct_link
+        from repro.endpoint.rawclient import SegmentPlan
+
+        _clock, _path, stack, client = make_direct_link()
+        assert client.connect()
+        cuts = sorted({c for c in cut_spec if c < len(payload)})
+        bounds = [0, *cuts, len(payload)]
+        pieces = [
+            (bounds[i], payload[bounds[i] : bounds[i + 1]])
+            for i in range(len(bounds) - 1)
+            if bounds[i + 1] > bounds[i]
+        ]
+        rng.shuffle(pieces)
+        base = client.next_seq
+        for offset, data in pieces:
+            client.send_plan(SegmentPlan(payload=data, seq=base + offset))
+        assert stack.stream_for(CLIENT, client.sport, 80) == payload
+
+
+class TestTokenBucketProperties:
+    @settings(deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5_000), min_size=1, max_size=40),
+        st.floats(min_value=10_000, max_value=10_000_000),
+    )
+    def test_time_lower_bound(self, sizes, rate_bps):
+        """Virtual time charged is at least (bytes - burst) / rate."""
+        clock = VirtualClock()
+        bucket = TokenBucket(rate_bps=rate_bps, burst_bytes=4_000)
+        for size in sizes:
+            bucket.consume(size, clock)
+        minimum = max(sum(sizes) - 4_000, 0) / (rate_bps / 8)
+        assert clock.now >= minimum - 1e-6
+
+
+class TestFiveTupleProperties:
+    @given(ports, ports)
+    def test_normalization_idempotent(self, sport, dport):
+        ft = FiveTuple("10.0.0.1", sport, "10.0.0.2", dport, 6)
+        assert ft.normalized() == ft.normalized().normalized()
+        assert ft.normalized() == ft.reversed.normalized()

@@ -1,0 +1,108 @@
+"""Property-based tests of middlebox/classifier invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.middlebox.engine import ReassemblyMode
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+
+from tests.test_engine import Driver, GET, make_engine
+from tests.test_engine_modes import StreamDriver, split
+
+KEYWORD = b"video.example.com"
+settings_kwargs = dict(
+    deadline=None, max_examples=30, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def cuts_from(spec, message_len):
+    return sorted({c % (message_len - 1) + 1 for c in spec})
+
+
+class TestFullReassemblyInvariant:
+    @settings(**settings_kwargs)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10_000), max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_gfc_style_classifier_immune_to_split_and_order(self, cut_spec, rng):
+        """However the matching message is segmented and reordered, a fully
+        reassembling classifier always matches — the invariant behind the
+        GFC's N cells in the splitting/reordering rows."""
+        from repro.middlebox.validation import MiddleboxValidation
+
+        engine, _ = make_engine(
+            reassembly=ReassemblyMode.FULL,
+            inspect_packet_limit=None,
+            validation=MiddleboxValidation.extensive(),
+        )
+        driver = StreamDriver(engine)
+        driver.syn()
+        cuts = cuts_from(cut_spec, len(GET))
+        pieces = split(GET, *cuts)
+        rng.shuffle(pieces)
+        driver.pieces(pieces)
+        assert driver.classification() == "video"
+
+
+class TestPerPacketInvariant:
+    @settings(**settings_kwargs)
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=8))
+    def test_per_packet_classifier_matches_iff_keyword_contiguous(self, cut_spec):
+        """A per-packet matcher (anchor disabled) classifies exactly when
+        some single packet carries the whole keyword."""
+        engine, _ = make_engine(
+            reassembly=ReassemblyMode.PER_PACKET,
+            require_protocol_anchor=False,
+            inspect_packet_limit=None,
+            match_and_forget=False,
+        )
+        driver = StreamDriver(engine)
+        driver.syn()
+        cuts = cuts_from(cut_spec, len(GET))
+        pieces = split(GET, *cuts)
+        driver.pieces(pieces)
+        keyword_intact = any(KEYWORD in data for _offset, data in pieces)
+        assert (driver.classification() == "video") == keyword_intact
+
+
+class TestDeterminism:
+    @settings(**settings_kwargs)
+    @given(st.binary(min_size=1, max_size=200))
+    def test_same_payload_same_verdict(self, payload):
+        engine_a, _ = make_engine()
+        engine_b, _ = make_engine()
+        for engine in (engine_a, engine_b):
+            driver = Driver(engine)
+            driver.syn()
+            driver.data(payload)
+        a = engine_a.classification_of("10.1.0.2", 40_100, "203.0.113.50", 80)
+        b = engine_b.classification_of("10.1.0.2", 40_100, "203.0.113.50", 80)
+        assert a == b
+
+
+class TestBlindingInvariant:
+    @settings(deadline=None, max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=1, max_value=30))
+    def test_blinding_breaks_iff_region_touches_fields(self, start, width):
+        """Blinding a byte range removes classification exactly when the
+        range overlaps a matching field — the assumption the bisection's
+        round-saving deduction rests on."""
+        from repro.envs.testbed import make_testbed
+        from repro.traffic.trace import invert_bits
+
+        env = make_testbed()
+        trace = http_get_trace("video.example.com")
+        payload = trace.client_payloads()[0]
+        end = min(start + width, len(payload))
+        if end <= start:
+            return
+        blinded = payload[:start] + invert_bits(payload[start:end]) + payload[end:]
+        outcome = ReplaySession(env, trace.with_client_payloads([blinded])).run()
+        fields = [
+            (payload.find(b"GET"), payload.find(b"GET") + 3),
+            (payload.find(b"video.example.com"), payload.find(b"video.example.com") + 17),
+        ]
+        touches = any(start < f_end and end > f_start for f_start, f_end in fields)
+        assert outcome.differentiated == (not touches)

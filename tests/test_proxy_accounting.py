@@ -1,0 +1,205 @@
+"""Unit tests for the transparent proxy (AT&T) and the usage counter (T-Mobile)."""
+
+from repro.middlebox.accounting import UsageCounter
+from repro.middlebox.proxy import TransparentHTTPProxy
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+CLIENT, SERVER = "10.1.0.2", "203.0.113.50"
+GET = b"GET /v HTTP/1.1\r\nHost: video.example.com\r\n\r\n"
+VIDEO_RESPONSE = b"HTTP/1.1 200 OK\r\nContent-Type: video/mp4\r\n\r\n" + b"\x00" * 64
+
+
+def ctx():
+    return TransitContext(
+        clock=VirtualClock(), inject_back=lambda p: None, inject_forward=lambda p: None
+    )
+
+
+class ProxyDriver:
+    def __init__(self, proxy, sport=40_400, dport=80):
+        self.proxy = proxy
+        self.ctx = ctx()
+        self.sport, self.dport = sport, dport
+        self.seq = 1_000
+        self.forwarded = []
+
+    def send(self, segment_kwargs, direction=Direction.CLIENT_TO_SERVER, src=CLIENT, dst=SERVER):
+        segment = TCPSegment(**segment_kwargs)
+        packet = IPPacket(src=src, dst=dst, transport=segment)
+        out = self.proxy.process(packet, direction, self.ctx)
+        self.forwarded += out
+        return out
+
+    def syn(self):
+        self.send(dict(sport=self.sport, dport=self.dport, seq=self.seq, flags=TCPFlags.SYN))
+        self.seq += 1
+
+    def data(self, payload, seq=None, **overrides):
+        fields = dict(
+            sport=self.sport,
+            dport=self.dport,
+            seq=self.seq if seq is None else seq,
+            ack=1,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=payload,
+        )
+        fields.update(overrides)
+        out = self.send(fields)
+        if seq is None:
+            self.seq += len(payload)
+        return out
+
+    def server_data(self, payload, seq=5_000):
+        return self.send(
+            dict(sport=self.dport, dport=self.sport, seq=seq, ack=1,
+                 flags=TCPFlags.ACK | TCPFlags.PSH, payload=payload),
+            direction=Direction.SERVER_TO_CLIENT,
+            src=SERVER,
+            dst=CLIENT,
+        )
+
+
+class TestTransparentProxy:
+    def make(self):
+        policy = PolicyState()
+        return TransparentHTTPProxy(policy), policy
+
+    def key(self, driver):
+        return FiveTuple(CLIENT, driver.sport, SERVER, driver.dport, 6)
+
+    def test_classifies_after_both_sides_match(self):
+        proxy, policy = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        driver.data(GET)
+        assert policy.throttle_rate_for(self.key(driver)) is None  # server side pending
+        driver.server_data(VIDEO_RESPONSE)
+        assert policy.throttle_rate_for(self.key(driver)) == 1_500_000.0
+
+    def test_non_video_response_not_throttled(self):
+        proxy, policy = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        driver.data(GET)
+        driver.server_data(b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\nhi")
+        assert policy.throttle_rate_for(self.key(driver)) is None
+
+    def test_other_ports_tunneled(self):
+        proxy, policy = self.make()
+        driver = ProxyDriver(proxy, dport=8080)
+        driver.syn()
+        out = driver.data(GET)
+        assert out and out[0].tcp.payload == GET  # untouched
+        driver.server_data(VIDEO_RESPONSE)
+        assert not policy.throttled_flows
+
+    def test_normalizes_out_of_order(self):
+        proxy, policy = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        base = driver.seq
+        cut = 20
+        driver.data(GET[cut:], seq=base + cut)
+        out = driver.data(GET[:cut], seq=base)
+        stream = b"".join(p.tcp.payload for p in out)
+        assert stream == GET  # re-emitted in order
+        driver.server_data(VIDEO_RESPONSE)
+        assert policy.throttled_flows  # classification saw the whole stream
+
+    def test_drops_malformed(self):
+        proxy, _ = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        out = driver.data(b"junk", checksum=0xDEAD, seq=driver.seq)
+        assert out == []
+        assert proxy.dropped
+
+    def test_mid_flow_without_syn_dropped(self):
+        proxy, _ = self.make()
+        driver = ProxyDriver(proxy)
+        assert driver.data(GET) == []
+
+    def test_rst_closes(self):
+        proxy, _ = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        driver.send(dict(sport=driver.sport, dport=80, seq=driver.seq, flags=TCPFlags.RST))
+        assert driver.data(GET) == []
+
+    def test_fin_forwarded(self):
+        proxy, _ = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        driver.data(GET)
+        out = driver.send(
+            dict(
+                sport=driver.sport, dport=80, seq=driver.seq, ack=1,
+                flags=TCPFlags.FIN | TCPFlags.ACK,
+            )
+        )
+        assert any(p.tcp.flags & TCPFlags.FIN for p in out)
+
+    def test_non_tcp_tunneled(self):
+        proxy, _ = self.make()
+        packet = IPPacket(
+            src=CLIENT, dst=SERVER, transport=UDPDatagram(sport=1, dport=80, payload=b"u")
+        )
+        assert proxy.process(packet, Direction.CLIENT_TO_SERVER, ctx()) == [packet]
+
+    def test_reset(self):
+        proxy, _ = self.make()
+        driver = ProxyDriver(proxy)
+        driver.syn()
+        proxy.reset()
+        assert driver.data(GET) == []  # connection forgotten
+
+
+class TestUsageCounter:
+    def packet(self, payload=b"d" * 1000):
+        return IPPacket(
+            src=SERVER,
+            dst=CLIENT,
+            transport=TCPSegment(sport=80, dport=40_400, seq=1, payload=payload),
+        )
+
+    def test_counts_normal_traffic(self):
+        counter = UsageCounter(PolicyState(), noise_bytes=0)
+        counter.process(self.packet(), Direction.SERVER_TO_CLIENT, ctx())
+        assert counter.exact == 1000
+
+    def test_zero_rated_exempt(self):
+        policy = PolicyState()
+        counter = UsageCounter(policy, noise_bytes=0)
+        policy.zero_rate(FiveTuple.of(self.packet()))
+        counter.process(self.packet(), Direction.SERVER_TO_CLIENT, ctx())
+        assert counter.exact == 0
+
+    def test_read_includes_noise(self):
+        counter = UsageCounter(PolicyState(), noise_bytes=10_000, seed=7)
+        readings = [counter.read() for _ in range(5)]
+        assert readings == sorted(readings)  # monotone (cumulative noise)
+
+    def test_noise_bounded_per_read(self):
+        counter = UsageCounter(PolicyState(), noise_bytes=100, seed=1)
+        previous = counter.read()
+        for _ in range(50):
+            current = counter.read()
+            assert current - previous <= 100
+            previous = current
+
+    def test_acks_not_counted(self):
+        counter = UsageCounter(PolicyState(), noise_bytes=0)
+        counter.process(self.packet(payload=b""), Direction.SERVER_TO_CLIENT, ctx())
+        assert counter.exact == 0
+
+    def test_reset(self):
+        counter = UsageCounter(PolicyState(), noise_bytes=0)
+        counter.process(self.packet(), Direction.SERVER_TO_CLIENT, ctx())
+        counter.reset()
+        assert counter.exact == 0

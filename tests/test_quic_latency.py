@@ -1,0 +1,118 @@
+"""Tests for QUIC traffic (§6.2 footnote 10, §6.5) and the latency element."""
+
+import pytest
+
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.latency import LatencyElement
+from repro.netsim.shaper import PolicyState
+from repro.packets.flow import Direction, FiveTuple
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPSegment
+from repro.replay.session import ReplaySession
+from repro.traffic.quic import is_quic_initial, quic_initial, quic_video_trace
+
+
+class TestQUICGeneration:
+    def test_initial_is_recognizable(self):
+        assert is_quic_initial(quic_initial())
+
+    def test_non_quic_rejected(self):
+        assert not is_quic_initial(b"GET / HTTP/1.1")
+        assert not is_quic_initial(b"")
+
+    def test_initial_padded(self):
+        assert len(quic_initial()) >= 1100
+
+    def test_payload_is_opaque(self):
+        """No plaintext keywords — the point of QUIC vs. DPI."""
+        packet = quic_initial()
+        for keyword in (b"googlevideo", b"youtube", b"GET", b"Host"):
+            assert keyword not in packet
+
+    def test_deterministic(self):
+        assert quic_initial(seed=5) == quic_initial(seed=5)
+        assert quic_initial(seed=5) != quic_initial(seed=6)
+
+    def test_trace_shape(self):
+        trace = quic_video_trace(total_bytes=20_000)
+        assert trace.protocol == "udp"
+        assert trace.server_port == 443
+        assert sum(len(p) for p in trace.server_payloads()) >= 20_000
+
+
+class TestQUICEscapesClassifiers:
+    def test_tmobile_does_not_classify_quic(self, tmobile):
+        """§6.2: YouTube over QUIC is neither classified nor zero-rated."""
+        outcome = ReplaySession(tmobile, quic_video_trace(total_bytes=250_000)).run()
+        assert not outcome.differentiated
+        assert outcome.delivered_ok
+        assert tmobile.dpi().match_log == []
+
+    def test_gfc_does_not_classify_quic(self, gfc):
+        """§6.5: "users can view otherwise censored content ... simply by
+        using the QUIC protocol"."""
+        outcome = ReplaySession(gfc, quic_video_trace(total_bytes=30_000)).run()
+        assert not outcome.differentiated
+        assert outcome.rst_count == 0
+        assert outcome.delivered_ok
+
+    def test_testbed_stun_rule_ignores_quic(self, testbed):
+        outcome = ReplaySession(testbed, quic_video_trace(total_bytes=30_000)).run()
+        assert not outcome.differentiated
+
+
+class TestLatencyElement:
+    def packet(self):
+        return IPPacket(
+            src="10.1.0.2",
+            dst="203.0.113.50",
+            transport=TCPSegment(sport=40_000, dport=80, seq=1, payload=b"x"),
+        )
+
+    def ctx(self, clock):
+        return TransitContext(clock=clock, inject_back=lambda p: None, inject_forward=lambda p: None)
+
+    def test_base_delay_charged(self):
+        clock = VirtualClock()
+        element = LatencyElement(base_delay=0.01)
+        for _ in range(10):
+            element.process(self.packet(), Direction.CLIENT_TO_SERVER, self.ctx(clock))
+        assert clock.now == pytest.approx(0.1)
+        assert element.packets_delayed == 10
+
+    def test_deprioritized_flows_pay_extra(self):
+        clock = VirtualClock()
+        policy = PolicyState()
+        policy.throttle(FiveTuple.of(self.packet()), 1e6)
+        element = LatencyElement(
+            base_delay=0.001, deprioritized_extra=0.05, policy_state=policy
+        )
+        element.process(self.packet(), Direction.CLIENT_TO_SERVER, self.ctx(clock))
+        assert clock.now == pytest.approx(0.051)
+
+    def test_unmarked_flows_pay_base_only(self):
+        clock = VirtualClock()
+        element = LatencyElement(
+            base_delay=0.001, deprioritized_extra=0.05, policy_state=PolicyState()
+        )
+        element.process(self.packet(), Direction.CLIENT_TO_SERVER, self.ctx(clock))
+        assert clock.now == pytest.approx(0.001)
+
+    def test_zero_delay_is_free(self):
+        clock = VirtualClock()
+        element = LatencyElement(base_delay=0.0)
+        element.process(self.packet(), Direction.CLIENT_TO_SERVER, self.ctx(clock))
+        assert clock.now == 0.0
+        assert element.packets_delayed == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyElement(base_delay=-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        element = LatencyElement(base_delay=0.01)
+        element.process(self.packet(), Direction.CLIENT_TO_SERVER, self.ctx(clock))
+        element.reset()
+        assert element.packets_delayed == 0

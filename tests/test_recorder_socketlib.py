@@ -1,0 +1,161 @@
+"""Tests for trace recording (Figure 3 step 1) and the socket-library wrapper."""
+
+import pytest
+
+from repro.core.evasion.base import EvasionContext
+from repro.core.evasion.reordering import TCPSegmentReorder
+from repro.core.socketlib import LiberateSocket
+from repro.netsim.element import PacketTap
+from repro.replay.session import ReplaySession
+from repro.traffic.recorder import TraceRecorder
+
+
+@pytest.fixture
+def tapped_testbed(testbed):
+    tap = PacketTap("recording-tap")
+    testbed.path.elements.insert(0, tap)
+    yield testbed, tap
+    testbed.path.elements.remove(tap)
+
+
+class TestTraceRecorder:
+    def test_record_and_replay_roundtrip(self, tapped_testbed, neutral_trace):
+        env, tap = tapped_testbed
+        ReplaySession(env, neutral_trace).run()
+        recorder = TraceRecorder(tap)
+        flows = recorder.flows()
+        assert len(flows) == 1
+        recorded = recorder.record(flows[0], name="re-recorded")
+        assert recorded.client_bytes() == neutral_trace.client_bytes()
+        assert recorded.server_bytes() == neutral_trace.server_bytes()
+        assert recorded.server_port == neutral_trace.server_port
+
+    def test_recorded_trace_replays_with_same_classification(
+        self, tapped_testbed, classified_trace
+    ):
+        env, tap = tapped_testbed
+        original = ReplaySession(env, classified_trace).run()
+        recorded = TraceRecorder(tap).record(TraceRecorder(tap).flows()[0])
+        replayed = ReplaySession(env, recorded).run()
+        assert replayed.differentiated == original.differentiated
+
+    def test_udp_recording(self, tapped_testbed, skype_trace):
+        env, tap = tapped_testbed
+        ReplaySession(env, skype_trace).run()
+        recorder = TraceRecorder(tap)
+        flow = recorder.flows()[0]
+        recorded = recorder.record(flow)
+        assert recorded.protocol == "udp"
+        assert recorded.client_payloads() == skype_trace.client_payloads()
+
+    def test_retransmissions_deduplicated(self, tapped_testbed, neutral_trace):
+        env, tap = tapped_testbed
+        session = ReplaySession(env, neutral_trace)
+
+        class _Retransmitter:
+            name = "retransmit"
+
+            def apply(self, runner):
+                from repro.endpoint.rawclient import SegmentPlan
+
+                message = runner.client_messages[0]
+                start_seq = runner.client.next_seq
+                runner.send_message(message)
+                # retransmit the same bytes at the original seq
+                runner.client.send_plan(SegmentPlan(payload=message, seq=start_seq))
+
+        session.run(technique=_Retransmitter())
+        recorded = TraceRecorder(tap).record(TraceRecorder(tap).flows()[0])
+        assert recorded.client_bytes() == neutral_trace.client_bytes()
+
+    def test_multiple_flows_separated(self, tapped_testbed, neutral_trace, classified_trace):
+        env, tap = tapped_testbed
+        ReplaySession(env, neutral_trace).run()
+        ReplaySession(env, classified_trace).run()
+        recorder = TraceRecorder(tap)
+        assert len(recorder.flows()) == 2
+
+
+class TestLiberateSocket:
+    def setup_http_server(self, env):
+        from repro.endpoint.apps import HTTPServerApp
+        from repro.endpoint.tcpstack import TCPServerStack
+
+        app = HTTPServerApp()
+        app.add_page("video.example.com", "/", "video/mp4", b"MOVIE" * 10)
+        stack = TCPServerStack(env.server_addr, app=app)
+        env.path.server_endpoint = stack
+        return app
+
+    def test_plain_socket_gets_classified(self, testbed):
+        self.setup_http_server(testbed)
+        sock = LiberateSocket(testbed)
+        sock.connect()
+        sock.sendall(b"GET / HTTP/1.1\r\nHost: video.example.com\r\n\r\n")
+        sock.flush()
+        response = sock.recv()
+        assert b"200 OK" in response
+        dpi = testbed.dpi()
+        assert dpi.ever_matched(testbed.client_addr, sock._client.sport)
+
+    def test_evading_socket_not_classified(self, testbed):
+        from repro.core.report import MatchingField
+
+        self.setup_http_server(testbed)
+        request = b"GET / HTTP/1.1\r\nHost: video.example.com\r\n\r\n"
+        index = request.find(b"video.example.com")
+        context = EvasionContext(
+            matching_fields=[MatchingField(0, index, index + 17, b"video.example.com")],
+            middlebox_hops=0,
+        )
+        sock = LiberateSocket(testbed, technique=TCPSegmentReorder(), context=context)
+        sock.connect()
+        sock.sendall(request)
+        sock.flush()
+        response = sock.recv()
+        assert b"200 OK" in response  # application unaffected
+        assert not testbed.dpi().ever_matched(testbed.client_addr, sock._client.sport)
+
+    def test_context_manager(self, testbed):
+        self.setup_http_server(testbed)
+        with LiberateSocket(testbed) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\nHost: video.example.com\r\n\r\n")
+        assert not sock.connected
+
+    def test_send_before_connect_raises(self, testbed):
+        with pytest.raises(ConnectionError):
+            LiberateSocket(testbed).sendall(b"x")
+
+    def test_connect_refused_raises(self, gfc, censored_trace):
+        # Exhaust the GFC's tolerance for this server:port first.
+        for _ in range(2):
+            ReplaySession(gfc, censored_trace).run()
+        with pytest.raises(ConnectionError):
+            LiberateSocket(gfc, dport=80).connect()
+
+    def test_incremental_recv(self, testbed):
+        self.setup_http_server(testbed)
+        sock = LiberateSocket(testbed)
+        sock.connect()
+        sock.sendall(b"GET / HTTP/1.1\r\nHost: video.example.com\r\n\r\n")
+        sock.flush()
+        first = sock.recv()
+        assert first
+        assert sock.recv() == b""  # nothing new
+
+
+class TestRandomizedBlindingFallback:
+    def test_random_mode_finds_same_fields(self, testbed, classified_trace):
+        from repro.core.characterization import Characterizer
+
+        inverted = Characterizer(testbed, classified_trace, blind_mode="invert")
+        randomized = Characterizer(testbed, classified_trace, blind_mode="random")
+        fields_a = [f.content for f in inverted.find_matching_fields()]
+        fields_b = [f.content for f in randomized.find_matching_fields()]
+        assert fields_a == fields_b
+
+    def test_mode_validated(self, testbed, classified_trace):
+        from repro.core.characterization import Characterizer
+
+        with pytest.raises(ValueError):
+            Characterizer(testbed, classified_trace, blind_mode="zeroes")

@@ -1,0 +1,158 @@
+"""Unit tests for report types, rules, and policy objects."""
+
+import pytest
+
+from repro.core.report import (
+    CharacterizationReport,
+    DetectionReport,
+    EvasionReport,
+    LiberateReport,
+    MatchingField,
+    TechniqueResult,
+)
+from repro.middlebox.policy import BlockBehavior, PolicyAction, RulePolicy
+from repro.middlebox.rules import MatchRule
+
+
+class TestMatchingField:
+    def test_length(self):
+        assert len(MatchingField(0, 5, 12, b"example")) == 7
+
+    def test_str_contains_content(self):
+        assert "example" in str(MatchingField(0, 5, 12, b"example"))
+
+
+class TestDetectionReport:
+    def test_summary_no_diff(self):
+        assert "no differentiation" in DetectionReport(False, False, "rst").summary()
+
+    def test_summary_dpi(self):
+        summary = DetectionReport(True, True, "zero-rating").summary()
+        assert "content-based" in summary and "zero-rating" in summary
+
+    def test_summary_not_content_based(self):
+        assert "not content-based" in DetectionReport(True, False, "rst").summary()
+
+
+class TestCharacterizationReport:
+    def test_summary_fields(self):
+        report = CharacterizationReport(
+            matching_fields=[MatchingField(0, 0, 3, b"GET")], packet_limit=4
+        )
+        summary = report.summary()
+        assert "GET" in summary and "first 4 packets" in summary
+
+    def test_summary_all_packets(self):
+        report = CharacterizationReport(inspects_all_packets=True)
+        assert "all packets" in report.summary()
+        assert "none found" in report.summary()
+
+
+class TestEvasionReport:
+    def results(self):
+        return [
+            TechniqueResult("slow-flush", "flushing", True, True, False, overhead_seconds=150),
+            TechniqueResult("cheap-inert", "inert-insertion", True, True, False, overhead_packets=1),
+            TechniqueResult("broken", "splitting", False, False, True),
+        ]
+
+    def test_working(self):
+        report = EvasionReport(results=self.results())
+        assert {r.technique for r in report.working()} == {"slow-flush", "cheap-inert"}
+
+    def test_best_prefers_no_delay(self):
+        report = EvasionReport(results=self.results())
+        assert report.best().technique == "cheap-inert"
+
+    def test_best_none_when_nothing_works(self):
+        report = EvasionReport(results=[self.results()[2]])
+        assert report.best() is None
+        assert "0/1" in report.summary()
+
+    def test_summary(self):
+        report = EvasionReport(results=self.results())
+        assert "2/3" in report.summary()
+        assert "cheap-inert" in report.summary()
+
+
+class TestLiberateReport:
+    def test_summary_includes_phases(self):
+        report = LiberateReport(
+            environment="testbed",
+            trace="demo",
+            detection=DetectionReport(True, True, "classification"),
+            characterization=CharacterizationReport(),
+            evasion=EvasionReport(),
+            deployed_technique="ip-low-ttl",
+        )
+        summary = report.summary()
+        assert "testbed" in summary
+        assert "deployed" in summary and "ip-low-ttl" in summary
+
+
+class TestMatchRule:
+    def test_requires_pattern(self):
+        with pytest.raises(ValueError):
+            MatchRule(name="empty")
+
+    def test_protocol_validated(self):
+        with pytest.raises(ValueError):
+            MatchRule(name="x", keywords=[b"k"], protocol="sctp")
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            MatchRule(name="x", keywords=[b"k"], direction="sideways")
+
+    def test_any_keyword_matching(self):
+        rule = MatchRule(name="x", keywords=[b"aaa", b"bbb"])
+        assert rule.matches_buffer(b"...bbb...")
+        assert not rule.matches_buffer(b"...ccc...")
+
+    def test_require_all(self):
+        rule = MatchRule(name="x", keywords=[b"GET", b"host.com"], require_all=True)
+        assert rule.matches_buffer(b"GET / host.com")
+        assert not rule.matches_buffer(b"GET / other.com")
+
+    def test_applies_to(self):
+        rule = MatchRule(name="x", keywords=[b"k"], ports=frozenset({80}), direction="client")
+        assert rule.applies_to("tcp", 80, "client")
+        assert not rule.applies_to("tcp", 443, "client")
+        assert not rule.applies_to("udp", 80, "client")
+        assert not rule.applies_to("tcp", 80, "server")
+
+    def test_both_direction(self):
+        rule = MatchRule(name="x", keywords=[b"k"], direction="both")
+        assert rule.applies_to("tcp", 80, "client")
+        assert rule.applies_to("tcp", 80, "server")
+
+    def test_stun_rule_without_keywords(self):
+        rule = MatchRule(name="stun", stun_attribute=0x8055, protocol="udp")
+        from repro.traffic.stun import stun_binding_request
+
+        assert rule.matches_buffer(stun_binding_request())
+        assert not rule.matches_buffer(b"not stun")
+
+
+class TestRulePolicy:
+    def test_throttle_factory(self):
+        policy = RulePolicy.throttle(2e6)
+        assert policy.action is PolicyAction.THROTTLE
+        assert policy.throttle_rate_bps == 2e6
+
+    def test_zero_rate_plain(self):
+        policy = RulePolicy.zero_rate()
+        assert policy.action is PolicyAction.ZERO_RATE
+        assert not policy.also_throttle
+
+    def test_zero_rate_with_shaping(self):
+        policy = RulePolicy.zero_rate(throttle_rate_bps=1.5e6)
+        assert policy.also_throttle
+        assert policy.throttle_rate_bps == 1.5e6
+
+    def test_block_factories(self):
+        rst = RulePolicy.block_with_rsts(to_client=5)
+        assert rst.block.rsts_to_client == 5
+        assert rst.block.block_page is None
+        page = RulePolicy.block_with_page()
+        assert b"403" in page.block.block_page
+        assert page.block.rsts_to_client == 2

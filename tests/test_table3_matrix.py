@@ -1,0 +1,44 @@
+"""Integration: the full Table 3 matrix must match the paper cell-for-cell."""
+
+import pytest
+
+from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return run_table3(characterize=False)
+
+
+class TestTable3:
+    def test_every_cell_matches_the_paper(self, table3_rows):
+        matches, total, mismatches = compare_with_paper(table3_rows)
+        assert total >= 300  # 26 rows x (4 envs x 2 + AT&T + 3 OS columns)
+        assert mismatches == []
+        assert matches == total
+
+    def test_formatting_contains_all_rows(self, table3_rows):
+        rendered = format_table3(table3_rows)
+        for row in table3_rows:
+            assert row.technique in rendered
+
+    def test_att_column_all_negative(self, table3_rows):
+        """The transparent proxy defeats every unilateral technique (§6.3)."""
+        for row in table3_rows:
+            assert row.cells["att"].cc in ("N", "-")
+
+    def test_testbed_most_vulnerable(self, table3_rows):
+        testbed_wins = sum(1 for r in table3_rows if r.cells["testbed"].cc == "Y")
+        for env in ("tmobile", "gfc", "iran"):
+            env_wins = sum(1 for r in table3_rows if r.cells[env].cc == "Y")
+            assert testbed_wins > env_wins
+
+    def test_splitting_beats_iran_only_segments(self, table3_rows):
+        by_name = {r.technique: r for r in table3_rows}
+        assert by_name["tcp-segment-split"].cells["iran"].cc == "Y"
+        assert by_name["ip-fragmentation"].cells["iran"].cc == "N"
+
+    def test_udp_rows_not_applicable_outside_testbed(self, table3_rows):
+        by_name = {r.technique: r for r in table3_rows}
+        for env in ("tmobile", "gfc", "iran"):
+            assert by_name["udp-invalid-checksum"].cells[env].cc == "-"

@@ -1,0 +1,109 @@
+"""Unit tests for TCP segment construction, parsing and flag semantics."""
+
+import pytest
+
+from repro.packets.tcp import TCP_HEADER_MIN, TCPFlags, TCPSegment
+
+
+class TestFlags:
+    def test_plain_ack_valid(self):
+        assert TCPFlags.ACK.is_valid_combination()
+
+    def test_syn_valid(self):
+        assert TCPFlags.SYN.is_valid_combination()
+
+    def test_syn_fin_invalid(self):
+        assert not (TCPFlags.SYN | TCPFlags.FIN).is_valid_combination()
+
+    def test_syn_rst_invalid(self):
+        assert not (TCPFlags.SYN | TCPFlags.RST).is_valid_combination()
+
+    def test_rst_fin_invalid(self):
+        assert not (TCPFlags.RST | TCPFlags.FIN).is_valid_combination()
+
+    def test_no_flags_invalid(self):
+        assert not TCPFlags(0).is_valid_combination()
+
+    def test_christmas_tree_invalid(self):
+        everything = (
+            TCPFlags.FIN | TCPFlags.SYN | TCPFlags.RST | TCPFlags.PSH | TCPFlags.ACK | TCPFlags.URG
+        )
+        assert not everything.is_valid_combination()
+
+    def test_fin_ack_valid(self):
+        assert (TCPFlags.FIN | TCPFlags.ACK).is_valid_combination()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        segment = TCPSegment(
+            sport=40_000,
+            dport=443,
+            seq=0xDEADBEEF,
+            ack=0x12345678,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            window=1024,
+            payload=b"data!",
+        )
+        parsed = TCPSegment.from_bytes(segment.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert parsed.sport == 40_000
+        assert parsed.dport == 443
+        assert parsed.seq == 0xDEADBEEF
+        assert parsed.ack == 0x12345678
+        assert parsed.flags == TCPFlags.ACK | TCPFlags.PSH
+        assert parsed.window == 1024
+        assert parsed.payload == b"data!"
+
+    def test_checksum_computed_with_addresses(self):
+        segment = TCPSegment(sport=1, dport=2, payload=b"x")
+        parsed = TCPSegment.from_bytes(segment.to_bytes("9.9.9.9", "8.8.8.8"))
+        assert parsed.verify_checksum("9.9.9.9", "8.8.8.8")
+
+    def test_checksum_depends_on_addresses(self):
+        segment = TCPSegment(sport=1, dport=2, payload=b"x")
+        parsed = TCPSegment.from_bytes(segment.to_bytes("9.9.9.9", "8.8.8.8"))
+        assert not parsed.verify_checksum("9.9.9.9", "8.8.8.9")
+
+    def test_checksum_override_emitted_verbatim(self):
+        segment = TCPSegment(sport=1, dport=2, payload=b"x", checksum=0xABCD)
+        raw = segment.to_bytes("9.9.9.9", "8.8.8.8")
+        assert raw[16:18] == b"\xab\xcd"
+
+    def test_options_padded(self):
+        segment = TCPSegment(options=b"\x02\x04\x05\xb4\x01")  # MSS + NOP
+        assert len(segment.padded_options) % 4 == 0
+        assert segment.effective_data_offset == 7
+
+    def test_data_offset_override(self):
+        segment = TCPSegment(data_offset=15)
+        assert segment.effective_data_offset == 15
+        assert not segment.has_valid_data_offset()
+
+    def test_valid_data_offset(self):
+        assert TCPSegment().has_valid_data_offset()
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCPSegment.from_bytes(b"\x00" * 10)
+
+    def test_overrunning_offset_raises(self):
+        segment = TCPSegment(payload=b"")
+        raw = bytearray(segment.to_bytes("1.1.1.1", "2.2.2.2"))
+        raw[12] = 0xF0  # data offset 15 on a 20-byte segment
+        with pytest.raises(ValueError):
+            TCPSegment.from_bytes(bytes(raw))
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            TCPSegment(sport=70_000)
+
+    def test_seq_wraps(self):
+        assert TCPSegment(seq=2**32 + 5).seq == 5
+
+    def test_wire_length(self):
+        assert TCPSegment(payload=b"abc").wire_length() == TCP_HEADER_MIN + 3
+
+    def test_copy(self):
+        segment = TCPSegment(payload=b"abc")
+        assert segment.copy(seq=9).seq == 9
+        assert segment.seq == 0

@@ -1,0 +1,169 @@
+"""Unit tests for the server-side TCP stack."""
+
+import pytest
+
+from repro.endpoint.apps import EchoApp
+from repro.endpoint.osmodel import LINUX, WINDOWS
+from repro.endpoint.rawclient import SegmentPlan
+from repro.endpoint.tcpstack import TCPServerStack
+from repro.packets.fragment import fragment_packet
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+from tests.conftest import CLIENT, SERVER, make_direct_link
+
+
+class TestHandshakeAndDelivery:
+    def test_handshake(self):
+        _clock, _path, stack, client = make_direct_link()
+        assert client.connect()
+        assert stack.connection_count() == 1
+
+    def test_in_order_delivery(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"hello world")
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"hello world"
+
+    def test_echo_response(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"ping")
+        assert client.server_stream() == b"ping"
+
+    def test_multi_segment_delivery(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"A" * 5000, mss=1460)
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"A" * 5000
+
+    def test_out_of_order_reassembly(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        base = client.next_seq
+        client.send_plan(SegmentPlan(payload=b"world", seq=base + 5))
+        client.send_plan(SegmentPlan(payload=b"hello", seq=base))
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"helloworld"
+
+    def test_duplicate_data_ignored(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"abc")
+        base = client.next_seq
+        client.send_plan(SegmentPlan(payload=b"abc", seq=base - 3))  # pure retransmit
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"abc"
+
+    def test_overlap_trimmed(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"abcdef")
+        base = client.next_seq
+        client.send_plan(SegmentPlan(payload=b"defGHI", seq=base - 3))
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"abcdefGHI"
+
+    def test_fin_closes(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"x")
+        client.close()
+        client.send_plan(SegmentPlan(payload=b"late"))
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"x"
+
+    def test_rst_closes(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.abort()
+        client.send_plan(SegmentPlan(payload=b"late"))
+        assert stack.stream_for(CLIENT, client.sport, 80) == b""
+
+
+class TestValidationIntegration:
+    def test_bad_checksum_segment_ignored(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_plan(SegmentPlan(payload=b"junk", tcp_checksum=0xDEAD, advances_seq=False))
+        client.send_payload(b"real")
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"real"
+
+    def test_windows_rsts_invalid_flags(self):
+        _clock, _path, stack, client = make_direct_link(server_os=WINDOWS)
+        client.connect()
+        client.send_plan(
+            SegmentPlan(
+                payload=b"junk",
+                flags=TCPFlags.SYN | TCPFlags.FIN | TCPFlags.ACK,
+                advances_seq=False,
+            )
+        )
+        assert client.received_rst()
+        assert stack.rst_sent
+
+    def test_linux_drops_invalid_flags_silently(self):
+        _clock, _path, stack, client = make_direct_link(server_os=LINUX)
+        client.connect()
+        client.send_plan(
+            SegmentPlan(
+                payload=b"junk",
+                flags=TCPFlags.SYN | TCPFlags.FIN | TCPFlags.ACK,
+                advances_seq=False,
+            )
+        )
+        assert not client.received_rst()
+        client.send_payload(b"real")
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"real"
+
+    def test_linux_delivers_invalid_options_payload(self):
+        """On Linux the malformed-IP-options inert packet corrupts the stream."""
+        from repro.packets.options import invalid_ip_option
+
+        _clock, _path, stack, client = make_direct_link(server_os=LINUX)
+        client.connect()
+        client.send_plan(
+            SegmentPlan(payload=b"JUNK", ip_options=invalid_ip_option(), advances_seq=False)
+        )
+        client.send_payload(b"real")
+        stream = stack.stream_for(CLIENT, client.sport, 80)
+        assert stream.startswith(b"JUNK")  # the inert bytes won the seq race
+
+    def test_raw_arrivals_include_dropped(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_plan(SegmentPlan(payload=b"junk", tcp_checksum=0xDEAD, advances_seq=False))
+        payloads = [p.app_payload for p in stack.raw_arrivals]
+        assert b"junk" in payloads
+
+    def test_fragmented_packet_reassembled_by_os(self):
+        _clock, path, stack, client = make_direct_link()
+        client.connect()
+        segment = TCPSegment(
+            sport=client.sport,
+            dport=80,
+            seq=client.next_seq,
+            ack=client.server_ack,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=b"F" * 100,
+        )
+        packet = IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+        for fragment in fragment_packet(packet, 40):
+            client.send_raw(fragment)
+        assert stack.stream_for(CLIENT, client.sport, 80) == b"F" * 100
+
+    def test_port_scoping_rsts_unknown_port(self):
+        from repro.netsim.clock import VirtualClock
+        from repro.netsim.path import Path
+        from repro.endpoint.rawclient import RawTCPClient
+
+        path = Path(VirtualClock(), [])
+        stack = TCPServerStack(SERVER, app=EchoApp(), ports={80})
+        path.server_endpoint = stack
+        client = RawTCPClient(path, CLIENT, SERVER, sport=40_009, dport=8080)
+        assert not client.connect()
+        assert client.received_rst()
+
+    def test_reset(self):
+        _clock, _path, stack, client = make_direct_link()
+        client.connect()
+        client.send_payload(b"x")
+        stack.reset()
+        assert stack.connection_count() == 0
+        assert stack.raw_arrivals == []

@@ -1,0 +1,183 @@
+"""Wire-level tests: exactly what packets does each technique emit?
+
+A capture path (no middlebox, recording tap) lets these tests pin down the
+crafted packets themselves — TTLs, header overrides, cut positions, ordering
+— independent of any classifier's reaction.
+"""
+
+import pytest
+
+from repro.core.evasion.base import EvasionContext
+from repro.core.evasion.flushing import RSTBeforeMatch
+from repro.core.evasion.inert import (
+    DeprecatedIPOptions,
+    InvalidDataOffset,
+    InvalidFlagCombination,
+    InvalidIPHeaderLength,
+    InvalidIPOptions,
+    InvalidIPVersion,
+    LowTTLInert,
+    NoACKFlag,
+    TotalLengthLong,
+    TotalLengthShort,
+    UDPLengthShort,
+    WrongIPChecksum,
+    WrongProtocol,
+    WrongTCPChecksum,
+    WrongTCPSequence,
+)
+from repro.core.evasion.reordering import TCPSegmentReorder, UDPReorder
+from repro.core.evasion.splitting import IPFragmentation, TCPSegmentSplit
+from repro.core.report import MatchingField
+from repro.envs import make_neutral
+from repro.netsim.element import PacketTap
+from repro.packets.flow import Direction
+from repro.packets.tcp import TCPFlags
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+from repro.traffic.stun import stun_trace
+
+KEYWORD = b"video.example.com"
+
+
+def capture(technique, trace=None, **ctx_kwargs):
+    """Run *technique* over a tapped neutral path; return client-sent packets."""
+    env = make_neutral()
+    tap = PacketTap("wire-tap")
+    env.path.elements.insert(0, tap)
+    if trace is None:
+        trace = http_get_trace("video.example.com", response_body=b"v" * 300)
+    payload = trace.client_payloads()[0] if trace.protocol == "tcp" else b""
+    fields = []
+    if payload:
+        index = payload.find(KEYWORD)
+        if index >= 0:
+            fields = [MatchingField(0, index, index + len(KEYWORD), KEYWORD)]
+    defaults = dict(matching_fields=fields, middlebox_hops=0, protocol=trace.protocol)
+    defaults.update(ctx_kwargs)
+    context = EvasionContext(**defaults)
+    ReplaySession(env, trace).run(technique=technique, context=context)
+    return [
+        r.packet
+        for r in tap.records
+        if r.direction is Direction.CLIENT_TO_SERVER
+    ]
+
+
+def data_packets(packets):
+    return [p for p in packets if p.app_payload]
+
+
+class TestInertEmissions:
+    @pytest.mark.parametrize(
+        "technique,predicate",
+        [
+            (LowTTLInert(), lambda p: p.ttl == 1),
+            (InvalidIPVersion(), lambda p: p.version == 6),
+            (InvalidIPHeaderLength(), lambda p: p.effective_ihl == 3),
+            (TotalLengthLong(), lambda p: p.total_length_too_long()),
+            (TotalLengthShort(), lambda p: p.total_length_too_short()),
+            (WrongProtocol(), lambda p: p.effective_protocol == 0xFD),
+            (WrongIPChecksum(), lambda p: not p.has_valid_checksum()),
+            (InvalidIPOptions(), lambda p: not p.has_wellformed_options()),
+            (DeprecatedIPOptions(), lambda p: p.has_deprecated_options()),
+            (WrongTCPChecksum(), lambda p: p.tcp is not None and p.tcp.checksum == 0xDEAD),
+            (InvalidDataOffset(), lambda p: p.tcp is not None and p.tcp.data_offset == 15),
+            (
+                InvalidFlagCombination(),
+                lambda p: p.tcp is not None and not p.tcp.flags.is_valid_combination(),
+            ),
+            (
+                NoACKFlag(),
+                lambda p: p.tcp is not None
+                and bool(p.app_payload)
+                and not p.tcp.flags & TCPFlags.ACK,
+            ),
+        ],
+        ids=lambda value: getattr(value, "name", "check"),
+    )
+    def test_exactly_one_inert_packet_with_the_defect(self, technique, predicate):
+        packets = capture(technique)
+        defective = [p for p in packets if predicate(p)]
+        assert len(defective) == 1
+        assert b"--" + technique.name.encode() in bytes(defective[0].app_payload or b"")
+
+    def test_inert_precedes_matching_packet(self):
+        packets = data_packets(capture(WrongIPChecksum()))
+        inert_index = next(i for i, p in enumerate(packets) if not p.has_valid_checksum())
+        match_index = next(i for i, p in enumerate(packets) if KEYWORD in p.app_payload)
+        assert inert_index < match_index
+
+    def test_inert_shares_seq_with_real_data(self):
+        packets = data_packets(capture(WrongTCPChecksum()))
+        inert = next(p for p in packets if p.tcp.checksum == 0xDEAD)
+        real = next(p for p in packets if KEYWORD in p.app_payload)
+        assert inert.tcp.seq == real.tcp.seq  # repeats, never advances
+
+    def test_wrong_seq_is_wildly_off(self):
+        packets = data_packets(capture(WrongTCPSequence()))
+        seqs = [p.tcp.seq for p in packets]
+        spread = max(seqs) - min(seqs)
+        assert spread >= 0x10000000
+
+    def test_inert_count_parameter(self):
+        packets = data_packets(capture(WrongIPChecksum(), inert_packet_count=3))
+        assert sum(1 for p in packets if not p.has_valid_checksum()) == 3
+
+    def test_udp_length_short_field(self):
+        packets = capture(UDPLengthShort(), trace=stun_trace())
+        shorts = [
+            p for p in packets if p.udp is not None and not p.udp.has_valid_length()
+        ]
+        assert len(shorts) == 1
+        assert shorts[0].udp.effective_length < shorts[0].udp.wire_length()
+
+
+class TestSplitEmissions:
+    def test_no_single_packet_carries_the_keyword(self):
+        packets = data_packets(capture(TCPSegmentSplit()))
+        assert all(KEYWORD not in p.app_payload for p in packets)
+
+    def test_pieces_cover_the_request(self):
+        trace = http_get_trace("video.example.com", response_body=b"v" * 300)
+        packets = data_packets(capture(TCPSegmentSplit(), trace=trace))
+        base = min(p.tcp.seq for p in packets)
+        stream = {}
+        for p in packets:
+            stream[p.tcp.seq - base] = p.app_payload
+        rebuilt = b"".join(stream[k] for k in sorted(stream))
+        assert rebuilt == trace.client_payloads()[0]
+
+    def test_split_piece_count_bounded(self):
+        packets = data_packets(capture(TCPSegmentSplit(), split_pieces=6))
+        assert len(packets) <= 6
+
+    def test_fragmentation_cuts_inside_field(self):
+        packets = capture(IPFragmentation())
+        fragments = [p for p in packets if p.is_fragment]
+        assert len(fragments) >= 2
+        first = next(f for f in fragments if f.frag_offset == 0)
+        assert isinstance(first.transport, bytes)
+        assert KEYWORD not in first.transport  # the field is cut
+
+
+class TestReorderEmissions:
+    def test_wire_order_is_not_seq_order(self):
+        packets = data_packets(capture(TCPSegmentReorder()))
+        seqs = [p.tcp.seq for p in packets if p.tcp.payload]
+        assert seqs != sorted(seqs)
+
+    def test_udp_reorder_moves_stun_packet(self):
+        trace = stun_trace()
+        packets = capture(UDPReorder(), trace=trace)
+        payloads = [bytes(p.udp.payload) for p in packets if p.udp is not None]
+        assert payloads != trace.client_payloads()
+        assert sorted(payloads) == sorted(trace.client_payloads())
+
+
+class TestFlushEmissions:
+    def test_rst_before_match_is_ttl_limited(self):
+        packets = capture(RSTBeforeMatch(), middlebox_hops=2)
+        rsts = [p for p in packets if p.tcp is not None and p.tcp.flags & TCPFlags.RST]
+        assert len(rsts) == 1
+        assert rsts[0].ttl == 3  # hops + 1

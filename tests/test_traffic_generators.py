@@ -1,0 +1,126 @@
+"""Unit tests for the HTTP/TLS/STUN/video traffic generators."""
+
+from repro.packets.flow import Direction
+from repro.traffic.http import http_get_trace, http_request, http_response
+from repro.traffic.stun import (
+    ATTR_MS_SERVICE_QUALITY,
+    parse_stun_attributes,
+    stun_binding_request,
+    stun_binding_response,
+    stun_trace,
+)
+from repro.traffic.tls import client_hello, extract_sni, server_hello, tls_trace
+from repro.traffic.video import video_stream_trace
+
+
+class TestHTTP:
+    def test_request_contains_host(self):
+        request = http_request("example.com", "/page")
+        assert request.startswith(b"GET /page HTTP/1.1\r\n")
+        assert b"Host: example.com\r\n" in request
+        assert request.endswith(b"\r\n\r\n")
+
+    def test_extra_headers(self):
+        request = http_request("x.com", extra_headers={"Range": "bytes=0-"})
+        assert b"Range: bytes=0-" in request
+
+    def test_response_structure(self):
+        response = http_response(b"body", content_type="video/mp4")
+        assert response.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: video/mp4" in response
+        assert b"Content-Length: 4" in response
+        assert response.endswith(b"body")
+
+    def test_get_trace_shape(self):
+        trace = http_get_trace("h.example", response_body=b"B" * 10)
+        assert trace.protocol == "tcp"
+        assert trace.packets[0].direction is Direction.CLIENT_TO_SERVER
+        assert trace.packets[1].direction is Direction.SERVER_TO_CLIENT
+        assert b"h.example" in trace.client_bytes()
+
+    def test_get_trace_port(self):
+        assert http_get_trace("h", server_port=8080).server_port == 8080
+
+
+class TestTLS:
+    def test_client_hello_parses(self):
+        hello = client_hello("video.googlevideo.com")
+        assert hello[0] == 0x16  # handshake record
+        assert extract_sni(hello) == "video.googlevideo.com"
+
+    def test_sni_visible_as_plaintext(self):
+        assert b"video.googlevideo.com" in client_hello("video.googlevideo.com")
+
+    def test_extract_sni_rejects_non_tls(self):
+        assert extract_sni(b"GET / HTTP/1.1\r\n") is None
+
+    def test_extract_sni_rejects_truncated(self):
+        hello = client_hello("host.example")
+        assert extract_sni(hello[:20]) is None
+
+    def test_extract_sni_server_hello(self):
+        assert extract_sni(server_hello()) is None
+
+    def test_tls_trace_shape(self):
+        trace = tls_trace("sni.example", server_port=443)
+        assert trace.server_port == 443
+        assert extract_sni(trace.client_payloads()[0]) == "sni.example"
+        assert trace.metadata["sni"] == "sni.example"
+
+
+class TestSTUN:
+    def test_binding_request_attributes(self):
+        attributes = parse_stun_attributes(stun_binding_request())
+        assert attributes is not None
+        assert ATTR_MS_SERVICE_QUALITY in attributes
+
+    def test_without_service_quality(self):
+        attributes = parse_stun_attributes(
+            stun_binding_request(include_service_quality=False)
+        )
+        assert attributes is not None
+        assert ATTR_MS_SERVICE_QUALITY not in attributes
+
+    def test_response_parses(self):
+        assert parse_stun_attributes(stun_binding_response()) is not None
+
+    def test_non_stun_rejected(self):
+        assert parse_stun_attributes(b"not stun at all........") is None
+        assert parse_stun_attributes(b"") is None
+
+    def test_wrong_cookie_rejected(self):
+        message = bytearray(stun_binding_request())
+        message[4] ^= 0xFF  # corrupt the magic cookie
+        assert parse_stun_attributes(bytes(message)) is None
+
+    def test_trace_shape(self):
+        trace = stun_trace()
+        assert trace.protocol == "udp"
+        first_client = trace.client_payloads()[0]
+        assert parse_stun_attributes(first_client) is not None
+        assert len(trace.client_payloads()) >= 3
+
+
+class TestVideo:
+    def test_size(self):
+        trace = video_stream_trace(total_bytes=10_000)
+        body_bytes = sum(len(p) for p in trace.server_payloads()[1:])
+        assert body_bytes == 10_000
+
+    def test_header_is_video(self):
+        trace = video_stream_trace()
+        assert b"Content-Type: video/mp4" in trace.server_payloads()[0]
+
+    def test_request_host(self):
+        trace = video_stream_trace(host="cdn.example")
+        assert b"Host: cdn.example" in trace.client_payloads()[0]
+
+    def test_rejects_empty(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            video_stream_trace(total_bytes=0)
+
+    def test_chunked_for_shaping(self):
+        trace = video_stream_trace(total_bytes=100_000)
+        assert len(trace.server_payloads()) > 50

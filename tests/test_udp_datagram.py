@@ -1,0 +1,55 @@
+"""Unit tests for UDP datagram construction, parsing and length overrides."""
+
+import pytest
+
+from repro.packets.udp import UDP_HEADER_LEN, UDPDatagram
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        datagram = UDPDatagram(sport=5353, dport=53, payload=b"query")
+        parsed = UDPDatagram.from_bytes(datagram.to_bytes("1.1.1.1", "2.2.2.2"))
+        assert parsed.sport == 5353
+        assert parsed.dport == 53
+        assert parsed.payload == b"query"
+        assert parsed.effective_length == UDP_HEADER_LEN + 5
+
+    def test_checksum_verifies(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"abc")
+        parsed = UDPDatagram.from_bytes(datagram.to_bytes("3.3.3.3", "4.4.4.4"))
+        assert parsed.verify_checksum("3.3.3.3", "4.4.4.4")
+
+    def test_wrong_checksum_detected(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"abc", checksum=0xDEAD)
+        parsed = UDPDatagram.from_bytes(datagram.to_bytes("3.3.3.3", "4.4.4.4"))
+        assert not parsed.verify_checksum("3.3.3.3", "4.4.4.4")
+
+    def test_zero_checksum_means_unused(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"abc", checksum=0)
+        assert datagram.verify_checksum("3.3.3.3", "4.4.4.4")
+
+    def test_computed_zero_transmitted_as_ffff(self):
+        # Craft a payload whose checksum would be zero; RFC 768 sends 0xFFFF.
+        datagram = UDPDatagram(sport=0, dport=0, payload=b"")
+        raw = datagram.to_bytes("0.0.0.0", "0.0.0.0")
+        assert raw[6:8] != b"\x00\x00"
+
+    def test_length_override(self):
+        datagram = UDPDatagram(payload=b"abcdef", length=40)
+        assert datagram.effective_length == 40
+        assert not datagram.has_valid_length()
+
+    def test_auto_length_valid(self):
+        assert UDPDatagram(payload=b"abcdef").has_valid_length()
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            UDPDatagram.from_bytes(b"\x00" * 4)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            UDPDatagram(dport=-1)
+
+    def test_copy(self):
+        datagram = UDPDatagram(payload=b"abc")
+        assert datagram.copy(dport=99).dport == 99

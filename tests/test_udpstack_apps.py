@@ -1,0 +1,193 @@
+"""Unit tests for the UDP stack and the server applications."""
+
+import pytest
+
+from repro.endpoint.apps import (
+    EchoApp,
+    HTTPServerApp,
+    HTTPSite,
+    ReplayServerApp,
+    ReplayStep,
+    UDPReplayApp,
+)
+from repro.endpoint.osmodel import LINUX, MACOS
+from repro.endpoint.rawclient import RawUDPClient
+from repro.endpoint.udpstack import UDPServerStack
+from repro.netsim.clock import VirtualClock
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.packets.flow import FiveTuple
+
+from tests.conftest import CLIENT, SERVER
+
+
+def make_udp_link(app=None, server_os=LINUX):
+    path = Path(VirtualClock(), [RouterHop("r1")])
+    stack = UDPServerStack(SERVER, os_profile=server_os, app=app)
+    path.server_endpoint = stack
+    client = RawUDPClient(path, CLIENT, SERVER, sport=41_000, dport=3478)
+    return path, stack, client
+
+
+class TestUDPStack:
+    def test_delivery(self):
+        _path, stack, client = make_udp_link()
+        client.send_datagram(b"hello")
+        assert stack.delivered_stream(41_000, 3478) == [b"hello"]
+
+    def test_bad_checksum_dropped_but_recorded(self):
+        _path, stack, client = make_udp_link()
+        client.send_datagram(b"junk", checksum=0xDEAD)
+        assert stack.delivered_stream(41_000, 3478) == []
+        assert len(stack.raw_arrivals) == 1
+
+    def test_length_long_dropped(self):
+        _path, stack, client = make_udp_link()
+        client.send_datagram(b"junk", length_delta=20)
+        assert stack.delivered_stream(41_000, 3478) == []
+
+    def test_length_short_truncated_on_linux(self):
+        _path, stack, client = make_udp_link(server_os=LINUX)
+        client.send_datagram(b"0123456789", length_delta=-4)
+        assert stack.delivered_stream(41_000, 3478) == [b"012345"]
+
+    def test_length_short_dropped_on_macos(self):
+        _path, stack, client = make_udp_link(server_os=MACOS)
+        client.send_datagram(b"0123456789", length_delta=-4)
+        assert stack.delivered_stream(41_000, 3478) == []
+
+    def test_app_responses_flow_back(self):
+        class _Responder:
+            def on_datagram(self, src, sport, dport, data):
+                return [b"pong:" + data]
+
+        _path, _stack, client = make_udp_link(app=_Responder())
+        client.send_datagram(b"ping")
+        assert client.responses() == [b"pong:ping"]
+
+    def test_port_scoping(self):
+        path = Path(VirtualClock(), [])
+        stack = UDPServerStack(SERVER, ports={53})
+        path.server_endpoint = stack
+        client = RawUDPClient(path, CLIENT, SERVER, sport=41_001, dport=3478)
+        client.send_datagram(b"x")
+        assert stack.delivered == []
+
+    def test_ttl_limited_never_arrives(self):
+        _path, stack, client = make_udp_link()
+        client.send_datagram(b"probe", ttl=1)
+        assert stack.raw_arrivals == []
+
+    def test_reset(self):
+        _path, stack, client = make_udp_link()
+        client.send_datagram(b"x")
+        stack.reset()
+        assert stack.delivered == []
+        assert stack.raw_arrivals == []
+
+
+CONN = FiveTuple(CLIENT, 40_000, SERVER, 80, 6)
+
+
+class TestReplayServerApp:
+    def test_threshold_triggering(self):
+        app = ReplayServerApp([ReplayStep(5, b"resp1"), ReplayStep(10, b"resp2")])
+        app.on_connect(CONN)
+        assert app.on_data(CONN, b"abc") == b""
+        assert app.on_data(CONN, b"de") == b"resp1"
+        assert app.on_data(CONN, b"fghij") == b"resp2"
+
+    def test_content_independent(self):
+        """Bit-inverted replays trigger exactly like originals (count-based)."""
+        app = ReplayServerApp([ReplayStep(4, b"resp")])
+        app.on_connect(CONN)
+        assert app.on_data(CONN, b"\xff\xff\xff\xff") == b"resp"
+
+    def test_multiple_steps_in_one_burst(self):
+        app = ReplayServerApp([ReplayStep(2, b"a"), ReplayStep(4, b"b")])
+        app.on_connect(CONN)
+        assert app.on_data(CONN, b"wxyz") == b"ab"
+
+    def test_stream_recorded(self):
+        app = ReplayServerApp([])
+        app.on_connect(CONN)
+        app.on_data(CONN, b"abc")
+        assert app.stream(CONN) == b"abc"
+
+    def test_reset(self):
+        app = ReplayServerApp([ReplayStep(1, b"r")])
+        app.on_connect(CONN)
+        app.on_data(CONN, b"x")
+        app.reset()
+        assert app.stream(CONN) == b""
+
+
+class TestUDPReplayApp:
+    def test_positional_responses(self):
+        app = UDPReplayApp({0: [b"r0"], 2: [b"r2a", b"r2b"]})
+        assert app.on_datagram(CLIENT, 1, 2, b"first") == [b"r0"]
+        assert app.on_datagram(CLIENT, 1, 2, b"second") == []
+        assert app.on_datagram(CLIENT, 1, 2, b"third") == [b"r2a", b"r2b"]
+
+    def test_records(self):
+        app = UDPReplayApp()
+        app.on_datagram(CLIENT, 1, 2, b"x")
+        assert app.received == [b"x"]
+
+
+class TestHTTPServerApp:
+    def make_app(self):
+        app = HTTPServerApp()
+        app.add_page("example.com", "/", "text/html", b"<html>hi</html>")
+        app.add_page("video.example.com", "/v.mp4", "video/mp4", b"\x00" * 64)
+        return app
+
+    def test_serves_page(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        response = app.on_data(CONN, b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n")
+        assert b"200 OK" in response
+        assert b"<html>hi</html>" in response
+
+    def test_content_type_header(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        response = app.on_data(CONN, b"GET /v.mp4 HTTP/1.1\r\nHost: video.example.com\r\n\r\n")
+        assert b"Content-Type: video/mp4" in response
+
+    def test_404(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        response = app.on_data(CONN, b"GET /missing HTTP/1.1\r\nHost: example.com\r\n\r\n")
+        assert b"404" in response
+
+    def test_unknown_host_404(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        response = app.on_data(CONN, b"GET / HTTP/1.1\r\nHost: nope.org\r\n\r\n")
+        assert b"404" in response
+
+    def test_fragmented_request_buffered(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        assert app.on_data(CONN, b"GET / HTTP/1.1\r\nHo") == b""
+        response = app.on_data(CONN, b"st: example.com\r\n\r\n")
+        assert b"200 OK" in response
+
+    def test_pipelined_requests(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        request = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"
+        response = app.on_data(CONN, request + request)
+        assert response.count(b"200 OK") == 2
+
+    def test_bad_request(self):
+        app = self.make_app()
+        app.on_connect(CONN)
+        assert b"400" in app.on_data(CONN, b"NONSENSE\r\n\r\n")
+
+
+class TestEchoApp:
+    def test_echo(self):
+        app = EchoApp()
+        assert app.on_data(CONN, b"abc") == b"abc"

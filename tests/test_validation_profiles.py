@@ -1,0 +1,154 @@
+"""Direct unit tests for the middlebox validation profiles."""
+
+import pytest
+
+from repro.middlebox.validation import MiddleboxValidation
+from repro.packets.ip import IPPacket
+from repro.packets.options import deprecated_ip_option, invalid_ip_option
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
+
+CLIENT, SERVER = "10.1.0.2", "203.0.113.50"
+
+
+def packet(**kwargs):
+    defaults = dict(
+        src=CLIENT,
+        dst=SERVER,
+        transport=TCPSegment(sport=1, dport=80, seq=100, payload=b"x"),
+    )
+    defaults.update(kwargs)
+    return IPPacket(**defaults)
+
+
+class TestStructuralChecks:
+    """Checks every profile enforces — they gate payload extraction."""
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            MiddleboxValidation.lax(),
+            MiddleboxValidation.extensive(),
+            MiddleboxValidation.partial_tmobile(),
+            MiddleboxValidation.partial_iran(),
+        ],
+        ids=["lax", "extensive", "tmobile", "iran"],
+    )
+    def test_unparseable_ip_never_inspectable(self, profile):
+        assert not profile.ip_inspectable(packet(version=6))
+        assert not profile.ip_inspectable(packet(ihl=3))
+        short = packet()
+        short.total_length = short.wire_length() - 8
+        assert not profile.ip_inspectable(short)
+
+    @pytest.mark.parametrize(
+        "profile",
+        [MiddleboxValidation.lax(), MiddleboxValidation.extensive()],
+        ids=["lax", "extensive"],
+    )
+    def test_bad_data_offset_never_inspectable(self, profile):
+        segment = TCPSegment(sport=1, dport=80, seq=1, payload=b"x", data_offset=15)
+        assert not profile.tcp_inspectable(packet(transport=segment), segment, None)
+
+
+class TestLaxProfile:
+    """The testbed device: almost everything is fed to the matcher."""
+
+    profile = MiddleboxValidation.lax()
+
+    def test_accepts_bad_ip_checksum(self):
+        assert self.profile.ip_inspectable(packet(checksum=0xBEEF))
+
+    def test_accepts_length_long(self):
+        long_packet = packet()
+        long_packet.total_length = long_packet.wire_length() + 100
+        assert self.profile.ip_inspectable(long_packet)
+
+    def test_accepts_malformed_options(self):
+        assert self.profile.ip_inspectable(packet(options=invalid_ip_option()))
+        assert self.profile.ip_inspectable(packet(options=deprecated_ip_option()))
+
+    def test_accepts_bad_tcp(self):
+        segment = TCPSegment(sport=1, dport=80, seq=1, payload=b"x", checksum=0xDEAD)
+        assert self.profile.tcp_inspectable(packet(transport=segment), segment, 1)
+        no_ack = TCPSegment(sport=1, dport=80, seq=1, payload=b"x", flags=TCPFlags.PSH)
+        assert self.profile.tcp_inspectable(packet(transport=no_ack), no_ack, 1)
+
+    def test_accepts_bad_udp(self):
+        datagram = UDPDatagram(sport=1, dport=2, payload=b"u", checksum=0xDEAD)
+        assert self.profile.udp_inspectable(packet(transport=datagram), datagram)
+
+
+class TestExtensiveProfile:
+    """The GFC: everything validated except TCP checksum and ACK flag."""
+
+    profile = MiddleboxValidation.extensive()
+
+    def test_rejects_ip_anomalies(self):
+        assert not self.profile.ip_inspectable(packet(checksum=0xBEEF))
+        long_packet = packet()
+        long_packet.total_length = long_packet.wire_length() + 100
+        assert not self.profile.ip_inspectable(long_packet)
+        assert not self.profile.ip_inspectable(packet(options=invalid_ip_option()))
+        assert not self.profile.ip_inspectable(packet(options=deprecated_ip_option()))
+
+    def test_accepts_bad_tcp_checksum(self):
+        """The famous gap: the GFC does not verify TCP checksums."""
+        segment = TCPSegment(sport=1, dport=80, seq=100, payload=b"x", checksum=0xDEAD)
+        assert self.profile.tcp_inspectable(packet(transport=segment), segment, 100)
+
+    def test_accepts_missing_ack(self):
+        segment = TCPSegment(sport=1, dport=80, seq=100, payload=b"x", flags=TCPFlags.PSH)
+        assert self.profile.tcp_inspectable(packet(transport=segment), segment, 100)
+
+    def test_rejects_out_of_window(self):
+        segment = TCPSegment(sport=1, dport=80, seq=100 + 0x30000000, payload=b"x")
+        assert not self.profile.tcp_inspectable(packet(transport=segment), segment, 100)
+
+    def test_rejects_invalid_flags(self):
+        segment = TCPSegment(
+            sport=1, dport=80, seq=100, payload=b"x", flags=TCPFlags.SYN | TCPFlags.FIN
+        )
+        assert not self.profile.tcp_inspectable(packet(transport=segment), segment, 100)
+
+    def test_rejects_bad_udp_length_only(self):
+        bad_length = UDPDatagram(sport=1, dport=2, payload=b"u")
+        bad_length.length = bad_length.wire_length() + 8
+        assert not self.profile.udp_inspectable(packet(transport=bad_length), bad_length)
+        bad_checksum = UDPDatagram(sport=1, dport=2, payload=b"u", checksum=0xDEAD)
+        assert self.profile.udp_inspectable(packet(transport=bad_checksum), bad_checksum)
+
+
+class TestTMobileProfile:
+    """Transport-layer validation, but IP options pass."""
+
+    profile = MiddleboxValidation.partial_tmobile()
+
+    def test_options_pass(self):
+        assert self.profile.ip_inspectable(packet(options=invalid_ip_option()))
+        assert self.profile.ip_inspectable(packet(options=deprecated_ip_option()))
+
+    def test_transport_validated(self):
+        bad = TCPSegment(sport=1, dport=80, seq=100, payload=b"x", checksum=0xDEAD)
+        assert not self.profile.tcp_inspectable(packet(transport=bad), bad, 100)
+        no_ack = TCPSegment(sport=1, dport=80, seq=100, payload=b"x", flags=TCPFlags.PSH)
+        assert not self.profile.tcp_inspectable(packet(transport=no_ack), no_ack, 100)
+
+    def test_ip_checksum_validated(self):
+        assert not self.profile.ip_inspectable(packet(checksum=0xBEEF))
+
+
+class TestIranProfile:
+    """Iran inspects whatever it can parse, however corrupt."""
+
+    profile = MiddleboxValidation.partial_iran()
+
+    def test_everything_parseable_is_inspected(self):
+        assert self.profile.ip_inspectable(packet(checksum=0xBEEF))
+        assert self.profile.ip_inspectable(packet(options=invalid_ip_option()))
+        bad = TCPSegment(sport=1, dport=80, seq=100, payload=b"x", checksum=0xDEAD)
+        assert self.profile.tcp_inspectable(packet(transport=bad), bad, None)
+        combo = TCPSegment(
+            sport=1, dport=80, seq=100, payload=b"x", flags=TCPFlags.SYN | TCPFlags.FIN
+        )
+        assert self.profile.tcp_inspectable(packet(transport=combo), combo, None)

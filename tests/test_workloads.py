@@ -1,0 +1,66 @@
+"""Tests for the experiment workloads module and environment preparation."""
+
+import pytest
+
+from repro.envs import make_iran, make_sprint, make_testbed
+from repro.experiments.workloads import (
+    PreparedEnvironment,
+    prepare,
+    tcp_workload,
+    udp_workload,
+)
+
+
+class TestWorkloads:
+    def test_every_env_has_a_tcp_workload(self):
+        for name in ("testbed", "tmobile", "gfc", "iran", "att", "sprint"):
+            trace = tcp_workload(name)
+            assert trace.protocol == "tcp"
+            assert trace.total_bytes() > 0
+
+    def test_unknown_env_raises(self):
+        with pytest.raises(KeyError):
+            tcp_workload("nonexistent")
+
+    def test_udp_workload_is_stun(self):
+        trace = udp_workload("testbed")
+        assert trace.protocol == "udp"
+        assert trace.metadata["application"] == "skype"
+
+    def test_workloads_carry_the_classified_content(self):
+        assert b"economist.com" in tcp_workload("gfc").client_bytes()
+        assert b"facebook.com" in tcp_workload("iran").client_bytes()
+        assert b"cloudfront.net" in tcp_workload("tmobile").client_bytes()
+        assert b"Content-Type: video" in tcp_workload("att").server_bytes()
+
+
+class TestPrepare:
+    def test_characterized_prepare(self):
+        prep = prepare(make_iran(), characterize=True)
+        assert isinstance(prep, PreparedEnvironment)
+        assert prep.tcp_context.inspects_all_packets  # discovered, not assumed
+        assert prep.hops == 7  # localization result
+        assert prep.characterization is not None
+        assert prep.characterization.rounds > 0
+
+    def test_fast_prepare_uses_ground_truth(self):
+        prep = prepare(make_testbed(), characterize=False)
+        assert prep.characterization is None
+        assert prep.hops == 0
+        assert prep.tcp_context.matching_fields  # host keyword guessed
+
+    def test_prepare_without_middlebox(self):
+        prep = prepare(make_sprint(), characterize=True)
+        assert prep.characterization is None  # nothing to characterize
+        assert prep.tcp_context is not None
+
+    def test_udp_context_window(self):
+        prep = prepare(make_testbed(), characterize=False)
+        assert prep.udp_context.protocol == "udp"
+        assert prep.udp_context.packet_limit == 6
+
+    def test_fast_context_fields_point_at_host(self):
+        prep = prepare(make_testbed(), characterize=False)
+        field = prep.tcp_context.matching_fields[0]
+        payload = prep.tcp_trace.client_payloads()[field.packet_index]
+        assert payload[field.start : field.end] == field.content
