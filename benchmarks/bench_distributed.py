@@ -4,20 +4,28 @@ from repro.core.distributed import speedup_from_distribution
 from repro.envs.testbed import make_testbed
 from repro.traffic.http import http_get_trace
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import BenchProbe, save_bench_json, save_result
 
 
 def test_distributed_characterization(benchmark, results_dir):
     trace = http_get_trace("video.example.com", response_body=b"v" * 900)
-    stats = benchmark.pedantic(
-        speedup_from_distribution,
-        args=(make_testbed, trace),
-        kwargs={"users": 4},
-        rounds=1,
-        iterations=1,
-    )
+    with BenchProbe() as probe:
+        stats = benchmark.pedantic(
+            speedup_from_distribution,
+            args=(make_testbed, trace),
+            kwargs={"users": 4},
+            rounds=1,
+            iterations=1,
+        )
     content = "\n".join(f"{key}: {value:.1f}" for key, value in stats.items())
     save_result(results_dir, "distributed_characterization", content)
+    save_bench_json(
+        results_dir,
+        "distributed_characterization",
+        probe,
+        rounds=int(stats["solo_rounds"] + stats["distributed_total_rounds"]),
+        speedup=stats["speedup"],
+    )
     # The per-user load (and wall-clock, with concurrent users) divides ~N.
     assert stats["speedup"] >= 3.0
     # Aggregated results are identical to a solo run.

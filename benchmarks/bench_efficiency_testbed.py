@@ -3,11 +3,12 @@
 from repro.experiments.efficiency import run_testbed_http, run_testbed_skype
 from repro.experiments.paper_expectations import EFFICIENCY
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import BenchProbe, save_bench_json, save_result
 
 
 def test_testbed_http_characterization(benchmark, results_dir):
-    result = benchmark.pedantic(run_testbed_http, rounds=1, iterations=1)
+    with BenchProbe() as probe:
+        result = benchmark.pedantic(run_testbed_http, rounds=1, iterations=1)
     content = (
         f"rounds: {result.rounds} (paper: <= {EFFICIENCY['testbed-http']['rounds_max']})\n"
         f"bytes/round: {result.bytes_used / max(result.rounds, 1):.0f} "
@@ -15,6 +16,7 @@ def test_testbed_http_characterization(benchmark, results_dir):
         f"fields: {', '.join(result.matching_fields)}"
     )
     save_result(results_dir, "efficiency_testbed_http", content)
+    save_bench_json(results_dir, "efficiency_testbed_http", probe, rounds=result.rounds)
     # Same order of magnitude as the paper's <=70 rounds.
     assert result.rounds <= 90
     # The classifier's keyword (hostname) was recovered byte-exactly.
@@ -23,12 +25,14 @@ def test_testbed_http_characterization(benchmark, results_dir):
 
 
 def test_testbed_skype_characterization(benchmark, results_dir):
-    result = benchmark.pedantic(run_testbed_skype, rounds=1, iterations=1)
+    with BenchProbe() as probe:
+        result = benchmark.pedantic(run_testbed_skype, rounds=1, iterations=1)
     content = (
         f"rounds: {result.rounds} (paper: {EFFICIENCY['testbed-skype']['rounds']})\n"
         f"fields (binary STUN structure): {', '.join(result.matching_fields)}"
     )
     save_result(results_dir, "efficiency_testbed_skype", content)
+    save_bench_json(results_dir, "efficiency_testbed_skype", probe, rounds=result.rounds)
     assert result.rounds <= 150  # paper: 115 replays
     # Matching fields are in the first packets and not human-readable —
     # the MS-SERVICE-QUALITY attribute type 0x8055 appears among them (§6.1).

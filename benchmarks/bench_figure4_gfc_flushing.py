@@ -6,16 +6,24 @@ from repro.experiments.figure4 import (
     run_figure4,
 )
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import BenchProbe, save_bench_json, save_result
 
 
 def test_figure4_time_of_day(benchmark, results_dir):
-    samples = benchmark.pedantic(
-        run_figure4, kwargs={"trials": 6}, rounds=1, iterations=1
-    )
+    with BenchProbe() as probe:
+        samples = benchmark.pedantic(
+            run_figure4, kwargs={"trials": 6}, rounds=1, iterations=1
+        )
     summary = busy_and_quiet_summary(samples)
     content = format_figure4(samples) + f"\n\n{summary}"
     save_result(results_dir, "figure4_gfc_flushing", content)
+    save_bench_json(
+        results_dir,
+        "figure4_gfc_flushing",
+        probe,
+        rounds=len(samples),
+        busy_min_delay=summary["busy_min_delay"],
+    )
     # Shape assertions matching the paper's reading of the figure:
     # busy hours permit shorter delays, quiet hours defeat even 240 s.
     assert summary["busy_success_rate"] == 1.0

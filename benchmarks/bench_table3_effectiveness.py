@@ -10,26 +10,46 @@ import pytest
 
 from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import BenchProbe, save_bench_json, save_result
+
+
+def _rounds_measured(rows) -> int:
+    return sum(1 for row in rows for cell in row.cells.values() if cell.outcome is not None)
 
 
 def test_table3_full_matrix(benchmark, results_dir):
-    rows = benchmark.pedantic(
-        run_table3, kwargs={"characterize": True}, rounds=1, iterations=1
-    )
+    with BenchProbe() as probe:
+        rows = benchmark.pedantic(
+            run_table3, kwargs={"characterize": True}, rounds=1, iterations=1
+        )
     matches, total, mismatches = compare_with_paper(rows)
     content = format_table3(rows) + f"\n\npaper agreement: {matches}/{total} cells"
     if mismatches:
         content += "\n" + "\n".join(f"  mismatch: {m}" for m in mismatches)
     save_result(results_dir, "table3_effectiveness", content)
+    save_bench_json(
+        results_dir,
+        "table3_effectiveness",
+        probe,
+        rounds=_rounds_measured(rows),
+        paper_agreement=f"{matches}/{total}",
+    )
     assert total >= 300
     assert matches == total, mismatches
 
 
 def test_table3_fast_mode(benchmark, results_dir):
     """Ground-truth contexts instead of live characterization (sanity check)."""
-    rows = benchmark.pedantic(
-        run_table3, kwargs={"characterize": False}, rounds=1, iterations=1
-    )
+    with BenchProbe() as probe:
+        rows = benchmark.pedantic(
+            run_table3, kwargs={"characterize": False}, rounds=1, iterations=1
+        )
     matches, total, mismatches = compare_with_paper(rows)
+    save_bench_json(
+        results_dir,
+        "table3_fast",
+        probe,
+        rounds=_rounds_measured(rows),
+        paper_agreement=f"{matches}/{total}",
+    )
     assert matches == total, mismatches

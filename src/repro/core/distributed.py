@@ -15,10 +15,12 @@ place where the adversary can read them — which is the same trade-off as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.core.characterization import Characterizer
 from repro.core.report import CharacterizationReport
 from repro.envs.base import Environment
+from repro.runtime import WorkerPool
 from repro.traffic.trace import Trace
 
 
@@ -72,24 +74,54 @@ class DistributedCharacterizer(Characterizer):
         return report, list(self.users)
 
 
-def speedup_from_distribution(env_factory, trace: Trace, users: int = 4) -> dict[str, float]:
+def _solo_task(task: tuple[object, Trace]) -> int:
+    """Single-user characterization: the round count (a worker-pool task)."""
+    env_factory, trace = task
+    solo = Characterizer(env_factory(), trace)
+    solo.run()
+    return solo.rounds
+
+
+def _distributed_task(task: tuple[object, Trace, int]) -> tuple[int, list[int], list[str]]:
+    """N-user characterization: totals, per-user loads, matched fields."""
+    env_factory, trace, users = task
+    distributed = DistributedCharacterizer(env_factory(), trace, users=users)
+    report, loads = distributed.run_distributed()
+    fields = [f.content for f in report.matching_fields]
+    return distributed.rounds, [load.rounds for load in loads], fields
+
+
+def _reference_fields_task(task: tuple[object, Trace]) -> list[str]:
+    """Reference single-user matching fields (a worker-pool task)."""
+    env_factory, trace = task
+    return [f.content for f in Characterizer(env_factory(), trace).find_matching_fields()]
+
+
+def speedup_from_distribution(
+    env_factory, trace: Trace, users: int = 4, pool: WorkerPool | None = None
+) -> dict[str, float]:
     """Compare single-user vs. N-user characterization load.
 
     Returns total rounds, the busiest user's rounds, and the effective
-    speedup (wall-clock divides by it when users run concurrently).
+    speedup (wall-clock divides by it when users run concurrently).  The
+    three characterization runs (solo, distributed, reference fields) each
+    build their own environment from *env_factory*, so a parallel *pool*
+    runs them concurrently with identical results.
     """
-    solo = Characterizer(env_factory(), trace)
-    solo.run()
-    distributed = DistributedCharacterizer(env_factory(), trace, users=users)
-    report, loads = distributed.run_distributed()
-    busiest = max(load.rounds for load in loads)
+    if pool is None:
+        pool = WorkerPool()
+    solo_rounds, (total_rounds, user_rounds, dist_fields), reference_fields = pool.run_all(
+        [
+            partial(_solo_task, (env_factory, trace)),
+            partial(_distributed_task, (env_factory, trace, users)),
+            partial(_reference_fields_task, (env_factory, trace)),
+        ]
+    )
+    busiest = max(user_rounds)
     return {
-        "solo_rounds": float(solo.rounds),
-        "distributed_total_rounds": float(distributed.rounds),
+        "solo_rounds": float(solo_rounds),
+        "distributed_total_rounds": float(total_rounds),
         "busiest_user_rounds": float(busiest),
-        "speedup": solo.rounds / busiest if busiest else float("inf"),
-        "fields_agree": float(
-            [f.content for f in report.matching_fields]
-            == [f.content for f in Characterizer(env_factory(), trace).find_matching_fields()]
-        ),
+        "speedup": solo_rounds / busiest if busiest else float("inf"),
+        "fields_agree": float(dist_fields == reference_fields),
     }

@@ -29,6 +29,22 @@ PREVIOUSLY_EFFECTIVE = (
     "flush-rst-before-match",
 )
 
+#: Rank of each previously-effective technique (lower sorts first).
+EFFECTIVE_RANK = {name: i for i, name in enumerate(PREVIOUSLY_EFFECTIVE)}
+
+#: Category order for match-and-forget classifiers: cheap inert insertion
+#: first, then splitting/reordering, then the slow flushing probes.
+CATEGORY_RANK_FORGETFUL = {
+    "inert-insertion": 0,
+    "splitting": 1,
+    "reordering": 1,
+    "flushing": 3,
+}
+
+#: Category order when the classifier keeps re-evaluating: inert insertion
+#: is demoted behind splitting/reordering.
+CATEGORY_RANK_PERSISTENT = {**CATEGORY_RANK_FORGETFUL, "inert-insertion": 2}
+
 
 class EvasionEvaluator:
     """Evaluates the taxonomy against one (environment, trace) pair.
@@ -70,17 +86,16 @@ class EvasionEvaluator:
             candidates = [
                 t for t in candidates if t.category in ("splitting", "reordering")
             ]
-        effective_rank = {name: i for i, name in enumerate(PREVIOUSLY_EFFECTIVE)}
-        category_rank = {
-            "inert-insertion": 0 if self.context.match_and_forget else 2,
-            "splitting": 1,
-            "reordering": 1,
-            "flushing": 3,
-        }
+        category_rank = (
+            CATEGORY_RANK_FORGETFUL
+            if self.context.match_and_forget
+            else CATEGORY_RANK_PERSISTENT
+        )
+        default_rank = len(EFFECTIVE_RANK)
         return sorted(
             candidates,
             key=lambda t: (
-                effective_rank.get(t.name, len(effective_rank)),
+                EFFECTIVE_RANK.get(t.name, default_rank),
                 category_rank.get(t.category, 9),
             ),
         )

@@ -16,6 +16,7 @@ from repro.core.characterization import Characterizer
 from repro.envs import ENVIRONMENT_FACTORIES
 from repro.experiments import paper_expectations
 from repro.experiments.workloads import tcp_workload, udp_workload
+from repro.runtime import WorkerPool
 
 #: Seconds per replay round, from the paper's per-environment methodology.
 SECONDS_PER_ROUND = {
@@ -101,9 +102,20 @@ ALL_CASES = {
 }
 
 
-def run_all() -> list[EfficiencyResult]:
-    """Every efficiency case in §6 order."""
-    return [runner() for runner in ALL_CASES.values()]
+def _run_case(case: str) -> EfficiencyResult:
+    """One named efficiency case (a worker-pool task)."""
+    return ALL_CASES[case]()
+
+
+def run_all(pool: WorkerPool | None = None) -> list[EfficiencyResult]:
+    """Every efficiency case in §6 order.
+
+    Each case characterizes its own freshly built environment, so the cases
+    run concurrently on a parallel *pool* with results in §6 order.
+    """
+    if pool is None:
+        pool = WorkerPool()
+    return pool.map(_run_case, list(ALL_CASES))
 
 
 def format_efficiency(results: list[EfficiencyResult]) -> str:

@@ -14,6 +14,7 @@ from repro.core.evasion.base import EvasionContext
 from repro.core.evasion.flushing import PauseBeforeMatch
 from repro.envs.gfc import make_gfc
 from repro.replay.session import ReplaySession
+from repro.runtime import WorkerPool
 from repro.traffic.http import http_get_trace
 
 #: The paper probed delays from 10 to 240 seconds.
@@ -46,22 +47,33 @@ def _probe(hour: int, trial: int, delay: int) -> bool:
     return outcome.evaded
 
 
+def _sample_task(task: tuple[int, int, tuple[int, ...]]) -> FlushSample:
+    """One (hour, trial) delay-ladder sweep (a worker-pool task)."""
+    hour, trial, delays = task
+    found: int | None = None
+    for delay in delays:
+        if _probe(hour, trial, delay):
+            found = delay
+            break
+    return FlushSample(hour=hour, trial=trial, min_successful_delay=found)
+
+
 def run_figure4(
     hours: tuple[int, ...] = tuple(range(24)),
     trials: int = TRIALS_PER_HOUR,
     delays: tuple[int, ...] = DELAY_LADDER,
+    pool: WorkerPool | None = None,
 ) -> list[FlushSample]:
-    """Sweep (hour, trial) and record the minimum working delay for each."""
-    samples = []
-    for hour in hours:
-        for trial in range(trials):
-            found: int | None = None
-            for delay in delays:
-                if _probe(hour, trial, delay):
-                    found = delay
-                    break
-            samples.append(FlushSample(hour=hour, trial=trial, min_successful_delay=found))
-    return samples
+    """Sweep (hour, trial) and record the minimum working delay for each.
+
+    Every probe builds a fresh GFC simulator pinned to its (hour, trial), so
+    the samples are independent and run concurrently on a parallel *pool*,
+    returned in (hour, trial) order.
+    """
+    if pool is None:
+        pool = WorkerPool()
+    tasks = [(hour, trial, tuple(delays)) for hour in hours for trial in range(trials)]
+    return pool.map(_sample_task, tasks)
 
 
 def busy_and_quiet_summary(samples: list[FlushSample]) -> dict[str, float]:

@@ -37,6 +37,7 @@ from repro.packets.udp import UDPDatagram
 from repro.packets.ip import IPPacket
 from repro.replay.runner import make_inert_payload
 from repro.replay.session import ReplayOutcome, ReplaySession
+from repro.runtime import WorkerPool
 
 TABLE3_ENVS = ("testbed", "tmobile", "gfc", "iran", "att")
 
@@ -72,21 +73,39 @@ def run_table3(
     techniques: tuple[EvasionTechnique, ...] = ALL_TECHNIQUES,
     include_os_matrix: bool = True,
     characterize: bool = True,
+    pool: WorkerPool | None = None,
 ) -> list[Table3Row]:
-    """Measure the full Table 3 matrix."""
-    prepared = {
-        name: prepare(ENVIRONMENT_FACTORIES[name](), characterize=characterize)
-        for name in env_names
-    }
+    """Measure the full Table 3 matrix.
+
+    The matrix decomposes per environment: each environment's column —
+    characterization plus every technique cell, in technique order — is one
+    self-contained task (each environment has its own simulator, clock and
+    port sequence), so columns run concurrently on a parallel *pool* while
+    every per-environment replay sequence stays identical to a serial run.
+    """
+    if pool is None:
+        pool = WorkerPool()
+    columns = pool.map(
+        _measure_env_column, [(name, techniques, characterize) for name in env_names]
+    )
     rows = [Table3Row(technique=t.name, category=t.category) for t in techniques]
-    for row, technique in zip(rows, techniques):
-        for name in env_names:
-            row.cells[name] = _measure_cell(prepared[name], technique)
+    for name, cells in columns:
+        for row, cell in zip(rows, cells):
+            row.cells[name] = cell
     if include_os_matrix:
         os_rows = run_os_matrix(techniques)
         for row in rows:
             row.os_cells = os_rows[row.technique]
     return rows
+
+
+def _measure_env_column(
+    task: tuple[str, tuple[EvasionTechnique, ...], bool],
+) -> tuple[str, list[Table3Cell]]:
+    """One environment's full Table 3 column (a worker-pool task)."""
+    name, techniques, characterize = task
+    prep = prepare(ENVIRONMENT_FACTORIES[name](), characterize=characterize)
+    return name, [_measure_cell(prep, technique) for technique in techniques]
 
 
 def _measure_cell(prep: PreparedEnvironment, technique: EvasionTechnique) -> Table3Cell:

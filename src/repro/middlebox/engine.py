@@ -24,6 +24,7 @@ import enum
 from typing import Callable
 
 from repro.middlebox.policy import PolicyAction
+from repro.middlebox.ruleindex import CompiledRuleSet, CompiledView, StreamScan
 from repro.middlebox.rules import MatchRule
 from repro.middlebox.state import UNCLASSIFIED_FINAL, FlowState
 from repro.middlebox.validation import MiddleboxValidation
@@ -149,6 +150,7 @@ class DPIMiddlebox(NetworkElement):
         self.max_flows = max_flows
         self.evictions = 0
 
+        self._compiled = CompiledRuleSet(self.rules)
         self._flows: dict[FiveTuple, FlowState] = {}
         self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
         self._endpoint_block_counts: dict[tuple[str, int], int] = {}
@@ -398,7 +400,9 @@ class DPIMiddlebox(NetworkElement):
         if self._window_exhausted(state) and self.match_and_forget:
             state.verdict = UNCLASSIFIED_FINAL
 
-    def _decide_anchor(self, state: FlowState, payload: bytes, buffer: bytes, index: int) -> None:
+    def _decide_anchor(
+        self, state: FlowState, payload: bytes, buffer: bytes | bytearray, index: int
+    ) -> None:
         """Settle the protocol-anchor check when enough evidence exists.
 
         Per-packet classifiers judge the first payload packet as-is (one
@@ -455,30 +459,45 @@ class DPIMiddlebox(NetworkElement):
         state.expected_seq = (state.expected_seq + len(fresh)) & 0xFFFFFFFF
         return fresh
 
-    def _buffer_for_matching(self, state: FlowState, payload: bytes, direction: str) -> bytes:
+    def _buffer_for_matching(
+        self, state: FlowState, payload: bytes, direction: str
+    ) -> bytes | bytearray:
         if self.reassembly is ReassemblyMode.PER_PACKET:
             return payload
         buffer = state.client_buffer if direction == "client" else state.server_buffer
         buffer.extend(payload)
         if self.inspect_byte_limit is not None:
             del buffer[self.inspect_byte_limit :]
-        return bytes(buffer)
+        return buffer
+
+    def _view(self, protocol: str, server_port: int, direction: str) -> CompiledView:
+        """The precompiled rule view for this flow context (rebuilds if the
+        rule list was replaced since compilation)."""
+        if len(self._compiled.rules) != len(self.rules) or any(
+            a is not b for a, b in zip(self._compiled.rules, self.rules)
+        ):
+            self._compiled = CompiledRuleSet(self.rules)
+        return self._compiled.view(protocol, server_port, direction)
 
     def _match_rules(
-        self, state: FlowState, buffer: bytes, packet_payload: bytes, index: int, direction: str
+        self,
+        state: FlowState,
+        buffer: bytes | bytearray,
+        packet_payload: bytes,
+        index: int,
+        direction: str,
     ) -> MatchRule | None:
-        for rule in self.rules:
-            if not rule.applies_to(state.protocol, state.server_port, direction):
-                continue
-            if rule.position is not None:
-                if index != rule.position:
-                    continue
-                if rule.matches_buffer(packet_payload):
-                    return rule
-                continue
-            if rule.matches_buffer(buffer):
-                return rule
-        return None
+        view = self._view(state.protocol, state.server_port, direction)
+        scan: StreamScan | None = None
+        if self.reassembly is not ReassemblyMode.PER_PACKET:
+            scan = state.client_scan if direction == "client" else state.server_scan
+            if scan is None:
+                scan = StreamScan()
+                if direction == "client":
+                    state.client_scan = scan
+                else:
+                    state.server_scan = scan
+        return view.match(buffer, packet_payload, index, scan)
 
     def _window_exhausted(self, state: FlowState) -> bool:
         limit = (
@@ -524,13 +543,10 @@ class DPIMiddlebox(NetworkElement):
             return
         if self.ports is not None and server_port not in self.ports:
             return
-        for rule in self.rules:
-            if not rule.applies_to(protocol, server_port, direction):
-                continue
-            if rule.matches_buffer(payload):
-                self.match_log.append((ctx.clock.now, rule.name, key))
-                self._apply_stateless_policy(rule, packet, key, ctx)
-                return
+        rule = self._view(protocol, server_port, direction).match_stateless(payload)
+        if rule is not None:
+            self.match_log.append((ctx.clock.now, rule.name, key))
+            self._apply_stateless_policy(rule, packet, key, ctx)
 
     # ==================================================================
     # policy application

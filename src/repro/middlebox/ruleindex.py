@@ -1,0 +1,228 @@
+"""Precompiled rule index with combined multi-pattern search.
+
+The naive matcher re-runs ``keyword in buffer`` for every keyword of every
+rule on every packet, re-scanning the whole reassembled stream each time.
+This module compiles a rule list once into per-(protocol, port, direction)
+views, each with a single combined substring scanner over every keyword the
+view can match, plus a per-flow incremental-scan watermark so stream bytes
+are inspected at most once.
+
+Exact-equivalence contract (verified by the differential tests): for any
+rule list, buffer, payload and packet index, :meth:`CompiledView.match`
+returns the same rule :meth:`DPIMiddlebox._match_rules` would have picked
+with the naive per-rule loop — first match in rule-list order, position
+rules only firing on their packet index, STUN rules parsing the buffer.
+
+The combined scanner joins all patterns into one zero-width-lookahead
+alternation, ordered longest-first.  Two patterns that occur at the same
+text position are necessarily prefix-related, so crediting every prefix of
+the captured (longest) alternative recovers exactly the per-pattern
+substring semantics — including overlapping and nested occurrences that a
+plain alternation would swallow.
+
+The index assumes rules are not mutated after compilation; replacing the
+engine's rule *list* is detected and recompiled.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.middlebox.rules import MatchRule
+from repro.traffic.stun import parse_stun_attributes
+
+Buffer = bytes | bytearray | memoryview
+
+
+class MultiPatternScanner:
+    """One-pass search for every occurrence of any pattern in a byte buffer.
+
+    ``scan`` returns the set of pattern indices (into the constructor's
+    list) that occur anywhere in ``buffer[start:end]`` — identical to
+    running ``pattern in buffer[start:end]`` per pattern, in one pass.
+    """
+
+    __slots__ = ("patterns", "max_len", "_regex", "_closure")
+
+    def __init__(self, patterns: list[bytes]) -> None:
+        self.patterns = list(patterns)
+        self.max_len = max((len(p) for p in self.patterns), default=0)
+        # Longest-first: of all patterns matching at one position, the
+        # longest captures, and every other one is a prefix of it.
+        order = sorted(range(len(self.patterns)), key=lambda i: -len(self.patterns[i]))
+        alternation = b"|".join(b"(" + re.escape(self.patterns[i]) + b")" for i in order)
+        self._regex = re.compile(b"(?=" + alternation + b")") if self.patterns else None
+        self._closure: list[frozenset[int]] = []
+        for i in order:
+            captured = self.patterns[i]
+            self._closure.append(
+                frozenset(j for j, p in enumerate(self.patterns) if captured.startswith(p))
+            )
+
+    def scan(self, buffer: Buffer, start: int = 0, end: int | None = None) -> set[int]:
+        """All pattern indices occurring in ``buffer[start:end]``."""
+        found: set[int] = set()
+        if self._regex is None:
+            return found
+        if end is None:
+            end = len(buffer)
+        closure = self._closure
+        for match in self._regex.finditer(buffer, start, end):
+            found |= closure[match.lastindex - 1]
+        return found
+
+
+class StreamScan:
+    """Per-flow, per-direction incremental scan state.
+
+    ``watermark`` counts stream bytes already fed through the scanner;
+    ``seen`` accumulates pattern indices found so far.  Because stream
+    buffers only ever grow by appends (and are truncated from the tail by
+    the byte limit, never from the head), a pattern occurs in the current
+    buffer iff it was seen by some feed — re-scanning the prefix is never
+    needed.
+    """
+
+    __slots__ = ("watermark", "seen")
+
+    def __init__(self) -> None:
+        self.watermark = 0
+        self.seen: set[int] = set()
+
+    def feed(self, scanner: MultiPatternScanner, buffer: Buffer) -> set[int]:
+        """Scan bytes appended since the last feed; return all patterns seen."""
+        end = len(buffer)
+        if end > self.watermark:
+            # Back up so patterns spanning the append boundary are found;
+            # re-hits inside the overlap are deduplicated by the set.
+            start = self.watermark - scanner.max_len + 1
+            self.seen |= scanner.scan(buffer, start if start > 0 else 0, end)
+            self.watermark = end
+        return self.seen
+
+
+class CompiledView:
+    """The rules applicable to one (protocol, server port, direction) context."""
+
+    __slots__ = ("rules", "scanner", "special", "keyword_rules", "stateless_rules", "has_stun")
+
+    def __init__(self, rules: list[tuple[int, MatchRule]]) -> None:
+        self.rules = rules
+        patterns: list[bytes] = []
+        pattern_ids: dict[bytes, int] = {}
+
+        def intern_patterns(rule: MatchRule) -> frozenset[int]:
+            ids = []
+            for keyword in rule.keywords:
+                if keyword not in pattern_ids:
+                    pattern_ids[keyword] = len(patterns)
+                    patterns.append(keyword)
+                ids.append(pattern_ids[keyword])
+            return frozenset(ids)
+
+        #: rules needing per-call handling in the stateful path (position
+        #: and/or STUN) — evaluated directly, they are rare and fire seldom.
+        self.special: list[tuple[int, MatchRule]] = []
+        #: (order, pattern ids, require_all) — the stream fast path.
+        self.keyword_rules: list[tuple[int, frozenset[int], bool]] = []
+        #: (order, rule, pattern ids or None) — the stateless path ignores
+        #: ``position``, so position keyword rules join the combined scan.
+        self.stateless_rules: list[tuple[int, MatchRule, frozenset[int] | None]] = []
+        for order, rule in rules:
+            if rule.stun_attribute is not None:
+                self.special.append((order, rule))
+                self.stateless_rules.append((order, rule, None))
+                continue
+            ids = intern_patterns(rule)
+            if rule.position is not None:
+                self.special.append((order, rule))
+            else:
+                self.keyword_rules.append((order, ids, rule.require_all))
+            self.stateless_rules.append((order, rule, ids))
+        self.scanner = MultiPatternScanner(patterns)
+        self.has_stun = any(rule.stun_attribute is not None for _, rule in self.special)
+
+    def match(
+        self,
+        buffer: Buffer,
+        packet_payload: Buffer,
+        index: int,
+        scan: StreamScan | None,
+    ) -> MatchRule | None:
+        """First rule (in rule-list order) matching this inspection step.
+
+        *scan* carries the incremental stream state; ``None`` means *buffer*
+        is a standalone per-packet payload and is scanned in full.
+        """
+        best: int | None = None
+        stun_attrs: dict[int, bytes] | None | bool = False  # False = not parsed yet
+        for order, rule in self.special:
+            if best is not None and order > best:
+                break
+            if rule.position is not None:
+                if index == rule.position and rule.matches_buffer(packet_payload):
+                    best = order
+                continue
+            if stun_attrs is False:
+                stun_attrs = parse_stun_attributes(buffer)
+            if stun_attrs is not None and rule.stun_attribute in stun_attrs:
+                best = order
+
+        if self.keyword_rules:
+            if scan is None:
+                seen = self.scanner.scan(buffer)
+            else:
+                seen = scan.feed(self.scanner, buffer)
+            for order, ids, require_all in self.keyword_rules:
+                if best is not None and order > best:
+                    break
+                if (ids <= seen) if require_all else (ids & seen):
+                    best = order
+                    break
+
+        if best is None:
+            return None
+        for order, rule in self.rules:
+            if order == best:
+                return rule
+        raise AssertionError("unreachable: matched order not in view")
+
+    def match_stateless(self, payload: Buffer) -> MatchRule | None:
+        """First matching rule ignoring packet position (Iran-style DPI)."""
+        seen: set[int] | None = None
+        stun_attrs: dict[int, bytes] | None | bool = False
+        for _order, rule, ids in self.stateless_rules:
+            if ids is None:
+                if stun_attrs is False:
+                    stun_attrs = parse_stun_attributes(payload)
+                if stun_attrs is not None and rule.stun_attribute in stun_attrs:
+                    return rule
+                continue
+            if seen is None:
+                seen = self.scanner.scan(payload)
+            if (ids <= seen) if rule.require_all else (ids & seen):
+                return rule
+        return None
+
+
+class CompiledRuleSet:
+    """Lazy per-(protocol, port, direction) views over one rule list."""
+
+    __slots__ = ("rules", "_views")
+
+    def __init__(self, rules: list[MatchRule]) -> None:
+        self.rules = tuple(rules)
+        self._views: dict[tuple[str, int, str], CompiledView] = {}
+
+    def view(self, protocol: str, server_port: int, direction: str) -> CompiledView:
+        key = (protocol, server_port, direction)
+        view = self._views.get(key)
+        if view is None:
+            applicable = [
+                (order, rule)
+                for order, rule in enumerate(self.rules)
+                if rule.applies_to(protocol, server_port, direction)
+            ]
+            view = CompiledView(applicable)
+            self._views[key] = view
+        return view

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.middlebox.ruleindex import StreamScan
 from repro.middlebox.rules import MatchRule
 from repro.packets.flow import FiveTuple
 
@@ -12,7 +13,7 @@ from repro.packets.flow import FiveTuple
 UNCLASSIFIED_FINAL = "unclassified-final"
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowState:
     """Everything the classifier remembers about one flow.
 
@@ -32,6 +33,8 @@ class FlowState:
         blocked: True once a blocking policy fired for the flow.
         timeout_override: when set, replaces both flush timeouts (the
             testbed shortens its timeout to 10 s after seeing a RST).
+        client_scan / server_scan: incremental multi-pattern scan state over
+            the corresponding buffer (stream reassembly modes only).
     """
 
     client_tuple: FiveTuple
@@ -50,6 +53,8 @@ class FlowState:
     anchor_ok: bool | None = None
     blocked: bool = False
     timeout_override: float | None = None
+    client_scan: StreamScan | None = None
+    server_scan: StreamScan | None = None
 
     @property
     def matched_rule(self) -> MatchRule | None:

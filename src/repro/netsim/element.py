@@ -51,7 +51,7 @@ class NetworkElement(ABC):
         """Clear any per-flow state (called between independent replays)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketRecord:
     """A packet observation with its timestamp and direction."""
 

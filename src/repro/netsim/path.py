@@ -14,6 +14,16 @@ from repro.netsim.element import NetworkElement, TransitContext
 from repro.packets.flow import Direction
 from repro.packets.ip import IPPacket
 
+#: Process-wide count of packet propagations across every simulated path.
+#: Monotonically increasing, never reset — benchmarks take deltas around the
+#: measured section to report packets/second.
+_packets_propagated_total = 0
+
+
+def packets_propagated() -> int:
+    """Total packets propagated across all paths since process start."""
+    return _packets_propagated_total
+
 
 class Endpoint(Protocol):
     """Anything that can terminate a path (client or server stack)."""
@@ -83,6 +93,8 @@ class Path:
     # propagation machinery
     # ------------------------------------------------------------------
     def _propagate(self, packet: IPPacket, direction: Direction, index: int, depth: int) -> None:
+        global _packets_propagated_total
+        _packets_propagated_total += 1
         if depth > self.max_depth:
             raise RuntimeError("packet propagation exceeded max depth (response loop?)")
         step = 1 if direction is Direction.CLIENT_TO_SERVER else -1

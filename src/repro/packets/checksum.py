@@ -9,22 +9,33 @@ checksum* inert-packet techniques are built.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 
 
-def internet_checksum(data: bytes) -> int:
+def internet_checksum(data: bytes | bytearray | memoryview) -> int:
     """Compute the 16-bit one's-complement checksum over *data*.
 
     Odd-length input is implicitly zero-padded, as specified by RFC 1071.
     The result is the value to place in a header checksum field (i.e. the
     complement of the one's-complement sum).
+
+    The whole buffer is treated as one big-endian integer and folded modulo
+    0xFFFF: since 2**16 ≡ 1 (mod 0xFFFF), that residue equals the
+    one's-complement sum of the 16-bit words — with the representative for
+    the zero class being 0xFFFF for any non-zero input, matching word-wise
+    carry folding exactly.  A trailing odd byte contributes its padded word
+    directly, so odd-length input needs no reallocation.
     """
-    if len(data) % 2:
-        data += b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
-        total = (total & 0xFFFF) + (total >> 16)
-    return (~total) & 0xFFFF
+    length = len(data)
+    if length % 2:
+        view = memoryview(data)
+        total = int.from_bytes(view[: length - 1], "big") + (view[length - 1] << 8)
+    else:
+        total = int.from_bytes(data, "big")
+    folded = total % 0xFFFF
+    if folded == 0 and total:
+        folded = 0xFFFF
+    return (~folded) & 0xFFFF
 
 
 def verify_checksum(data: bytes) -> bool:
@@ -32,8 +43,13 @@ def verify_checksum(data: bytes) -> bool:
     return internet_checksum(data) == 0
 
 
+@lru_cache(maxsize=4096)
 def ip_to_bytes(address: str) -> bytes:
-    """Convert a dotted-quad IPv4 address string to its 4-byte form."""
+    """Convert a dotted-quad IPv4 address string to its 4-byte form.
+
+    The simulator serializes the same handful of addresses millions of
+    times, so conversions are memoized (the function is pure).
+    """
     parts = address.split(".")
     if len(parts) != 4:
         raise ValueError(f"not an IPv4 address: {address!r}")

@@ -25,7 +25,7 @@ class Direction(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FiveTuple:
     """A unidirectional flow identifier (src, sport, dst, dport, protocol)."""
 

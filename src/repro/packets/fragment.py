@@ -8,7 +8,10 @@ original typed packet.
 
 from __future__ import annotations
 
-from repro.packets.ip import IPPacket
+from repro.packets.icmp import ICMP_PROTO, ICMPMessage
+from repro.packets.ip import IPPacket, Transport
+from repro.packets.tcp import TCP_PROTO, TCPSegment
+from repro.packets.udp import UDP_PROTO, UDPDatagram
 
 FRAGMENT_UNIT = 8  # fragment offsets are expressed in 8-byte units
 
@@ -79,13 +82,26 @@ def reassemble_fragments(fragments: list[IPPacket]) -> IPPacket | None:
             break
     if not saw_last:
         return None
-    whole = first.copy(
-        transport=bytes(body),
-        protocol=first.effective_protocol,
+    # Parse the reassembled body straight into its typed transport instead of
+    # serializing the whole packet and re-parsing it (the header fields are
+    # already in hand; only the transport needs re-typing).
+    body_bytes = bytes(body)
+    protocol = first.effective_protocol
+    transport: Transport = body_bytes
+    try:
+        if protocol == TCP_PROTO:
+            transport = TCPSegment.from_bytes(body_bytes)
+        elif protocol == UDP_PROTO:
+            transport = UDPDatagram.from_bytes(body_bytes)
+        elif protocol == ICMP_PROTO:
+            transport = ICMPMessage.from_bytes(body_bytes)
+    except ValueError:
+        transport = body_bytes
+    return first.copy(
+        transport=transport,
+        protocol=protocol,
         mf=False,
         frag_offset=0,
         total_length=None,
         checksum=None,
     )
-    # Re-parse the transport into a typed object via a serialization round-trip.
-    return IPPacket.from_bytes(whole.to_bytes())

@@ -10,6 +10,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import internet_checksum
 
 ICMP_PROTO = 1
@@ -42,10 +43,19 @@ class ICMPMessage:
             raise ValueError("ICMP 'rest of header' must be exactly 4 bytes")
 
     def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
-        """Serialize with a correct checksum (src/dst accepted for API symmetry)."""
+        """Serialize with a correct checksum (src/dst accepted for API symmetry).
+
+        ICMP checksums do not involve a pseudo-header, so the full wire form
+        is memoized directly (invalidated on field mutation).
+        """
+        cached = self._wire_cache
+        if cached is not None:
+            return cached
         body = struct.pack("!BBH", self.icmp_type, self.code, 0) + self.rest + self.payload
         csum = internet_checksum(body)
-        return body[:2] + struct.pack("!H", csum) + body[4:]
+        wire = body[:2] + struct.pack("!H", csum) + body[4:]
+        object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "ICMPMessage":
@@ -66,6 +76,9 @@ class ICMPMessage:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ICMP(type={self.icmp_type} code={self.code})"
+
+
+install_wire_cache(ICMPMessage, ("_wire_cache",))
 
 
 def icmp_time_exceeded(original_header: bytes) -> ICMPMessage:

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
+from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import bytes_to_ip, internet_checksum, ip_to_bytes
 from repro.packets.icmp import ICMP_PROTO, ICMPMessage
 from repro.packets.options import options_are_wellformed, options_contain_deprecated
@@ -185,8 +186,7 @@ class IPPacket:
         """True when the header checksum is correct (or auto-computed)."""
         if self.checksum is None:
             return True
-        correct = self._header_bytes(checksum=0)
-        expected = internet_checksum(correct)
+        expected = internet_checksum(self._header_zero())
         return expected == self.checksum
 
     def has_wellformed_options(self) -> bool:
@@ -230,13 +230,38 @@ class IPPacket:
             + self.padded_options
         )
 
+    def _header_zero(self) -> bytes:
+        """Serialized header with a zero checksum field (memoized).
+
+        IP header fields live on this object (mutations invalidate via
+        ``__setattr__``), but the total-length field also depends on the
+        transport object, which can be mutated behind our back.  The memo is
+        therefore keyed on the identity of the transport's serialized bytes:
+        the transport's own cache returns the same object until it is
+        mutated, so a stale header can never be observed.
+        """
+        payload = self.payload_bytes
+        cached = self._hdr0_cache
+        if cached is not None and cached[0] is payload:
+            return cached[1]
+        header0 = self._header_bytes(checksum=0)
+        object.__setattr__(self, "_hdr0_cache", (payload, header0))
+        return header0
+
     def to_bytes(self) -> bytes:
         """Serialize the full packet (header + transport) to wire bytes."""
+        payload = self.payload_bytes
+        cached = self._wire_cache
+        if cached is not None and cached[0] is payload:
+            return cached[1]
+        header0 = self._header_zero()
         if self.checksum is not None:
             csum = self.checksum
         else:
-            csum = internet_checksum(self._header_bytes(checksum=0))
-        return self._header_bytes(csum) + self.payload_bytes
+            csum = internet_checksum(header0)
+        wire = header0[:10] + struct.pack("!H", csum) + header0[12:] + payload
+        object.__setattr__(self, "_wire_cache", (payload, wire))
+        return wire
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "IPPacket":
@@ -294,12 +319,34 @@ class IPPacket:
         """Return a copy with *changes* applied.
 
         The transport object is also copied when it is a dataclass, so the
-        copy can be mutated independently.
+        copy can be mutated independently.  This is the per-hop hot path, so
+        the copy is a direct instance-dict clone rather than
+        ``dataclasses.replace`` (``IPPacket`` has no ``__post_init__``, and
+        the source's fields already satisfy every invariant).  Cloning the
+        dict also carries the transport's memoized wire bytes — valid on a
+        field-identical copy — while the IP-level header/wire caches are
+        dropped (a copy almost always changes header fields).
         """
-        new = replace(self, **changes)  # type: ignore[arg-type]
-        if "transport" not in changes and not isinstance(new.transport, bytes):
-            new.transport = replace(new.transport)
+        if changes and not _FIELD_NAMES.issuperset(changes):
+            bad = ", ".join(sorted(set(changes) - _FIELD_NAMES))
+            raise TypeError(f"unknown IPPacket field(s): {bad}")
+        new = object.__new__(IPPacket)
+        d = new.__dict__
+        d.update(self.__dict__)
+        d.pop("_hdr0_cache", None)
+        d.pop("_wire_cache", None)
+        d.update(changes)
+        transport = d["transport"]
+        if "transport" not in changes and not isinstance(transport, bytes):
+            fresh = object.__new__(type(transport))
+            fresh.__dict__.update(transport.__dict__)
+            d["transport"] = fresh
         return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IP({self.src}->{self.dst} ttl={self.ttl} proto={self.effective_protocol} {self.transport!r})"
+
+
+install_wire_cache(IPPacket, ("_hdr0_cache", "_wire_cache"))
+
+_FIELD_NAMES = frozenset(f.name for f in fields(IPPacket))

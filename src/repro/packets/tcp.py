@@ -12,10 +12,13 @@ import enum
 import struct
 from dataclasses import dataclass, field, replace
 
+from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import internet_checksum, pseudo_header
 
 TCP_PROTO = 6
 TCP_HEADER_MIN = 20
+
+_EXPLICIT = object()  # _wire_cache key for serializations with an overridden checksum
 
 
 class TCPFlags(enum.IntFlag):
@@ -121,14 +124,11 @@ class TCPSegment:
         """True when the declared data offset matches the actual header."""
         return self.effective_data_offset * 4 == self.header_length
 
-    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
-        """Serialize the segment.
-
-        When *src* and *dst* are given and ``checksum`` is ``None`` the
-        correct checksum is computed over the pseudo-header; otherwise a
-        checksum of zero (or the explicit override) is emitted.
-        """
-        options = self.padded_options
+    def _wire_zero(self) -> bytes:
+        """Serialized segment with a zero checksum field (memoized)."""
+        cached = self._wire0_cache
+        if cached is not None:
+            return cached
         header = struct.pack(
             "!HHIIHHHH",
             self.sport,
@@ -140,15 +140,37 @@ class TCPSegment:
             0,
             self.urgent,
         )
-        segment = header + options + self.payload
+        segment = header + self.padded_options + self.payload
+        object.__setattr__(self, "_wire0_cache", segment)
+        return segment
+
+    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
+        """Serialize the segment.
+
+        When *src* and *dst* are given and ``checksum`` is ``None`` the
+        correct checksum is computed over the pseudo-header; otherwise a
+        checksum of zero (or the explicit override) is emitted.  The result
+        is memoized per (src, dst) and invalidated on field mutation.
+        """
         if self.checksum is not None:
-            csum = self.checksum
-        elif src is not None and dst is not None:
+            cached = self._wire_cache
+            if cached is not None and cached[0] is _EXPLICIT:
+                return cached[1]
+            segment = self._wire_zero()
+            wire = segment[:16] + struct.pack("!H", self.checksum) + segment[18:]
+            object.__setattr__(self, "_wire_cache", (_EXPLICIT, wire))
+            return wire
+        if src is not None and dst is not None:
+            cached = self._wire_cache
+            if cached is not None and cached[0] == (src, dst):
+                return cached[1]
+            segment = self._wire_zero()
             pseudo = pseudo_header(src, dst, TCP_PROTO, len(segment))
             csum = internet_checksum(pseudo + segment)
-        else:
-            csum = 0
-        return segment[:16] + struct.pack("!H", csum) + segment[18:]
+            wire = segment[:16] + struct.pack("!H", csum) + segment[18:]
+            object.__setattr__(self, "_wire_cache", ((src, dst), wire))
+            return wire
+        return self._wire_zero()
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "TCPSegment":
@@ -192,9 +214,9 @@ class TCPSegment:
         """
         if self.checksum is None:
             return True
-        expected = replace(self, checksum=None).to_bytes(src, dst)
-        actual = struct.unpack("!H", expected[16:18])[0]
-        return actual == self.checksum
+        segment = self._wire_zero()
+        pseudo = pseudo_header(src, dst, TCP_PROTO, len(segment))
+        return internet_checksum(pseudo + segment) == self.checksum
 
     def copy(self, **changes: object) -> "TCPSegment":
         """Return a copy with *changes* applied (dataclasses.replace wrapper)."""
@@ -205,3 +227,6 @@ class TCPSegment:
             f"TCP({self.sport}->{self.dport} seq={self.seq} ack={self.ack} "
             f"flags={self.flags!r} len={len(self.payload)})"
         )
+
+
+install_wire_cache(TCPSegment, ("_wire0_cache", "_wire_cache"))

@@ -10,10 +10,13 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, replace
 
+from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import internet_checksum, pseudo_header
 
 UDP_PROTO = 17
 UDP_HEADER_LEN = 8
+
+_EXPLICIT = object()  # _wire_cache key for serializations with an overridden checksum
 
 
 @dataclass
@@ -57,20 +60,43 @@ class UDPDatagram:
         """True when the declared length matches header + payload exactly."""
         return self.effective_length == self.wire_length()
 
-    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
-        """Serialize the datagram, computing the checksum when possible."""
+    def _wire_zero(self) -> bytes:
+        """Serialized datagram with a zero checksum field (memoized)."""
+        cached = self._wire0_cache
+        if cached is not None:
+            return cached
         header = struct.pack("!HHHH", self.sport, self.dport, self.effective_length & 0xFFFF, 0)
         datagram = header + self.payload
+        object.__setattr__(self, "_wire0_cache", datagram)
+        return datagram
+
+    def to_bytes(self, src: str | None = None, dst: str | None = None) -> bytes:
+        """Serialize the datagram, computing the checksum when possible.
+
+        The result is memoized per (src, dst) and invalidated when any field
+        is assigned.
+        """
         if self.checksum is not None:
-            csum = self.checksum
-        elif src is not None and dst is not None:
+            cached = self._wire_cache
+            if cached is not None and cached[0] is _EXPLICIT:
+                return cached[1]
+            datagram = self._wire_zero()
+            wire = datagram[:6] + struct.pack("!H", self.checksum) + datagram[8:]
+            object.__setattr__(self, "_wire_cache", (_EXPLICIT, wire))
+            return wire
+        if src is not None and dst is not None:
+            cached = self._wire_cache
+            if cached is not None and cached[0] == (src, dst):
+                return cached[1]
+            datagram = self._wire_zero()
             pseudo = pseudo_header(src, dst, UDP_PROTO, len(datagram))
             csum = internet_checksum(pseudo + datagram)
             if csum == 0:
                 csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
-        else:
-            csum = 0
-        return datagram[:6] + struct.pack("!H", csum) + datagram[8:]
+            wire = datagram[:6] + struct.pack("!H", csum) + datagram[8:]
+            object.__setattr__(self, "_wire_cache", ((src, dst), wire))
+            return wire
+        return self._wire_zero()
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "UDPDatagram":
@@ -90,8 +116,11 @@ class UDPDatagram:
         """Check the datagram checksum against the pseudo-header for src/dst."""
         if self.checksum is None or self.checksum == 0:
             return True  # zero means "checksum not used" in UDP over IPv4
-        expected_wire = replace(self, checksum=None).to_bytes(src, dst)
-        expected = struct.unpack("!H", expected_wire[6:8])[0]
+        datagram = self._wire_zero()
+        pseudo = pseudo_header(src, dst, UDP_PROTO, len(datagram))
+        expected = internet_checksum(pseudo + datagram)
+        if expected == 0:
+            expected = 0xFFFF
         return expected == self.checksum
 
     def copy(self, **changes: object) -> "UDPDatagram":
@@ -100,3 +129,6 @@ class UDPDatagram:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UDP({self.sport}->{self.dport} len={len(self.payload)})"
+
+
+install_wire_cache(UDPDatagram, ("_wire0_cache", "_wire_cache"))

@@ -1,0 +1,13 @@
+"""Deterministic parallel execution for experiments.
+
+The experiment drivers (Table 3, the §6 efficiency cases, Figure 4's
+hour × trial sweep, distributed characterization) decompose into fully
+independent tasks — each builds its own simulated environment from a
+deterministic factory.  :class:`WorkerPool` runs such task lists on a
+serial, thread, or process backend with results always returned in task
+order, so parallel runs are output-identical to serial ones.
+"""
+
+from repro.runtime.pool import Backend, WorkerPool, derive_seed, resolve_backend
+
+__all__ = ["Backend", "WorkerPool", "derive_seed", "resolve_backend"]

@@ -28,7 +28,7 @@ def invert_bits(payload: bytes) -> bytes:
     return bytes((~b) & 0xFF for b in payload)
 
 
-@dataclass
+@dataclass(slots=True)
 class TracePacket:
     """One application payload in a recorded dialogue.
 
