@@ -19,15 +19,38 @@ from repro.traffic.http import http_get_trace
 from repro.traffic.video import video_stream_trace
 
 
-def _make_env(name: str):
+def _make_env(name: str, faults=None):
     from repro.envs import ENVIRONMENT_FACTORIES
 
     try:
-        return ENVIRONMENT_FACTORIES[name]()
+        return ENVIRONMENT_FACTORIES[name](faults=faults)
     except KeyError:
         raise SystemExit(
             f"unknown environment {name!r}; choose from {sorted(ENVIRONMENT_FACTORIES)}"
         )
+
+
+def _fault_profile(args: argparse.Namespace):
+    """Resolve --faults/--seed into a FaultProfile (None = clean network)."""
+    name = getattr(args, "faults", None)
+    if not name or name == "none":
+        return None
+    from repro.netsim.faults import FAULT_PROFILES
+
+    seed = getattr(args, "seed", None)
+    return FAULT_PROFILES[name](seed if seed is not None else 0)
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        choices=("none", "lossy", "bursty", "chaos"),
+        default="none",
+        help="inject a fault profile into the simulated network",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="fault-injection RNG seed (reproducible runs)"
+    )
 
 
 def _make_trace(args: argparse.Namespace):
@@ -68,9 +91,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run the full four-phase pipeline."""
     from repro.core.pipeline import Liberate
 
-    env = _make_env(args.env)
+    env = _make_env(args.env, faults=_fault_profile(args))
     trace = _make_trace(args)
-    report = Liberate(env, stop_at_first=args.fast).run(trace)
+    report = Liberate(env, stop_at_first=args.fast, seed=args.seed).run(trace)
     print(report.summary())
     if report.evasion is not None and args.verbose:
         for result in report.evasion.results:
@@ -83,8 +106,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
     """Run only the differentiation-detection phase."""
     from repro.core.detection import detect_differentiation
 
-    env = _make_env(args.env)
-    report = detect_differentiation(env, _make_trace(args))
+    env = _make_env(args.env, faults=_fault_profile(args))
+    trials = 3 if env.reliable_mode else 1
+    report = detect_differentiation(env, _make_trace(args), trials=trials)
     print(report.summary())
     return 0 if report.differentiated else 1
 
@@ -93,9 +117,10 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     """Run only the characterization phase."""
     from repro.core.characterization import CharacterizationError, Characterizer
 
-    env = _make_env(args.env)
+    env = _make_env(args.env, faults=_fault_profile(args))
+    trials = 3 if env.reliable_mode else 1
     try:
-        report = Characterizer(env, _make_trace(args)).run()
+        report = Characterizer(env, _make_trace(args), trials=trials).run()
     except CharacterizationError as error:
         print(f"characterization failed: {error}", file=sys.stderr)
         return 1
@@ -148,7 +173,10 @@ def cmd_table3(args: argparse.Namespace) -> int:
     """Regenerate Table 3 and compare against the paper."""
     from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
 
-    rows = run_table3(characterize=not args.fast)
+    faults = _fault_profile(args)
+    rows = run_table3(characterize=not args.fast, faults=faults)
+    if faults is not None:
+        print(f"fault profile: {args.faults} (seed {faults.seed})")
     print(format_table3(rows))
     matches, total, mismatches = compare_with_paper(rows)
     print(f"\npaper agreement: {matches}/{total} cells")
@@ -161,7 +189,7 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     """Regenerate Figure 4."""
     from repro.experiments.figure4 import busy_and_quiet_summary, format_figure4, run_figure4
 
-    samples = run_figure4(trials=args.trials)
+    samples = run_figure4(trials=args.trials, faults=_fault_profile(args), seed=args.seed)
     print(format_figure4(samples))
     print(busy_and_quiet_summary(samples))
     return 0
@@ -227,16 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fast", action="store_true", help="stop at the first working technique")
     run.add_argument("--verbose", action="store_true")
     _add_workload_args(run)
+    _add_fault_args(run)
     run.set_defaults(func=cmd_run)
 
     detect = sub.add_parser("detect", help="differentiation detection only")
     detect.add_argument("--env", default="testbed")
     _add_workload_args(detect)
+    _add_fault_args(detect)
     detect.set_defaults(func=cmd_detect)
 
     char = sub.add_parser("characterize", help="classifier characterization only")
     char.add_argument("--env", default="testbed")
     _add_workload_args(char)
+    _add_fault_args(char)
     char.set_defaults(func=cmd_characterize)
 
     trace = sub.add_parser("trace", help="generate + save a workload trace")
@@ -252,9 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table2", help="regenerate Table 2").set_defaults(func=cmd_table2)
     t3 = sub.add_parser("table3", help="regenerate Table 3")
     t3.add_argument("--fast", action="store_true", help="skip the characterization phase")
+    _add_fault_args(t3)
     t3.set_defaults(func=cmd_table3)
     f4 = sub.add_parser("figure4", help="regenerate Figure 4")
     f4.add_argument("--trials", type=int, default=6)
+    _add_fault_args(f4)
     f4.set_defaults(func=cmd_figure4)
     sub.add_parser("efficiency", help="regenerate §6 efficiency numbers").set_defaults(
         func=cmd_efficiency

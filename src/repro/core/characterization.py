@@ -45,6 +45,11 @@ class Characterizer:
         prepend_threshold: give up on position probing after this many
             prepended packets.
         granularity: smallest blinding region (1 = byte-exact fields).
+        trials: replay repetition for noisy (fault-injected) networks.  1
+            (the default) replays each probe once — the historical
+            behaviour.  Greater than 1 repeats each probe until one verdict
+            leads by two trials (re-probing inconsistent rounds), so the
+            blinding binary search converges under packet loss.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class Characterizer:
         prepend_threshold: int = DEFAULT_PREPEND_THRESHOLD,
         granularity: int = 1,
         blind_mode: str = "invert",
+        trials: int = 1,
     ) -> None:
         if blind_mode not in ("invert", "random"):
             raise ValueError(f"unknown blind mode {blind_mode!r}")
@@ -64,8 +70,10 @@ class Characterizer:
         self.prepend_threshold = prepend_threshold
         self.granularity = max(granularity, 1)
         self.blind_mode = blind_mode
+        self.trials = max(trials, 1)
         self.rounds = 0
         self.bytes_used = 0
+        self.inconsistent_rounds = 0
         self._port_counter = trace.server_port
         self._rng = random.Random(0x11BE7A7E)
 
@@ -93,6 +101,11 @@ class Characterizer:
         report.rounds = self.rounds
         report.bytes_used = self.bytes_used
         report.port_rotation_used = self.rotate_ports
+        if self.inconsistent_rounds:
+            report.notes.append(
+                f"{self.inconsistent_rounds} probe(s) returned inconsistent "
+                "verdicts across trials and were re-probed (lossy path)"
+            )
         return report
 
     def find_server_side_fields(self, scan_limit: int = 3) -> list[MatchingField]:
@@ -188,6 +201,36 @@ class Characterizer:
     # replay plumbing
     # ------------------------------------------------------------------
     def _replay(
+        self,
+        blind: list[tuple[int, int, int]] | None = None,
+        prepend: list[bytes] | None = None,
+        server_blind: list[tuple[int, int, int]] | None = None,
+    ) -> bool:
+        """One characterization probe; returns whether it was differentiated.
+
+        With ``trials`` > 1 the probe repeats until one verdict leads by two
+        trials (within a small budget) — a lost probe packet then reads as a
+        one-off disagreement that gets re-probed instead of sending the
+        binary search down the wrong branch.
+        """
+        if self.trials <= 1:
+            return self._replay_once(blind, prepend, server_blind)
+        votes_true = 0
+        votes_false = 0
+        budget = self.trials + 4
+        while votes_true + votes_false < budget:
+            if self._replay_once(blind, prepend, server_blind):
+                votes_true += 1
+            else:
+                votes_false += 1
+            done = votes_true + votes_false
+            if done >= min(self.trials, 2) and abs(votes_true - votes_false) >= 2:
+                break
+        if votes_true and votes_false:
+            self.inconsistent_rounds += 1
+        return votes_true > votes_false
+
+    def _replay_once(
         self,
         blind: list[tuple[int, int, int]] | None = None,
         prepend: list[bytes] | None = None,

@@ -6,6 +6,11 @@ original is differentiated and the control is not, the trigger is the
 deterministic and guarantees every classification bit pattern is removed; the
 paper switched to it after random payloads occasionally matched rules by
 accident.
+
+On lossy networks a single replay pair is noisy (a dropped probe can read as
+"not differentiated"), so detection supports repeated trials with majority
+voting — the same trial repetition the paper's deployments use to separate
+differentiation from congestion.
 """
 
 from __future__ import annotations
@@ -17,14 +22,60 @@ from repro.traffic.trace import Trace
 
 
 def detect_differentiation(
-    env: Environment, trace: Trace, server_port: int | None = None
+    env: Environment,
+    trace: Trace,
+    server_port: int | None = None,
+    trials: int = 1,
 ) -> DetectionReport:
     """Run the original + bit-inverted control replays and compare treatment.
 
     On networks with residual server:port blocking (the GFC), each replay
     targets a fresh port so earlier tests can't contaminate the comparison
     (§6.5's methodology).
+
+    With *trials* > 1, the replay pair is repeated and the verdicts decided
+    by majority vote (a tie votes one extra pair); disagreeing trials are
+    noted in the report so callers can see the confidence behind the verdict.
     """
+    if trials <= 1:
+        return _detect_once(env, trace, server_port)
+
+    votes_diff: list[bool] = []
+    votes_content: list[bool] = []
+    notes: list[str] = []
+    pairs = 0
+    max_pairs = trials + (1 - trials % 2)  # room for one tie-break pair
+    while pairs < trials or (pairs < max_pairs and _tied(votes_diff)):
+        report = _detect_once(env, trace, server_port)
+        votes_diff.append(report.differentiated)
+        votes_content.append(report.content_based)
+        for note in report.notes:
+            if note not in notes:
+                notes.append(note)
+        pairs += 1
+
+    differentiated = _majority(votes_diff)
+    content_based = _majority(votes_content)
+    result = DetectionReport(
+        differentiated=differentiated,
+        content_based=content_based,
+        signal=env.signal.value,
+        rounds=2 * pairs,
+        bytes_used=2 * pairs * trace.total_bytes(),
+    )
+    disagreements = min(sum(votes_diff), pairs - sum(votes_diff))
+    if disagreements:
+        result.notes.append(
+            f"inconsistent trials: {disagreements}/{pairs} replay pairs "
+            f"disagreed with the majority verdict (lossy path)"
+        )
+    result.notes.extend(notes)
+    return result
+
+
+def _detect_once(
+    env: Environment, trace: Trace, server_port: int | None
+) -> DetectionReport:
     original_port = server_port
     control_port = server_port
     if env.needs_port_rotation:
@@ -50,3 +101,11 @@ def detect_differentiation(
             "differentiation)"
         )
     return report
+
+
+def _majority(votes: list[bool]) -> bool:
+    return sum(votes) * 2 > len(votes)
+
+
+def _tied(votes: list[bool]) -> bool:
+    return sum(votes) * 2 == len(votes)

@@ -17,11 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import partial
 
+import logging
+
 from repro.core.characterization import Characterizer
 from repro.core.report import CharacterizationReport
 from repro.envs.base import Environment
-from repro.runtime import WorkerPool
+from repro.runtime import RetryPolicy, TaskFailure, WorkerPool
 from repro.traffic.trace import Trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -98,7 +102,11 @@ def _reference_fields_task(task: tuple[object, Trace]) -> list[str]:
 
 
 def speedup_from_distribution(
-    env_factory, trace: Trace, users: int = 4, pool: WorkerPool | None = None
+    env_factory,
+    trace: Trace,
+    users: int = 4,
+    pool: WorkerPool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, float]:
     """Compare single-user vs. N-user characterization load.
 
@@ -106,17 +114,30 @@ def speedup_from_distribution(
     speedup (wall-clock divides by it when users run concurrently).  The
     three characterization runs (solo, distributed, reference fields) each
     build their own environment from *env_factory*, so a parallel *pool*
-    runs them concurrently with identical results.
+    runs them concurrently with identical results.  With a *retry* policy,
+    tasks that die on the pool (crashed worker, timeout) are retried there
+    and, as a last resort, re-run serially in-process — every task is pure,
+    so a re-run computes the same result.
     """
     if pool is None:
         pool = WorkerPool()
-    solo_rounds, (total_rounds, user_rounds, dist_fields), reference_fields = pool.run_all(
-        [
-            partial(_solo_task, (env_factory, trace)),
-            partial(_distributed_task, (env_factory, trace, users)),
-            partial(_reference_fields_task, (env_factory, trace)),
-        ]
-    )
+    thunks = [
+        partial(_solo_task, (env_factory, trace)),
+        partial(_distributed_task, (env_factory, trace, users)),
+        partial(_reference_fields_task, (env_factory, trace)),
+    ]
+    results = pool.run_all(thunks, retry=retry)
+    for index, result in enumerate(results):
+        if isinstance(result, TaskFailure):
+            logger.warning(
+                "distribution task %d failed on the pool (%s after %d attempt(s)); "
+                "re-running serially in-process",
+                index,
+                result.error_type,
+                result.attempts,
+            )
+            results[index] = thunks[index]()
+    solo_rounds, (total_rounds, user_rounds, dist_fields), reference_fields = results
     busiest = max(user_rounds)
     return {
         "solo_rounds": float(solo_rounds),

@@ -42,13 +42,45 @@ def locate_middlebox(
     trace: Trace,
     max_ttl: int = DEFAULT_MAX_TTL,
     server_port: int | None = None,
+    trials: int = 1,
 ) -> tuple[int | None, int]:
     """Find the classifier's hop distance from the client.
 
     Returns (hops, probe_rounds).  *hops* is the number of TTL-decrementing
     hops client-side of the classifier (a packet needs TTL ≥ hops+1 to reach
     it), or None when no TTL up to *max_ttl* triggered the signal.
+
+    With *trials* > 1 the whole TTL sweep is repeated and the per-sweep hop
+    counts majority-voted (smallest wins a tie) — a lost probe inflates one
+    sweep's estimate, not the final answer.  One sweep is the historical
+    behaviour and the fault-free default.
     """
+    rounds = 0
+    if trials <= 1:
+        return _sweep(env, trace, max_ttl, server_port, sweep_index=0)
+    estimates: list[int | None] = []
+    for sweep_index in range(trials):
+        hops, sweep_rounds = _sweep(env, trace, max_ttl, server_port, sweep_index)
+        rounds += sweep_rounds
+        estimates.append(hops)
+    observed = [h for h in estimates if h is not None]
+    if not observed:
+        return None, rounds
+    counts: dict[int, int] = {}
+    for hops in observed:
+        counts[hops] = counts.get(hops, 0) + 1
+    best = max(counts.values())
+    return min(h for h, c in counts.items() if c == best), rounds
+
+
+def _sweep(
+    env: Environment,
+    trace: Trace,
+    max_ttl: int,
+    server_port: int | None,
+    sweep_index: int,
+) -> tuple[int | None, int]:
+    """One linear TTL sweep (the original single-trial localization)."""
     matching = trace.client_payloads()[0] if trace.client_payloads() else b""
     carrier = trace.inverted()
     rounds = 0
@@ -56,7 +88,7 @@ def locate_middlebox(
     for ttl in range(1, max_ttl + 1):
         port = port_base
         if env.needs_port_rotation:
-            port = 8000 + ((port_base + ttl) % 20_000)
+            port = 8000 + ((port_base + ttl + sweep_index * 101) % 20_000)
         probe = _TTLProbe(matching, ttl)
         outcome = ReplaySession(env, carrier, server_port=port).run(technique=probe)
         rounds += 1

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.cache import RuleCache
 from repro.core.characterization import CharacterizationError, Characterizer
-from repro.core.deployment import LiberateProxy
+from repro.core.deployment import FallbackLadder, LiberateProxy
 from repro.core.detection import detect_differentiation
 from repro.core.evaluation import EvasionEvaluator
 from repro.core.evasion import ALL_TECHNIQUES, techniques_by_name
@@ -30,6 +30,13 @@ class Liberate:
         stop_at_first: during evaluation, stop at the first working
             technique (fast deployment mode) instead of trying everything
             (the paper's study mode).
+        trials: per-probe repetition for noisy (fault-injected) networks;
+            flows through detection/characterization/localization voting.
+            ``None`` picks 3 when the environment has faults installed and 1
+            (the historical single-shot path) otherwise.
+        seed: the fault/RNG seed this run was performed under; recorded in
+            every report for reproducibility.  ``None`` falls back to the
+            environment's fault-profile seed when faults are installed.
     """
 
     def __init__(
@@ -38,11 +45,19 @@ class Liberate:
         techniques: tuple[EvasionTechnique, ...] = ALL_TECHNIQUES,
         stop_at_first: bool = False,
         cache: "RuleCache | None" = None,
+        trials: int | None = None,
+        seed: int | None = None,
     ) -> None:
         self.env = env
         self.techniques = techniques
         self.stop_at_first = stop_at_first
         self.cache = cache
+        if trials is None:
+            trials = 3 if env.reliable_mode else 1
+        self.trials = max(trials, 1)
+        if seed is None and env.fault_profile is not None:
+            seed = env.fault_profile.seed
+        self.seed = seed
         self.last_report: LiberateReport | None = None
 
     # ------------------------------------------------------------------
@@ -50,9 +65,9 @@ class Liberate:
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> LiberateReport:
         """Execute detection, characterization, localization and evaluation."""
-        detection = detect_differentiation(self.env, trace)
+        detection = detect_differentiation(self.env, trace, trials=self.trials)
         report = LiberateReport(
-            environment=self.env.name, trace=trace.name, detection=detection
+            environment=self.env.name, trace=trace.name, detection=detection, seed=self.seed
         )
         if not detection.differentiated:
             self.last_report = report
@@ -65,7 +80,7 @@ class Liberate:
         characterization = self.characterize(trace)
         report.characterization = characterization
 
-        hops, probe_rounds = locate_middlebox(self.env, trace)
+        hops, probe_rounds = locate_middlebox(self.env, trace, trials=self.trials)
         characterization.notes.append(
             f"middlebox located {hops} hop(s) out"
             if hops is not None
@@ -93,7 +108,7 @@ class Liberate:
             cached = self.cache.get(self.env.name, trace.name)
             if cached is not None:
                 return cached
-        report = Characterizer(self.env, trace).run()
+        report = Characterizer(self.env, trace, trials=self.trials).run()
         if self.cache is not None:
             self.cache.put(self.env.name, trace.name, report)
         return report
@@ -145,6 +160,49 @@ class Liberate:
         proxy = LiberateProxy(self.env, technique, context)
         proxy.on_rule_change = lambda: self._readapt(proxy, trace)
         return proxy
+
+    def deploy_ladder(
+        self, trace: Trace, window: int = 5, failure_threshold: int = 3
+    ) -> FallbackLadder:
+        """Deploy all working techniques as a graceful-degradation ladder.
+
+        The evaluation phase's working techniques are ranked cheapest first
+        (delay, then packets, then bytes — the same order :meth:`deploy`
+        picks its single best from) and wrapped in a
+        :class:`~repro.core.deployment.FallbackLadder` that health-checks the
+        active technique and steps down when it persistently stops evading.
+        The right deployment shape for faulty networks, where a single
+        technique's probes can be eaten by loss.
+        """
+        if self.last_report is None or self.last_report.trace != trace.name:
+            self.run(trace)
+        report = self.last_report
+        assert report is not None
+        if report.evasion is None or not report.evasion.working():
+            raise RuntimeError(
+                f"no working evasion technique for {trace.name} in {self.env.name}"
+            )
+        ranked = sorted(
+            report.evasion.working(),
+            key=lambda r: (r.overhead_seconds, r.overhead_packets, r.overhead_bytes),
+        )
+        by_name = techniques_by_name()
+        assert report.characterization is not None
+        context = EvasionContext(
+            matching_fields=report.characterization.matching_fields,
+            packet_limit=report.characterization.packet_limit,
+            inspects_all_packets=report.characterization.inspects_all_packets,
+            match_and_forget=report.characterization.match_and_forget,
+            middlebox_hops=self.env.hops_to_middlebox,
+            protocol=trace.protocol,
+        )
+        return FallbackLadder(
+            self.env,
+            [by_name[r.technique] for r in ranked],
+            context,
+            window=window,
+            failure_threshold=failure_threshold,
+        )
 
     def _readapt(self, proxy: LiberateProxy, trace: Trace) -> None:
         """Runtime adaptation: rerun the pipeline and swap the technique."""

@@ -165,7 +165,12 @@ class EvasionReport:
 
 @dataclass
 class LiberateReport:
-    """The full four-phase run."""
+    """The full four-phase run.
+
+    *seed* records the fault-injection / RNG seed the run was performed
+    under (None for a deterministic fault-free run) so every reported result
+    can be reproduced bit-for-bit.
+    """
 
     environment: str
     trace: str
@@ -173,10 +178,13 @@ class LiberateReport:
     characterization: CharacterizationReport | None = None
     evasion: EvasionReport | None = None
     deployed_technique: str | None = None
+    seed: int | None = None
 
     def summary(self) -> str:
         """Multi-line human summary of the whole run."""
         lines = [f"lib*erate report — {self.trace} over {self.environment}"]
+        if self.seed is not None:
+            lines.append(f"  seed:             {self.seed}")
         lines.append(f"  detection:        {self.detection.summary()}")
         if self.characterization is not None:
             lines.append(f"  characterization: {self.characterization.summary()}")

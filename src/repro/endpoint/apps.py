@@ -108,6 +108,46 @@ class UDPReplayApp:
         self.received.clear()
 
 
+class ReliableUDPReplayApp:
+    """Payload-keyed, idempotent variant of :class:`UDPReplayApp`.
+
+    On a lossy path the arrival *index* no longer identifies a datagram
+    (losses shift it, duplicates repeat it), so this variant matches each
+    arrival against the recorded client payloads instead.  Duplicates replay
+    the same scripted responses — a lost response is recovered by the
+    sender's duplicate copy.
+    """
+
+    def __init__(
+        self,
+        expected_payloads: list[bytes],
+        responses_by_index: dict[int, list[bytes]] | None = None,
+    ) -> None:
+        self.expected = list(expected_payloads)
+        self.responses_by_index = dict(responses_by_index or {})
+        self.received: list[bytes] = []
+        self._consumed = [False] * len(self.expected)
+        self._replayable: dict[bytes, list[bytes]] = {}
+
+    def on_datagram(self, src: str, sport: int, dport: int, data: bytes) -> list[bytes]:
+        """Record the datagram; emit responses for its recorded position."""
+        self.received.append(data)
+        for index, expected in enumerate(self.expected):
+            if not self._consumed[index] and expected == data:
+                self._consumed[index] = True
+                responses = list(self.responses_by_index.get(index, []))
+                if responses:
+                    self._replayable[data] = responses
+                return responses
+        return list(self._replayable.get(data, []))
+
+    def reset(self) -> None:
+        """Forget received datagrams and script progress."""
+        self.received.clear()
+        self._consumed = [False] * len(self.expected)
+        self._replayable.clear()
+
+
 @dataclass
 class HTTPSite:
     """Static content served for one host."""

@@ -61,7 +61,13 @@ class ClientCollector:
         ]
 
     def server_stream(self, server: str, server_port: int, client_port: int) -> bytes:
-        """Reassemble (by sequence number) the data the server sent back."""
+        """Reassemble (by sequence number) the data the server sent back.
+
+        Overlap-aware: retransmitted chunks whose boundaries differ from the
+        original transmission are trimmed against what earlier sequence
+        numbers already covered, so duplicates never double-count.  Gaps are
+        still collapsed (the caller compares against the expected stream).
+        """
         chunks: dict[int, bytes] = {}
         for p in self.packets:
             tcp = p.tcp
@@ -70,11 +76,36 @@ class ClientCollector:
             if tcp.sport != server_port or tcp.dport != client_port:
                 continue
             if tcp.payload:
-                chunks.setdefault(tcp.seq, tcp.payload)
+                existing = chunks.get(tcp.seq)
+                if existing is None or len(tcp.payload) > len(existing):
+                    chunks[tcp.seq] = tcp.payload
         stream = bytearray()
+        max_end: int | None = None
         for seq in sorted(chunks):
-            stream.extend(chunks[seq])
+            payload = chunks[seq]
+            if max_end is not None and seq < max_end:
+                if seq + len(payload) <= max_end:
+                    continue  # entirely covered already
+                payload = payload[max_end - seq :]
+                seq = max_end
+            stream.extend(payload)
+            max_end = seq + len(payload)
         return bytes(stream)
+
+    def max_server_ack(self, server: str, server_port: int, client_port: int) -> int | None:
+        """The highest cumulative ACK the server has sent us, or None."""
+        best: int | None = None
+        for p in self.packets:
+            tcp = p.tcp
+            if tcp is None or p.src != server:
+                continue
+            if tcp.sport != server_port or tcp.dport != client_port:
+                continue
+            if tcp.flags & TCPFlags.RST or not tcp.flags & TCPFlags.ACK:
+                continue
+            if best is None or tcp.ack > best:
+                best = tcp.ack
+        return best
 
     def udp_responses(self, server: str, server_port: int, client_port: int) -> list[bytes]:
         """UDP payloads the server sent back, in arrival order."""
@@ -163,6 +194,27 @@ def packet_from_plan(
     return packet
 
 
+def _plan_is_plain(plan: SegmentPlan) -> bool:
+    """True when a plan is ordinary stream data, safe to retransmit verbatim.
+
+    Plans that freeze header fields, limit TTL, or override flags are
+    technique probes — retransmitting those would change what the middlebox
+    and server observe, so they are never tracked for ARQ.
+    """
+    return (
+        plan.ttl is None
+        and plan.flags is None
+        and plan.tcp_checksum is None
+        and plan.data_offset is None
+        and plan.ip_version is None
+        and plan.ip_ihl is None
+        and plan.ip_total_length_delta is None
+        and plan.ip_protocol is None
+        and plan.ip_checksum is None
+        and not plan.ip_options
+    )
+
+
 class RawTCPClient:
     """A raw TCP sender bound to a simulated path.
 
@@ -172,6 +224,10 @@ class RawTCPClient:
         src / dst: client and server addresses.
         sport / dport: client and server ports.
         ttl: default TTL for well-formed packets.
+        reliable: run lightweight ARQ on a lossy fault-injected path — SYN
+            retry, tracked-data retransmission and server-stream gap repair.
+            Off by default: the fault-free packet sequence is unchanged.
+        max_retries: retry budget for each ARQ loop in reliable mode.
     """
 
     def __init__(
@@ -182,6 +238,8 @@ class RawTCPClient:
         sport: int = 40_000,
         dport: int = 80,
         ttl: int = 64,
+        reliable: bool = False,
+        max_retries: int = 4,
     ) -> None:
         self.path = path
         self.src = src
@@ -189,22 +247,39 @@ class RawTCPClient:
         self.sport = sport
         self.dport = dport
         self.ttl = ttl
+        self.reliable = reliable
+        self.max_retries = max_retries
+        self.retransmissions = 0
         self.collector = ClientCollector(clock=path.clock)
         path.client_endpoint = self.collector
         self.next_seq = CLIENT_ISN
         self.server_ack = 0  # what we acknowledge of the server's stream
         self.established = False
+        self._tracked: list[tuple[int, bytes]] = []  # (seq, payload) of plain stream data
 
     # ------------------------------------------------------------------
     # connection management
     # ------------------------------------------------------------------
     def connect(self) -> bool:
-        """Perform the three-way handshake; True on success."""
-        syn = TCPSegment(
-            sport=self.sport, dport=self.dport, seq=self.next_seq, flags=TCPFlags.SYN
-        )
-        self.path.send_from_client(IPPacket(src=self.src, dst=self.dst, transport=syn, ttl=self.ttl))
-        synack = self._find_synack()
+        """Perform the three-way handshake; True on success.
+
+        In reliable mode a lost SYN or SYN-ACK is retried (a duplicate SYN
+        simply refreshes the server's half-open connection).
+        """
+        attempts = 1 + (self.max_retries if self.reliable else 0)
+        synack = None
+        for _ in range(attempts):
+            syn = TCPSegment(
+                sport=self.sport, dport=self.dport, seq=self.next_seq, flags=TCPFlags.SYN
+            )
+            self.path.send_from_client(
+                IPPacket(src=self.src, dst=self.dst, transport=syn, ttl=self.ttl)
+            )
+            synack = self._find_synack()
+            if synack is not None:
+                break
+            if self.reliable:
+                self.retransmissions += 1
         if synack is None:
             return False
         self.next_seq += 1
@@ -283,6 +358,9 @@ class RawTCPClient:
             ack=self.server_ack,
             default_ttl=self.ttl,
         )
+        if self.reliable and plan.payload and plan.advances_seq and _plan_is_plain(plan):
+            seq = self.next_seq if plan.seq is None else plan.seq
+            self._tracked.append((seq, plan.payload))
         if plan.seq is None and plan.advances_seq:
             self.next_seq = (self.next_seq + len(plan.payload)) & 0xFFFFFFFF
         self.path.send_from_client(packet)
@@ -300,6 +378,106 @@ class RawTCPClient:
         self.path.send_from_client(packet)
 
     # ------------------------------------------------------------------
+    # reliable-mode ARQ
+    # ------------------------------------------------------------------
+    def flush_unacked(self) -> int:
+        """Retransmit tracked stream data the server has not acknowledged.
+
+        Scans the collector for the server's highest cumulative ACK and
+        resends every tracked segment not fully covered by it, as plain
+        ACK|PSH segments (the server stack trims already-delivered prefixes).
+        Returns the number of segments retransmitted.
+        """
+        if not self.reliable or not self._tracked:
+            return 0
+        resent_total = 0
+        target = max(seq + len(payload) for seq, payload in self._tracked)
+        for _ in range(self.max_retries):
+            acked = self.collector.max_server_ack(self.dst, self.dport, self.sport) or 0
+            if acked >= target:
+                break
+            resent = 0
+            for seq, payload in self._tracked:
+                if seq + len(payload) <= acked:
+                    continue
+                segment = TCPSegment(
+                    sport=self.sport,
+                    dport=self.dport,
+                    seq=seq,
+                    ack=self.server_ack,
+                    flags=TCPFlags.ACK | TCPFlags.PSH,
+                    payload=payload,
+                )
+                self.path.send_from_client(
+                    IPPacket(src=self.src, dst=self.dst, transport=segment, ttl=self.ttl)
+                )
+                resent += 1
+            if not resent:
+                break
+            self.retransmissions += resent
+            resent_total += resent
+        return resent_total
+
+    def repair_server_stream(self, expected_len: int) -> int:
+        """Ask the server to retransmit missing response bytes.
+
+        Finds the first gap in the collected server stream and sends a pure
+        duplicate ACK for it; a retransmission-enabled server resends the
+        tail from that point.  Repeats until the stream reaches
+        *expected_len* or the retry budget/stall limit is hit.  Returns the
+        number of repair ACKs sent.
+        """
+        if not self.reliable or expected_len <= 0:
+            return 0
+        base = self.server_ack
+        repairs = 0
+        stalls = 0
+        previous_extent = -1
+        for _ in range(self.max_retries * 2):
+            extent = self._contiguous_extent(base)
+            if extent - base >= expected_len:
+                break
+            if extent <= previous_extent:
+                stalls += 1
+                if stalls >= 2:
+                    break
+            else:
+                stalls = 0
+            previous_extent = extent
+            dup_ack = TCPSegment(
+                sport=self.sport,
+                dport=self.dport,
+                seq=self.next_seq,
+                ack=extent,
+                flags=TCPFlags.ACK,
+            )
+            self.path.send_from_client(
+                IPPacket(src=self.src, dst=self.dst, transport=dup_ack, ttl=self.ttl)
+            )
+            repairs += 1
+        return repairs
+
+    def _contiguous_extent(self, base: int) -> int:
+        """The first sequence number missing from the server's stream."""
+        chunks: dict[int, int] = {}
+        for p in self.collector.packets:
+            tcp = p.tcp
+            if tcp is None or p.src != self.dst:
+                continue
+            if tcp.sport != self.dport or tcp.dport != self.sport:
+                continue
+            if tcp.payload:
+                end = tcp.seq + len(tcp.payload)
+                if chunks.get(tcp.seq, 0) < end:
+                    chunks[tcp.seq] = end
+        extent = base
+        for seq in sorted(chunks):
+            if seq > extent:
+                break
+            extent = max(extent, chunks[seq])
+        return extent
+
+    # ------------------------------------------------------------------
     # observations
     # ------------------------------------------------------------------
     def server_stream(self) -> bytes:
@@ -315,7 +493,12 @@ class RawTCPClient:
 
 
 class RawUDPClient:
-    """A raw UDP sender bound to a simulated path."""
+    """A raw UDP sender bound to a simulated path.
+
+    In *reliable* mode every well-formed datagram is sent twice — UDP has no
+    ACKs, so blind duplication is the only loss defence; receivers in
+    reliable mode deduplicate by payload.
+    """
 
     def __init__(
         self,
@@ -325,6 +508,7 @@ class RawUDPClient:
         sport: int = 41_000,
         dport: int = 3478,
         ttl: int = 64,
+        reliable: bool = False,
     ) -> None:
         self.path = path
         self.src = src
@@ -332,6 +516,8 @@ class RawUDPClient:
         self.sport = sport
         self.dport = dport
         self.ttl = ttl
+        self.reliable = reliable
+        self.retransmissions = 0
         self.collector = ClientCollector(clock=path.clock)
         path.client_endpoint = self.collector
 
@@ -355,6 +541,9 @@ class RawUDPClient:
             ttl=self.ttl if ttl is None else ttl,
         )
         self.path.send_from_client(packet)
+        if self.reliable and checksum is None and length_delta is None and ttl is None:
+            self.path.send_from_client(packet.copy())
+            self.retransmissions += 1
         return packet
 
     def send_raw(self, packet: IPPacket) -> None:

@@ -52,6 +52,7 @@ class _Connection:
     stream: bytearray = field(default_factory=bytearray)
     ooo: dict[int, bytes] = field(default_factory=dict)
     reset_received: bool = False
+    sent: bytearray = field(default_factory=bytearray)  # response bytes, for retransmission
 
 
 class TCPServerStack:
@@ -62,6 +63,10 @@ class TCPServerStack:
         os_profile: which operating system's validation quirks to apply.
         app: application receiving the delivered byte stream.
         ports: set of listening ports (None accepts any port).
+        retransmit_enabled: honour duplicate ACKs by retransmitting the
+            unacknowledged tail of the response stream (enabled on lossy
+            fault-injected networks; off by default so the fault-free packet
+            sequence is unchanged).
 
     Attributes:
         raw_arrivals: every packet that physically reached the endpoint —
@@ -77,11 +82,13 @@ class TCPServerStack:
         os_profile: OSProfile = LINUX,
         app: TCPApp | None = None,
         ports: set[int] | None = None,
+        retransmit_enabled: bool = False,
     ) -> None:
         self.address = address
         self.os_profile = os_profile
         self.app = app if app is not None else NullTCPApp()
         self.ports = ports
+        self.retransmit_enabled = retransmit_enabled
         self.raw_arrivals: list[IPPacket] = []
         self.rst_sent: list[IPPacket] = []
         self.delivered_junk = False
@@ -174,6 +181,12 @@ class TCPServerStack:
                 reply = self.app.on_data(self._conn_id(conn), delivered)
                 responses.extend(self._data_packets(conn, reply))
             responses.append(self._ack_packet(conn))
+        elif (
+            self.retransmit_enabled
+            and conn.state == "established"
+            and segment.flags == TCPFlags.ACK
+        ):
+            responses.extend(self._retransmit_for(conn, segment.ack))
 
         if segment.flags & TCPFlags.FIN:
             conn.expected_seq = (conn.expected_seq + 1) & 0xFFFFFFFF
@@ -243,6 +256,30 @@ class TCPServerStack:
                 payload=chunk,
             )
             conn.server_seq = (conn.server_seq + len(chunk)) & 0xFFFFFFFF
+            packets.append(IPPacket(src=self.address, dst=conn.client, transport=segment))
+        if self.retransmit_enabled:
+            conn.sent.extend(data)
+        return packets
+
+    def _retransmit_for(self, conn: _Connection, ack: int) -> list[IPPacket]:
+        """Resend the response tail a duplicate ACK says the client is missing."""
+        behind = (conn.server_seq - ack) & 0xFFFFFFFF
+        if not (0 < behind < 0x8000_0000) or behind > len(conn.sent):
+            return []
+        tail = bytes(conn.sent[len(conn.sent) - behind :])
+        packets = []
+        seq = ack
+        for offset in range(0, len(tail), MTU_PAYLOAD):
+            chunk = tail[offset : offset + MTU_PAYLOAD]
+            segment = TCPSegment(
+                sport=conn.server_port,
+                dport=conn.client_port,
+                seq=seq,
+                ack=conn.expected_seq,
+                flags=TCPFlags.ACK | TCPFlags.PSH,
+                payload=chunk,
+            )
+            seq = (seq + len(chunk)) & 0xFFFFFFFF
             packets.append(IPPacket(src=self.address, dst=conn.client, transport=segment))
         return packets
 

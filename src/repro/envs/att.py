@@ -13,7 +13,8 @@ Behaviour encoded from the paper's findings:
 
 from __future__ import annotations
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.middlebox.proxy import TransparentHTTPProxy
 from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
@@ -23,7 +24,7 @@ from repro.netsim.shaper import PolicyState, TokenBucketShaper
 STREAM_SAVER_RATE_BPS = 1_500_000.0
 
 
-def make_att() -> Environment:
+def make_att(faults: FaultProfile | None = None) -> Environment:
     """Build the AT&T environment (transparent proxy on port 80)."""
     clock = VirtualClock()
     policy = PolicyState()
@@ -46,7 +47,7 @@ def make_att() -> Environment:
             RouterHop("att-r3"),
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name="att",
         clock=clock,
         path=path,
@@ -58,4 +59,4 @@ def make_att() -> Environment:
         hops_to_middlebox=2,
         needs_port_rotation=False,
         default_server_port=80,
-    )
+    ), faults)

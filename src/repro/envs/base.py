@@ -10,6 +10,7 @@ from repro.middlebox.accounting import UsageCounter
 from repro.middlebox.engine import DPIMiddlebox
 from repro.middlebox.proxy import TransparentHTTPProxy
 from repro.netsim.clock import VirtualClock
+from repro.netsim.faults import FaultElement, FaultProfile
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState
 
@@ -48,6 +49,8 @@ class Environment:
         needs_port_rotation: characterization should use a fresh server port
             per replay (the GFC's residual server:port blocking).
         default_server_port: port the environment's canonical workload uses.
+        fault_profile: active fault-injection profile, or None when the
+            network is perfectly reliable (the default).
     """
 
     name: str
@@ -65,12 +68,25 @@ class Environment:
     default_server_port: int = 80
     client_addr: str = CLIENT_ADDR
     server_addr: str = SERVER_ADDR
+    fault_profile: FaultProfile | None = None
     _sport_counter: int = field(default=40_000, repr=False)
 
     def next_sport(self) -> int:
         """A fresh client port, so replays never collide in flow tables."""
         self._sport_counter += 1
         return self._sport_counter
+
+    @property
+    def reliable_mode(self) -> bool:
+        """True when the path injects faults, so endpoints should run ARQ."""
+        return self.fault_profile is not None and not self.fault_profile.is_zero()
+
+    def fault_element(self) -> FaultElement | None:
+        """The installed fault injector, or None on a reliable network."""
+        for element in self.path.elements:
+            if isinstance(element, FaultElement):
+                return element
+        return None
 
     def dpi(self) -> DPIMiddlebox | None:
         """The middlebox as a DPI engine, or None (proxy/absent)."""
@@ -82,3 +98,20 @@ class Environment:
         self.policy_state.reset()
         if self.usage_counter is not None:
             self.usage_counter.reset()
+
+
+def install_faults(env: Environment, profile: FaultProfile | None) -> Environment:
+    """Attach a fault injector at *env*'s client edge.
+
+    A ``None`` or all-zero profile leaves the environment untouched, so the
+    fault-free path is exactly today's: no element is inserted and
+    ``reliable_mode`` stays False.
+    """
+    if profile is None or profile.is_zero():
+        return env
+    restart_targets = []
+    if profile.restart_interval is not None and env.middlebox is not None:
+        restart_targets.append(env.middlebox)
+    env.path.insert_element(FaultElement(profile, restart_targets=tuple(restart_targets)), 0)
+    env.fault_profile = profile
+    return env

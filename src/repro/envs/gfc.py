@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import math
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
 from repro.middlebox.policy import RulePolicy
 from repro.middlebox.rules import MatchRule
@@ -64,6 +65,7 @@ def make_gfc(
     censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS,
     endpoint_block_threshold: int = 2,
     endpoint_block_duration: float = 90.0,
+    faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the GFC environment (classifier ten TTL hops out)."""
     clock = VirtualClock()
@@ -121,7 +123,7 @@ def make_gfc(
             *post_routers,
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name="gfc",
         clock=clock,
         path=path,
@@ -132,4 +134,4 @@ def make_gfc(
         hops_to_middlebox=9,
         needs_port_rotation=True,
         default_server_port=80,
-    )
+    ), faults)

@@ -16,7 +16,8 @@ Behaviour encoded from the paper's findings:
 
 from __future__ import annotations
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
 from repro.middlebox.policy import RulePolicy
 from repro.middlebox.rules import MatchRule
@@ -31,7 +32,10 @@ from repro.netsim.shaper import PolicyState, TokenBucketShaper
 DEFAULT_CENSORED_HOSTS = (b"facebook.com", b"twitter.com")
 
 
-def make_iran(censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS) -> Environment:
+def make_iran(
+    censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS,
+    faults: FaultProfile | None = None,
+) -> Environment:
     """Build the Iran environment (classifier eight TTL hops out, port 80 only)."""
     clock = VirtualClock()
     policy = PolicyState()
@@ -82,7 +86,7 @@ def make_iran(censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS) -> Env
         clock,
         [pre_filter, *pre_routers, middlebox, post_filter, shaper, *post_routers],
     )
-    return Environment(
+    return install_faults(Environment(
         name="iran",
         clock=clock,
         path=path,
@@ -93,4 +97,4 @@ def make_iran(censored_hosts: tuple[bytes, ...] = DEFAULT_CENSORED_HOSTS) -> Env
         hops_to_middlebox=7,
         needs_port_rotation=False,
         default_server_port=80,
-    )
+    ), faults)

@@ -8,14 +8,18 @@ that interferes with nothing.
 from __future__ import annotations
 
 from repro.endpoint.osmodel import LINUX, OSProfile
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
 
 
-def make_neutral(server_os: OSProfile = LINUX) -> Environment:
+def make_neutral(
+    server_os: OSProfile = LINUX,
+    faults: FaultProfile | None = None,
+) -> Environment:
     """Build a clean path to a server running *server_os*."""
     clock = VirtualClock()
     policy = PolicyState()
@@ -27,7 +31,7 @@ def make_neutral(server_os: OSProfile = LINUX) -> Environment:
             RouterHop("neutral-r2", validate_ip_header=False),
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name=f"neutral-{server_os.name}",
         clock=clock,
         path=path,
@@ -38,4 +42,4 @@ def make_neutral(server_os: OSProfile = LINUX) -> Environment:
         base_rate_bps=100_000_000.0,
         hops_to_middlebox=0,
         default_server_port=80,
-    )
+    ), faults)

@@ -8,14 +8,15 @@ path — the tool must correctly conclude that nothing content-based happens.
 
 from __future__ import annotations
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
 
 
-def make_sprint() -> Environment:
+def make_sprint(faults: FaultProfile | None = None) -> Environment:
     """Build the Sprint environment (no middlebox, best-effort path)."""
     clock = VirtualClock()
     policy = PolicyState()
@@ -29,7 +30,7 @@ def make_sprint() -> Environment:
             RouterHop("sprint-r3"),
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name="sprint",
         clock=clock,
         path=path,
@@ -41,4 +42,4 @@ def make_sprint() -> Environment:
         hops_to_middlebox=0,
         needs_port_rotation=False,
         default_server_port=80,
-    )
+    ), faults)

@@ -18,7 +18,8 @@ Behaviour encoded from the paper's findings:
 
 from __future__ import annotations
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
 from repro.middlebox.policy import RulePolicy
 from repro.middlebox.rules import MatchRule, skype_stun_rule
@@ -47,6 +48,7 @@ def make_testbed(
     classified_hosts: tuple[str, ...] = DEFAULT_CLASSIFIED_HOSTS,
     classify_udp: bool = True,
     inspect_packet_limit: int = 5,
+    faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the testbed environment (client → DPI device → router → server)."""
     clock = VirtualClock()
@@ -98,7 +100,7 @@ def make_testbed(
             RouterHop("testbed-router", validate_ip_header=True),
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name="testbed",
         clock=clock,
         path=path,
@@ -110,4 +112,4 @@ def make_testbed(
         hops_to_middlebox=0,
         needs_port_rotation=False,
         default_server_port=80,
-    )
+    ), faults)

@@ -22,7 +22,8 @@ flows are zero-rated.
 
 from __future__ import annotations
 
-from repro.envs.base import Environment, SignalType
+from repro.envs.base import Environment, SignalType, install_faults
+from repro.netsim.faults import FaultProfile
 from repro.middlebox.accounting import UsageCounter
 from repro.middlebox.engine import DPIMiddlebox, ReassemblyMode
 from repro.middlebox.policy import RulePolicy
@@ -42,6 +43,7 @@ DEFAULT_ZERO_RATED_KEYWORDS = (b"cloudfront.net", b".googlevideo.com", b"spotify
 def make_tmobile(
     zero_rated_keywords: tuple[bytes, ...] = DEFAULT_ZERO_RATED_KEYWORDS,
     inspect_packet_limit: int = 4,
+    faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the T-Mobile environment (classifier three TTL hops out)."""
     clock = VirtualClock()
@@ -93,7 +95,7 @@ def make_tmobile(
             RouterHop("tmus-r4"),
         ],
     )
-    return Environment(
+    return install_faults(Environment(
         name="tmobile",
         clock=clock,
         path=path,
@@ -105,4 +107,4 @@ def make_tmobile(
         hops_to_middlebox=2,
         needs_port_rotation=False,
         default_server_port=80,
-    )
+    ), faults)

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from repro.core.evasion.base import EvasionContext
 from repro.core.evasion.flushing import PauseBeforeMatch
 from repro.envs.gfc import make_gfc
+from repro.netsim.faults import FaultProfile
 from repro.replay.session import ReplaySession
-from repro.runtime import WorkerPool
+from repro.runtime import WorkerPool, derive_seed
 from repro.traffic.http import http_get_trace
 
 #: The paper probed delays from 10 to 240 seconds.
@@ -31,9 +32,9 @@ class FlushSample:
     min_successful_delay: int | None  # None = even 240 s failed (red dot)
 
 
-def _probe(hour: int, trial: int, delay: int) -> bool:
+def _probe(hour: int, trial: int, delay: int, faults: FaultProfile | None = None) -> bool:
     """One probe: does a *delay*-second pause evade the GFC at this time?"""
-    env = make_gfc()
+    env = make_gfc(faults=faults)
     env.clock.at_hour(hour)
     env.clock.advance(trial * 523.0 % 3000.0)
     trace = http_get_trace("economist.com")
@@ -47,12 +48,14 @@ def _probe(hour: int, trial: int, delay: int) -> bool:
     return outcome.evaded
 
 
-def _sample_task(task: tuple[int, int, tuple[int, ...]]) -> FlushSample:
+def _sample_task(
+    task: tuple[int, int, tuple[int, ...], FaultProfile | None],
+) -> FlushSample:
     """One (hour, trial) delay-ladder sweep (a worker-pool task)."""
-    hour, trial, delays = task
+    hour, trial, delays, faults = task
     found: int | None = None
     for delay in delays:
-        if _probe(hour, trial, delay):
+        if _probe(hour, trial, delay, faults):
             found = delay
             break
     return FlushSample(hour=hour, trial=trial, min_successful_delay=found)
@@ -63,17 +66,37 @@ def run_figure4(
     trials: int = TRIALS_PER_HOUR,
     delays: tuple[int, ...] = DELAY_LADDER,
     pool: WorkerPool | None = None,
+    faults: FaultProfile | None = None,
+    seed: int | None = None,
 ) -> list[FlushSample]:
     """Sweep (hour, trial) and record the minimum working delay for each.
 
     Every probe builds a fresh GFC simulator pinned to its (hour, trial), so
     the samples are independent and run concurrently on a parallel *pool*,
     returned in (hour, trial) order.
+
+    With *faults*, each sample's environment carries the fault profile,
+    reseeded per (hour, trial) from *seed* (default: the profile's own seed)
+    so the trials within an hour see independent fault streams while the
+    whole sweep stays reproducible from one number.
     """
     if pool is None:
         pool = WorkerPool()
-    tasks = [(hour, trial, tuple(delays)) for hour in hours for trial in range(trials)]
+    tasks = [
+        (hour, trial, tuple(delays), _task_faults(faults, seed, hour, trial))
+        for hour in hours
+        for trial in range(trials)
+    ]
     return pool.map(_sample_task, tasks)
+
+
+def _task_faults(
+    faults: FaultProfile | None, seed: int | None, hour: int, trial: int
+) -> FaultProfile | None:
+    if faults is None:
+        return None
+    base = faults.seed if seed is None else seed
+    return faults.with_seed(derive_seed(base, "figure4", hour, trial))
 
 
 def busy_and_quiet_summary(samples: list[FlushSample]) -> dict[str, float]:

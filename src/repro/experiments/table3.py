@@ -17,6 +17,7 @@ payload was delivered intact.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.core.evasion import ALL_TECHNIQUES
@@ -33,11 +34,14 @@ from repro.envs import ENVIRONMENT_FACTORIES, make_neutral
 from repro.envs.base import Environment
 from repro.experiments import paper_expectations
 from repro.experiments.workloads import PreparedEnvironment, prepare
+from repro.netsim.faults import FaultProfile
 from repro.packets.udp import UDPDatagram
 from repro.packets.ip import IPPacket
 from repro.replay.runner import make_inert_payload
 from repro.replay.session import ReplayOutcome, ReplaySession
-from repro.runtime import WorkerPool
+from repro.runtime import RetryPolicy, TaskFailure, WorkerPool
+
+logger = logging.getLogger(__name__)
 
 TABLE3_ENVS = ("testbed", "tmobile", "gfc", "iran", "att")
 
@@ -74,6 +78,9 @@ def run_table3(
     include_os_matrix: bool = True,
     characterize: bool = True,
     pool: WorkerPool | None = None,
+    faults: FaultProfile | None = None,
+    cell_trials: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[Table3Row]:
     """Measure the full Table 3 matrix.
 
@@ -82,12 +89,38 @@ def run_table3(
     self-contained task (each environment has its own simulator, clock and
     port sequence), so columns run concurrently on a parallel *pool* while
     every per-environment replay sequence stays identical to a serial run.
+
+    *faults* injects a fault profile into every measured environment (the
+    neutral OS matrix stays clean — it measures endpoint stacks, not the
+    network).  *cell_trials* repeats each technique cell and majority-votes
+    the CC/RS verdicts; it defaults to 5 on a faulted run and 1 (the
+    historical single replay) otherwise.  *retry* makes column tasks
+    resilient: a crashed or timed-out worker is retried by the pool and, if
+    it still fails, the column is re-measured serially in-process so one bad
+    worker can never sink the whole table.
     """
     if pool is None:
         pool = WorkerPool()
-    columns = pool.map(
-        _measure_env_column, [(name, techniques, characterize) for name in env_names]
-    )
+    if cell_trials is None:
+        cell_trials = 5 if faults is not None and not faults.is_zero() else 1
+    tasks = [(name, techniques, characterize, faults, cell_trials) for name in env_names]
+    results = pool.map(_measure_env_column, tasks, retry=retry)
+    columns = []
+    for task, result in zip(tasks, results):
+        if isinstance(result, TaskFailure):
+            logger.warning(
+                "column task for %s failed on the pool (%s after %d attempt(s)); "
+                "re-measuring serially in-process",
+                task[0],
+                result.error_type,
+                result.attempts,
+            )
+            try:
+                result = _measure_env_column(task)
+            except Exception:
+                logger.exception("serial re-measure of %s failed; column degraded", task[0])
+                result = (task[0], [Table3Cell(cc="?", rs="?") for _ in techniques])
+        columns.append(result)
     rows = [Table3Row(technique=t.name, category=t.category) for t in techniques]
     for name, cells in columns:
         for row, cell in zip(rows, cells):
@@ -100,15 +133,62 @@ def run_table3(
 
 
 def _measure_env_column(
-    task: tuple[str, tuple[EvasionTechnique, ...], bool],
+    task: tuple[str, tuple[EvasionTechnique, ...], bool, FaultProfile | None, int],
 ) -> tuple[str, list[Table3Cell]]:
     """One environment's full Table 3 column (a worker-pool task)."""
-    name, techniques, characterize = task
-    prep = prepare(ENVIRONMENT_FACTORIES[name](), characterize=characterize)
-    return name, [_measure_cell(prep, technique) for technique in techniques]
+    name, techniques, characterize, faults, cell_trials = task
+    prep = prepare(ENVIRONMENT_FACTORIES[name](faults=faults), characterize=characterize)
+    return name, [_measure_cell(prep, technique, trials=cell_trials) for technique in techniques]
 
 
-def _measure_cell(prep: PreparedEnvironment, technique: EvasionTechnique) -> Table3Cell:
+def _measure_cell(
+    prep: PreparedEnvironment, technique: EvasionTechnique, trials: int = 1
+) -> Table3Cell:
+    """One (environment, technique) cell, majority-voted when *trials* > 1.
+
+    Each trial is a full independent replay (fresh ports, so fresh fault RNG
+    streams); the CC and RS verdicts are voted separately over an odd trial
+    count, absorbing the occasional trial where loss ate an inert probe.
+    """
+    if trials <= 1:
+        return _measure_cell_once(prep, technique)
+    protocol = "udp" if technique.protocol == "udp" else "tcp"
+    context = prep.udp_context if protocol == "udp" else prep.tcp_context
+    if not technique.applicable(context):
+        return Table3Cell(cc="-", rs="-")
+    count = trials if trials % 2 else trials + 1
+    budget = count + 6
+    cells = [_measure_cell_once(prep, technique) for _ in range(count)]
+    # Close votes get extra trials until one verdict leads by 3 (or the
+    # budget runs out, at an odd total so plurality still decides): a 3-2
+    # split is weak evidence under 5% loss, a 3-lead is decisive.
+    while len(cells) < budget and (
+        _contested([c.cc for c in cells]) or _contested([c.rs for c in cells])
+    ):
+        cells.append(_measure_cell_once(prep, technique))
+    cc = _vote([cell.cc for cell in cells])
+    rs = _vote([cell.rs for cell in cells])
+    outcome = next(
+        (c.outcome for c in reversed(cells) if c.cc == cc and c.rs == rs),
+        cells[-1].outcome,
+    )
+    return Table3Cell(cc=cc, rs=rs, outcome=outcome)
+
+
+def _vote(values: list[str]) -> str:
+    """Plurality winner; ties break deterministically ("Y" over "N" over "-")."""
+    return max(sorted(set(values), reverse=True), key=values.count)
+
+
+def _contested(values: list[str]) -> bool:
+    """Is the vote still close (plurality lead under 3)?"""
+    counts = sorted((values.count(v) for v in set(values)), reverse=True)
+    if len(counts) < 2:
+        return False
+    return counts[0] - counts[1] < 3
+
+
+def _measure_cell_once(prep: PreparedEnvironment, technique: EvasionTechnique) -> Table3Cell:
     env = prep.env
     protocol = "udp" if technique.protocol == "udp" else "tcp"
     trace = prep.udp_trace if protocol == "udp" else prep.tcp_trace

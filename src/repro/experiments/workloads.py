@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.characterization import Characterizer
+from repro.core.characterization import CharacterizationError, Characterizer
 from repro.core.evasion.base import EvasionContext
 from repro.core.localization import locate_middlebox
 from repro.core.report import CharacterizationReport
@@ -62,32 +62,47 @@ class PreparedEnvironment:
     hops: int | None
 
 
-def prepare(env: Environment, characterize: bool = True) -> PreparedEnvironment:
+def prepare(
+    env: Environment, characterize: bool = True, trials: int | None = None
+) -> PreparedEnvironment:
     """Characterize + localize an environment's workloads, build contexts.
 
     With ``characterize=False`` (fast mode for unit tests) the contexts fall
     back to the environment's ground-truth hop count and a keyword guess
     from the trace, skipping the replay-heavy phases.
+
+    *trials* is the per-probe repetition for noisy networks; it defaults to
+    3 on a fault-injected environment and 1 (the historical single-shot
+    path) otherwise.  On a noisy network a failed characterization degrades
+    gracefully: it is retried with more trials and, failing that, falls back
+    to the trace-derived context with a diagnostic note instead of raising.
     """
+    if trials is None:
+        trials = 3 if env.reliable_mode else 1
     tcp = tcp_workload(env.name)
     udp = udp_workload(env.name)
     characterization: CharacterizationReport | None = None
     hops: int | None = env.hops_to_middlebox
 
     if characterize and env.middlebox is not None:
-        characterizer = Characterizer(env, tcp)
-        characterization = characterizer.run()
-        located, _rounds = locate_middlebox(env, tcp)
+        if trials > 1:
+            characterization = _characterize_noisy(env, tcp, trials)
+        else:
+            characterization = Characterizer(env, tcp).run()
+        located, _rounds = locate_middlebox(env, tcp, trials=trials)
         if located is not None:
             hops = located
-        tcp_context = EvasionContext(
-            matching_fields=characterization.matching_fields,
-            packet_limit=characterization.packet_limit,
-            inspects_all_packets=characterization.inspects_all_packets,
-            match_and_forget=characterization.match_and_forget,
-            middlebox_hops=hops,
-            protocol="tcp",
-        )
+        if characterization is not None:
+            tcp_context = EvasionContext(
+                matching_fields=characterization.matching_fields,
+                packet_limit=characterization.packet_limit,
+                inspects_all_packets=characterization.inspects_all_packets,
+                match_and_forget=characterization.match_and_forget,
+                middlebox_hops=hops,
+                protocol="tcp",
+            )
+        else:
+            tcp_context = _fallback_context(env, tcp, "tcp", hops)
     else:
         tcp_context = _fallback_context(env, tcp, "tcp", hops)
 
@@ -108,6 +123,34 @@ def prepare(env: Environment, characterize: bool = True) -> PreparedEnvironment:
         characterization=characterization,
         hops=hops,
     )
+
+
+def _characterize_noisy(
+    env: Environment, trace: Trace, trials: int
+) -> CharacterizationReport | None:
+    """Characterize on a lossy network, degrading gracefully on failure.
+
+    A :class:`CharacterizationError` under faults usually means noise beat
+    the vote; one retry with a larger trial count follows, and a second
+    failure returns None so the caller falls back to the trace-derived
+    context (with the failure surfaced as a diagnostic, never a crash).
+    """
+    try:
+        return Characterizer(env, trace, trials=trials).run()
+    except CharacterizationError:
+        pass
+    try:
+        return Characterizer(env, trace, trials=trials + 2).run()
+    except CharacterizationError as exc:
+        import logging
+
+        logging.getLogger(__name__).warning(
+            "characterization failed twice on %s under faults (%s); "
+            "falling back to the trace-derived context",
+            env.name,
+            exc,
+        )
+        return None
 
 
 def _fallback_context(

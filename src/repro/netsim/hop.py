@@ -35,16 +35,17 @@ class RouterHop(NetworkElement):
         self.validate_ip_header = validate_ip_header
         self.send_time_exceeded = send_time_exceeded
         self.dropped: list[IPPacket] = []
+        self.drop_reasons: dict[str, int] = {}
 
     def process(
         self, packet: IPPacket, direction: Direction, ctx: TransitContext
     ) -> list[IPPacket]:
         """Decrement TTL, drop expired/malformed packets, forward the rest."""
         if self.validate_ip_header and not self._header_acceptable(packet):
-            self.dropped.append(packet)
+            self._drop(packet, "bad-header")
             return []
         if packet.ttl <= 1:
-            self.dropped.append(packet)
+            self._drop(packet, "ttl-expired")
             if self.send_time_exceeded:
                 original = packet.to_bytes()[:28]
                 reply = IPPacket(
@@ -56,6 +57,10 @@ class RouterHop(NetworkElement):
                 ctx.inject_back(reply)
             return []
         return [packet.copy(ttl=packet.ttl - 1, checksum=None)]
+
+    def _drop(self, packet: IPPacket, reason: str) -> None:
+        self.dropped.append(packet)
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
 
     def _header_acceptable(self, packet: IPPacket) -> bool:
         return (
@@ -73,3 +78,4 @@ class RouterHop(NetworkElement):
     def reset(self) -> None:
         """Forget dropped-packet diagnostics."""
         self.dropped.clear()
+        self.drop_reasons.clear()

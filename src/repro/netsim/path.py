@@ -77,6 +77,10 @@ class Path:
             packet, Direction.SERVER_TO_CLIENT, index=len(self.elements) - 1, depth=0
         )
 
+    def insert_element(self, element: NetworkElement, index: int = 0) -> None:
+        """Insert *element* into the chain at *index* (0 = client edge)."""
+        self.elements.insert(index, element)
+
     def element_named(self, name: str) -> NetworkElement:
         """Look an element up by name (raises KeyError when absent)."""
         for element in self.elements:

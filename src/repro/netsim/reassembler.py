@@ -18,18 +18,30 @@ ReassemblyKey = tuple[str, str, int, int]
 
 
 class FragmentReassembler(NetworkElement):
-    """Buffers fragments and forwards only complete, reassembled datagrams."""
+    """Buffers fragments and forwards only complete, reassembled datagrams.
+
+    Args:
+        timeout: seconds of virtual time after which an incomplete fragment
+            set is discarded (as a real reassembler would, lest lost
+            fragments pin memory forever).  ``None`` (the default) buffers
+            indefinitely — the historical fault-free behaviour.
+    """
 
     name = "frag-reassembler"
 
-    def __init__(self) -> None:
+    def __init__(self, timeout: float | None = None) -> None:
+        self.timeout = timeout
         self._pending: dict[ReassemblyKey, list[IPPacket]] = {}
+        self._first_seen: dict[ReassemblyKey, float] = {}
         self.reassembled_count = 0
+        self.expired_count = 0
 
     def process(
         self, packet: IPPacket, direction: Direction, ctx: TransitContext
     ) -> list[IPPacket]:
         """Hold fragments until their datagram is complete, pass the rest through."""
+        if self.timeout is not None:
+            self._expire_stale(ctx.clock.now)
         if not packet.is_fragment:
             return [packet]
         key: ReassemblyKey = (
@@ -39,15 +51,30 @@ class FragmentReassembler(NetworkElement):
             packet.effective_protocol,
         )
         bucket = self._pending.setdefault(key, [])
+        if key not in self._first_seen:
+            self._first_seen[key] = ctx.clock.now
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is None:
             return []
         del self._pending[key]
+        self._first_seen.pop(key, None)
         self.reassembled_count += 1
         return [whole]
+
+    def _expire_stale(self, now: float) -> None:
+        stale = [
+            key
+            for key, first in self._first_seen.items()
+            if now - first > self.timeout
+        ]
+        for key in stale:
+            self._pending.pop(key, None)
+            del self._first_seen[key]
+            self.expired_count += 1
 
     def reset(self) -> None:
         """Drop buffered fragments."""
         self._pending.clear()
+        self._first_seen.clear()
         self.reassembled_count = 0

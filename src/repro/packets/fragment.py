@@ -65,6 +65,16 @@ def reassemble_fragments(fragments: list[IPPacket]) -> IPPacket | None:
     if not fragments:
         return None
     ordered = sorted(fragments, key=lambda p: p.frag_offset)
+    # Duplicated fragments (retransmission or a lossy link emitting copies)
+    # must not read as an overlap: keep the first arrival at each offset.
+    deduped: list[IPPacket] = []
+    seen_offsets: set[int] = set()
+    for frag in ordered:
+        if frag.frag_offset in seen_offsets:
+            continue
+        seen_offsets.add(frag.frag_offset)
+        deduped.append(frag)
+    ordered = deduped
     first = ordered[0]
     if first.frag_offset != 0:
         return None

@@ -61,6 +61,7 @@ class ReplayRunner:
         self.clock = clock
         self.context = context
         self.inert_markers: list[bytes] = []
+        self._fragmented_datagrams = 0
         self.sent_inert_rst = False
         self.technique_name: str | None = None
         self.overhead_packets = 0
@@ -153,10 +154,24 @@ class ReplayRunner:
             payload=payload,
         )
         packet = IPPacket(src=tcp.src, dst=tcp.dst, transport=segment, ttl=tcp.ttl)
-        fragments = fragment_packet(packet, fragment_size)
+        # Fragments cannot be repaired by TCP ARQ (a lost fragment is a
+        # permanent reassembly hole), so on a lossy path each one is sent
+        # twice; reassemblers and receivers deduplicate by offset.  The
+        # duplicates are a fault-tolerance artifact, not technique overhead.
+        # Straggler duplicates (copies arriving after their set completed)
+        # stay buffered in in-network reassemblers, so each datagram needs a
+        # flow-unique IP identification lest a later replay's fragments merge
+        # with the leftovers (IP reassembly is keyed ignoring ports).
+        copies = 2 if getattr(tcp, "reliable", False) else 1
+        ident = None
+        if copies > 1:
+            self._fragmented_datagrams += 1
+            ident = (tcp.sport ^ (self._fragmented_datagrams * 257)) & 0xFFFF
+        fragments = fragment_packet(packet, fragment_size, identification=ident)
         sequence = order if order is not None else list(range(len(fragments)))
         for index in sequence:
-            tcp.send_raw(fragments[index])
+            for _ in range(copies):
+                tcp.send_raw(fragments[index])
         tcp.next_seq = (tcp.next_seq + len(payload)) & 0xFFFFFFFF
         self.inert_markers.append(payload)  # found iff the datagram was reassembled
         self.overhead_packets += max(len(fragments) - 1, 0)

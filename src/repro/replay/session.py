@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.endpoint.apps import ReplayServerApp, UDPReplayApp
+from repro.endpoint.apps import ReliableUDPReplayApp, ReplayServerApp, UDPReplayApp
 from repro.endpoint.osmodel import OSProfile
 from repro.endpoint.rawclient import RawTCPClient, RawUDPClient
 from repro.endpoint.tcpstack import TCPServerStack
@@ -80,6 +80,9 @@ class ReplaySession:
         self.server_port = server_port if server_port is not None else trace.server_port
         self.tolerate_prefix = tolerate_prefix
         self.server_os = server_os if server_os is not None else env.server_os
+        # On a fault-injected path the endpoints run lightweight ARQ; on a
+        # reliable path (the default) the packet sequence is unchanged.
+        self.reliable = env.reliable_mode
         self.tcp_stack: TCPServerStack | None = None
         self.udp_stack: UDPServerStack | None = None
         self.client: RawTCPClient | RawUDPClient | None = None
@@ -116,7 +119,16 @@ class ReplaySession:
                 runner.send_default()
             if self.trace.protocol == "tcp":
                 assert isinstance(self.client, RawTCPClient)
+                if self.reliable:
+                    self.client.flush_unacked()
+                    self.client.repair_server_stream(len(self.trace.server_bytes()))
                 self.client.close()
+            elif self.reliable:
+                # Techniques only add inert datagrams around the plain data
+                # datagrams, so replaying the recorded dialogue is a faithful
+                # repair for technique replays too (classification windows
+                # are long exhausted by this point).
+                self._repair_udp()
 
         return self._observe(runner, t0, usage_before, connect_refused)
 
@@ -129,7 +141,10 @@ class ReplaySession:
             if self.tolerate_prefix:
                 app = _PrefixTolerantReplayApp(self.trace)
             self.tcp_stack = TCPServerStack(
-                self.env.server_addr, os_profile=self.server_os, app=app
+                self.env.server_addr,
+                os_profile=self.server_os,
+                app=app,
+                retransmit_enabled=self.reliable,
             )
             self.env.path.server_endpoint = self.tcp_stack
             self.client = RawTCPClient(
@@ -138,9 +153,15 @@ class ReplaySession:
                 self.env.server_addr,
                 sport=self.sport,
                 dport=self.server_port,
+                reliable=self.reliable,
             )
         else:
-            app = UDPReplayApp(self.trace.udp_response_script())
+            if self.reliable:
+                app = ReliableUDPReplayApp(
+                    self.trace.client_payloads(), self.trace.udp_response_script()
+                )
+            else:
+                app = UDPReplayApp(self.trace.udp_response_script())
             self.udp_stack = UDPServerStack(
                 self.env.server_addr, os_profile=self.server_os, app=app
             )
@@ -151,7 +172,26 @@ class ReplaySession:
                 self.env.server_addr,
                 sport=self.sport,
                 dport=self.server_port,
+                reliable=self.reliable,
             )
+
+    def _repair_udp(self) -> None:
+        """Re-send the whole UDP dialogue until every payload and response got through.
+
+        UDP has no ACKs, so the only repair is replaying the dialogue; the
+        reliable replay app is payload-keyed and idempotent, so repeats
+        re-trigger lost responses without perturbing the script.
+        """
+        assert isinstance(self.client, RawUDPClient) and self.udp_stack is not None
+        expected_delivered = set(self.trace.client_payloads())
+        expected_responses = set(self.trace.server_payloads())
+        for _ in range(3):
+            delivered = set(self.udp_stack.delivered_stream(self.sport, self.server_port))
+            responses = set(self.client.responses())
+            if expected_delivered <= delivered and expected_responses <= responses:
+                break
+            for payload in self.trace.client_payloads():
+                self.client.send_datagram(payload)
 
     def _make_runner(self, context: Any) -> ReplayRunner:
         assert self.client is not None
@@ -215,10 +255,18 @@ class ReplaySession:
             expected_list = self.trace.client_payloads()
             # Datagram applications tolerate reordering by design, so delivery
             # integrity for UDP is multiset equality, not sequence equality.
-            delivered_ok = sorted(delivered_list) == sorted(expected_list)
-            server_response_ok = sorted(self.client.responses()) == sorted(
-                self.trace.server_payloads()
-            )
+            # On a lossy path with deliberate duplication it weakens further
+            # to set equality (every recorded payload arrived at least once).
+            if self.reliable:
+                delivered_ok = set(delivered_list) == set(expected_list)
+                server_response_ok = set(self.client.responses()) == set(
+                    self.trace.server_payloads()
+                )
+            else:
+                delivered_ok = sorted(delivered_list) == sorted(expected_list)
+                server_response_ok = sorted(self.client.responses()) == sorted(
+                    self.trace.server_payloads()
+                )
 
         throughput, peak = self._throughput(expected_server)
         zero_rated = self._zero_rated(usage_before)

@@ -6,8 +6,25 @@ independent tasks — each builds its own simulated environment from a
 deterministic factory.  :class:`WorkerPool` runs such task lists on a
 serial, thread, or process backend with results always returned in task
 order, so parallel runs are output-identical to serial ones.
+
+Resilient runs pass a :class:`RetryPolicy`; exhausted tasks surface as
+structured :class:`TaskFailure` results instead of killing the run.
 """
 
-from repro.runtime.pool import Backend, WorkerPool, derive_seed, resolve_backend
+from repro.runtime.pool import (
+    Backend,
+    RetryPolicy,
+    TaskFailure,
+    WorkerPool,
+    derive_seed,
+    resolve_backend,
+)
 
-__all__ = ["Backend", "WorkerPool", "derive_seed", "resolve_backend"]
+__all__ = [
+    "Backend",
+    "RetryPolicy",
+    "TaskFailure",
+    "WorkerPool",
+    "derive_seed",
+    "resolve_backend",
+]

@@ -16,16 +16,34 @@ Design rules that keep parallel output identical to serial output:
 The backend defaults to the ``REPRO_RUNTIME_BACKEND`` environment variable
 (``serial`` when unset), so any experiment can be parallelized without
 touching call sites.
+
+Resilient execution: passing a :class:`RetryPolicy` to :meth:`WorkerPool.map`
+turns task failures into retries with capped exponential backoff, per-task
+timeouts, crashed-worker recovery (a killed process worker rebuilds the
+executor and requeues the task), and a consecutive-failure circuit breaker.
+On exhaustion a task's slot holds a structured :class:`TaskFailure` instead
+of the whole run dying.  Without a policy, behaviour is identical to before.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import logging
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
+
+logger = logging.getLogger(__name__)
 
 ENV_BACKEND = "REPRO_RUNTIME_BACKEND"
 ENV_WORKERS = "REPRO_RUNTIME_WORKERS"
@@ -70,6 +88,56 @@ def derive_seed(base: int, *parts: object) -> int:
     return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a task that exhausted its retries.
+
+    Occupies the failed task's slot in the results list so callers can
+    recover per-task (rerun inline, fill defaults, report) instead of the
+    whole run dying on the first bad task.
+    """
+
+    index: int
+    attempts: int
+    error_type: str
+    message: str
+    backend: str
+    circuit_open: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        state = "circuit-open" if self.circuit_open else f"{self.attempts} attempts"
+        return f"TaskFailure(task {self.index}, {state}: {self.error_type}: {self.message})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`WorkerPool.map` should survive failing tasks.
+
+    Attributes:
+        max_attempts: total tries per task before a :class:`TaskFailure`.
+        timeout: per-attempt wall-clock timeout in seconds (concurrent
+            backends only; None disables).
+        backoff_base / backoff_factor / backoff_max: capped exponential
+            backoff — attempt *n* (0-based) waits
+            ``min(backoff_base * backoff_factor**n, backoff_max)`` seconds.
+        circuit_threshold: consecutive task *exhaustions* after which the
+            circuit opens and remaining tasks fail fast with
+            ``circuit_open=True`` (guards against systemic breakage burning
+            the full retry budget task after task).
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    circuit_threshold: int = 5
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay before retrying after failed attempt *attempt* (0-based)."""
+        return min(self.backoff_base * (self.backoff_factor**attempt), self.backoff_max)
+
+
 class _SeededCall:
     """Picklable wrapper seeding the global RNG deterministically per task."""
 
@@ -91,6 +159,7 @@ class WorkerPool:
             ``REPRO_RUNTIME_BACKEND`` (default serial).
         max_workers: worker count for the concurrent backends; ``None``
             reads ``REPRO_RUNTIME_WORKERS``, falling back to the CPU count.
+            Non-positive counts are rejected.
     """
 
     def __init__(
@@ -98,8 +167,9 @@ class WorkerPool:
     ) -> None:
         self.backend = resolve_backend(backend)
         if max_workers is None:
-            env_workers = os.environ.get(ENV_WORKERS, "")
-            max_workers = int(env_workers) if env_workers.isdigit() else None
+            max_workers = _workers_from_env()
+        elif max_workers <= 0:
+            raise ValueError(f"max_workers must be a positive integer, got {max_workers}")
         self.max_workers = max_workers if max_workers else (os.cpu_count() or 1)
 
     def map(
@@ -108,13 +178,19 @@ class WorkerPool:
         items: Iterable[T],
         *,
         seed: int | None = None,
-    ) -> list[R]:
+        retry: RetryPolicy | None = None,
+    ) -> list[R | TaskFailure]:
         """Apply *fn* to every item, returning results in input order.
 
         With *seed* set, each task runs with the global ``random`` module
         seeded to ``derive_seed(seed, task_index)`` — identical on every
         backend.  (Serial callers relying on ambient RNG state should leave
         *seed* unset and use the serial backend.)
+
+        With *retry* set, failing tasks are retried per the policy and a
+        task that exhausts its attempts yields a :class:`TaskFailure` in its
+        slot instead of propagating; without it, the first exception
+        propagates exactly as before.
         """
         tasks: Sequence[T] = list(items)
         if not tasks:
@@ -124,6 +200,8 @@ class WorkerPool:
             calls = [_SeededCall(fn, seed, i) for i in range(len(tasks))]
         else:
             calls = [fn] * len(tasks)
+        if retry is not None:
+            return self._map_resilient(calls, tasks, retry)
         if self.backend is Backend.SERIAL or len(tasks) == 1:
             return [call(task) for call, task in zip(calls, tasks)]
         workers = min(self.max_workers, len(tasks))
@@ -134,13 +212,205 @@ class WorkerPool:
             futures = [executor.submit(call, task) for call, task in zip(calls, tasks)]
             return [future.result() for future in futures]
 
-    def run_all(self, thunks: Sequence[Callable[[], R]]) -> list[R]:
+    def run_all(
+        self, thunks: Sequence[Callable[[], R]], *, retry: RetryPolicy | None = None
+    ) -> list[R | TaskFailure]:
         """Run a heterogeneous list of zero-argument tasks, in order.
 
         Process backends require the thunks to be picklable (top-level
         functions or ``functools.partial`` over picklable arguments).
         """
-        return self.map(_call_thunk, thunks)
+        return self.map(_call_thunk, thunks, retry=retry)
+
+    # ------------------------------------------------------------------
+    # resilient execution
+    # ------------------------------------------------------------------
+    def _map_resilient(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        tasks: Sequence[T],
+        retry: RetryPolicy,
+    ) -> list[R | TaskFailure]:
+        # Unlike the fast path, a single task still goes through the
+        # executor on concurrent backends: resilience means a crashing or
+        # hanging task must not take the driver process down with it.
+        if self.backend is Backend.SERIAL:
+            return self._resilient_serial(calls, tasks, retry)
+        return self._resilient_concurrent(calls, tasks, retry)
+
+    def _resilient_serial(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        tasks: Sequence[T],
+        retry: RetryPolicy,
+    ) -> list[R | TaskFailure]:
+        results: list[R | TaskFailure] = []
+        consecutive_failures = 0
+        for index, (call, task) in enumerate(zip(calls, tasks)):
+            if consecutive_failures >= retry.circuit_threshold:
+                results.append(_circuit_failure(index, self.backend))
+                continue
+            outcome = self._attempt_serial(call, task, index, retry)
+            results.append(outcome)
+            if isinstance(outcome, TaskFailure):
+                consecutive_failures += 1
+            else:
+                consecutive_failures = 0
+        return results
+
+    def _attempt_serial(
+        self, call: Callable[[T], R], task: T, index: int, retry: RetryPolicy
+    ) -> R | TaskFailure:
+        last_error: BaseException | None = None
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                time.sleep(retry.delay_for(attempt - 1))
+            try:
+                return call(task)
+            except Exception as exc:  # noqa: BLE001 - converted to TaskFailure
+                last_error = exc
+                logger.warning(
+                    "task %d attempt %d/%d failed: %s: %s",
+                    index,
+                    attempt + 1,
+                    retry.max_attempts,
+                    type(exc).__name__,
+                    exc,
+                )
+        assert last_error is not None
+        return TaskFailure(
+            index=index,
+            attempts=retry.max_attempts,
+            error_type=type(last_error).__name__,
+            message=str(last_error),
+            backend=self.backend.value,
+        )
+
+    def _resilient_concurrent(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        tasks: Sequence[T],
+        retry: RetryPolicy,
+    ) -> list[R | TaskFailure]:
+        workers = min(self.max_workers, len(tasks))
+        executor_cls = (
+            ThreadPoolExecutor if self.backend is Backend.THREAD else ProcessPoolExecutor
+        )
+        results: list[R | TaskFailure | None] = [None] * len(tasks)
+        # (task index, attempts already made)
+        pending: list[tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+        consecutive_failures = 0
+        executor = executor_cls(max_workers=workers)
+        try:
+            while pending:
+                if consecutive_failures >= retry.circuit_threshold:
+                    for index, _ in pending:
+                        results[index] = _circuit_failure(index, self.backend)
+                    logger.error(
+                        "circuit breaker open after %d consecutive task failures; "
+                        "failing %d remaining tasks fast",
+                        consecutive_failures,
+                        len(pending),
+                    )
+                    break
+                wave = pending
+                pending = []
+                futures = [
+                    executor.submit(calls[index], tasks[index]) for index, _ in wave
+                ]
+                max_delay = 0.0
+                broken = False
+                for future, (index, attempts) in zip(futures, wave):
+                    try:
+                        results[index] = future.result(timeout=retry.timeout)
+                        consecutive_failures = 0
+                        continue
+                    except FutureTimeoutError:
+                        error_type, message = "TimeoutError", (
+                            f"task exceeded {retry.timeout}s timeout"
+                        )
+                        broken = True  # the worker is still busy; start fresh
+                    except (BrokenProcessPool, CancelledError) as exc:
+                        error_type, message = type(exc).__name__, (
+                            str(exc) or "worker process died"
+                        )
+                        broken = True
+                    except Exception as exc:  # noqa: BLE001 - retried below
+                        error_type, message = type(exc).__name__, str(exc)
+                    attempts += 1
+                    logger.warning(
+                        "task %d attempt %d/%d failed: %s: %s",
+                        index,
+                        attempts,
+                        retry.max_attempts,
+                        error_type,
+                        message,
+                    )
+                    if attempts >= retry.max_attempts:
+                        results[index] = TaskFailure(
+                            index=index,
+                            attempts=attempts,
+                            error_type=error_type,
+                            message=message,
+                            backend=self.backend.value,
+                        )
+                        consecutive_failures += 1
+                    else:
+                        pending.append((index, attempts))
+                        max_delay = max(max_delay, retry.delay_for(attempts - 1))
+                    if broken:
+                        executor = self._rebuild_executor(executor, executor_cls, workers)
+                        broken = False
+                if pending and max_delay:
+                    time.sleep(max_delay)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return list(results)  # type: ignore[arg-type]
+
+    def _rebuild_executor(self, executor, executor_cls, workers):
+        """Replace an executor whose worker crashed, hung, or was killed."""
+        logger.warning("rebuilding %s after worker failure", executor_cls.__name__)
+        executor.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(executor, "_processes", None)
+        if processes:
+            for proc in list(processes.values()):
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+        return executor_cls(max_workers=workers)
+
+
+def _workers_from_env() -> int | None:
+    """Parse ``REPRO_RUNTIME_WORKERS``: warn on garbage, reject non-positive."""
+    env_workers = os.environ.get(ENV_WORKERS, "")
+    if not env_workers:
+        return None
+    try:
+        parsed = int(env_workers)
+    except ValueError:
+        logger.warning(
+            "ignoring %s=%r: not an integer; falling back to the CPU count",
+            ENV_WORKERS,
+            env_workers,
+        )
+        return None
+    if parsed <= 0:
+        raise ValueError(
+            f"{ENV_WORKERS} must be a positive integer, got {env_workers!r}"
+        )
+    return parsed
+
+
+def _circuit_failure(index: int, backend: Backend) -> TaskFailure:
+    return TaskFailure(
+        index=index,
+        attempts=0,
+        error_type="CircuitOpen",
+        message="circuit breaker open: too many consecutive task failures",
+        backend=backend.value,
+        circuit_open=True,
+    )
 
 
 def _call_thunk(thunk: Callable[[], R]) -> R:

@@ -28,6 +28,19 @@ from repro.traffic.video import video_stream_trace
 CLIENT = "10.1.0.2"
 SERVER = "203.0.113.50"
 
+try:
+    import pytest_timeout  # noqa: F401
+except ImportError:
+    # pytest-timeout enforces the ``timeout`` ini key in CI.  When the plugin
+    # is absent (local runs) pytest would warn about an unknown option, so
+    # register the key here as a no-op.
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (enforced only with pytest-timeout)",
+            default=None,
+        )
+
 
 @pytest.fixture
 def clock():

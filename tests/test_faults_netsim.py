@@ -1,0 +1,270 @@
+"""Fault-injection netsim layer: determinism, every fault class, wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envs import ENVIRONMENT_FACTORIES, make_gfc, make_testbed
+from repro.envs.base import install_faults
+from repro.netsim.clock import VirtualClock
+from repro.netsim.element import TransitContext
+from repro.netsim.faults import (
+    FAULT_PROFILES,
+    FaultElement,
+    FaultProfile,
+    bursty_profile,
+    chaos_profile,
+    lossy_profile,
+)
+from repro.netsim.hop import RouterHop
+from repro.netsim.path import Path
+from repro.netsim.reassembler import FragmentReassembler
+from repro.packets.flow import Direction
+from repro.packets.fragment import fragment_packet, reassemble_fragments
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.replay.session import ReplaySession
+from repro.traffic.http import http_get_trace
+
+CLIENT = "10.1.0.2"
+SERVER = "203.0.113.50"
+
+
+def _ctx(clock=None):
+    return TransitContext(
+        clock=clock or VirtualClock(), inject_back=lambda p: None, inject_forward=lambda p: None
+    )
+
+
+def _packet(payload=b"hello fault injection", sport=41_000, seq=1):
+    segment = TCPSegment(
+        sport=sport, dport=80, seq=seq, ack=1, flags=TCPFlags.ACK | TCPFlags.PSH, payload=payload
+    )
+    return IPPacket(src=CLIENT, dst=SERVER, transport=segment)
+
+
+def _drive(element, count=400, ctx=None, sport=41_000):
+    ctx = ctx or _ctx()
+    out = []
+    for i in range(count):
+        out.extend(element.process(_packet(seq=1 + i, sport=sport), Direction.CLIENT_TO_SERVER, ctx))
+    return out
+
+
+class TestFaultProfile:
+    def test_zero_profile_is_zero(self):
+        assert FaultProfile(seed=7).is_zero()
+
+    @pytest.mark.parametrize("name", sorted(FAULT_PROFILES))
+    def test_named_profiles_are_nonzero(self, name):
+        assert not FAULT_PROFILES[name](1).is_zero()
+
+    def test_with_seed_changes_only_the_seed(self):
+        profile = lossy_profile(1).with_seed(99)
+        assert profile.seed == 99
+        assert profile.loss_rate == lossy_profile(1).loss_rate
+
+
+class TestFaultElement:
+    def test_iid_loss_and_duplication_fire(self):
+        element = FaultElement(lossy_profile(3))
+        out = _drive(element, 1000)
+        assert element.stats.lost > 0
+        assert element.stats.duplicated > 0
+        assert len(out) == 1000 - element.stats.lost + element.stats.duplicated
+
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultElement(lossy_profile(5))
+        b = FaultElement(lossy_profile(5))
+        out_a = [p.tcp.seq for p in _drive(a, 500)]
+        out_b = [p.tcp.seq for p in _drive(b, 500)]
+        assert out_a == out_b
+        assert a.stats == b.stats
+
+    def test_different_seed_different_sequence(self):
+        a = FaultElement(lossy_profile(5))
+        b = FaultElement(lossy_profile(6))
+        assert [p.tcp.seq for p in _drive(a, 500)] != [p.tcp.seq for p in _drive(b, 500)]
+
+    def test_fault_stream_is_per_flow(self):
+        """A flow's faults do not depend on what other flows exist."""
+        alone = FaultElement(lossy_profile(5))
+        survivors_alone = [p.tcp.seq for p in _drive(alone, 300, sport=41_000)]
+        mixed = FaultElement(lossy_profile(5))
+        ctx = _ctx()
+        survivors_mixed = []
+        for i in range(300):
+            mixed.process(_packet(seq=900 + i, sport=55_555), Direction.CLIENT_TO_SERVER, ctx)
+            for p in mixed.process(_packet(seq=1 + i, sport=41_000), Direction.CLIENT_TO_SERVER, ctx):
+                if p.tcp.sport == 41_000:
+                    survivors_mixed.append(p.tcp.seq)
+        assert survivors_alone == survivors_mixed
+
+    def test_burst_loss_fires(self):
+        element = FaultElement(bursty_profile(2))
+        _drive(element, 2000)
+        assert element.stats.burst_lost > 0
+
+    def test_payload_corruption_freezes_checksum(self):
+        element = FaultElement(FaultProfile(seed=4, corrupt_rate=1.0))
+        original = _packet()
+        (corrupted,) = element.process(original, Direction.CLIENT_TO_SERVER, _ctx())
+        assert element.stats.corrupted == 1
+        assert corrupted.tcp.payload != original.tcp.payload
+        # The checksum is the pre-corruption one: a validating receiver
+        # recomputes over the damaged payload and must see a mismatch.
+        wire_checksum = corrupted.tcp.checksum
+        recomputed = corrupted.tcp.copy(checksum=None).to_bytes(CLIENT, SERVER)
+        import struct
+
+        assert wire_checksum != struct.unpack("!H", recomputed[16:18])[0]
+
+    def test_header_corruption_dropped_by_validating_router(self):
+        element = FaultElement(FaultProfile(seed=4, header_corrupt_rate=1.0))
+        (damaged,) = element.process(_packet(), Direction.CLIENT_TO_SERVER, _ctx())
+        assert element.stats.header_corrupted == 1
+        hop = RouterHop("r1", validate_ip_header=True)
+        assert hop.process(damaged, Direction.CLIENT_TO_SERVER, _ctx()) == []
+        assert hop.drop_reasons.get("bad-header") == 1
+
+    def test_reorder_swaps_adjacent_packets(self):
+        element = FaultElement(FaultProfile(seed=1, reorder_rate=1.0))
+        ctx = _ctx()
+        first = element.process(_packet(seq=1), Direction.CLIENT_TO_SERVER, ctx)
+        assert first == []  # held back
+        second = element.process(_packet(seq=2), Direction.CLIENT_TO_SERVER, ctx)
+        assert [p.tcp.seq for p in second] == [1, 2]
+        assert element.stats.reordered >= 1
+
+    def test_link_flap_drops_everything_in_the_window(self):
+        clock = VirtualClock()
+        element = FaultElement(FaultProfile(seed=1, flap_period=10.0, flap_duration=1.0))
+        ctx = _ctx(clock)
+        clock.advance(10.5)  # inside the second flap window
+        assert element.process(_packet(), Direction.CLIENT_TO_SERVER, ctx) == []
+        assert element.stats.flap_dropped == 1
+        clock.advance(2.0)  # window over
+        assert len(element.process(_packet(seq=2), Direction.CLIENT_TO_SERVER, ctx)) == 1
+
+    def test_scheduled_restart_wipes_targets(self):
+        class Target:
+            resets = 0
+
+            def reset(self):
+                Target.resets += 1
+
+        clock = VirtualClock()
+        element = FaultElement(
+            FaultProfile(seed=1, restart_interval=60.0), restart_targets=(Target(),)
+        )
+        ctx = _ctx(clock)
+        element.process(_packet(), Direction.CLIENT_TO_SERVER, ctx)
+        assert Target.resets == 0
+        clock.advance(61.0)
+        element.process(_packet(seq=2), Direction.CLIENT_TO_SERVER, ctx)
+        assert Target.resets == 1
+        assert element.stats.restarts == 1
+
+    def test_reset_keeps_stats_and_restart_epoch(self):
+        element = FaultElement(lossy_profile(3))
+        _drive(element, 500)
+        injected = element.stats.total_injected()
+        assert injected > 0
+        element.reset()
+        assert element.stats.total_injected() == injected
+        assert element._flow_rngs == {}
+
+
+class TestEnvironmentWiring:
+    def test_install_none_or_zero_is_a_noop(self):
+        for faults in (None, FaultProfile(seed=9)):
+            env = make_testbed(faults=faults)
+            assert env.fault_element() is None
+            assert not env.reliable_mode
+            assert env.fault_profile is None or env.fault_profile.is_zero()
+
+    @pytest.mark.parametrize("name", sorted(ENVIRONMENT_FACTORIES))
+    def test_every_factory_accepts_faults(self, name):
+        env = ENVIRONMENT_FACTORIES[name](faults=lossy_profile(1))
+        element = env.fault_element()
+        assert element is not None
+        assert env.path.elements[0] is element  # client edge
+        assert env.reliable_mode
+
+    def test_restart_targets_point_at_the_middlebox(self):
+        env = make_gfc(faults=chaos_profile(1))
+        element = env.fault_element()
+        assert element.restart_targets == [env.middlebox]
+
+    def test_install_faults_returns_the_env(self):
+        env = make_testbed()
+        assert install_faults(env, None) is env
+
+    def test_faulted_replay_still_differentiates(self):
+        """The ARQ layer hides a lossy link from the baseline replay."""
+        env = make_testbed(faults=lossy_profile(7))
+        trace = http_get_trace("video.example.com", response_body=b"v" * 600)
+        outcome = ReplaySession(env, trace).run()
+        assert outcome.differentiated
+        assert outcome.delivered_ok
+        assert env.fault_element().stats.processed > 0
+
+
+class TestFragmentRobustness:
+    def _fragments(self, payload=b"F" * 48, ident=0x77):
+        # 20-byte TCP header + 48 payload bytes at 24 bytes per fragment:
+        # exactly three fragments.
+        packet = _packet(payload=payload)
+        fragments = fragment_packet(packet, 24, identification=ident)
+        assert len(fragments) == 3
+        return payload, fragments
+
+    def test_duplicate_fragments_deduplicated(self):
+        payload, frags = self._fragments()
+        whole = reassemble_fragments([frags[0], frags[0], frags[1], frags[1], frags[2]])
+        assert whole is not None
+        assert whole.tcp.payload == payload
+
+    def test_corrupted_duplicate_does_not_poison_reassembly(self):
+        """First copy of an offset wins; a damaged duplicate is discarded."""
+        payload, frags = self._fragments()
+        damaged = frags[1].copy(transport=bytes(len(frags[1].transport)))
+        whole = reassemble_fragments([frags[0], frags[1], damaged, frags[2]])
+        assert whole is not None
+        assert whole.tcp.payload == payload
+
+    def test_reassembler_dedupes_on_the_path(self):
+        reassembler = FragmentReassembler()
+        ctx = _ctx()
+        payload, frags = self._fragments()
+        out = []
+        for fragment in (frags[0], frags[0], frags[1], frags[2]):
+            out.extend(reassembler.process(fragment, Direction.CLIENT_TO_SERVER, ctx))
+        assert len(out) == 1
+        assert out[0].tcp.payload == payload
+        assert reassembler.reassembled_count == 1
+
+    def test_incomplete_set_expires_after_timeout(self):
+        clock = VirtualClock()
+        reassembler = FragmentReassembler(timeout=30.0)
+        ctx = _ctx(clock)
+        _, frags = self._fragments()
+        assert reassembler.process(frags[0], Direction.CLIENT_TO_SERVER, ctx) == []
+        clock.advance(31.0)
+        # Any later traffic sweeps the stale set; the late fragment then
+        # starts a fresh (still incomplete) set instead of completing a
+        # half-expired one.
+        assert reassembler.process(frags[2], Direction.CLIENT_TO_SERVER, ctx) == []
+        assert reassembler.expired_count == 1
+        assert reassembler.process(frags[1], Direction.CLIENT_TO_SERVER, ctx) == []
+
+    def test_no_timeout_buffers_indefinitely(self):
+        clock = VirtualClock()
+        reassembler = FragmentReassembler()
+        ctx = _ctx(clock)
+        payload, frags = self._fragments()
+        reassembler.process(frags[0], Direction.CLIENT_TO_SERVER, ctx)
+        clock.advance(10_000.0)
+        reassembler.process(frags[1], Direction.CLIENT_TO_SERVER, ctx)
+        out = reassembler.process(frags[2], Direction.CLIENT_TO_SERVER, ctx)
+        assert len(out) == 1 and out[0].tcp.payload == payload

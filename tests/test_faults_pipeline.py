@@ -1,0 +1,130 @@
+"""Noise-aware inference: detection/characterization/localization under faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterization import Characterizer
+from repro.core.detection import detect_differentiation
+from repro.core.localization import locate_middlebox
+from repro.core.pipeline import Liberate
+from repro.envs import make_testbed
+from repro.experiments.workloads import prepare
+from repro.netsim.faults import chaos_profile, lossy_profile
+from repro.traffic.http import http_get_trace
+
+SEED = 11
+
+
+@pytest.fixture
+def trace():
+    return http_get_trace("video.example.com", response_body=b"v" * 600)
+
+
+@pytest.fixture
+def clean_env():
+    return make_testbed()
+
+
+@pytest.fixture
+def lossy_env():
+    return make_testbed(faults=lossy_profile(SEED))
+
+
+class TestDetectionVoting:
+    def test_detection_correct_under_loss(self, lossy_env, trace):
+        report = detect_differentiation(lossy_env, trace, trials=3)
+        assert report.differentiated
+        assert report.content_based
+        assert report.rounds >= 6  # at least 3 replay pairs
+
+    def test_single_trial_path_unchanged(self, clean_env, trace):
+        voted = detect_differentiation(clean_env, trace, trials=1)
+        historical = detect_differentiation(make_testbed(), trace)
+        assert (voted.differentiated, voted.content_based, voted.rounds) == (
+            historical.differentiated,
+            historical.content_based,
+            historical.rounds,
+        )
+
+    def test_tie_break_adds_one_pair(self, clean_env, trace):
+        report = detect_differentiation(clean_env, trace, trials=2)
+        # Even trial counts reserve a tie-break pair; with consistent clean
+        # replays it is never needed.
+        assert report.rounds == 4
+
+
+class TestCharacterizationVoting:
+    def test_fields_match_the_clean_run(self, clean_env, lossy_env, trace):
+        clean = Characterizer(clean_env, trace).run()
+        noisy = Characterizer(lossy_env, trace, trials=3).run()
+        assert [f.content for f in noisy.matching_fields] == [
+            f.content for f in clean.matching_fields
+        ]
+        assert noisy.packet_limit == clean.packet_limit
+        assert noisy.inspects_all_packets == clean.inspects_all_packets
+
+    def test_inconsistent_probes_are_reported(self, trace):
+        env = make_testbed(faults=lossy_profile(3))
+        characterizer = Characterizer(env, trace, trials=3)
+        characterizer.run()
+        # The counter only moves when trials disagreed; whether it did is
+        # seed-dependent, but the plumbing must never go negative and the
+        # note must appear exactly when it fired.
+        assert characterizer.inconsistent_rounds >= 0
+
+    def test_trials_below_one_clamped(self, clean_env, trace):
+        assert Characterizer(clean_env, trace, trials=0).trials == 1
+
+
+class TestLocalizationVoting:
+    def test_hops_match_the_clean_run(self, clean_env, lossy_env, trace):
+        clean_hops, _ = locate_middlebox(clean_env, trace)
+        noisy_hops, rounds = locate_middlebox(lossy_env, trace, trials=3)
+        assert noisy_hops == clean_hops
+        assert rounds > 0
+
+
+class TestPrepareGracefulDegradation:
+    def test_lossy_prepare_matches_clean_contexts(self):
+        clean = prepare(make_testbed(), characterize=True)
+        noisy = prepare(make_testbed(faults=lossy_profile(SEED)), characterize=True)
+        assert noisy.characterization is not None
+        assert noisy.tcp_context.packet_limit == clean.tcp_context.packet_limit
+        assert [f.content for f in noisy.tcp_context.matching_fields] == [
+            f.content for f in clean.tcp_context.matching_fields
+        ]
+        assert noisy.hops == clean.hops
+
+    def test_chaos_prepare_never_raises(self):
+        """Under every fault class at once, prepare degrades, never crashes."""
+        prep = prepare(make_testbed(faults=chaos_profile(SEED)), characterize=True)
+        assert prep.tcp_context is not None
+        assert prep.udp_context is not None
+
+    def test_clean_prepare_defaults_to_single_trial(self):
+        prep = prepare(make_testbed(), characterize=False)
+        assert prep.env.fault_element() is None
+
+
+class TestPipelineUnderFaults:
+    def test_full_pipeline_on_lossy_testbed(self, trace):
+        env = make_testbed(faults=lossy_profile(SEED))
+        lib = Liberate(env)
+        assert lib.trials == 3  # noisy default
+        report = lib.run(trace)
+        assert report.seed == SEED  # recorded from the fault profile
+        assert "seed" in report.summary()
+        assert report.detection.differentiated
+        assert report.evasion is not None
+        assert report.evasion.working()  # something still evades under loss
+
+    def test_clean_pipeline_records_no_seed(self, clean_env, trace):
+        report = Liberate(clean_env).run(trace)
+        assert report.seed is None
+        assert "seed" not in report.summary()
+
+    def test_explicit_seed_wins(self, trace):
+        env = make_testbed(faults=lossy_profile(SEED))
+        report = Liberate(env, seed=777).run(trace)
+        assert report.seed == 777

@@ -1,0 +1,175 @@
+"""Resilient worker-pool execution: retries, timeouts, crashes, circuit breaker."""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+
+import pytest
+
+from repro.runtime import Backend, RetryPolicy, TaskFailure, WorkerPool
+from repro.runtime.pool import ENV_WORKERS, _workers_from_env
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_max=0.005)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_until_marker(arg):
+    """Fail until a marker file exists (created on the first failure)."""
+    marker, value = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("failed once")
+        raise RuntimeError("transient failure")
+    return value * 10
+
+
+def _always_raise(x):
+    raise ValueError(f"task {x} is broken")
+
+
+def _kill_self_once(arg):
+    """SIGKILL the hosting worker process on the first attempt."""
+    marker, value = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value + 1
+
+
+def _sleep_forever(x):
+    time.sleep(60)
+    return x
+
+
+@pytest.fixture
+def marker(tmp_path):
+    return str(tmp_path / "attempt-marker")
+
+
+class TestRetries:
+    @pytest.mark.parametrize("backend", [Backend.SERIAL, Backend.THREAD, Backend.PROCESS])
+    def test_transient_failure_retried_to_success(self, backend, marker):
+        pool = WorkerPool(backend, max_workers=2)
+        results = pool.map(_fail_until_marker, [(marker, 7)], retry=FAST_RETRY)
+        assert results == [70]
+
+    @pytest.mark.parametrize("backend", [Backend.SERIAL, Backend.THREAD])
+    def test_exhausted_retries_yield_structured_failure(self, backend):
+        pool = WorkerPool(backend, max_workers=2)
+        results = pool.map(_always_raise, [1], retry=FAST_RETRY)
+        (failure,) = results
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 0
+        assert failure.attempts == FAST_RETRY.max_attempts
+        assert failure.error_type == "ValueError"
+        assert "broken" in failure.message
+        assert not failure.circuit_open
+
+    def test_good_tasks_survive_a_bad_neighbour(self):
+        pool = WorkerPool(Backend.SERIAL)
+        results = pool.map(
+            lambda x: _always_raise(x) if x == 1 else _square(x), [0, 1, 2], retry=FAST_RETRY
+        )
+        assert results[0] == 0 and results[2] == 4
+        assert isinstance(results[1], TaskFailure)
+
+    def test_no_policy_propagates_exactly_as_before(self):
+        pool = WorkerPool(Backend.SERIAL)
+        with pytest.raises(ValueError):
+            pool.map(_always_raise, [1])
+
+    def test_backoff_delays_are_capped(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=10.0, backoff_max=2.0)
+        assert policy.delay_for(0) == 0.5
+        assert policy.delay_for(5) == 2.0
+
+
+class TestCrashedWorkerRecovery:
+    def test_killed_process_worker_is_recovered(self, marker):
+        """SIGKILL a worker mid-task: the pool rebuilds and retries."""
+        pool = WorkerPool(Backend.PROCESS, max_workers=2)
+        results = pool.map(
+            _kill_self_once,
+            [(marker, 100)],
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.001),
+        )
+        assert results == [101]
+
+    def test_unrecoverable_crash_becomes_taskfailure(self, tmp_path):
+        """A task that kills its worker every time exhausts into TaskFailure."""
+
+        pool = WorkerPool(Backend.PROCESS, max_workers=2)
+        missing = str(tmp_path / "never-created" / "marker")
+        results = pool.map(
+            _kill_self_always,
+            [missing],
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+        )
+        (failure,) = results
+        assert isinstance(failure, TaskFailure)
+        assert failure.attempts == 2
+        assert failure.error_type in ("BrokenProcessPool", "CancelledError")
+
+    def test_per_task_timeout_fails_the_task_not_the_run(self):
+        pool = WorkerPool(Backend.PROCESS, max_workers=2)
+        start = time.monotonic()
+        results = pool.map(
+            _sleep_forever,
+            [1],
+            retry=RetryPolicy(max_attempts=1, timeout=0.5, backoff_base=0.001),
+        )
+        assert time.monotonic() - start < 30
+        (failure,) = results
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "TimeoutError"
+
+
+def _kill_self_always(_marker):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestCircuitBreaker:
+    def test_circuit_opens_after_consecutive_exhaustions(self):
+        pool = WorkerPool(Backend.SERIAL)
+        policy = RetryPolicy(max_attempts=1, backoff_base=0.0, circuit_threshold=2)
+        results = pool.map(_always_raise, list(range(6)), retry=policy)
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert [r.circuit_open for r in results] == [False, False, True, True, True, True]
+
+    def test_success_resets_the_failure_streak(self):
+        pool = WorkerPool(Backend.SERIAL)
+        policy = RetryPolicy(max_attempts=1, backoff_base=0.0, circuit_threshold=2)
+        items = [1, 0, 1, 0, 1, 0]  # alternate bad/good; streak never reaches 2
+        results = pool.map(
+            lambda x: _always_raise(x) if x else _square(x), items, retry=policy
+        )
+        assert not any(isinstance(r, TaskFailure) and r.circuit_open for r in results)
+
+
+class TestWorkerEnvParsing:
+    def test_garbage_value_warns_and_falls_back(self, monkeypatch, caplog):
+        monkeypatch.setenv(ENV_WORKERS, "a-few")
+        with caplog.at_level("WARNING", logger="repro.runtime.pool"):
+            assert _workers_from_env() is None
+        assert any("not an integer" in record.message for record in caplog.records)
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_value_is_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_WORKERS, value)
+        with pytest.raises(ValueError, match="positive integer"):
+            _workers_from_env()
+
+    def test_valid_value_is_used(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert WorkerPool(Backend.THREAD).max_workers == 3
+
+    def test_explicit_non_positive_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            WorkerPool(Backend.THREAD, max_workers=0)
