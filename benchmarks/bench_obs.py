@@ -1,0 +1,63 @@
+"""Observability overhead — the same Table 3 slice traced and untraced.
+
+Runs a single-environment Table 3 column twice: once with every
+observability facility disabled (the shipping default) and once with the
+flow tracer, metrics registry and profiler all enabled.  ``BENCH_obs.json``
+records both wall-clock timings, the traced event volume, and the per-stage
+profile so the cost of instrumentation is a tracked number instead of
+folklore.
+"""
+
+from repro.experiments.table3 import run_table3
+from repro.obs import (
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    observability_off,
+    profiled,
+)
+
+from benchmarks.conftest import BenchProbe, save_bench_json
+
+_KWARGS = {
+    "env_names": ("testbed",),
+    "characterize": False,
+    "include_os_matrix": False,
+}
+
+
+def test_obs_overhead_datapoint(benchmark, results_dir):
+    """One tracing-enabled Table 3 datapoint next to its untraced twin."""
+    observability_off()
+    with BenchProbe() as probe_off:
+        benchmark.pedantic(run_table3, kwargs=_KWARGS, rounds=1, iterations=1)
+
+    tracer = enable_tracing()
+    metrics = enable_metrics()
+    try:
+        with profiled() as profiler:
+            with BenchProbe() as probe_on:
+                run_table3(**_KWARGS)
+            events = len(tracer)
+            rule_matches = metrics.counter("mbx.rule_matches")
+            save_bench_json(
+                results_dir,
+                "obs",
+                probe_on,
+                traced_events=events,
+                dropped_events=tracer.dropped_events,
+                rule_matches=rule_matches,
+                untraced_seconds=round(probe_off.seconds, 4),
+                overhead_ratio=round(probe_on.seconds / probe_off.seconds, 3)
+                if probe_off.seconds > 0
+                else None,
+            )
+            assert profiler.stages, "profiling stages should have fired"
+    finally:
+        disable_tracing()
+        disable_metrics()
+
+    assert events > 0, "a traced table3 run must emit events"
+    assert tracer.dropped_events == 0
+    assert rule_matches > 0

@@ -15,8 +15,21 @@ from pathlib import Path
 import pytest
 
 from repro.netsim.path import packets_propagated
+from repro.obs import profiling as obs_profiling
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+try:
+    import pytest_timeout  # noqa: F401
+except ImportError:
+    # Same shim as tests/conftest.py: keep the ``timeout`` ini key valid for
+    # benchmark runs when pytest-timeout is not installed locally.
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (enforced only with pytest-timeout)",
+            default=None,
+        )
 
 
 @pytest.fixture(scope="session")
@@ -64,6 +77,8 @@ def save_bench_json(
         "packets_per_second": round(probe.packets_per_second, 1),
     }
     payload.update(metrics)
+    if obs_profiling.PROFILER is not None and obs_profiling.PROFILER.stages:
+        payload["profile"] = obs_profiling.PROFILER.snapshot()
     path = results_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n=== BENCH_{name}.json ===\n{path.read_text()}")

@@ -77,6 +77,77 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser, trace_flag: str = "--trace") -> None:
+    """Observability flags.
+
+    *trace_flag* is ``--flow-trace`` on subcommands where ``--trace``
+    already means "load a recorded workload trace".
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        trace_flag,
+        dest="flow_trace",
+        action="store_true",
+        help="record a flow trace (hop traversals, rule matches, verdicts) "
+        "and write it as JSON lines (default file: trace.jsonl)",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="flow-trace output path (implies tracing; '-' for stdout)",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metrics (packets, drops, rule scans, cache hits) and "
+        "print the snapshot after the run",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each pipeline/experiment stage and print the table",
+    )
+
+
+def _setup_obs(args: argparse.Namespace) -> None:
+    """Install the requested observability facilities before dispatch."""
+    from repro.obs import enable_metrics, enable_profiling, enable_tracing
+
+    if getattr(args, "flow_trace", False) or getattr(args, "trace_out", None):
+        enable_tracing()
+    if getattr(args, "metrics", False):
+        enable_metrics()
+    if getattr(args, "profile", False):
+        enable_profiling()
+
+
+def _finish_obs(args: argparse.Namespace) -> None:
+    """Export/print whatever observability was collected, then tear it down."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import observability_off
+    from repro.obs import profiling as obs_profiling
+    from repro.obs import trace as obs_trace
+
+    try:
+        tracer = obs_trace.TRACER
+        if tracer is not None:
+            out = getattr(args, "trace_out", None) or "trace.jsonl"
+            if out == "-":
+                tracer.export_jsonl(sys.stdout)
+            else:
+                count = tracer.export_jsonl(out)
+                print(f"wrote {count} trace events to {out}", file=sys.stderr)
+        if obs_metrics.METRICS is not None:
+            print("\n--- metrics ---")
+            print(obs_metrics.METRICS.render())
+        if obs_profiling.PROFILER is not None:
+            print("\n--- profile ---")
+            print(obs_profiling.PROFILER.render())
+    finally:
+        observability_off()
+
+
 def cmd_envs(_args: argparse.Namespace) -> int:
     """List the available environments."""
     from repro.envs import ENVIRONMENT_FACTORIES
@@ -174,7 +245,13 @@ def cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import compare_with_paper, format_table3, run_table3
 
     faults = _fault_profile(args)
-    rows = run_table3(characterize=not args.fast, faults=faults)
+    env_names = (
+        tuple(name.strip() for name in args.envs.split(",") if name.strip())
+        if getattr(args, "envs", None)
+        else None
+    )
+    kwargs = {"env_names": env_names} if env_names else {}
+    rows = run_table3(characterize=not args.fast, faults=faults, **kwargs)
     if faults is not None:
         print(f"fault profile: {args.faults} (seed {faults.seed})")
     print(format_table3(rows))
@@ -256,18 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--verbose", action="store_true")
     _add_workload_args(run)
     _add_fault_args(run)
+    _add_obs_args(run, trace_flag="--flow-trace")
     run.set_defaults(func=cmd_run)
 
     detect = sub.add_parser("detect", help="differentiation detection only")
     detect.add_argument("--env", default="testbed")
     _add_workload_args(detect)
     _add_fault_args(detect)
+    _add_obs_args(detect, trace_flag="--flow-trace")
     detect.set_defaults(func=cmd_detect)
 
     char = sub.add_parser("characterize", help="classifier characterization only")
     char.add_argument("--env", default="testbed")
     _add_workload_args(char)
     _add_fault_args(char)
+    _add_obs_args(char, trace_flag="--flow-trace")
     char.set_defaults(func=cmd_characterize)
 
     trace = sub.add_parser("trace", help="generate + save a workload trace")
@@ -283,11 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table2", help="regenerate Table 2").set_defaults(func=cmd_table2)
     t3 = sub.add_parser("table3", help="regenerate Table 3")
     t3.add_argument("--fast", action="store_true", help="skip the characterization phase")
+    t3.add_argument(
+        "--envs",
+        default=None,
+        help="comma-separated environment subset (e.g. 'testbed' for one cell)",
+    )
     _add_fault_args(t3)
+    _add_obs_args(t3)
     t3.set_defaults(func=cmd_table3)
     f4 = sub.add_parser("figure4", help="regenerate Figure 4")
     f4.add_argument("--trials", type=int, default=6)
     _add_fault_args(f4)
+    _add_obs_args(f4)
     f4.set_defaults(func=cmd_figure4)
     sub.add_parser("efficiency", help="regenerate §6 efficiency numbers").set_defaults(
         func=cmd_efficiency
@@ -312,7 +399,11 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``liberate`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _setup_obs(args)
+    try:
+        return args.func(args)
+    finally:
+        _finish_obs(args)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ from repro.core.evasion.base import EvasionContext, EvasionTechnique
 from repro.core.localization import locate_middlebox
 from repro.core.report import CharacterizationReport, LiberateReport
 from repro.envs.base import Environment
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
 from repro.traffic.trace import Trace
 
 
@@ -65,22 +68,23 @@ class Liberate:
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> LiberateReport:
         """Execute detection, characterization, localization and evaluation."""
-        detection = detect_differentiation(self.env, trace, trials=self.trials)
+        with self._phase("detect", trace):
+            detection = detect_differentiation(self.env, trace, trials=self.trials)
         report = LiberateReport(
             environment=self.env.name, trace=trace.name, detection=detection, seed=self.seed
         )
         if not detection.differentiated:
-            self.last_report = report
-            return report
+            return self._finish(report)
         if not detection.content_based:
             detection.notes.append("differentiation is not content-based; out of scope")
-            self.last_report = report
-            return report
+            return self._finish(report)
 
-        characterization = self.characterize(trace)
+        with self._phase("characterize", trace):
+            characterization = self.characterize(trace)
         report.characterization = characterization
 
-        hops, probe_rounds = locate_middlebox(self.env, trace, trials=self.trials)
+        with self._phase("localize", trace):
+            hops, probe_rounds = locate_middlebox(self.env, trace, trials=self.trials)
         characterization.notes.append(
             f"middlebox located {hops} hop(s) out"
             if hops is not None
@@ -96,9 +100,28 @@ class Liberate:
             techniques=self.techniques,
             stop_at_first=self.stop_at_first,
         )
-        report.evasion = evaluator.run()
+        with self._phase("evaluate", trace):
+            report.evasion = evaluator.run()
         best = report.evasion.best()
         report.deployed_technique = best.technique if best else None
+        return self._finish(report)
+
+    def _phase(self, name: str, trace: Trace):
+        """Time one pipeline phase and mark its boundaries in the trace."""
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "pipeline.phase",
+                self.env.clock.now,
+                env=self.env.name,
+                trace_name=trace.name,
+                phase_name=name,
+            )
+        return obs_profiling.stage(f"pipeline.{name}")
+
+    def _finish(self, report: LiberateReport) -> LiberateReport:
+        """Attach the metrics snapshot (when collecting) and store the report."""
+        if obs_metrics.METRICS is not None:
+            report.metrics = obs_metrics.METRICS.snapshot()
         self.last_report = report
         return report
 

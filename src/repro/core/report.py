@@ -179,6 +179,9 @@ class LiberateReport:
     evasion: EvasionReport | None = None
     deployed_technique: str | None = None
     seed: int | None = None
+    #: Observability snapshot (counter/gauge/histogram values) taken when the
+    #: pipeline finished, present only when metrics collection was enabled.
+    metrics: dict[str, object] | None = None
 
     def summary(self) -> str:
         """Multi-line human summary of the whole run."""
@@ -192,4 +195,6 @@ class LiberateReport:
             lines.append(f"  evasion:          {self.evasion.summary()}")
         if self.deployed_technique is not None:
             lines.append(f"  deployed:         {self.deployed_technique}")
+        if self.metrics is not None:
+            lines.append(f"  metrics:          {len(self.metrics)} series collected")
         return "\n".join(lines)

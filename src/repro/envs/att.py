@@ -20,12 +20,18 @@ from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 STREAM_SAVER_RATE_BPS = 1_500_000.0
 
 
 def make_att(faults: FaultProfile | None = None) -> Environment:
     """Build the AT&T environment (transparent proxy on port 80)."""
+    with obs_profiling.stage("env.build.att"):
+        return _build(faults)
+
+
+def _build(faults: FaultProfile | None) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     proxy = TransparentHTTPProxy(

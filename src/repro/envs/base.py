@@ -13,6 +13,8 @@ from repro.netsim.clock import VirtualClock
 from repro.netsim.faults import FaultElement, FaultProfile
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 CLIENT_ADDR = "10.1.0.2"
 SERVER_ADDR = "203.0.113.50"
@@ -108,10 +110,35 @@ def install_faults(env: Environment, profile: FaultProfile | None) -> Environmen
     ``reliable_mode`` stays False.
     """
     if profile is None or profile.is_zero():
+        _record_env(env)
         return env
     restart_targets = []
     if profile.restart_interval is not None and env.middlebox is not None:
         restart_targets.append(env.middlebox)
     env.path.insert_element(FaultElement(profile, restart_targets=tuple(restart_targets)), 0)
     env.fault_profile = profile
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit(
+            "env.install_faults",
+            env.clock.now,
+            env=env.name,
+            seed=profile.seed,
+        )
+    _record_env(env)
     return env
+
+
+def _record_env(env: Environment) -> None:
+    """Mark an environment's birth in the trace (every factory ends here)."""
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit(
+            "env.created",
+            env.clock.now,
+            env=env.name,
+            elements=[element.name for element in env.path.elements],
+            signal=env.signal.value,
+            faulty=env.fault_profile is not None,
+        )
+    if obs_metrics.METRICS is not None:
+        obs_metrics.METRICS.inc("env.created")
+        obs_metrics.METRICS.inc(f"env.created.{env.name}")

@@ -33,6 +33,7 @@ from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.reassembler import FragmentReassembler
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 #: Hostnames the GFC profile censors (economist.com was the paper's probe).
 DEFAULT_CENSORED_HOSTS = (b"economist.com", b"facebook.com", b"twitter.com")
@@ -68,6 +69,16 @@ def make_gfc(
     faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the GFC environment (classifier ten TTL hops out)."""
+    with obs_profiling.stage("env.build.gfc"):
+        return _build(censored_hosts, endpoint_block_threshold, endpoint_block_duration, faults)
+
+
+def _build(
+    censored_hosts: tuple[bytes, ...],
+    endpoint_block_threshold: int,
+    endpoint_block_duration: float,
+    faults: FaultProfile | None,
+) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     rules = [

@@ -27,6 +27,7 @@ from repro.netsim.filters import FilterPolicy, MalformedPacketFilter
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 #: Hostnames the Iran profile censors (facebook.com was the paper's probe).
 DEFAULT_CENSORED_HOSTS = (b"facebook.com", b"twitter.com")
@@ -37,6 +38,11 @@ def make_iran(
     faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the Iran environment (classifier eight TTL hops out, port 80 only)."""
+    with obs_profiling.stage("env.build.iran"):
+        return _build(censored_hosts, faults)
+
+
+def _build(censored_hosts: tuple[bytes, ...], faults: FaultProfile | None) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     rules = [

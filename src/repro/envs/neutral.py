@@ -14,6 +14,7 @@ from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 
 def make_neutral(
@@ -21,6 +22,11 @@ def make_neutral(
     faults: FaultProfile | None = None,
 ) -> Environment:
     """Build a clean path to a server running *server_os*."""
+    with obs_profiling.stage("env.build.neutral"):
+        return _build(server_os, faults)
+
+
+def _build(server_os: OSProfile, faults: FaultProfile | None) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     path = Path(

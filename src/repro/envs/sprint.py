@@ -14,10 +14,16 @@ from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 
 def make_sprint(faults: FaultProfile | None = None) -> Environment:
     """Build the Sprint environment (no middlebox, best-effort path)."""
+    with obs_profiling.stage("env.build.sprint"):
+        return _build(faults)
+
+
+def _build(faults: FaultProfile | None) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     shaper = TokenBucketShaper(policy, base_rate_bps=12_000_000.0)

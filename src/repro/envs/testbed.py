@@ -30,6 +30,7 @@ from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.reassembler import FragmentReassembler
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 #: Hosts the testbed device's rule set classifies (stand-ins for the paper's
 #: Amazon Prime Video / Spotify / ESPN recordings).
@@ -51,6 +52,16 @@ def make_testbed(
     faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the testbed environment (client → DPI device → router → server)."""
+    with obs_profiling.stage("env.build.testbed"):
+        return _build(classified_hosts, classify_udp, inspect_packet_limit, faults)
+
+
+def _build(
+    classified_hosts: tuple[str, ...],
+    classify_udp: bool,
+    inspect_packet_limit: int,
+    faults: FaultProfile | None,
+) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     rules = [

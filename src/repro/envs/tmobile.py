@@ -35,6 +35,7 @@ from repro.netsim.hop import RouterHop
 from repro.netsim.path import Path
 from repro.netsim.reassembler import FragmentReassembler
 from repro.netsim.shaper import PolicyState, TokenBucketShaper
+from repro.obs import profiling as obs_profiling
 
 #: Content identifiers Binge On / Music Freedom match on.
 DEFAULT_ZERO_RATED_KEYWORDS = (b"cloudfront.net", b".googlevideo.com", b"spotify.com")
@@ -46,6 +47,15 @@ def make_tmobile(
     faults: FaultProfile | None = None,
 ) -> Environment:
     """Build the T-Mobile environment (classifier three TTL hops out)."""
+    with obs_profiling.stage("env.build.tmobile"):
+        return _build(zero_rated_keywords, inspect_packet_limit, faults)
+
+
+def _build(
+    zero_rated_keywords: tuple[bytes, ...],
+    inspect_packet_limit: int,
+    faults: FaultProfile | None,
+) -> Environment:
     clock = VirtualClock()
     policy = PolicyState()
     rules = [

@@ -14,6 +14,9 @@ from repro.core.evasion.base import EvasionContext
 from repro.core.evasion.flushing import PauseBeforeMatch
 from repro.envs.gfc import make_gfc
 from repro.netsim.faults import FaultProfile
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
 from repro.replay.session import ReplaySession
 from repro.runtime import WorkerPool, derive_seed
 from repro.traffic.http import http_get_trace
@@ -58,6 +61,12 @@ def _sample_task(
         if _probe(hour, trial, delay, faults):
             found = delay
             break
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit(
+            "figure4.sample", hour=hour, trial=trial, min_delay=found
+        )
+    if obs_metrics.METRICS is not None:
+        obs_metrics.METRICS.inc("figure4.samples")
     return FlushSample(hour=hour, trial=trial, min_successful_delay=found)
 
 
@@ -82,12 +91,17 @@ def run_figure4(
     """
     if pool is None:
         pool = WorkerPool()
+    if obs_trace.TRACER is not None or obs_metrics.METRICS is not None:
+        # Same rule as table3: observability state is process-local, so a
+        # traced run must stay serial and in-process.
+        pool = WorkerPool("serial")
     tasks = [
         (hour, trial, tuple(delays), _task_faults(faults, seed, hour, trial))
         for hour in hours
         for trial in range(trials)
     ]
-    return pool.map(_sample_task, tasks)
+    with obs_profiling.stage("figure4.sweep"):
+        return pool.map(_sample_task, tasks)
 
 
 def _task_faults(

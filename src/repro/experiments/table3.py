@@ -35,6 +35,9 @@ from repro.envs.base import Environment
 from repro.experiments import paper_expectations
 from repro.experiments.workloads import PreparedEnvironment, prepare
 from repro.netsim.faults import FaultProfile
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
 from repro.packets.udp import UDPDatagram
 from repro.packets.ip import IPPacket
 from repro.replay.runner import make_inert_payload
@@ -101,10 +104,17 @@ def run_table3(
     """
     if pool is None:
         pool = WorkerPool()
+    if obs_trace.TRACER is not None or obs_metrics.METRICS is not None:
+        # Tracing and metrics are process-local: a column measured in a pool
+        # worker would record into that worker's (unobserved) globals.  Force
+        # serial in-process execution so every event lands in *this* process's
+        # flight recorder — also what makes traced runs deterministic.
+        pool = WorkerPool("serial")
     if cell_trials is None:
         cell_trials = 5 if faults is not None and not faults.is_zero() else 1
     tasks = [(name, techniques, characterize, faults, cell_trials) for name in env_names]
-    results = pool.map(_measure_env_column, tasks, retry=retry)
+    with obs_profiling.stage("table3.columns"):
+        results = pool.map(_measure_env_column, tasks, retry=retry)
     columns = []
     for task, result in zip(tasks, results):
         if isinstance(result, TaskFailure):
@@ -126,7 +136,8 @@ def run_table3(
         for row, cell in zip(rows, cells):
             row.cells[name] = cell
     if include_os_matrix:
-        os_rows = run_os_matrix(techniques)
+        with obs_profiling.stage("table3.os_matrix"):
+            os_rows = run_os_matrix(techniques)
         for row in rows:
             row.os_cells = os_rows[row.technique]
     return rows
@@ -138,7 +149,22 @@ def _measure_env_column(
     """One environment's full Table 3 column (a worker-pool task)."""
     name, techniques, characterize, faults, cell_trials = task
     prep = prepare(ENVIRONMENT_FACTORIES[name](faults=faults), characterize=characterize)
-    return name, [_measure_cell(prep, technique, trials=cell_trials) for technique in techniques]
+    cells = []
+    for technique in techniques:
+        cell = _measure_cell(prep, technique, trials=cell_trials)
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "table3.cell",
+                prep.env.clock.now,
+                env=name,
+                technique=technique.name,
+                cc=cell.cc,
+                rs=cell.rs,
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("table3.cells")
+        cells.append(cell)
+    return name, cells
 
 
 def _measure_cell(

@@ -30,6 +30,8 @@ from repro.middlebox.state import UNCLASSIFIED_FINAL, FlowState
 from repro.middlebox.validation import MiddleboxValidation
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.netsim.shaper import PolicyState
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction, FiveTuple
 from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
@@ -43,6 +45,18 @@ PROTOCOL_ANCHORS: tuple[bytes, ...] = (b"GET", b"POST", b"HEAD", b"PUT", b"HTTP/
 ANCHOR_MIN_BYTES = 5
 
 TimeoutSpec = float | None | Callable[[float], float | None]
+
+
+def _flow_fields(key: FiveTuple) -> str:
+    """A flow tuple as one deterministic, diff-friendly trace field."""
+    return f"{key.src}:{key.sport}>{key.dst}:{key.dport}/{key.protocol}"
+
+
+def _verdict_name(verdict: MatchRule | str | None) -> str | None:
+    """A verdict as its stable trace label (rule name or sentinel string)."""
+    if isinstance(verdict, MatchRule):
+        return verdict.name
+    return verdict
 
 
 class ReassemblyMode(enum.Enum):
@@ -151,6 +165,7 @@ class DPIMiddlebox(NetworkElement):
         self.evictions = 0
 
         self._compiled = CompiledRuleSet(self.rules)
+        self._now = 0.0  # last packet's clock time, for event timestamps
         self._flows: dict[FiveTuple, FlowState] = {}
         self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
         self._endpoint_block_counts: dict[tuple[str, int], int] = {}
@@ -165,6 +180,7 @@ class DPIMiddlebox(NetworkElement):
     ) -> list[IPPacket]:
         """Observe one packet: update classifier state, apply policies, forward."""
         now = ctx.clock.now
+        self._now = now
         self._expire(now)
 
         inspect_target = packet
@@ -269,13 +285,25 @@ class DPIMiddlebox(NetworkElement):
             expected_seq=expected_seq,
         )
         self._flows[normalized] = state
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "mbx.flow_created",
+                now,
+                element=self.name,
+                flow=_flow_fields(key),
+                proto_name=protocol,
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.flows_created")
         return state
 
     def _evict_lru(self) -> None:
         """Capacity pressure: drop the least-recently-active flow's state."""
         victim = min(self._flows, key=lambda k: self._flows[k].last_packet_time)
-        self._forget_flow(victim)
+        self._forget_flow(victim, reason="evicted")
         self.evictions += 1
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.evictions")
 
     def _in_scope(self, state: FlowState) -> bool:
         if self.ports is not None and state.server_port not in self.ports:
@@ -304,7 +332,7 @@ class DPIMiddlebox(NetworkElement):
             if timeout is not None and now - state.last_packet_time > timeout:
                 stale.append(normalized)
         for normalized in stale:
-            self._forget_flow(normalized)
+            self._forget_flow(normalized, reason="timeout")
         expired_endpoints = [
             endpoint
             for endpoint, until in self._endpoint_block_until.items()
@@ -315,21 +343,41 @@ class DPIMiddlebox(NetworkElement):
             self.policy_state.blocked_endpoints.discard(endpoint)
             self._endpoint_block_counts.pop(endpoint, None)
 
-    def _forget_flow(self, normalized: FiveTuple) -> None:
+    def _forget_flow(self, normalized: FiveTuple, reason: str = "flush") -> None:
         state = self._flows.pop(normalized, None)
         if state is None:
             return
         self.policy_state.throttled_flows.pop(normalized, None)
         self.policy_state.zero_rated_flows.discard(normalized)
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "mbx.flow_flushed",
+                self._now,
+                element=self.name,
+                reason=reason,
+                flow=_flow_fields(state.client_tuple),
+                verdict=_verdict_name(state.verdict),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.flows_flushed")
+            obs_metrics.METRICS.inc(f"mbx.flows_flushed.{reason}")
 
     def _handle_rst(self, state: FlowState, key: FiveTuple) -> None:
         matched = state.matched_rule is not None
         if matched and self.rst_flush_post_match:
-            self._forget_flow(key.normalized())
+            self._forget_flow(key.normalized(), reason="rst-post-match")
         elif not matched and self.rst_flush_pre_match:
-            self._forget_flow(key.normalized())
+            self._forget_flow(key.normalized(), reason="rst-pre-match")
         elif self.rst_timeout_reduction is not None:
             state.timeout_override = self.rst_timeout_reduction
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "mbx.rst_timeout_reduced",
+                    self._now,
+                    element=self.name,
+                    flow=_flow_fields(state.client_tuple),
+                    timeout=self.rst_timeout_reduction,
+                )
 
     # ==================================================================
     # fragment handling (virtual reassembly for inspection only)
@@ -373,9 +421,17 @@ class DPIMiddlebox(NetworkElement):
 
         if direction == "client" and self.require_protocol_anchor and state.anchor_ok is None:
             self._decide_anchor(state, payload, buffer, index)
+            if state.anchor_ok is not None and obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "mbx.anchor",
+                    now,
+                    element=self.name,
+                    flow=_flow_fields(state.client_tuple),
+                    ok=state.anchor_ok,
+                )
             if state.anchor_ok is False:
                 if self.match_and_forget:
-                    state.verdict = UNCLASSIFIED_FINAL
+                    self._finalize_unclassified(state, "anchor-failed", now)
                 return
         if (
             direction == "client"
@@ -386,7 +442,7 @@ class DPIMiddlebox(NetworkElement):
             # Stream modes postpone the anchor decision until enough bytes
             # assemble; matching waits with it.
             if self._window_exhausted(state) and self.match_and_forget:
-                state.verdict = UNCLASSIFIED_FINAL
+                self._finalize_unclassified(state, "window-exhausted", now)
             return
 
         matched = self._match_rules(state, buffer, payload, index, direction)
@@ -394,11 +450,78 @@ class DPIMiddlebox(NetworkElement):
             state.verdict = matched
             state.match_time = now
             self.match_log.append((now, matched.name, state.client_tuple))
+            if obs_trace.TRACER is not None:
+                self._emit_rule_match(state, matched, buffer, index, direction, now)
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("mbx.rule_matches")
             self._apply_policy(state, matched, packet, ctx)
             return
 
         if self._window_exhausted(state) and self.match_and_forget:
-            state.verdict = UNCLASSIFIED_FINAL
+            self._finalize_unclassified(state, "window-exhausted", now)
+
+    def _finalize_unclassified(self, state: FlowState, reason: str, now: float) -> None:
+        """Commit the match-and-forget "never going to match" verdict."""
+        state.verdict = UNCLASSIFIED_FINAL
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "mbx.verdict",
+                now,
+                element=self.name,
+                flow=_flow_fields(state.client_tuple),
+                verdict=UNCLASSIFIED_FINAL,
+                reason=reason,
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.verdicts.unclassified_final")
+
+    def _emit_rule_match(
+        self,
+        state: FlowState,
+        rule: MatchRule,
+        buffer: bytes | bytearray,
+        index: int,
+        direction: str,
+        now: float,
+    ) -> None:
+        """The causal core of a trace: which rule fired, where, and on what.
+
+        The matched byte range is the first keyword occurrence in the
+        inspected buffer (None for STUN-attribute rules, which match parsed
+        structure rather than a substring), and the watermark is the
+        incremental-scan position from :mod:`repro.middlebox.ruleindex` —
+        together they say exactly which bytes convicted the flow.
+        """
+        match_start = match_end = None
+        for keyword in rule.keywords:
+            offset = bytes(buffer).find(keyword)
+            if offset >= 0 and (match_start is None or offset < match_start):
+                match_start, match_end = offset, offset + len(keyword)
+        scan = state.client_scan if direction == "client" else state.server_scan
+        tracer = obs_trace.TRACER
+        assert tracer is not None
+        tracer.emit(
+            "mbx.rule_match",
+            now,
+            element=self.name,
+            rule=rule.name,
+            action=rule.policy.action.value,
+            flow=_flow_fields(state.client_tuple),
+            dir=direction,
+            packet_index=index,
+            match_start=match_start,
+            match_end=match_end,
+            watermark=scan.watermark if scan is not None else None,
+            buffer_len=len(buffer),
+        )
+        tracer.emit(
+            "mbx.verdict",
+            now,
+            element=self.name,
+            flow=_flow_fields(state.client_tuple),
+            verdict=rule.name,
+            reason="rule-match",
+        )
 
     def _decide_anchor(
         self, state: FlowState, payload: bytes, buffer: bytes | bytearray, index: int
@@ -497,6 +620,15 @@ class DPIMiddlebox(NetworkElement):
                     state.client_scan = scan
                 else:
                     state.server_scan = scan
+        metrics = obs_metrics.METRICS
+        if metrics is not None:
+            # Bytes the matcher actually walks: whole buffer per packet in
+            # per-packet mode, only the un-scanned tail past the watermark in
+            # stream modes (the incremental-scan optimisation).
+            if scan is None:
+                metrics.inc("mbx.scan_bytes", len(buffer))
+            else:
+                metrics.inc("mbx.scan_bytes", max(0, len(buffer) - scan.watermark))
         return view.match(buffer, packet_payload, index, scan)
 
     def _window_exhausted(self, state: FlowState) -> bool:
@@ -543,9 +675,33 @@ class DPIMiddlebox(NetworkElement):
             return
         if self.ports is not None and server_port not in self.ports:
             return
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.scan_bytes", len(payload))
         rule = self._view(protocol, server_port, direction).match_stateless(payload)
         if rule is not None:
             self.match_log.append((ctx.clock.now, rule.name, key))
+            if obs_trace.TRACER is not None:
+                match_start = match_end = None
+                for keyword in rule.keywords:
+                    offset = payload.find(keyword)
+                    if offset >= 0 and (match_start is None or offset < match_start):
+                        match_start, match_end = offset, offset + len(keyword)
+                obs_trace.TRACER.emit(
+                    "mbx.rule_match",
+                    ctx.clock.now,
+                    element=self.name,
+                    rule=rule.name,
+                    action=rule.policy.action.value,
+                    flow=_flow_fields(key),
+                    dir=direction,
+                    packet_index=None,
+                    match_start=match_start,
+                    match_end=match_end,
+                    watermark=None,
+                    buffer_len=len(payload),
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("mbx.rule_matches")
             self._apply_stateless_policy(rule, packet, key, ctx)
 
     # ==================================================================
@@ -586,6 +742,16 @@ class DPIMiddlebox(NetworkElement):
         if self._endpoint_block_counts[endpoint] >= self.endpoint_block_threshold:
             self.policy_state.blocked_endpoints.add(endpoint)
             self._endpoint_block_until[endpoint] = ctx.clock.now + self.endpoint_block_duration
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "mbx.endpoint_block",
+                    ctx.clock.now,
+                    element=self.name,
+                    endpoint=f"{endpoint[0]}:{endpoint[1]}",
+                    until=round(self._endpoint_block_until[endpoint], 6),
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("mbx.endpoint_blocks")
 
     def _endpoint_blocked(
         self, packet: IPPacket, now: float, ctx: TransitContext
@@ -596,6 +762,16 @@ class DPIMiddlebox(NetworkElement):
         endpoint = (key.dst, key.dport)
         if endpoint not in self.policy_state.blocked_endpoints:
             return False
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "mbx.endpoint_block_hit",
+                now,
+                element=self.name,
+                endpoint=f"{endpoint[0]}:{endpoint[1]}",
+                flow=_flow_fields(key),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.endpoint_block_hits")
         # Disrupt the connection attempt outright.
         rst = TCPSegment(
             sport=key.dport,

@@ -19,6 +19,8 @@ import struct
 from dataclasses import dataclass, field, replace
 
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
 from repro.packets.ip import IPPacket
 from repro.runtime import derive_seed
@@ -198,10 +200,13 @@ class FaultElement(NetworkElement):
 
         if self._link_down(ctx):
             self.stats.flap_dropped += 1
+            self._record_fault("drop", "flap", packet, ctx)
             return []
 
         rng = self._rng_for(packet)
-        if self._lose(packet, rng):
+        loss_cause = self._lose(packet, rng)
+        if loss_cause is not None:
+            self._record_fault("drop", loss_cause, packet, ctx)
             return self._release_held()
 
         if profile.corrupt_rate and rng.random() < profile.corrupt_rate:
@@ -209,14 +214,17 @@ class FaultElement(NetworkElement):
             if corrupted is not None:
                 packet = corrupted
                 self.stats.corrupted += 1
+                self._record_fault("corrupt", "payload-bit", packet, ctx)
         if profile.header_corrupt_rate and rng.random() < profile.header_corrupt_rate:
             packet = _corrupt_header(packet, rng)
             self.stats.header_corrupted += 1
+            self._record_fault("corrupt", "ip-header", packet, ctx)
 
         outputs = [packet]
         if profile.duplicate_rate and rng.random() < profile.duplicate_rate:
             outputs.append(packet.copy())
             self.stats.duplicated += 1
+            self._record_fault("duplicate", "duplicate", packet, ctx)
 
         if (
             profile.reorder_rate
@@ -227,8 +235,33 @@ class FaultElement(NetworkElement):
             # Hold this packet back; it is emitted after the next packet.
             self._held = (packet, direction)
             self.stats.reordered += 1
+            self._record_fault("reorder", "held-back", packet, ctx)
             return []
         return self._release_held(direction) + outputs
+
+    def _record_fault(
+        self, fault: str, cause: str, packet: IPPacket, ctx: TransitContext
+    ) -> None:
+        """One fault decision, to the tracer and the metrics registry.
+
+        ``fault.drop`` events are the injector's ledger: the property tests
+        assert their count equals ``stats.lost + burst_lost + flap_dropped``.
+        """
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                f"fault.{fault}",
+                ctx.clock.now,
+                element=self.name,
+                reason=cause,
+                **obs_trace.packet_fields(packet),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc(f"faults.{fault}")
+            if fault == "drop":
+                obs_metrics.METRICS.inc("netsim.packets.dropped")
+                obs_metrics.METRICS.inc(f"netsim.packets.dropped.fault-{cause}")
+            elif fault == "corrupt":
+                obs_metrics.METRICS.inc("netsim.packets.corrupted")
 
     def reset(self) -> None:
         """Drop transient flow state (RNG streams, burst state, held packet).
@@ -251,11 +284,12 @@ class FaultElement(NetworkElement):
             self._flow_rngs[key] = rng
         return rng
 
-    def _lose(self, packet: IPPacket, rng: random.Random) -> bool:
+    def _lose(self, packet: IPPacket, rng: random.Random) -> str | None:
+        """Loss decision for one packet: "loss", "burst-loss", or None (kept)."""
         profile = self.profile
         if profile.loss_rate and rng.random() < profile.loss_rate:
             self.stats.lost += 1
-            return True
+            return "loss"
         if profile.burst_loss_rate and profile.burst_enter:
             key = _flow_key(packet)
             bad = self._burst_bad.get(key, False)
@@ -268,8 +302,8 @@ class FaultElement(NetworkElement):
             self._burst_bad[key] = bad
             if lost:
                 self.stats.burst_lost += 1
-                return True
-        return False
+                return "burst-loss"
+        return None
 
     def _link_down(self, ctx: TransitContext) -> bool:
         profile = self.profile
@@ -287,6 +321,15 @@ class FaultElement(NetworkElement):
             for target in self.restart_targets:
                 target.reset()
             self.stats.restarts += 1
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "fault.restart",
+                    ctx.clock.now,
+                    element=self.name,
+                    targets=[t.name for t in self.restart_targets],
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("faults.restarts")
 
     def _release_held(self, direction: Direction | None = None) -> list[IPPacket]:
         """Flush a held (reordered) packet.

@@ -7,7 +7,11 @@ lib·erate's localization phase uses to count hops to the middlebox.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
 from repro.packets.icmp import icmp_time_exceeded
 from repro.packets.ip import IPPacket
@@ -42,10 +46,10 @@ class RouterHop(NetworkElement):
     ) -> list[IPPacket]:
         """Decrement TTL, drop expired/malformed packets, forward the rest."""
         if self.validate_ip_header and not self._header_acceptable(packet):
-            self._drop(packet, "bad-header")
+            self._drop(packet, "bad-header", ctx)
             return []
         if packet.ttl <= 1:
-            self._drop(packet, "ttl-expired")
+            self._drop(packet, "ttl-expired", ctx)
             if self.send_time_exceeded:
                 original = packet.to_bytes()[:28]
                 reply = IPPacket(
@@ -54,13 +58,31 @@ class RouterHop(NetworkElement):
                     transport=icmp_time_exceeded(original),
                     ttl=64,
                 )
+                if obs_trace.TRACER is not None:
+                    obs_trace.TRACER.emit(
+                        "hop.icmp_time_exceeded",
+                        ctx.clock.now,
+                        element=self.name,
+                        **obs_trace.packet_fields(packet),
+                    )
                 ctx.inject_back(reply)
             return []
         return [packet.copy(ttl=packet.ttl - 1, checksum=None)]
 
-    def _drop(self, packet: IPPacket, reason: str) -> None:
+    def _drop(self, packet: IPPacket, reason: str, ctx: TransitContext) -> None:
         self.dropped.append(packet)
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "hop.drop",
+                ctx.clock.now,
+                element=self.name,
+                reason=reason,
+                **obs_trace.packet_fields(packet),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("netsim.packets.dropped")
+            obs_metrics.METRICS.inc(f"netsim.packets.dropped.{reason}")
 
     def _header_acceptable(self, packet: IPPacket) -> bool:
         return (
@@ -72,8 +94,9 @@ class RouterHop(NetworkElement):
 
     def _router_address(self, packet: IPPacket) -> str:
         # A synthetic address unique-ish per router name, good enough for
-        # traceroute-style hop counting.
-        return f"198.51.100.{(abs(hash(self.name)) % 250) + 1}"
+        # traceroute-style hop counting.  CRC32 (not hash()) so the address
+        # is identical across interpreter runs — traces stay diffable.
+        return f"198.51.100.{(zlib.crc32(self.name.encode()) % 250) + 1}"
 
     def reset(self) -> None:
         """Forget dropped-packet diagnostics."""

@@ -11,6 +11,8 @@ from typing import Protocol
 
 from repro.netsim.clock import VirtualClock
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
 from repro.packets.ip import IPPacket
 
@@ -101,6 +103,10 @@ class Path:
         _packets_propagated_total += 1
         if depth > self.max_depth:
             raise RuntimeError("packet propagation exceeded max depth (response loop?)")
+        tracer = obs_trace.TRACER
+        metrics = obs_metrics.METRICS
+        if metrics is not None:
+            metrics.inc("netsim.packets.propagated")
         step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
         current = packet
         i = index
@@ -108,14 +114,38 @@ class Path:
             element = self.elements[i]
             ctx = self._context_for(i, direction, depth)
             outputs = element.process(current, direction, ctx)
+            if tracer is not None:
+                tracer.emit(
+                    "hop.traverse",
+                    self.clock.now,
+                    element=element.name,
+                    dir=direction.value,
+                    out=len(outputs),
+                    **obs_trace.packet_fields(current),
+                )
             if not outputs:
+                if metrics is not None:
+                    metrics.inc("netsim.hop.absorbed")
+                    metrics.inc(f"netsim.hop.absorbed.{element.name}")
                 return
+            if metrics is not None:
+                metrics.inc("netsim.hop.forwarded")
             # An element may emit several packets (e.g. reassembly flushes);
             # all but the last recurse, the last continues the loop.
             for extra in outputs[:-1]:
                 self._propagate(extra, direction, i + step, depth + 1)
             current = outputs[-1]
             i += step
+        if tracer is not None:
+            tracer.emit(
+                "endpoint.deliver",
+                self.clock.now,
+                endpoint="server" if direction is Direction.CLIENT_TO_SERVER else "client",
+                dir=direction.value,
+                **obs_trace.packet_fields(current),
+            )
+        if metrics is not None:
+            metrics.inc("netsim.packets.delivered")
         self._deliver_to_endpoint(current, direction, depth)
 
     def _deliver_to_endpoint(self, packet: IPPacket, direction: Direction, depth: int) -> None:

@@ -10,6 +10,8 @@ the individual fragments.
 from __future__ import annotations
 
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
 from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
@@ -56,10 +58,28 @@ class FragmentReassembler(NetworkElement):
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is None:
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "frag.hold",
+                    ctx.clock.now,
+                    element=self.name,
+                    pending=len(bucket),
+                    **obs_trace.packet_fields(packet),
+                )
             return []
         del self._pending[key]
         self._first_seen.pop(key, None)
         self.reassembled_count += 1
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "frag.reassembled",
+                ctx.clock.now,
+                element=self.name,
+                fragments=len(bucket),
+                **obs_trace.packet_fields(whole),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("netsim.frags.reassembled")
         return [whole]
 
     def _expire_stale(self, now: float) -> None:
@@ -69,9 +89,22 @@ class FragmentReassembler(NetworkElement):
             if now - first > self.timeout
         ]
         for key in stale:
-            self._pending.pop(key, None)
+            pending = self._pending.pop(key, None)
             del self._first_seen[key]
             self.expired_count += 1
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "frag.expired",
+                    now,
+                    element=self.name,
+                    reason="timeout",
+                    fragments=len(pending) if pending else 0,
+                    src=key[0],
+                    dst=key[1],
+                    ident=key[2],
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("netsim.frags.expired")
 
     def reset(self) -> None:
         """Drop buffered fragments."""

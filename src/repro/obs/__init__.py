@@ -1,0 +1,69 @@
+"""``repro.obs`` — flow tracing, metrics, and profiling hooks.
+
+Three independent, individually-toggled facilities, all **off by default**
+with near-zero disabled overhead (one attribute load + ``is not None`` per
+instrumented site):
+
+* :mod:`repro.obs.trace` — the flow tracer: a flight-recorder ring buffer of
+  span/event records covering hop traversals, fragment reassembly, rule
+  matches, classifier state transitions and replay-layer ARQ, exportable as
+  deterministic JSON lines (``--trace`` / ``--trace-out``).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with a sorted
+  snapshot, embedded in reports and printable from the CLI (``--metrics``).
+* :mod:`repro.obs.profiling` — opt-in per-stage wall/CPU timers surfaced in
+  ``BENCH_*.json``.
+
+See ``docs/OBSERVABILITY.md`` for the trace schema and metric catalog.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+)
+from repro.obs.profiling import (
+    Profiler,
+    disable_profiling,
+    enable_profiling,
+    profiled,
+    stage,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    FlowTracer,
+    TraceEvent,
+    disable_tracing,
+    enable_tracing,
+    load_jsonl,
+    structural_view,
+    tracing,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "FlowTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Profiler",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "enable_metrics",
+    "disable_metrics",
+    "collecting",
+    "enable_profiling",
+    "disable_profiling",
+    "profiled",
+    "stage",
+    "load_jsonl",
+    "structural_view",
+    "observability_off",
+]
+
+
+def observability_off() -> None:
+    """Disable tracing, metrics and profiling in one call (test teardown)."""
+    disable_tracing()
+    disable_metrics()
+    disable_profiling()

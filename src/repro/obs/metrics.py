@@ -1,0 +1,153 @@
+"""The metrics registry: always-cheap counters, gauges and histograms.
+
+Where the flow tracer answers "what happened to this packet", the metrics
+registry answers "how much of everything happened": packets forwarded and
+dropped per element, bytes fed through the rule scanner, wire-cache hit
+rates, worker-pool retries and circuit-breaker trips.  The ROADMAP's
+production north-star needs these numbers always available to keep the PR 1
+fast paths honest.
+
+Like tracing, metrics are **disabled by default**: the module-level
+:data:`METRICS` is ``None`` and instrumented sites guard with a single
+``is not None`` check.  Enabled, every operation is one dict update — cheap
+enough to leave on for a whole experiment run.
+
+The registry is deliberately flat (dotted metric names, scalar values) so a
+snapshot is a plain sorted dict: embeddable in reports, printable from the
+CLI (``--metrics``), and trivially diffable between runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Default histogram bucket upper bounds (values land in the first bucket
+#: whose bound is >= the observation; the last bucket is +inf).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+class Histogram:
+    """A fixed-bucket histogram (counts per upper bound, plus sum/count)."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot = +inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: count, sum, and per-bucket cumulative counts."""
+        cumulative, running = {}, 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            cumulative[str(bound)] = running
+        cumulative["inf"] = running + self.counts[-1]
+        return {"count": self.count, "sum": round(self.total, 6), "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """A flat namespace of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # recording (called only behind an ``is not None`` guard)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        """Record *value* into histogram *name* (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """The current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Everything, as one sorted JSON-ready dict.
+
+        Counter/gauge keys map to scalars; histogram keys map to
+        ``{count, sum, buckets}`` dicts.  Sorted so two snapshots of the
+        same run serialize identically.
+        """
+        merged: dict[str, object] = {}
+        merged.update(self._counters)
+        merged.update(self._gauges)
+        merged.update({name: h.as_dict() for name, h in self._histograms.items()})
+        return dict(sorted(merged.items()))
+
+    def render(self) -> str:
+        """A human-readable snapshot table (the ``--metrics`` output)."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"{name:44s} count={value['count']} sum={value['sum']}"
+                )
+            else:
+                display = int(value) if float(value).is_integer() else round(value, 4)
+                lines.append(f"{name:44s} {display}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Zero every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# the module-level registry (None = metrics disabled, the default)
+# ----------------------------------------------------------------------
+METRICS: MetricsRegistry | None = None
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install a fresh process-wide registry and return it."""
+    global METRICS
+    METRICS = MetricsRegistry()
+    return METRICS
+
+
+def disable_metrics() -> None:
+    """Remove the process-wide registry."""
+    global METRICS
+    METRICS = None
+
+
+@contextmanager
+def collecting() -> Iterator[MetricsRegistry]:
+    """Scoped metrics collection: enable on entry, restore previous on exit."""
+    global METRICS
+    previous = METRICS
+    registry = MetricsRegistry()
+    METRICS = registry
+    try:
+        yield registry
+    finally:
+        METRICS = previous

@@ -1,0 +1,121 @@
+"""Opt-in per-stage wall/CPU profiling hooks.
+
+Experiment drivers and environment factories wrap their phases in
+:func:`stage`; when profiling is disabled (the default) the context manager
+yields immediately, and when enabled each stage accumulates wall-clock and
+CPU seconds plus a call count.  Benchmarks embed the snapshot in their
+``BENCH_*.json`` so a regression can be attributed to a stage instead of
+just a total.
+
+Profiling measures real time, so — unlike traces — its numbers are *not*
+deterministic and never belong in golden artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class StageTiming:
+    """Accumulated timings for one named stage."""
+
+    __slots__ = ("wall", "cpu", "calls")
+
+    def __init__(self) -> None:
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.calls = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall, 6),
+            "cpu_seconds": round(self.cpu, 6),
+            "calls": self.calls,
+        }
+
+
+class Profiler:
+    """Accumulates :class:`StageTiming` records per stage name."""
+
+    def __init__(self) -> None:
+        self.stages: dict[str, StageTiming] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one execution of stage *name* (re-entrant across calls)."""
+        timing = self.stages.get(name)
+        if timing is None:
+            timing = self.stages[name] = StageTiming()
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            timing.wall += time.perf_counter() - wall0
+            timing.cpu += time.process_time() - cpu0
+            timing.calls += 1
+
+    def snapshot(self) -> dict:
+        """All stage timings as a sorted JSON-ready dict."""
+        return {name: t.as_dict() for name, t in sorted(self.stages.items())}
+
+    def render(self) -> str:
+        """A human-readable per-stage table."""
+        lines = [f"{'stage':40s} {'wall s':>10s} {'cpu s':>10s} {'calls':>6s}"]
+        for name, timing in sorted(self.stages.items()):
+            lines.append(
+                f"{name:40s} {timing.wall:10.4f} {timing.cpu:10.4f} {timing.calls:6d}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.stages.clear()
+
+
+# ----------------------------------------------------------------------
+# the module-level profiler (None = profiling disabled, the default)
+# ----------------------------------------------------------------------
+PROFILER: Profiler | None = None
+
+
+def enable_profiling() -> Profiler:
+    """Install a fresh process-wide profiler and return it."""
+    global PROFILER
+    PROFILER = Profiler()
+    return PROFILER
+
+
+def disable_profiling() -> None:
+    """Remove the process-wide profiler."""
+    global PROFILER
+    PROFILER = None
+
+
+@contextmanager
+def profiled() -> Iterator[Profiler]:
+    """Scoped profiling: enable on entry, restore the previous state on exit.
+
+    (Named ``profiled`` rather than ``profiling`` so the re-export in
+    ``repro.obs`` cannot shadow this submodule's name on the package.)
+    """
+    global PROFILER
+    previous = PROFILER
+    profiler = Profiler()
+    PROFILER = profiler
+    try:
+        yield profiler
+    finally:
+        PROFILER = previous
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time *name* on the active profiler; a fast no-op when disabled."""
+    profiler = PROFILER
+    if profiler is None:
+        yield
+        return
+    with profiler.stage(name):
+        yield

@@ -13,6 +13,7 @@ import enum
 import struct
 from dataclasses import dataclass, field, fields, replace
 
+from repro.obs import metrics as obs_metrics
 from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import bytes_to_ip, internet_checksum, ip_to_bytes
 from repro.packets.icmp import ICMP_PROTO, ICMPMessage
@@ -252,8 +253,13 @@ class IPPacket:
         """Serialize the full packet (header + transport) to wire bytes."""
         payload = self.payload_bytes
         cached = self._wire_cache
+        metrics = obs_metrics.METRICS
         if cached is not None and cached[0] is payload:
+            if metrics is not None:
+                metrics.inc("wirecache.hits")
             return cached[1]
+        if metrics is not None:
+            metrics.inc("wirecache.misses")
         header0 = self._header_zero()
         if self.checksum is not None:
             csum = self.checksum

@@ -12,6 +12,8 @@ from repro.endpoint.tcpstack import TCPServerStack
 from repro.endpoint.udpstack import UDPServerStack
 from repro.envs.base import Environment, SignalType
 from repro.middlebox.engine import DPIMiddlebox
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.packets.tcp import TCPFlags
 from repro.replay.runner import ReplayRunner
 from repro.traffic.trace import Trace
@@ -106,6 +108,19 @@ class ReplaySession:
         t0 = self.env.clock.now
         runner = self._make_runner(context)
         runner.technique_name = getattr(technique, "name", None)
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "replay.start",
+                t0,
+                env=self.env.name,
+                trace_name=self.trace.name,
+                technique=runner.technique_name,
+                proto_name=self.trace.protocol,
+                sport=self.sport,
+                dport=self.server_port,
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("replay.runs")
 
         connect_refused = False
         if self.trace.protocol == "tcp":
@@ -120,8 +135,13 @@ class ReplaySession:
             if self.trace.protocol == "tcp":
                 assert isinstance(self.client, RawTCPClient)
                 if self.reliable:
-                    self.client.flush_unacked()
-                    self.client.repair_server_stream(len(self.trace.server_bytes()))
+                    self._traced_arq("flush-unacked", self.client.flush_unacked)
+                    self._traced_arq(
+                        "repair-server-stream",
+                        lambda: self.client.repair_server_stream(
+                            len(self.trace.server_bytes())
+                        ),
+                    )
                 self.client.close()
             elif self.reliable:
                 # Techniques only add inert datagrams around the plain data
@@ -131,6 +151,38 @@ class ReplaySession:
                 self._repair_udp()
 
         return self._observe(runner, t0, usage_before, connect_refused)
+
+    def _traced_arq(self, stage: str, repair: Any) -> None:
+        """Run one ARQ/repair step, bracketing it with trace events.
+
+        The retransmit machinery lives in the raw client; what the trace
+        needs is *when* repair ran and how much traffic it cost, so we
+        bracket the call and report the packet delta.
+        """
+        tracer = obs_trace.TRACER
+        if tracer is None:
+            repair()
+            return
+        assert isinstance(self.client, (RawTCPClient, RawUDPClient))
+        sent_before = len(self.client.collector.packets)
+        tracer.emit(
+            "replay.arq.start",
+            self.env.clock.now,
+            env=self.env.name,
+            stage=stage,
+            sport=self.sport,
+        )
+        repair()
+        tracer.emit(
+            "replay.arq.done",
+            self.env.clock.now,
+            env=self.env.name,
+            stage=stage,
+            sport=self.sport,
+            packets_seen=len(self.client.collector.packets) - sent_before,
+        )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc(f"replay.arq.{stage}")
 
     # ------------------------------------------------------------------
     # setup
@@ -185,11 +237,22 @@ class ReplaySession:
         assert isinstance(self.client, RawUDPClient) and self.udp_stack is not None
         expected_delivered = set(self.trace.client_payloads())
         expected_responses = set(self.trace.server_payloads())
-        for _ in range(3):
+        for attempt in range(3):
             delivered = set(self.udp_stack.delivered_stream(self.sport, self.server_port))
             responses = set(self.client.responses())
             if expected_delivered <= delivered and expected_responses <= responses:
                 break
+            if obs_trace.TRACER is not None:
+                obs_trace.TRACER.emit(
+                    "replay.arq.udp_round",
+                    self.env.clock.now,
+                    env=self.env.name,
+                    attempt=attempt,
+                    missing_payloads=len(expected_delivered - delivered),
+                    missing_responses=len(expected_responses - responses),
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc("replay.arq.udp_rounds")
             for payload in self.trace.client_payloads():
                 self.client.send_datagram(payload)
 
@@ -282,6 +345,24 @@ class ReplaySession:
             inert_reached = self._client_rst_reached()
         payload_reached = self._client_payload_reached()
 
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "replay.verdict",
+                self.env.clock.now,
+                env=self.env.name,
+                trace_name=self.trace.name,
+                technique=runner.technique_name,
+                verdict=classification,
+                differentiated=differentiated,
+                delivered_ok=delivered_ok,
+                server_response_ok=server_response_ok,
+                blocked=connect_refused or rst_count > 0 or block_page,
+                rst_count=rst_count,
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc(
+                "replay.differentiated" if differentiated else "replay.undifferentiated"
+            )
         return ReplayOutcome(
             env_name=self.env.name,
             trace_name=self.trace.name,

@@ -43,6 +43,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 logger = logging.getLogger(__name__)
 
 ENV_BACKEND = "REPRO_RUNTIME_BACKEND"
@@ -277,7 +280,9 @@ class WorkerPool:
                     type(exc).__name__,
                     exc,
                 )
+                _record_retry(index, attempt + 1, type(exc).__name__, self.backend)
         assert last_error is not None
+        _record_exhaustion(index, self.backend)
         return TaskFailure(
             index=index,
             attempts=retry.max_attempts,
@@ -346,7 +351,9 @@ class WorkerPool:
                         error_type,
                         message,
                     )
+                    _record_retry(index, attempts, error_type, self.backend)
                     if attempts >= retry.max_attempts:
+                        _record_exhaustion(index, self.backend)
                         results[index] = TaskFailure(
                             index=index,
                             attempts=attempts,
@@ -402,7 +409,35 @@ def _workers_from_env() -> int | None:
     return parsed
 
 
+def _record_retry(index: int, attempt: int, error_type: str, backend: Backend) -> None:
+    """Count one failed attempt (retry or final) in the observability layer."""
+    if obs_metrics.METRICS is not None:
+        obs_metrics.METRICS.inc("pool.retries")
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit(
+            "pool.retry",
+            task=index,
+            attempt=attempt,
+            error=error_type,
+            backend=backend.value,
+        )
+
+
+def _record_exhaustion(index: int, backend: Backend) -> None:
+    """Count one task giving up for good (its slot becomes a TaskFailure)."""
+    if obs_metrics.METRICS is not None:
+        obs_metrics.METRICS.inc("pool.task_failures")
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit(
+            "pool.task_failed", task=index, backend=backend.value
+        )
+
+
 def _circuit_failure(index: int, backend: Backend) -> TaskFailure:
+    if obs_metrics.METRICS is not None:
+        obs_metrics.METRICS.inc("pool.circuit_open")
+    if obs_trace.TRACER is not None:
+        obs_trace.TRACER.emit("pool.circuit_open", task=index, backend=backend.value)
     return TaskFailure(
         index=index,
         attempts=0,

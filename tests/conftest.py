@@ -18,6 +18,7 @@ from repro.envs import (
 )
 from repro.netsim.clock import VirtualClock
 from repro.netsim.hop import RouterHop
+from repro.obs import observability_off
 from repro.netsim.path import Path
 from repro.packets.ip import IPPacket
 from repro.packets.tcp import TCPFlags, TCPSegment
@@ -40,6 +41,14 @@ except ImportError:
             "per-test timeout in seconds (enforced only with pytest-timeout)",
             default=None,
         )
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Safety net: tracing/metrics/profiling are process-global; a test that
+    enables them and fails mid-way must not leak state into the next test."""
+    yield
+    observability_off()
 
 
 @pytest.fixture

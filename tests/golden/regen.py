@@ -1,0 +1,62 @@
+"""Regenerate the golden observability traces in this directory.
+
+Each golden artifact is the full ``--trace`` JSONL of one Table 3 cell:
+
+* ``neutral_cell.jsonl`` — the neutral cell: ``tcp-segment-split`` on the
+  Sprint environment (no DPI, so no rule-match events at all);
+* ``testbed_throttle_cell.jsonl`` — the throttling cell:
+  ``tcp-invalid-data-offset`` on the testbed, which the DPI still
+  classifies (CC=N), so the trace carries the
+  ``testbed:video.example.com`` throttle rule match and verdict.
+
+Regenerate after an intentional trace-schema or instrumentation change::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+then review the diff of the ``*.jsonl`` files like any other code change —
+the golden tests compare the structural skeleton (event kinds, rule ids,
+verdicts, reasons), so only behavioural changes should show up there.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.evasion import ALL_TECHNIQUES
+from repro.experiments.table3 import run_table3
+from repro.obs import trace as obs_trace
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: artifact file -> (environment, technique) of the recorded Table 3 cell
+CELLS: dict[str, tuple[str, str]] = {
+    "neutral_cell.jsonl": ("sprint", "tcp-segment-split"),
+    "testbed_throttle_cell.jsonl": ("testbed", "tcp-invalid-data-offset"),
+}
+
+
+def record_cell(env_name: str, technique_name: str) -> obs_trace.FlowTracer:
+    """Run one Table 3 cell under a fresh tracer and return the tracer."""
+    technique = next(t for t in ALL_TECHNIQUES if t.name == technique_name)
+    with obs_trace.tracing() as tracer:
+        run_table3(
+            env_names=(env_name,),
+            techniques=(technique,),
+            include_os_matrix=False,
+            characterize=False,
+        )
+    return tracer
+
+
+def regenerate(golden_dir: Path = GOLDEN_DIR) -> dict[str, int]:
+    """Rewrite every golden artifact; returns events written per file."""
+    written = {}
+    for filename, (env_name, technique_name) in sorted(CELLS.items()):
+        tracer = record_cell(env_name, technique_name)
+        written[filename] = tracer.export_jsonl(str(golden_dir / filename))
+    return written
+
+
+if __name__ == "__main__":
+    for filename, count in regenerate().items():
+        print(f"wrote {count} events to {GOLDEN_DIR / filename}")

@@ -1,0 +1,102 @@
+"""CLI tests for the observability flags (``--trace``/``--metrics``/``--profile``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
+
+pytestmark = pytest.mark.obs
+
+
+class TestObsFlags:
+    def test_table3_trace_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "cell.jsonl"
+        code = main(
+            [
+                "table3",
+                "--fast",
+                "--envs",
+                "testbed",
+                "--trace",
+                "--trace-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace.header"
+        assert header["schema"] == obs_trace.TRACE_SCHEMA_VERSION
+        assert header["events"] == len(lines) - 1 > 0
+        kinds = {json.loads(line)["kind"] for line in lines[1:]}
+        assert "mbx.rule_match" in kinds
+        assert "table3.cell" in kinds
+
+    def test_table3_trace_out_dash_prints_to_stdout(self, capsys):
+        code = main(["table3", "--fast", "--envs", "sprint", "--trace-out", "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"kind":"trace.header"' in out
+
+    def test_metrics_flag_prints_snapshot(self, capsys):
+        code = main(["table3", "--fast", "--envs", "testbed", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mbx.rule_matches" in out
+        assert "netsim.packets.propagated" in out
+
+    def test_profile_flag_prints_stage_table(self, capsys):
+        code = main(["table3", "--fast", "--envs", "sprint", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table3.columns" in out
+        assert "env.build.sprint" in out
+
+    def test_run_uses_flow_trace_spelling(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run",
+                "--env",
+                "testbed",
+                "--host",
+                "video.example.com",
+                "--fast",
+                "--flow-trace",
+                "--trace-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        kinds = {json.loads(line)["kind"] for line in out.read_text().splitlines()}
+        assert "pipeline.phase" in kinds
+
+    def test_obs_state_restored_after_command(self, tmp_path):
+        main(
+            [
+                "table3",
+                "--fast",
+                "--envs",
+                "sprint",
+                "--trace",
+                "--trace-out",
+                str(tmp_path / "t.jsonl"),
+                "--metrics",
+                "--profile",
+            ]
+        )
+        assert obs_trace.TRACER is None
+        assert obs_metrics.METRICS is None
+        assert obs_profiling.PROFILER is None
+
+    def test_envs_subset_limits_columns(self, capsys):
+        code = main(["table3", "--fast", "--envs", "testbed,gfc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper agreement" in out

@@ -10,6 +10,8 @@ from repro.core.pipeline import Liberate
 from repro.envs import make_testbed
 from repro.traffic.http import http_get_trace
 
+pytestmark = pytest.mark.chaos
+
 
 class BrokenTechnique(EvasionTechnique):
     """Sends the flow untouched — the classifier always catches it."""

@@ -26,6 +26,8 @@ from repro.packets.tcp import TCPFlags, TCPSegment
 from repro.replay.session import ReplaySession
 from repro.traffic.http import http_get_trace
 
+pytestmark = pytest.mark.chaos
+
 CLIENT = "10.1.0.2"
 SERVER = "203.0.113.50"
 

@@ -13,6 +13,8 @@ from repro.experiments.workloads import prepare
 from repro.netsim.faults import chaos_profile, lossy_profile
 from repro.traffic.http import http_get_trace
 
+pytestmark = pytest.mark.chaos
+
 SEED = 11
 
 

@@ -12,6 +12,8 @@ import pytest
 from repro.runtime import Backend, RetryPolicy, TaskFailure, WorkerPool
 from repro.runtime.pool import ENV_WORKERS, _workers_from_env
 
+pytestmark = pytest.mark.chaos
+
 FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_max=0.005)
 
 

@@ -15,6 +15,8 @@ import pytest
 from repro.experiments.table3 import TABLE3_ENVS, run_table3, compare_with_paper
 from repro.netsim.faults import FaultProfile, chaos_profile, lossy_profile
 
+pytestmark = pytest.mark.chaos
+
 VALID_MARKS = {"Y", "N", "-", "?"}
 
 

@@ -1,0 +1,201 @@
+"""Unit tests for the ``repro.obs`` package itself (tracer, metrics, profiler)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import observability_off
+from repro.obs import profiling as obs_profiling
+from repro.obs import trace as obs_trace
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCPFlags, TCPSegment
+
+pytestmark = pytest.mark.obs
+
+
+class TestFlowTracer:
+    def test_emit_records_seq_time_kind_fields(self):
+        tracer = obs_trace.FlowTracer()
+        tracer.emit("hop.traverse", 1.25, element="r1")
+        tracer.emit("hop.drop", 2.5, element="r1", reason="ttl")
+        events = tracer.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].as_dict() == {
+            "seq": 0,
+            "time": 1.25,
+            "kind": "hop.traverse",
+            "element": "r1",
+        }
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = obs_trace.FlowTracer(capacity=3)
+        for i in range(5):
+            tracer.emit("k", float(i))
+        assert len(tracer) == 3
+        assert tracer.dropped_events == 2
+        assert [e.time for e in tracer.events()] == [2.0, 3.0, 4.0]
+
+    def test_events_filters_by_kind_prefix(self):
+        tracer = obs_trace.FlowTracer()
+        tracer.emit("mbx.rule_match")
+        tracer.emit("mbx.verdict")
+        tracer.emit("mbx")
+        tracer.emit("mbxother")
+        assert len(tracer.events("mbx")) == 3
+        assert len(tracer.events("mbx.rule_match")) == 1
+
+    def test_tally_counts_per_kind(self):
+        tracer = obs_trace.FlowTracer()
+        for _ in range(3):
+            tracer.emit("a")
+        tracer.emit("b")
+        assert tracer.tally() == {"a": 3, "b": 1}
+
+    def test_span_pairs_enter_and_exit(self):
+        tracer = obs_trace.FlowTracer()
+        with tracer.span("detect", 1.0, env="testbed"):
+            tracer.emit("inner")
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == ["span.enter", "inner", "span.exit"]
+
+    def test_clear_restarts_numbering(self):
+        tracer = obs_trace.FlowTracer()
+        tracer.emit("a")
+        tracer.clear()
+        tracer.emit("b")
+        assert tracer.events()[0].seq == 0
+
+    def test_export_and_load_roundtrip(self, tmp_path):
+        tracer = obs_trace.FlowTracer()
+        tracer.emit("hop.traverse", 0.5, element="r1", ident=7)
+        path = str(tmp_path / "t.jsonl")
+        assert tracer.export_jsonl(path) == 1
+        first = json.loads(open(path).readline())
+        assert first == {
+            "kind": "trace.header",
+            "schema": obs_trace.TRACE_SCHEMA_VERSION,
+            "events": 1,
+            "dropped": 0,
+        }
+        records = obs_trace.load_jsonl(path)
+        assert records == [
+            {"seq": 0, "time": 0.5, "kind": "hop.traverse", "element": "r1", "ident": 7}
+        ]
+
+    def test_export_is_canonical_json(self):
+        tracer = obs_trace.FlowTracer()
+        tracer.emit("k", 1.0, zebra=1, alpha=2)
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        line = buffer.getvalue().splitlines()[1]
+        assert line == '{"alpha":2,"kind":"k","seq":0,"time":1.0,"zebra":1}'
+
+    def test_structural_view_projects_stable_fields(self):
+        events = [
+            {"kind": "mbx.rule_match", "rule": "r", "time": 3.5, "sport": 40_001},
+            {"kind": "hop.drop", "reason": "ttl", "element": "r1", "verdict": None},
+        ]
+        assert obs_trace.structural_view(events) == [
+            {"kind": "mbx.rule_match", "rule": "r"},
+            {"kind": "hop.drop", "element": "r1", "reason": "ttl"},
+        ]
+
+    def test_packet_fields_are_deterministic_identity(self):
+        segment = TCPSegment(
+            sport=40_001, dport=80, seq=1, ack=1, flags=TCPFlags.ACK, payload=b"abc"
+        )
+        packet = IPPacket(
+            src="10.1.0.2", dst="203.0.113.50", transport=segment, identification=9
+        )
+        fields = obs_trace.packet_fields(packet)
+        assert fields["src"] == "10.1.0.2"
+        assert fields["sport"] == 40_001
+        assert fields["ident"] == 9
+        assert fields["plen"] == 3
+        assert obs_trace.packet_fields(packet) == fields
+
+    def test_tracing_context_restores_previous(self):
+        assert obs_trace.TRACER is None
+        with obs_trace.tracing() as outer:
+            assert obs_trace.TRACER is outer
+            with obs_trace.tracing() as inner:
+                assert obs_trace.TRACER is inner
+            assert obs_trace.TRACER is outer
+        assert obs_trace.TRACER is None
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.inc("pkts")
+        registry.inc("pkts", 4)
+        registry.set_gauge("depth", 2)
+        registry.set_gauge("depth", 7)
+        registry.observe("lat", 3)
+        registry.observe("lat", 9_999_999)
+        assert registry.counter("pkts") == 5
+        assert registry.counter("never") == 0
+        snap = registry.snapshot()
+        assert snap["depth"] == 7
+        assert snap["lat"]["count"] == 2
+        assert snap["lat"]["buckets"]["inf"] == 2
+
+    def test_snapshot_is_sorted(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        assert list(registry.snapshot()) == ["a", "z"]
+
+    def test_render_and_reset(self):
+        registry = obs_metrics.MetricsRegistry()
+        assert registry.render() == "(no metrics recorded)"
+        registry.inc("pkts", 2)
+        registry.observe("lat", 1)
+        rendered = registry.render()
+        assert "pkts" in rendered and "count=1" in rendered
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_collecting_context_restores_previous(self):
+        assert obs_metrics.METRICS is None
+        with obs_metrics.collecting() as registry:
+            assert obs_metrics.METRICS is registry
+        assert obs_metrics.METRICS is None
+
+
+class TestProfiler:
+    def test_stage_accumulates(self):
+        profiler = obs_profiling.Profiler()
+        for _ in range(3):
+            with profiler.stage("phase"):
+                pass
+        snap = profiler.snapshot()
+        assert snap["phase"]["calls"] == 3
+        assert snap["phase"]["wall_seconds"] >= 0
+        assert "phase" in profiler.render()
+
+    def test_module_stage_is_noop_when_disabled(self):
+        assert obs_profiling.PROFILER is None
+        with obs_profiling.stage("anything"):
+            pass  # must not raise, must not record anywhere
+
+    def test_profiled_context_restores_previous(self):
+        with obs_profiling.profiled() as profiler:
+            with obs_profiling.stage("s"):
+                pass
+            assert profiler.snapshot()["s"]["calls"] == 1
+        assert obs_profiling.PROFILER is None
+
+
+def test_observability_off_disables_all_three():
+    obs_trace.enable_tracing()
+    obs_metrics.enable_metrics()
+    obs_profiling.enable_profiling()
+    observability_off()
+    assert obs_trace.TRACER is None
+    assert obs_metrics.METRICS is None
+    assert obs_profiling.PROFILER is None
