@@ -9,15 +9,18 @@ runs without scraping text tables.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.netsim.path import packets_propagated
+from repro.obs import history as obs_history
 from repro.obs import profiling as obs_profiling
 
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_FILE = RESULTS_DIR / "BENCH_history.jsonl"
 
 try:
     import pytest_timeout  # noqa: F401
@@ -82,3 +85,9 @@ def save_bench_json(
     path = results_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n=== BENCH_{name}.json ===\n{path.read_text()}")
+    if os.environ.get("REPRO_BENCH_HISTORY") == "1":
+        # Opt-in so local experiments don't churn the committed rolling
+        # history; CI appends explicitly via ``watchdog.py --append``.
+        obs_history.append_entries(
+            HISTORY_FILE, [obs_history.entry_from_bench(payload, timestamp=time.time())]
+        )

@@ -1,0 +1,89 @@
+"""Benchmark-regression watchdog: compare BENCH_*.json runs to history.
+
+CI (and anyone locally) runs this after a benchmark session::
+
+    PYTHONPATH=src python benchmarks/watchdog.py \
+        --benches obs table3_fast --threshold 2.0
+
+It loads ``benchmarks/results/BENCH_history.jsonl``, compares the current
+``BENCH_<name>.json`` payloads against the per-benchmark history median
+(wall-clock noise band) and last entry (deterministic keys), prints the
+verdict, and exits non-zero when anything is flagged.  ``--append`` records
+the current payloads into the rolling history after a clean check.
+
+Also reachable as ``liberate obs watch`` — same engine, same flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.obs import history as obs_history
+except ImportError:  # running from the repo root without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import history as obs_history
+
+DEFAULT_RESULTS = Path(__file__).parent / "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="watchdog", description="flag benchmark regressions vs. recorded history"
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=str(DEFAULT_RESULTS),
+        help="directory holding BENCH_*.json payloads",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="history JSONL path (default: <results-dir>/BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=obs_history.DEFAULT_THRESHOLD,
+        help="noise band: flag seconds beyond median*(1+threshold)",
+    )
+    parser.add_argument(
+        "--benches",
+        nargs="*",
+        default=None,
+        help="restrict the check to these benchmark names",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="record current payloads into the rolling history after checking",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=obs_history.DEFAULT_WINDOW,
+        help="rolling-history window per benchmark name",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return obs_history.run_watch(
+        args.results_dir,
+        history_path=args.history,
+        threshold=args.threshold,
+        benches=args.benches,
+        append=args.append,
+        window=args.window,
+        json_output=args.json,
+        timestamp=time.time(),
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

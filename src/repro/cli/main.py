@@ -8,6 +8,11 @@ Subcommands mirror the paper's workflow over the simulated environments::
     liberate characterize --env iran --host facebook.com
     liberate table1 | table2 | table3 | figure4 | efficiency | throughput
     liberate trace --host x.com --out trace.json   # save a workload
+    liberate obs query|diff|report|watch           # trace analysis + watchdog
+
+``--flow-trace`` is the canonical flag for recording a flow trace;
+``--trace`` is accepted as an alias on subcommands where it is not already
+taken by "load a recorded workload trace" (run/detect/characterize).
 """
 
 from __future__ import annotations
@@ -77,15 +82,18 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_obs_args(parser: argparse.ArgumentParser, trace_flag: str = "--trace") -> None:
+def _add_obs_args(parser: argparse.ArgumentParser, workload_trace: bool = False) -> None:
     """Observability flags.
 
-    *trace_flag* is ``--flow-trace`` on subcommands where ``--trace``
-    already means "load a recorded workload trace".
+    ``--flow-trace`` is the canonical tracing flag on every subcommand;
+    ``--trace`` is accepted as an alias except where *workload_trace* says
+    it already means "load a recorded workload trace" (run/detect/
+    characterize).
     """
+    flags = ("--flow-trace",) if workload_trace else ("--flow-trace", "--trace")
     group = parser.add_argument_group("observability")
     group.add_argument(
-        trace_flag,
+        *flags,
         dest="flow_trace",
         action="store_true",
         help="record a flow trace (hop traversals, rule matches, verdicts) "
@@ -316,6 +324,84 @@ def cmd_countermeasures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_query(args: argparse.Namespace) -> int:
+    """Query an exported flow trace by kind / flow / rule / element."""
+    import json
+
+    from repro.obs.analyze import TraceIndex, format_events
+
+    index = TraceIndex.load(args.trace_file)
+    if args.timeline:
+        try:
+            events = index.timeline(args.timeline)
+        except ValueError as error:
+            print(f"obs query: {error}", file=sys.stderr)
+            return 2
+    else:
+        events = index.query(
+            kind=args.kind,
+            flow=args.flow,
+            rule=args.rule,
+            element=args.element,
+            limit=args.limit,
+        )
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+    else:
+        print(format_events(events))
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Aggregate an exported flow trace into a summary report."""
+    import json
+
+    from repro.obs.analyze import TraceIndex, format_summary
+
+    summary = TraceIndex.load(args.trace_file).summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Diff two exported traces; exit 1 when they structurally diverge."""
+    import json
+
+    from repro.obs.diff import diff_traces, explain
+    from repro.obs.trace import load_jsonl
+
+    diff = diff_traces(
+        load_jsonl(args.left), load_jsonl(args.right), context=args.context
+    )
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(explain(diff, left_name=args.left, right_name=args.right))
+    return 0 if diff.identical else 1
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Check BENCH_*.json payloads against the benchmark history."""
+    import time
+
+    from repro.obs.history import run_watch
+
+    return run_watch(
+        args.results_dir,
+        history_path=args.history,
+        threshold=args.threshold,
+        benches=args.benches,
+        append=args.append,
+        window=args.window,
+        json_output=args.json,
+        timestamp=time.time(),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -333,21 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--verbose", action="store_true")
     _add_workload_args(run)
     _add_fault_args(run)
-    _add_obs_args(run, trace_flag="--flow-trace")
+    _add_obs_args(run, workload_trace=True)
     run.set_defaults(func=cmd_run)
 
     detect = sub.add_parser("detect", help="differentiation detection only")
     detect.add_argument("--env", default="testbed")
     _add_workload_args(detect)
     _add_fault_args(detect)
-    _add_obs_args(detect, trace_flag="--flow-trace")
+    _add_obs_args(detect, workload_trace=True)
     detect.set_defaults(func=cmd_detect)
 
     char = sub.add_parser("characterize", help="classifier characterization only")
     char.add_argument("--env", default="testbed")
     _add_workload_args(char)
     _add_fault_args(char)
-    _add_obs_args(char, trace_flag="--flow-trace")
+    _add_obs_args(char, workload_trace=True)
     char.set_defaults(func=cmd_characterize)
 
     trace = sub.add_parser("trace", help="generate + save a workload trace")
@@ -392,6 +478,63 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", required=True)
     report.add_argument("--trials", type=int, default=3, help="Figure 4 trials per hour")
     report.set_defaults(func=cmd_report)
+
+    obs = sub.add_parser("obs", help="analyze exported flow traces + benchmark history")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    query = obs_sub.add_parser("query", help="filter events of an exported trace")
+    query.add_argument("trace_file", help="exported JSONL trace")
+    query.add_argument("--kind", help="event kind, exact or dotted prefix (e.g. 'mbx')")
+    query.add_argument("--flow", help="flow key or any substring of one")
+    query.add_argument("--rule", help="exact rule id")
+    query.add_argument("--element", help="exact network-element name")
+    query.add_argument("--limit", type=int, default=None, help="stop after N events")
+    query.add_argument(
+        "--timeline",
+        metavar="FLOW",
+        help="print one flow's full timeline instead (exact key or substring)",
+    )
+    query.add_argument("--json", action="store_true", help="one JSON event per line")
+    query.set_defaults(func=cmd_obs_query)
+
+    odiff = obs_sub.add_parser(
+        "diff", help="first divergence between two traces (exit 1 when they differ)"
+    )
+    odiff.add_argument("left", help="baseline trace (JSONL)")
+    odiff.add_argument("right", help="candidate trace (JSONL)")
+    odiff.add_argument(
+        "--context", type=int, default=3, help="common events to show before the divergence"
+    )
+    odiff.add_argument("--json", action="store_true", help="machine-readable output")
+    odiff.set_defaults(func=cmd_obs_diff)
+
+    oreport = obs_sub.add_parser("report", help="aggregate summary of an exported trace")
+    oreport.add_argument("trace_file", help="exported JSONL trace")
+    oreport.add_argument("--json", action="store_true", help="machine-readable output")
+    oreport.set_defaults(func=cmd_obs_report)
+
+    watch = obs_sub.add_parser(
+        "watch", help="flag benchmark regressions vs. the recorded history"
+    )
+    watch.add_argument(
+        "--results-dir", default="benchmarks/results", help="directory of BENCH_*.json files"
+    )
+    watch.add_argument(
+        "--history", default=None, help="history JSONL (default: <results-dir>/BENCH_history.jsonl)"
+    )
+    watch.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="noise band: flag seconds beyond median*(1+threshold)",
+    )
+    watch.add_argument("--benches", nargs="*", default=None, help="restrict to these benchmarks")
+    watch.add_argument(
+        "--append", action="store_true", help="record current payloads into the history"
+    )
+    watch.add_argument("--window", type=int, default=50, help="rolling window per benchmark")
+    watch.add_argument("--json", action="store_true", help="machine-readable output")
+    watch.set_defaults(func=cmd_obs_watch)
     return parser
 
 

@@ -119,9 +119,13 @@ class Liberate:
         return obs_profiling.stage(f"pipeline.{name}")
 
     def _finish(self, report: LiberateReport) -> LiberateReport:
-        """Attach the metrics snapshot (when collecting) and store the report."""
+        """Attach observability snapshots (when collecting) and store the report."""
         if obs_metrics.METRICS is not None:
             report.metrics = obs_metrics.METRICS.snapshot()
+        if isinstance(obs_trace.TRACER, obs_trace.FlowTracer):
+            from repro.obs.analyze import summarize_tracer
+
+            report.trace_summary = summarize_tracer(obs_trace.TRACER)
         self.last_report = report
         return report
 

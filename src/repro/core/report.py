@@ -182,6 +182,10 @@ class LiberateReport:
     #: Observability snapshot (counter/gauge/histogram values) taken when the
     #: pipeline finished, present only when metrics collection was enabled.
     metrics: dict[str, object] | None = None
+    #: Aggregated flow-trace summary (event/flow counts, rule hits, drops,
+    #: verdicts — :meth:`repro.obs.analyze.TraceIndex.summary`), present only
+    #: when the run was traced.
+    trace_summary: dict[str, object] | None = None
 
     def summary(self) -> str:
         """Multi-line human summary of the whole run."""
@@ -197,4 +201,10 @@ class LiberateReport:
             lines.append(f"  deployed:         {self.deployed_technique}")
         if self.metrics is not None:
             lines.append(f"  metrics:          {len(self.metrics)} series collected")
+        if self.trace_summary is not None:
+            lines.append(
+                f"  trace:            {self.trace_summary['events']} events over "
+                f"{self.trace_summary['flows']} flow(s), "
+                f"{len(self.trace_summary['rules'])} rule(s) hit"
+            )
         return "\n".join(lines)

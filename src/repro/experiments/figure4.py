@@ -91,9 +91,9 @@ def run_figure4(
     """
     if pool is None:
         pool = WorkerPool()
-    if obs_trace.TRACER is not None or obs_metrics.METRICS is not None:
-        # Same rule as table3: observability state is process-local, so a
-        # traced run must stay serial and in-process.
+    if obs_metrics.METRICS is not None:
+        # Same rule as table3: metrics are process-local, so a metered run
+        # stays serial; traced runs parallelize via per-task shard merging.
         pool = WorkerPool("serial")
     tasks = [
         (hour, trial, tuple(delays), _task_faults(faults, seed, hour, trial))

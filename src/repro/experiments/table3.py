@@ -104,11 +104,12 @@ def run_table3(
     """
     if pool is None:
         pool = WorkerPool()
-    if obs_trace.TRACER is not None or obs_metrics.METRICS is not None:
-        # Tracing and metrics are process-local: a column measured in a pool
-        # worker would record into that worker's (unobserved) globals.  Force
-        # serial in-process execution so every event lands in *this* process's
-        # flight recorder — also what makes traced runs deterministic.
+    if obs_metrics.METRICS is not None:
+        # Metrics are process-local: counters incremented in a pool worker
+        # would land in that worker's (unobserved) registry, so a metered run
+        # stays serial and in-process.  Tracing no longer forces this — the
+        # pool shards per-task traces and merges them in (task index, seq)
+        # order, byte-identical to a serial run (see runtime/pool.py).
         pool = WorkerPool("serial")
     if cell_trials is None:
         cell_trials = 5 if faults is not None and not faults.is_zero() else 1

@@ -13,9 +13,22 @@ instrumented site):
 * :mod:`repro.obs.profiling` — opt-in per-stage wall/CPU timers surfaced in
   ``BENCH_*.json``.
 
+On top of the recorders sit the analysis tools:
+
+* :mod:`repro.obs.analyze` — the trace query engine (``liberate obs
+  query`` / ``obs report``): index an exported trace by flow, kind and
+  rule; timelines and aggregate statistics.
+* :mod:`repro.obs.diff` — differential trace diffing (``liberate obs
+  diff``): align two traces and report the first structural and first
+  decision divergence.
+* :mod:`repro.obs.history` — the benchmark-regression watchdog engine
+  (``liberate obs watch`` / ``benchmarks/watchdog.py``).
+
 See ``docs/OBSERVABILITY.md`` for the trace schema and metric catalog.
 """
 
+from repro.obs.analyze import TraceIndex, summarize_tracer
+from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.metrics import (
     MetricsRegistry,
     collecting,
@@ -44,8 +57,12 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "FlowTracer",
     "TraceEvent",
+    "TraceIndex",
+    "TraceDiff",
     "MetricsRegistry",
     "Profiler",
+    "diff_traces",
+    "summarize_tracer",
     "enable_tracing",
     "disable_tracing",
     "tracing",

@@ -1,0 +1,244 @@
+"""Differential trace diffing: *why* did the same flow end differently?
+
+The methodology follows the paper's framing — a middlebox is characterized
+by where its behaviour *diverges* from a reference.  Given two traces of
+the same workload (baseline vs. evasion attempt, environment A vs. B,
+yesterday's golden artifact vs. today's run), :func:`diff_traces` aligns
+them on their structural skeletons and reports:
+
+* the **first structural divergence** — the earliest event where the two
+  causal chains stop matching (which hop, which event kind);
+* the **first decision divergence** — the earliest differing *decision*
+  event (rule match, anchor check, classifier verdict, replay verdict,
+  experiment cell), which is the line that answers "why did this evasion
+  fail here";
+* count deltas per event kind, per rule, and per verdict.
+
+Comparison uses :func:`repro.obs.trace.structural_view` (kinds, elements,
+rules, verdicts, reasons, actions — never timestamps, ports or byte
+counts), so two runs under different seeds still align as long as they
+behave the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.analyze import DECISION_KINDS
+from repro.obs.trace import structural_view
+
+#: Decision events are compared on the structural fields plus the verdict
+#: payload of driver cells (cc/rs/env/technique) — the columns of Table 3.
+DECISION_FIELDS = (
+    "kind",
+    "element",
+    "rule",
+    "verdict",
+    "reason",
+    "action",
+    "ok",
+    "env",
+    "technique",
+    "cc",
+    "rs",
+)
+
+
+@dataclass
+class Divergence:
+    """The first point where two aligned event sequences disagree.
+
+    ``left``/``right`` are the projected events at the divergence point
+    (None when that trace simply ended); ``context`` holds the last few
+    *common* events before it — the shared causal prefix.
+    """
+
+    index: int
+    left: dict | None
+    right: dict | None
+    context: list[dict] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One human line: ``left ... != right ...``."""
+
+        def side(event: dict | None) -> str:
+            if event is None:
+                return "(trace ends)"
+            return " ".join(f"{key}={value}" for key, value in event.items())
+
+        return f"[{self.index}] {side(self.left)}  !=  {side(self.right)}"
+
+
+@dataclass
+class TraceDiff:
+    """The outcome of aligning two traces."""
+
+    left_events: int
+    right_events: int
+    first_divergence: Divergence | None
+    first_decision_divergence: Divergence | None
+    kind_delta: dict[str, tuple[int, int]]
+    rule_delta: dict[str, tuple[int, int]]
+    verdict_delta: dict[str, tuple[int, int]]
+
+    @property
+    def identical(self) -> bool:
+        """True when the structural skeletons match event for event."""
+        return self.first_divergence is None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` output)."""
+
+        def divergence(d: Divergence | None) -> dict | None:
+            if d is None:
+                return None
+            return {
+                "index": d.index,
+                "left": d.left,
+                "right": d.right,
+                "context": d.context,
+            }
+
+        return {
+            "identical": self.identical,
+            "left_events": self.left_events,
+            "right_events": self.right_events,
+            "first_divergence": divergence(self.first_divergence),
+            "first_decision_divergence": divergence(self.first_decision_divergence),
+            "kind_delta": {k: list(v) for k, v in self.kind_delta.items()},
+            "rule_delta": {k: list(v) for k, v in self.rule_delta.items()},
+            "verdict_delta": {k: list(v) for k, v in self.verdict_delta.items()},
+        }
+
+
+def _first_divergence(
+    left: list[dict], right: list[dict], context: int
+) -> Divergence | None:
+    limit = min(len(left), len(right))
+    for index in range(limit):
+        if left[index] != right[index]:
+            return Divergence(
+                index=index,
+                left=left[index],
+                right=right[index],
+                context=left[max(0, index - context) : index],
+            )
+    if len(left) != len(right):
+        longer = left if len(left) > len(right) else right
+        return Divergence(
+            index=limit,
+            left=left[limit] if limit < len(left) else None,
+            right=right[limit] if limit < len(right) else None,
+            context=longer[max(0, limit - context) : limit],
+        )
+    return None
+
+
+def _decision_view(events: list[dict]) -> list[dict]:
+    """Project decision events onto their comparable fields, in order."""
+    view = []
+    for event in events:
+        if event.get("kind") not in DECISION_KINDS:
+            continue
+        view.append(
+            {
+                key: event[key]
+                for key in DECISION_FIELDS
+                if key in event and event[key] is not None
+            }
+        )
+    return view
+
+
+def _tally(events: list[dict], key: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in events:
+        value = event.get(key)
+        if value is None:
+            continue
+        counts[str(value)] = counts.get(str(value), 0) + 1
+    return counts
+
+
+def _delta(left: dict[str, int], right: dict[str, int]) -> dict[str, tuple[int, int]]:
+    keys = sorted(set(left) | set(right))
+    return {
+        key: (left.get(key, 0), right.get(key, 0))
+        for key in keys
+        if left.get(key, 0) != right.get(key, 0)
+    }
+
+
+def diff_traces(
+    left: list[dict], right: list[dict], *, context: int = 3
+) -> TraceDiff:
+    """Align two traces (event-dict lists) and locate their divergences.
+
+    *context* controls how many common preceding events each
+    :class:`Divergence` carries for display.
+    """
+    left_structural = structural_view(left)
+    right_structural = structural_view(right)
+    rule_matches_left = [e for e in left if e.get("kind") == "mbx.rule_match"]
+    rule_matches_right = [e for e in right if e.get("kind") == "mbx.rule_match"]
+    verdicts_left = [e for e in left if e.get("kind") == "mbx.verdict"]
+    verdicts_right = [e for e in right if e.get("kind") == "mbx.verdict"]
+    return TraceDiff(
+        left_events=len(left),
+        right_events=len(right),
+        first_divergence=_first_divergence(left_structural, right_structural, context),
+        first_decision_divergence=_first_divergence(
+            _decision_view(left), _decision_view(right), context
+        ),
+        kind_delta=_delta(_tally(left, "kind"), _tally(right, "kind")),
+        rule_delta=_delta(
+            _tally(rule_matches_left, "rule"), _tally(rule_matches_right, "rule")
+        ),
+        verdict_delta=_delta(
+            _tally(verdicts_left, "verdict"), _tally(verdicts_right, "verdict")
+        ),
+    )
+
+
+def explain(diff: TraceDiff, left_name: str = "left", right_name: str = "right") -> str:
+    """The human diagnosis: where, and on which decision, the runs split.
+
+    This is the "why did this evasion fail here" explainer: point it at a
+    working baseline and the failing attempt and the first decision
+    divergence names the rule match or verdict that sealed the outcome.
+    """
+    lines = [
+        f"{left_name}: {diff.left_events} events; "
+        f"{right_name}: {diff.right_events} events"
+    ]
+    if diff.identical:
+        lines.append("traces are structurally identical")
+        return "\n".join(lines)
+    divergence = diff.first_divergence
+    assert divergence is not None
+    lines.append("")
+    lines.append("first structural divergence:")
+    for event in divergence.context:
+        lines.append(f"    common: {' '.join(f'{k}={v}' for k, v in event.items())}")
+    lines.append(f"  {divergence.describe()}")
+    decision = diff.first_decision_divergence
+    if decision is not None:
+        lines.append("")
+        lines.append("first diverging decision (rule match / verdict):")
+        lines.append(f"  {decision.describe()}")
+    if diff.rule_delta:
+        lines.append("")
+        lines.append("rule-match deltas:")
+        for rule, (l, r) in diff.rule_delta.items():
+            lines.append(f"  {rule}: {left_name}={l} {right_name}={r}")
+    if diff.verdict_delta:
+        lines.append("")
+        lines.append("verdict deltas:")
+        for verdict, (l, r) in diff.verdict_delta.items():
+            lines.append(f"  {verdict}: {left_name}={l} {right_name}={r}")
+    if diff.kind_delta:
+        lines.append("")
+        lines.append("event-kind count deltas:")
+        for kind, (l, r) in diff.kind_delta.items():
+            lines.append(f"  {kind:32s} {left_name}={l} {right_name}={r}")
+    return "\n".join(lines)

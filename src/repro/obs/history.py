@@ -1,0 +1,251 @@
+"""Benchmark history: a rolling record of BENCH_*.json runs, plus checks.
+
+``benchmarks/results/BENCH_history.jsonl`` accumulates one entry per
+benchmark run (the BENCH payload minus its bulky ``profile`` section).
+:func:`check_regressions` compares a fresh set of BENCH payloads against
+that history and flags
+
+* **slowdowns** — current wall-clock seconds beyond a noise band above the
+  median of the recorded runs (timings are noisy; medians are not), and
+* **determinism breaks** — keys that must never change between runs
+  (replay rounds, paper agreement) differing from the last recorded entry.
+
+The history is a JSON-lines file so appends are cheap and diffs are
+line-oriented; :func:`append_entries` keeps a rolling window per benchmark
+name so the file never grows without bound.  ``benchmarks/watchdog.py`` is
+the CLI wrapper CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Keys whose values are seeded-deterministic: any change vs. the last
+#: recorded run is a behaviour change, not noise.
+DETERMINISTIC_KEYS = ("rounds", "paper_agreement")
+
+#: Default rolling-window length per benchmark name.
+DEFAULT_WINDOW = 50
+
+#: Default noise band: seconds beyond median * (1 + threshold) flag.
+DEFAULT_THRESHOLD = 0.25
+
+#: BENCH files that are not per-run payloads (regression baseline, the
+#: history itself) and therefore never enter the history.
+EXCLUDED_STEMS = ("BENCH_baseline", "BENCH_history")
+
+
+@dataclass
+class RegressionFlag:
+    """One detected regression, ready for the watchdog's report."""
+
+    bench: str
+    key: str
+    baseline: object
+    current: object
+    ratio: float | None
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "key": self.key,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "message": self.message,
+        }
+
+
+def entry_from_bench(payload: dict, timestamp: float | None = None) -> dict:
+    """A history entry for one BENCH payload: the payload sans ``profile``.
+
+    *timestamp* (epoch seconds) is recorded as ``ts`` when given; the seed
+    history omits it so the committed file stays byte-deterministic.
+    """
+    entry = {key: value for key, value in payload.items() if key != "profile"}
+    if timestamp is not None:
+        entry["ts"] = round(timestamp, 3)
+    return entry
+
+
+def load_history(path: str | Path) -> dict[str, list[dict]]:
+    """History entries grouped by benchmark name, in recorded order."""
+    history: dict[str, list[dict]] = {}
+    path = Path(path)
+    if not path.exists():
+        return history
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            history.setdefault(entry.get("name", "?"), []).append(entry)
+    return history
+
+
+def append_entries(
+    path: str | Path, entries: list[dict], window: int = DEFAULT_WINDOW
+) -> dict[str, list[dict]]:
+    """Append *entries* to the history file, trimming each name's window.
+
+    The file is rewritten grouped by name (names sorted, entries oldest
+    first) so successive appends produce clean line diffs.  Returns the
+    resulting grouped history.
+    """
+    history = load_history(path)
+    for entry in entries:
+        history.setdefault(entry.get("name", "?"), []).append(entry)
+    for name, recorded in history.items():
+        if len(recorded) > window:
+            history[name] = recorded[-window:]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for name in sorted(history):
+        for entry in history[name]:
+            lines.append(json.dumps(entry, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n" if lines else "")
+    return history
+
+
+def collect_bench_payloads(
+    results_dir: str | Path, benches: list[str] | None = None
+) -> dict[str, dict]:
+    """Current ``BENCH_<name>.json`` payloads by name (baseline excluded).
+
+    *benches* restricts collection to the named benchmarks.
+    """
+    payloads: dict[str, dict] = {}
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        if path.stem in EXCLUDED_STEMS:
+            continue
+        payload = json.loads(path.read_text())
+        name = payload.get("name", path.stem.removeprefix("BENCH_"))
+        if benches is not None and name not in benches:
+            continue
+        payloads[name] = payload
+    return payloads
+
+
+def check_regressions(
+    history: dict[str, list[dict]],
+    current: dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[RegressionFlag]:
+    """Flag slowdowns and determinism breaks in *current* vs. *history*.
+
+    A benchmark with no recorded history is skipped (first run seeds it).
+    Wall-clock seconds compare against the **median** of recorded runs —
+    strictly beyond ``median * (1 + threshold)`` flags, so the default 0.25
+    band catches a 30% slowdown while absorbing ordinary timer noise.
+    """
+    flags: list[RegressionFlag] = []
+    for name in sorted(current):
+        recorded = history.get(name)
+        if not recorded:
+            continue
+        payload = current[name]
+        seconds = payload.get("seconds")
+        past = [e["seconds"] for e in recorded if isinstance(e.get("seconds"), (int, float))]
+        if isinstance(seconds, (int, float)) and past:
+            baseline = statistics.median(past)
+            if baseline > 0 and seconds > baseline * (1.0 + threshold):
+                ratio = seconds / baseline
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key="seconds",
+                        baseline=round(baseline, 4),
+                        current=seconds,
+                        ratio=round(ratio, 3),
+                        message=(
+                            f"{name}: {seconds:.4f}s is {ratio:.2f}x the "
+                            f"history median {baseline:.4f}s "
+                            f"(threshold {1.0 + threshold:.2f}x over {len(past)} runs)"
+                        ),
+                    )
+                )
+        last = recorded[-1]
+        for key in DETERMINISTIC_KEYS:
+            if key in payload and key in last and payload[key] != last[key]:
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key=key,
+                        baseline=last[key],
+                        current=payload[key],
+                        ratio=None,
+                        message=(
+                            f"{name}: deterministic key {key!r} changed "
+                            f"{last[key]!r} -> {payload[key]!r}"
+                        ),
+                    )
+                )
+    return flags
+
+
+def format_flags(flags: list[RegressionFlag]) -> str:
+    """Terminal rendering of a check's outcome."""
+    if not flags:
+        return "benchmark watchdog: no regressions flagged"
+    lines = [f"benchmark watchdog: {len(flags)} regression(s) flagged"]
+    for flag in flags:
+        lines.append(f"  [{flag.bench}/{flag.key}] {flag.message}")
+    return "\n".join(lines)
+
+
+def run_watch(
+    results_dir: str | Path,
+    history_path: str | Path | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    benches: list[str] | None = None,
+    append: bool = False,
+    window: int = DEFAULT_WINDOW,
+    json_output: bool = False,
+    timestamp: float | None = None,
+) -> int:
+    """The whole watchdog check, shared by ``benchmarks/watchdog.py`` and
+    ``liberate obs watch``: load history, compare, print, optionally append.
+
+    Returns the process exit code: 0 clean, 1 flagged, 2 when a requested
+    benchmark has no BENCH payload on disk.
+    """
+    import sys
+
+    if history_path is None:
+        history_path = Path(results_dir) / "BENCH_history.jsonl"
+    history = load_history(history_path)
+    current = collect_bench_payloads(results_dir, benches)
+    if benches:
+        missing = sorted(set(benches) - set(current))
+        if missing:
+            print(f"watchdog: no BENCH payload for: {', '.join(missing)}", file=sys.stderr)
+            return 2
+    flags = check_regressions(history, current, threshold=threshold)
+    if json_output:
+        print(
+            json.dumps(
+                {
+                    "checked": sorted(current),
+                    "threshold": threshold,
+                    "flags": [flag.as_dict() for flag in flags],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_flags(flags))
+    if append:
+        entries = [
+            entry_from_bench(current[name], timestamp=timestamp) for name in sorted(current)
+        ]
+        append_entries(history_path, entries, window=window)
+        if not json_output:
+            print(f"appended {len(entries)} history entries to {history_path}")
+    return 1 if flags else 0

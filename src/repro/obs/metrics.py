@@ -20,6 +20,7 @@ CLI (``--metrics``), and trivially diffable between runs.
 from __future__ import annotations
 
 import bisect
+import math
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -44,6 +45,27 @@ class Histogram:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0–100), resolved to a bucket upper bound.
+
+        Fixed-bucket histograms can only answer "which bucket holds the
+        p-th ranked observation", so the returned value is that bucket's
+        upper bound — an upper estimate, exact when observations sit on
+        bucket boundaries.  An empty histogram reports 0.0; observations
+        beyond the last bound report ``inf`` (the overflow bucket).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(p * self.count / 100))
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= rank:
+                return float(bound)
+        return float("inf")
 
     def as_dict(self) -> dict:
         """JSON-ready summary: count, sum, and per-bucket cumulative counts."""

@@ -23,6 +23,13 @@ timeouts, crashed-worker recovery (a killed process worker rebuilds the
 executor and requeues the task), and a consecutive-failure circuit breaker.
 On exhaustion a task's slot holds a structured :class:`TaskFailure` instead
 of the whole run dying.  Without a policy, behaviour is identical to before.
+
+Sharded tracing: when a flow tracer is installed (``--trace``), a parallel
+map no longer has to fall back to serial execution.  Each task runs under a
+fresh per-task shard tracer, exports its events to a shard file, and the
+pool merges the shards back into the parent tracer in (task index, seq)
+order after the map — producing a trace byte-identical to the serial run's
+(each task's events are contiguous and in task order either way).
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import hashlib
 import logging
 import os
 import random
+import tempfile
 import time
 from concurrent.futures import (
     CancelledError,
@@ -154,6 +162,38 @@ class _SeededCall:
         return self.fn(item)
 
 
+class _ShardedCall:
+    """Picklable wrapper running one task under a fresh trace shard.
+
+    In the worker, :func:`repro.obs.trace.begin_shard` routes the task's
+    emissions into a private :class:`~repro.obs.trace.FlowTracer`; on
+    success the shard is exported to ``shard-<index>.jsonl`` (written to a
+    temp name and renamed, so a crashed worker can never leave a truncated
+    shard) for the parent to merge.  A failing attempt writes nothing — the
+    retry that eventually succeeds owns the shard file.
+    """
+
+    def __init__(
+        self, call: Callable[[T], R], index: int, shard_dir: str, capacity: int
+    ) -> None:
+        self.call = call
+        self.index = index
+        self.shard_dir = shard_dir
+        self.capacity = capacity
+
+    def __call__(self, item: T) -> R:
+        shard = obs_trace.begin_shard(self.capacity)
+        try:
+            result = self.call(item)
+        finally:
+            obs_trace.end_shard()
+        path = os.path.join(self.shard_dir, obs_trace.shard_filename(self.index))
+        tmp_path = f"{path}.tmp"
+        shard.export_jsonl(tmp_path)
+        os.replace(tmp_path, path)
+        return result
+
+
 class WorkerPool:
     """Run independent tasks on a serial, thread or process backend.
 
@@ -194,6 +234,11 @@ class WorkerPool:
         task that exhausts its attempts yields a :class:`TaskFailure` in its
         slot instead of propagating; without it, the first exception
         propagates exactly as before.
+
+        With a flow tracer installed, a concurrent map records each task
+        into its own trace shard and merges the shards back into the
+        tracer in (task index, seq) order — the merged trace is
+        byte-identical to what the serial backend would have recorded.
         """
         tasks: Sequence[T] = list(items)
         if not tasks:
@@ -203,6 +248,21 @@ class WorkerPool:
             calls = [_SeededCall(fn, seed, i) for i in range(len(tasks))]
         else:
             calls = [fn] * len(tasks)
+        tracer = obs_trace.TRACER
+        if (
+            isinstance(tracer, obs_trace.FlowTracer)
+            and self.backend is not Backend.SERIAL
+            and len(tasks) > 1
+        ):
+            return self._map_sharded(calls, tasks, retry, tracer)
+        return self._execute(calls, tasks, retry)
+
+    def _execute(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        tasks: Sequence[T],
+        retry: RetryPolicy | None,
+    ) -> list[R | TaskFailure]:
         if retry is not None:
             return self._map_resilient(calls, tasks, retry)
         if self.backend is Backend.SERIAL or len(tasks) == 1:
@@ -214,6 +274,35 @@ class WorkerPool:
         with executor_cls(max_workers=workers) as executor:
             futures = [executor.submit(call, task) for call, task in zip(calls, tasks)]
             return [future.result() for future in futures]
+
+    def _map_sharded(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        tasks: Sequence[T],
+        retry: RetryPolicy | None,
+        tracer: "obs_trace.FlowTracer",
+    ) -> list[R | TaskFailure]:
+        """A traced concurrent map: per-task shard files, merged in order.
+
+        The parent tracer is swapped for a :class:`~repro.obs.trace.ShardDispatcher`
+        for the duration of the map so worker threads (and forked worker
+        processes) route their emissions into per-task shards; pool-level
+        events emitted by the driver itself (retries, circuit trips) still
+        reach the parent tracer directly.  A task's shard is written only by
+        a successful attempt, so retries cannot leave partial shards behind.
+        """
+        with tempfile.TemporaryDirectory(prefix="repro-trace-shards-") as shard_dir:
+            wrapped = [
+                _ShardedCall(call, index, shard_dir, tracer.capacity)
+                for index, call in enumerate(calls)
+            ]
+            with obs_trace.shard_scope(tracer):
+                results = self._execute(wrapped, tasks, retry)
+            merged = obs_trace.merge_shard_dir(tracer, shard_dir, len(tasks))
+            logger.debug(
+                "merged %d trace events from %d task shards", merged, len(tasks)
+            )
+        return results
 
     def run_all(
         self, thunks: Sequence[Callable[[], R]], *, retry: RetryPolicy | None = None

@@ -16,10 +16,23 @@ Regenerate after an intentional trace-schema or instrumentation change::
 then review the diff of the ``*.jsonl`` files like any other code change —
 the golden tests compare the structural skeleton (event kinds, rule ids,
 verdicts, reasons), so only behavioural changes should show up there.
+
+``--check`` regenerates into a temporary directory and *structurally*
+compares against the committed artifacts instead of rewriting them,
+exiting non-zero on drift — that's what CI runs, so an instrumentation
+change can't silently invalidate the goldens::
+
+    PYTHONPATH=src python tests/golden/regen.py --check [--out DIR]
+
+``--out DIR`` keeps the freshly-regenerated files (CI uploads them as an
+artifact so a drifted run can be diffed without rerunning anything).
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+import tempfile
 from pathlib import Path
 
 from repro.core.evasion import ALL_TECHNIQUES
@@ -57,6 +70,68 @@ def regenerate(golden_dir: Path = GOLDEN_DIR) -> dict[str, int]:
     return written
 
 
-if __name__ == "__main__":
+def check(out_dir: Path | None = None, golden_dir: Path = GOLDEN_DIR) -> list[str]:
+    """Regenerate into a scratch dir and structurally compare with *golden_dir*.
+
+    Returns the drift report: one line per divergent artifact (empty =
+    clean).  Comparison uses :func:`repro.obs.trace.structural_view`, the
+    same projection the golden tests assert on, so timing-only differences
+    never count as drift.
+    """
+    from repro.obs.diff import diff_traces
+
+    drift: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="golden-regen-") as scratch:
+        target = out_dir or Path(scratch)
+        target.mkdir(parents=True, exist_ok=True)
+        regenerate(target)
+        for filename in sorted(CELLS):
+            committed = golden_dir / filename
+            if not committed.exists():
+                drift.append(f"{filename}: committed artifact missing")
+                continue
+            diff = diff_traces(
+                obs_trace.load_jsonl(str(committed)),
+                obs_trace.load_jsonl(str(target / filename)),
+            )
+            if not diff.identical:
+                assert diff.first_divergence is not None
+                drift.append(f"{filename}: {diff.first_divergence.describe()}")
+    return drift
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh regeneration against the committed goldens "
+        "instead of rewriting them; non-zero exit on drift",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="with --check: keep the regenerated files in this directory",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        drift = check(out_dir=args.out)
+        if drift:
+            print("golden traces drifted from the committed artifacts:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                "intentional change? rerun without --check and commit the diff",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{len(CELLS)} golden trace(s) structurally match the committed artifacts")
+        return 0
     for filename, count in regenerate().items():
         print(f"wrote {count} events to {GOLDEN_DIR / filename}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

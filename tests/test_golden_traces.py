@@ -98,3 +98,25 @@ def test_trace_byte_identical_across_runs(filename):
         regen.record_cell(env_name, technique_name).export_jsonl(buffer)
         exports.append(buffer.getvalue())
     assert exports[0] == exports[1]
+
+
+@pytest.mark.golden
+def test_regen_check_mode(tmp_path):
+    """``regen.py --check`` is clean against the committed artifacts, keeps
+    the regenerated copies with --out, and flags drifted goldens."""
+    out_dir = tmp_path / "regen"
+    assert regen.main(["--check", "--out", str(out_dir)]) == 0
+    for filename in regen.CELLS:
+        assert (out_dir / filename).exists()
+
+    # A structurally-drifted golden (one altered event kind) must fail the
+    # check; the regenerated copies from above avoid re-running the cells.
+    drifted_dir = tmp_path / "drifted"
+    drifted_dir.mkdir()
+    for filename in regen.CELLS:
+        lines = (out_dir / filename).read_text().splitlines()
+        lines[1] = lines[1].replace('"kind":"', '"kind":"drifted.', 1)
+        (drifted_dir / filename).write_text("\n".join(lines) + "\n")
+    drift = regen.check(golden_dir=drifted_dir)
+    assert len(drift) == len(regen.CELLS)
+    assert all("drifted." in line for line in drift)

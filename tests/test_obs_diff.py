@@ -1,0 +1,135 @@
+"""Differential trace diffing tests, anchored on the committed golden pair.
+
+The acceptance bar: diffing the neutral cell (sprint, no DPI) against the
+testbed throttle cell must pinpoint the first diverging rule-match /
+verdict event — the ``testbed:video.example.com`` decision.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.diff import Divergence, diff_traces, explain
+from repro.obs.trace import load_jsonl
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = Path(__file__).parent / "golden"
+THROTTLE_RULE = "testbed:video.example.com"
+
+
+@pytest.fixture(scope="module")
+def neutral() -> list[dict]:
+    return load_jsonl(str(GOLDEN / "neutral_cell.jsonl"))
+
+
+@pytest.fixture(scope="module")
+def throttled() -> list[dict]:
+    return load_jsonl(str(GOLDEN / "testbed_throttle_cell.jsonl"))
+
+
+class TestGoldenPairDiff:
+    def test_identical_traces_have_no_divergence(self, neutral):
+        diff = diff_traces(neutral, neutral)
+        assert diff.identical
+        assert diff.first_divergence is None
+        assert diff.first_decision_divergence is None
+        assert diff.kind_delta == {}
+
+    def test_first_structural_divergence_located(self, neutral, throttled):
+        diff = diff_traces(neutral, throttled)
+        assert not diff.identical
+        divergence = diff.first_divergence
+        assert divergence is not None
+        # Both cells share env.created + replay.start, then split on the
+        # first in-network event: sprint routes, the testbed builds a DPI flow.
+        assert divergence.index == 2
+        assert divergence.left["kind"] == "hop.traverse"
+        assert divergence.right["kind"] == "mbx.flow_created"
+        assert [event["kind"] for event in divergence.context] == [
+            "env.created",
+            "replay.start",
+        ]
+
+    def test_first_decision_divergence_names_the_dpi_decision(self, neutral, throttled):
+        # The neutral cell's only decisions are its replay verdict and cell;
+        # the throttle cell's decision chain starts at the DPI anchor check
+        # that leads straight to the rule match.  The differ must surface
+        # that as the first diverging decision.
+        diff = diff_traces(neutral, throttled)
+        decision = diff.first_decision_divergence
+        assert decision is not None
+        assert decision.index == 0
+        assert decision.right["kind"] == "mbx.anchor"
+        assert decision.right["element"] == "testbed-dpi"
+
+    def test_rule_and_verdict_deltas_carry_the_throttle_rule(self, neutral, throttled):
+        diff = diff_traces(neutral, throttled)
+        assert diff.rule_delta == {THROTTLE_RULE: (0, 1)}
+        assert diff.verdict_delta == {THROTTLE_RULE: (0, 1)}
+        assert diff.kind_delta["mbx.rule_match"] == (0, 1)
+
+    def test_decision_subsequence_pinpoints_rule_match(self, neutral, throttled):
+        # Restricting to middlebox decisions only: the neutral trace has
+        # none, so the very first decision divergence *is* the rule chain.
+        neutral_mbx = [e for e in neutral if e.get("kind", "").startswith("mbx.")]
+        throttled_mbx = [e for e in throttled if e.get("kind", "").startswith("mbx.")]
+        diff = diff_traces(neutral_mbx, throttled_mbx)
+        decisions = [e for e in throttled_mbx if e["kind"] in ("mbx.rule_match", "mbx.verdict")]
+        assert {e.get("rule") or e.get("verdict") for e in decisions} == {THROTTLE_RULE}
+        assert diff.first_decision_divergence is not None
+        assert diff.first_decision_divergence.right["element"] == "testbed-dpi"
+
+    def test_explain_names_rule_and_locations(self, neutral, throttled):
+        text = explain(diff_traces(neutral, throttled), "neutral", "throttled")
+        assert "first structural divergence" in text
+        assert "first diverging decision" in text
+        assert THROTTLE_RULE in text
+        assert "testbed-dpi" in text
+
+    def test_explain_identical(self, neutral):
+        text = explain(diff_traces(neutral, neutral))
+        assert "structurally identical" in text
+
+
+class TestDiffMechanics:
+    def test_prefix_trace_diverges_at_truncation(self):
+        events = [
+            {"kind": "a", "seq": 0},
+            {"kind": "b", "seq": 1},
+            {"kind": "c", "seq": 2},
+        ]
+        diff = diff_traces(events, events[:2])
+        assert not diff.identical
+        divergence = diff.first_divergence
+        assert divergence.index == 2
+        assert divergence.left == {"kind": "c"}
+        assert divergence.right is None
+
+    def test_timing_only_differences_are_invisible(self):
+        left = [{"kind": "hop.traverse", "element": "r1", "time": 0.1, "seq": 0}]
+        right = [{"kind": "hop.traverse", "element": "r1", "time": 9.9, "seq": 0}]
+        assert diff_traces(left, right).identical
+
+    def test_context_window_is_bounded(self):
+        common = [{"kind": f"k{i}", "seq": i} for i in range(10)]
+        left = common + [{"kind": "left-tail", "seq": 10}]
+        right = common + [{"kind": "right-tail", "seq": 10}]
+        diff = diff_traces(left, right, context=2)
+        assert [event["kind"] for event in diff.first_divergence.context] == ["k8", "k9"]
+
+    def test_divergence_describe_handles_trace_end(self):
+        divergence = Divergence(index=4, left={"kind": "x"}, right=None)
+        text = divergence.describe()
+        assert "kind=x" in text
+        assert "(trace ends)" in text
+
+    def test_as_dict_is_json_ready(self, neutral, throttled):
+        import json
+
+        payload = diff_traces(neutral, throttled).as_dict()
+        json.dumps(payload)
+        assert payload["identical"] is False
+        assert payload["rule_delta"] == {THROTTLE_RULE: [0, 1]}

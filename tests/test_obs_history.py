@@ -1,0 +1,177 @@
+"""Benchmark-regression watchdog tests: history bookkeeping + flagging.
+
+Acceptance: an injected 30% slowdown in a synthetic history is flagged,
+and the real committed history + BENCH payloads pass clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import history as obs_history
+
+pytestmark = pytest.mark.obs
+
+REPO_ROOT = Path(__file__).parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _write_bench(directory: Path, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def synthetic(tmp_path):
+    """A history of three clean 1-second runs plus a results dir to mutate."""
+    history = tmp_path / "BENCH_history.jsonl"
+    obs_history.append_entries(
+        history,
+        [{"name": "synthetic", "seconds": s, "rounds": 10} for s in (1.0, 1.02, 0.98)],
+    )
+    results = tmp_path / "results"
+    return history, results
+
+
+class TestEntries:
+    def test_entry_strips_profile_and_keeps_metrics(self):
+        payload = {"name": "x", "seconds": 1.5, "rounds": 3, "profile": {"stage": {}}}
+        entry = obs_history.entry_from_bench(payload)
+        assert entry == {"name": "x", "seconds": 1.5, "rounds": 3}
+
+    def test_entry_records_timestamp_when_given(self):
+        entry = obs_history.entry_from_bench({"name": "x"}, timestamp=123.4567)
+        assert entry["ts"] == 123.457
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        obs_history.append_entries(path, [{"name": "a", "seconds": 1.0}])
+        obs_history.append_entries(path, [{"name": "b", "seconds": 2.0}, {"name": "a", "seconds": 1.1}])
+        history = obs_history.load_history(path)
+        assert [e["seconds"] for e in history["a"]] == [1.0, 1.1]
+        assert [e["seconds"] for e in history["b"]] == [2.0]
+
+    def test_rolling_window_trims_oldest(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        entries = [{"name": "a", "seconds": float(i)} for i in range(7)]
+        obs_history.append_entries(path, entries, window=3)
+        history = obs_history.load_history(path)
+        assert [e["seconds"] for e in history["a"]] == [4.0, 5.0, 6.0]
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert obs_history.load_history(tmp_path / "nope.jsonl") == {}
+
+    def test_collect_excludes_baseline_and_history(self, tmp_path):
+        _write_bench(tmp_path, {"name": "real", "seconds": 1.0})
+        (tmp_path / "BENCH_baseline.json").write_text('{"benchmarks": {}}')
+        (tmp_path / "BENCH_history.jsonl").write_text("")
+        assert sorted(obs_history.collect_bench_payloads(tmp_path)) == ["real"]
+
+
+class TestRegressionChecks:
+    def test_thirty_percent_slowdown_is_flagged(self, synthetic):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.30, "rounds": 10})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert len(flags) == 1
+        flag = flags[0]
+        assert flag.bench == "synthetic"
+        assert flag.key == "seconds"
+        assert flag.ratio == pytest.approx(1.30)
+        assert "median" in flag.message
+
+    def test_within_noise_band_passes(self, synthetic):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.20, "rounds": 10})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert flags == []
+
+    def test_deterministic_key_change_is_flagged(self, synthetic):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.0, "rounds": 11})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert [flag.key for flag in flags] == ["rounds"]
+        assert flags[0].baseline == 10
+        assert flags[0].current == 11
+
+    def test_unrecorded_benchmark_is_skipped(self, tmp_path):
+        _write_bench(tmp_path, {"name": "brand-new", "seconds": 99.0})
+        assert obs_history.check_regressions({}, obs_history.collect_bench_payloads(tmp_path)) == []
+
+    def test_custom_threshold(self, synthetic):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.30, "rounds": 10})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+            threshold=0.5,
+        )
+        assert flags == []
+
+    def test_real_committed_history_passes(self):
+        # The committed BENCH payloads must be clean against the committed
+        # rolling history (generous threshold: CI machines vary).
+        history = obs_history.load_history(RESULTS_DIR / "BENCH_history.jsonl")
+        current = obs_history.collect_bench_payloads(RESULTS_DIR)
+        assert history, "committed BENCH_history.jsonl must not be empty"
+        flags = obs_history.check_regressions(history, current, threshold=2.0)
+        assert flags == [], obs_history.format_flags(flags)
+
+
+class TestRunWatch:
+    def test_flagged_run_exits_one(self, synthetic, capsys):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.30, "rounds": 10})
+        code = obs_history.run_watch(results, history_path=history_path)
+        assert code == 1
+        assert "1 regression(s) flagged" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero_and_appends(self, synthetic, capsys):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.0, "rounds": 10})
+        code = obs_history.run_watch(
+            results, history_path=history_path, append=True, timestamp=1000.0
+        )
+        assert code == 0
+        recorded = obs_history.load_history(history_path)["synthetic"]
+        assert len(recorded) == 4
+        assert recorded[-1]["ts"] == 1000.0
+
+    def test_missing_requested_bench_exits_two(self, synthetic, capsys):
+        history_path, results = synthetic
+        results.mkdir(parents=True, exist_ok=True)
+        code = obs_history.run_watch(results, history_path=history_path, benches=["ghost"])
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_json_output_is_parseable(self, synthetic, capsys):
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.30, "rounds": 10})
+        code = obs_history.run_watch(results, history_path=history_path, json_output=True)
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checked"] == ["synthetic"]
+        assert payload["flags"][0]["key"] == "seconds"
+
+    def test_watchdog_script_wraps_run_watch(self, synthetic, capsys):
+        import benchmarks.watchdog as watchdog
+
+        history_path, results = synthetic
+        _write_bench(results, {"name": "synthetic", "seconds": 1.30, "rounds": 10})
+        code = watchdog.main(
+            ["--results-dir", str(results), "--history", str(history_path)]
+        )
+        assert code == 1

@@ -128,6 +128,102 @@ class TestFlowTracer:
         assert obs_trace.TRACER is None
 
 
+class TestRingBufferWraparound:
+    def test_export_header_counts_wrapped_drops(self, tmp_path):
+        tracer = obs_trace.FlowTracer(capacity=3)
+        for i in range(7):
+            tracer.emit("k", float(i))
+        path = str(tmp_path / "wrapped.jsonl")
+        assert tracer.export_jsonl(path) == 3
+        header = json.loads(open(path).readline())
+        assert header["events"] == 3
+        assert header["dropped"] == 4
+
+    def test_wrapped_events_keep_original_seq(self, tmp_path):
+        tracer = obs_trace.FlowTracer(capacity=3)
+        for i in range(5):
+            tracer.emit("k", float(i))
+        path = str(tmp_path / "wrapped.jsonl")
+        tracer.export_jsonl(path)
+        records = obs_trace.load_jsonl(path)
+        # The survivors are the newest three, still carrying their global
+        # sequence numbers — the gap tells the reader exactly what was lost.
+        assert [r["seq"] for r in records] == [2, 3, 4]
+
+    def test_exact_capacity_drops_nothing(self):
+        tracer = obs_trace.FlowTracer(capacity=4)
+        for i in range(4):
+            tracer.emit("k", float(i))
+        assert len(tracer) == 4
+        assert tracer.dropped_events == 0
+
+    def test_single_slot_ring_keeps_only_newest(self):
+        tracer = obs_trace.FlowTracer(capacity=1)
+        for i in range(3):
+            tracer.emit("k", float(i))
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0].time == 2.0
+        assert tracer.dropped_events == 2
+
+    def test_clear_resets_drop_accounting(self):
+        tracer = obs_trace.FlowTracer(capacity=2)
+        for i in range(5):
+            tracer.emit("k", float(i))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped_events == 0
+        tracer.emit("fresh")
+        assert tracer.events()[0].seq == 0
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram_snapshot(self):
+        histogram = obs_metrics.Histogram()
+        snap = histogram.as_dict()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert set(snap["buckets"].values()) == {0}
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert obs_metrics.Histogram().percentile(50) == 0.0
+        assert obs_metrics.Histogram().percentile(99.9) == 0.0
+
+    def test_single_sample_every_percentile_hits_its_bucket(self):
+        histogram = obs_metrics.Histogram()
+        histogram.observe(3)  # lands in the <=5 bucket
+        for p in (0, 1, 50, 99, 100):
+            assert histogram.percentile(p) == 5.0
+
+    def test_bucket_boundary_value_lands_in_its_own_bucket(self):
+        histogram = obs_metrics.Histogram()
+        histogram.observe(5)  # exactly on a bound: bisect_left -> that bucket
+        assert histogram.as_dict()["buckets"]["5"] == 1
+        assert histogram.as_dict()["buckets"]["2"] == 0
+        assert histogram.percentile(100) == 5.0
+
+    def test_percentile_walks_the_distribution(self):
+        histogram = obs_metrics.Histogram()
+        for value in (1, 1, 1, 1, 1, 1, 1, 1, 1, 250):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(90) == 1.0
+        assert histogram.percentile(91) == 250.0
+
+    def test_overflow_observation_reports_inf(self):
+        histogram = obs_metrics.Histogram()
+        histogram.observe(10_001)  # beyond the last default bound
+        assert histogram.percentile(100) == float("inf")
+        assert histogram.as_dict()["buckets"]["inf"] == 1
+
+    def test_percentile_out_of_range_raises(self):
+        histogram = obs_metrics.Histogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+
 class TestMetricsRegistry:
     def test_counters_gauges_histograms(self):
         registry = obs_metrics.MetricsRegistry()

@@ -1,0 +1,137 @@
+"""Shard-and-merge tracing: traced parallel runs must equal traced serial.
+
+The acceptance bar for the sharded tracer is byte identity: a traced
+``table3``/``figure4`` run on a process or thread pool must export exactly
+the JSONL a serial run exports, because each task's events land in a
+per-task shard that the pool merges back in (task index, seq) order — the
+order the serial loop would have emitted them in.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.table3 import run_table3
+from repro.obs import trace as obs_trace
+from repro.runtime import WorkerPool
+
+pytestmark = [pytest.mark.obs, pytest.mark.slow]
+
+TABLE3_KWARGS = {
+    "env_names": ("testbed", "sprint"),
+    "include_os_matrix": False,
+    "characterize": False,
+}
+
+
+def _traced_table3(tmp_path, backend: str) -> str:
+    out = tmp_path / f"table3-{backend}.jsonl"
+    with obs_trace.tracing() as tracer:
+        rows = run_table3(pool=WorkerPool(backend), **TABLE3_KWARGS)
+        tracer.export_jsonl(str(out))
+    assert rows  # the run itself must have produced the table
+    return out.read_text()
+
+
+def _traced_figure4(tmp_path, backend: str) -> str:
+    out = tmp_path / f"figure4-{backend}.jsonl"
+    with obs_trace.tracing() as tracer:
+        samples = run_figure4(hours=(3, 12), trials=2, pool=WorkerPool(backend))
+        tracer.export_jsonl(str(out))
+    assert len(samples) == 4
+    return out.read_text()
+
+
+class TestShardMergeByteIdentity:
+    def test_table3_process_pool_matches_serial(self, tmp_path):
+        serial = _traced_table3(tmp_path, "serial")
+        parallel = _traced_table3(tmp_path, "process")
+        assert parallel == serial
+
+    def test_table3_thread_pool_matches_serial(self, tmp_path):
+        serial = _traced_table3(tmp_path, "serial")
+        parallel = _traced_table3(tmp_path, "thread")
+        assert parallel == serial
+
+    def test_figure4_process_pool_matches_serial(self, tmp_path):
+        serial = _traced_figure4(tmp_path, "serial")
+        parallel = _traced_figure4(tmp_path, "process")
+        assert parallel == serial
+
+    def test_merged_trace_is_contiguously_renumbered(self, tmp_path):
+        text = _traced_table3(tmp_path, "process")
+        lines = text.splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace.header"
+        assert header["dropped"] == 0
+        seqs = [json.loads(line)["seq"] for line in lines[1:]]
+        assert seqs == list(range(len(seqs)))
+
+
+class TestShardScaffolding:
+    def test_shard_scope_restores_previous_tracer(self):
+        with obs_trace.tracing() as tracer:
+            with obs_trace.shard_scope(tracer) as dispatcher:
+                assert obs_trace.TRACER is dispatcher
+            assert obs_trace.TRACER is tracer
+
+    def test_dispatcher_routes_to_active_shard_even_when_empty(self):
+        # Regression: an empty FlowTracer is falsy (__len__ == 0), so the
+        # dispatcher must select the shard with an explicit None check or a
+        # freshly-begun shard's first event leaks into the parent tracer.
+        parent = obs_trace.FlowTracer()
+        dispatcher = obs_trace.ShardDispatcher(parent)
+        shard = obs_trace.FlowTracer()
+        dispatcher.set_shard(shard)
+        dispatcher.emit("unit.event", probe=1)
+        assert len(shard) == 1
+        assert len(parent) == 0
+        dispatcher.set_shard(None)
+        dispatcher.emit("unit.event", probe=2)
+        assert len(parent) == 1
+
+    def test_absorb_renumbers_and_accumulates_drops(self):
+        source = obs_trace.FlowTracer()
+        source.emit("unit.a", 1.0, detail="x")
+        source.emit("unit.b", 2.0)
+        records = [event.as_dict() for event in source.events()]
+        target = obs_trace.FlowTracer()
+        target.emit("unit.pre")
+        absorbed = target.absorb(records, dropped=3)
+        assert absorbed == 2
+        assert target.dropped_events == 3
+        merged = [event.as_dict() for event in target.events()]
+        assert [event["seq"] for event in merged] == [0, 1, 2]
+        assert merged[1]["kind"] == "unit.a"
+        assert merged[1]["detail"] == "x"
+        assert merged[1]["time"] == 1.0
+
+    def test_merge_shard_dir_orders_by_task_index(self, tmp_path):
+        # Write shards out of creation order; the merge must follow index.
+        for index, kind in ((1, "unit.second"), (0, "unit.first")):
+            shard = obs_trace.FlowTracer()
+            shard.emit(kind)
+            shard.export_jsonl(str(tmp_path / obs_trace.shard_filename(index)))
+        merged = obs_trace.FlowTracer()
+        count = obs_trace.merge_shard_dir(merged, str(tmp_path), 2)
+        assert count == 2
+        kinds = [event.as_dict()["kind"] for event in merged.events()]
+        assert kinds == ["unit.first", "unit.second"]
+
+    def test_merge_shard_dir_tolerates_missing_shards(self, tmp_path):
+        shard = obs_trace.FlowTracer()
+        shard.emit("unit.only")
+        shard.export_jsonl(str(tmp_path / obs_trace.shard_filename(2)))
+        merged = obs_trace.FlowTracer()
+        assert obs_trace.merge_shard_dir(merged, str(tmp_path), 5) == 1
+
+    def test_metered_runs_still_force_serial(self, tmp_path):
+        # Metrics are process-local; a metered table3 run must not fan out.
+        from repro.obs import metrics as obs_metrics
+
+        with obs_metrics.collecting() as registry:
+            run_table3(pool=WorkerPool("process"), **TABLE3_KWARGS)
+        assert registry.counter("mbx.rule_matches") > 0
