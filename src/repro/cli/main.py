@@ -8,11 +8,16 @@ Subcommands mirror the paper's workflow over the simulated environments::
     liberate characterize --env iran --host facebook.com
     liberate table1 | table2 | table3 | figure4 | efficiency | throughput
     liberate trace --host x.com --out trace.json   # save a workload
-    liberate obs query|diff|report|watch           # trace analysis + watchdog
+    liberate obs query|diff|report|watch|html      # trace analysis + watchdog
 
 ``--flow-trace`` is the canonical flag for recording a flow trace;
 ``--trace`` is accepted as an alias on subcommands where it is not already
 taken by "load a recorded workload trace" (run/detect/characterize).
+
+Live telemetry: ``--live`` draws a terminal progress view while an
+experiment runs, ``--events-out`` writes the deterministic telemetry event
+log, and ``--dashboard`` renders the self-contained HTML dashboard (and
+implies ``--metrics``).
 """
 
 from __future__ import annotations
@@ -116,28 +121,91 @@ def _add_obs_args(parser: argparse.ArgumentParser, workload_trace: bool = False)
         action="store_true",
         help="time each pipeline/experiment stage and print the table",
     )
+    group.add_argument(
+        "--live",
+        action="store_true",
+        help="draw a live terminal progress view (cell matrix + ETA) on stderr",
+    )
+    group.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="write the telemetry event log as JSON lines (deterministic "
+        "under a fixed --seed; '-' for stdout)",
+    )
+    group.add_argument(
+        "--dashboard",
+        nargs="?",
+        const="dashboard.html",
+        default=None,
+        metavar="FILE",
+        help="render the self-contained HTML dashboard after the run "
+        "(default file: dashboard.html; implies --metrics)",
+    )
+
+
+#: The progress view installed by ``--live`` (torn down in :func:`_finish_obs`).
+_LIVE_VIEW = None
 
 
 def _setup_obs(args: argparse.Namespace) -> None:
     """Install the requested observability facilities before dispatch."""
-    from repro.obs import enable_metrics, enable_profiling, enable_tracing
+    global _LIVE_VIEW
+    from repro.obs import enable_bus, enable_metrics, enable_profiling, enable_tracing
 
     if getattr(args, "flow_trace", False) or getattr(args, "trace_out", None):
         enable_tracing()
-    if getattr(args, "metrics", False):
+    dashboard = getattr(args, "dashboard", None)
+    if getattr(args, "metrics", False) or dashboard:
+        # --dashboard implies --metrics: the headline tiles need a snapshot.
         enable_metrics()
     if getattr(args, "profile", False):
         enable_profiling()
+    live = getattr(args, "live", False)
+    if live or dashboard or getattr(args, "events_out", None):
+        bus = enable_bus()
+        if live:
+            from repro.obs import LiveProgressView
+
+            _LIVE_VIEW = LiveProgressView(stream=sys.stderr).attach(bus)
+            bus.enable_streaming()
+
+
+def _dashboard_model(title: str):
+    """Build the report model from whatever recorders this run installed."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import live as obs_live
+    from repro.obs import profiling as obs_profiling
+    from repro.obs import trace as obs_trace
+    from repro.obs.report_html import build_model
+
+    trace_summary = None
+    if isinstance(obs_trace.TRACER, obs_trace.FlowTracer):
+        from repro.obs.analyze import summarize_tracer
+
+        trace_summary = summarize_tracer(obs_trace.TRACER)
+    return build_model(
+        trace_summary=trace_summary,
+        metrics=obs_metrics.METRICS.snapshot() if obs_metrics.METRICS else None,
+        profile=obs_profiling.PROFILER.snapshot() if obs_profiling.PROFILER else None,
+        events=obs_live.BUS.tally() if obs_live.BUS else None,
+        title=title,
+    )
 
 
 def _finish_obs(args: argparse.Namespace) -> None:
     """Export/print whatever observability was collected, then tear it down."""
+    global _LIVE_VIEW
+    from repro.obs import live as obs_live
     from repro.obs import metrics as obs_metrics
     from repro.obs import observability_off
     from repro.obs import profiling as obs_profiling
     from repro.obs import trace as obs_trace
 
     try:
+        if _LIVE_VIEW is not None:
+            _LIVE_VIEW.finish()
+            _LIVE_VIEW = None
         tracer = obs_trace.TRACER
         if tracer is not None:
             out = getattr(args, "trace_out", None) or "trace.jsonl"
@@ -146,6 +214,24 @@ def _finish_obs(args: argparse.Namespace) -> None:
             else:
                 count = tracer.export_jsonl(out)
                 print(f"wrote {count} trace events to {out}", file=sys.stderr)
+        events_out = getattr(args, "events_out", None)
+        if events_out and obs_live.BUS is not None:
+            if events_out == "-":
+                obs_live.BUS.export_jsonl(sys.stdout)
+            else:
+                count = obs_live.BUS.export_jsonl(events_out)
+                print(
+                    f"wrote {count} telemetry events to {events_out}", file=sys.stderr
+                )
+        dashboard = getattr(args, "dashboard", None)
+        if dashboard:
+            from repro.obs.report_html import write_dashboard
+
+            command = getattr(args, "command", None) or "run"
+            write_dashboard(
+                _dashboard_model(f"lib*erate {command} dashboard"), dashboard
+            )
+            print(f"wrote dashboard to {dashboard}", file=sys.stderr)
         if obs_metrics.METRICS is not None:
             print("\n--- metrics ---")
             print(obs_metrics.METRICS.render())
@@ -259,6 +345,10 @@ def cmd_table3(args: argparse.Namespace) -> int:
         else None
     )
     kwargs = {"env_names": env_names} if env_names else {}
+    if getattr(args, "pool", None):
+        from repro.runtime import WorkerPool
+
+        kwargs["pool"] = WorkerPool(args.pool)
     rows = run_table3(characterize=not args.fast, faults=faults, **kwargs)
     if faults is not None:
         print(f"fault profile: {args.faults} (seed {faults.seed})")
@@ -274,7 +364,14 @@ def cmd_figure4(args: argparse.Namespace) -> int:
     """Regenerate Figure 4."""
     from repro.experiments.figure4 import busy_and_quiet_summary, format_figure4, run_figure4
 
-    samples = run_figure4(trials=args.trials, faults=_fault_profile(args), seed=args.seed)
+    pool = None
+    if getattr(args, "pool", None):
+        from repro.runtime import WorkerPool
+
+        pool = WorkerPool(args.pool)
+    samples = run_figure4(
+        trials=args.trials, faults=_fault_profile(args), seed=args.seed, pool=pool
+    )
     print(format_figure4(samples))
     print(busy_and_quiet_summary(samples))
     return 0
@@ -358,12 +455,69 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.analyze import TraceIndex, format_summary
+    from repro.obs.report_html import build_model
 
-    summary = TraceIndex.load(args.trace_file).summary()
+    # Same report model the HTML dashboard renders; this view prints the
+    # trace section.
+    model = build_model(trace_summary=TraceIndex.load(args.trace_file).summary())
+    summary = model["trace"]
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(format_summary(summary))
+    return 0
+
+
+def cmd_obs_html(args: argparse.Namespace) -> int:
+    """Render (or --check) the self-contained HTML experiment dashboard."""
+    import json
+
+    from repro.obs.report_html import (
+        build_model,
+        load_model,
+        missing_metric_keys,
+        write_dashboard,
+    )
+
+    if args.check:
+        try:
+            model = load_model(args.check)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"obs html: {error}", file=sys.stderr)
+            return 2
+        missing = missing_metric_keys(model)
+        if missing:
+            print(
+                "obs html: dashboard references metric key(s) absent from "
+                f"the snapshot: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.check}: all headline metric keys present")
+        return 0
+    if not args.trace_file:
+        print("obs html: a trace file is required (or use --check)", file=sys.stderr)
+        return 2
+    from repro.obs.analyze import TraceIndex
+
+    metrics = None
+    if args.metrics_file:
+        with open(args.metrics_file, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    history = flags = None
+    if args.history:
+        from repro.obs.history import load_history
+
+        history = load_history(args.history)
+    model = build_model(
+        trace_summary=TraceIndex.load(args.trace_file).summary(),
+        metrics=metrics,
+        history=history,
+        flags=flags,
+        title=args.title,
+    )
+    write_dashboard(model, args.out)
+    print(f"wrote dashboard to {args.out}")
     return 0
 
 
@@ -454,11 +608,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated environment subset (e.g. 'testbed' for one cell)",
     )
+    t3.add_argument(
+        "--pool",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="worker-pool backend for the environment columns "
+        "(default: REPRO_RUNTIME_BACKEND, serial when unset)",
+    )
     _add_fault_args(t3)
     _add_obs_args(t3)
     t3.set_defaults(func=cmd_table3)
     f4 = sub.add_parser("figure4", help="regenerate Figure 4")
     f4.add_argument("--trials", type=int, default=6)
+    f4.add_argument(
+        "--pool",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="worker-pool backend for the (hour, trial) sweep "
+        "(default: REPRO_RUNTIME_BACKEND, serial when unset)",
+    )
     _add_fault_args(f4)
     _add_obs_args(f4)
     f4.set_defaults(func=cmd_figure4)
@@ -512,6 +680,37 @@ def build_parser() -> argparse.ArgumentParser:
     oreport.add_argument("trace_file", help="exported JSONL trace")
     oreport.add_argument("--json", action="store_true", help="machine-readable output")
     oreport.set_defaults(func=cmd_obs_report)
+
+    ohtml = obs_sub.add_parser(
+        "html", help="render the self-contained HTML dashboard from a trace"
+    )
+    ohtml.add_argument(
+        "trace_file", nargs="?", default=None, help="exported JSONL trace"
+    )
+    ohtml.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="FILE",
+        help="metrics snapshot JSON to include (headline tiles + sparklines)",
+    )
+    ohtml.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="benchmark history JSONL to include as a trend section",
+    )
+    ohtml.add_argument("--out", default="dashboard.html", help="output HTML path")
+    ohtml.add_argument(
+        "--title", default="lib*erate experiment dashboard", help="page heading"
+    )
+    ohtml.add_argument(
+        "--check",
+        default=None,
+        metavar="DASHBOARD",
+        help="instead of rendering, verify a rendered dashboard's headline "
+        "metric keys all exist in its embedded snapshot (exit 1 on drift)",
+    )
+    ohtml.set_defaults(func=cmd_obs_html)
 
     watch = obs_sub.add_parser(
         "watch", help="flag benchmark regressions vs. the recorded history"

@@ -22,6 +22,7 @@ import logging
 from repro.core.characterization import Characterizer
 from repro.core.report import CharacterizationReport
 from repro.envs.base import Environment
+from repro.obs import live as obs_live
 from repro.runtime import RetryPolicy, TaskFailure, WorkerPool
 from repro.traffic.trace import Trace
 
@@ -126,6 +127,10 @@ def speedup_from_distribution(
         partial(_distributed_task, (env_factory, trace, users)),
         partial(_reference_fields_task, (env_factory, trace)),
     ]
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit(
+            "exp.start", experiment="distribution", users=users, tasks=len(thunks)
+        )
     results = pool.run_all(thunks, retry=retry)
     for index, result in enumerate(results):
         if isinstance(result, TaskFailure):
@@ -136,7 +141,13 @@ def speedup_from_distribution(
                 result.error_type,
                 result.attempts,
             )
+            if obs_live.BUS is not None:
+                obs_live.BUS.emit(
+                    "pool.serial_fallback", task=index, error_type=result.error_type
+                )
             results[index] = thunks[index]()
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("exp.finish", experiment="distribution", tasks=len(results))
     solo_rounds, (total_rounds, user_rounds, dist_fields), reference_fields = results
     busiest = max(user_rounds)
     return {

@@ -12,6 +12,7 @@ from repro.core.evasion.base import EvasionContext, EvasionTechnique
 from repro.core.localization import locate_middlebox
 from repro.core.report import CharacterizationReport, LiberateReport
 from repro.envs.base import Environment
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
@@ -116,12 +117,18 @@ class Liberate:
                 trace_name=trace.name,
                 phase_name=name,
             )
+        if obs_live.BUS is not None:
+            obs_live.BUS.emit(
+                "pipeline.phase", env=self.env.name, phase_name=name
+            )
         return obs_profiling.stage(f"pipeline.{name}")
 
     def _finish(self, report: LiberateReport) -> LiberateReport:
         """Attach observability snapshots (when collecting) and store the report."""
         if obs_metrics.METRICS is not None:
             report.metrics = obs_metrics.METRICS.snapshot()
+        if obs_profiling.PROFILER is not None:
+            report.profile = obs_profiling.PROFILER.snapshot()
         if isinstance(obs_trace.TRACER, obs_trace.FlowTracer):
             from repro.obs.analyze import summarize_tracer
 

@@ -186,6 +186,11 @@ class LiberateReport:
     #: verdicts — :meth:`repro.obs.analyze.TraceIndex.summary`), present only
     #: when the run was traced.
     trace_summary: dict[str, object] | None = None
+    #: Per-stage wall/CPU profile (:meth:`repro.obs.profiling.Profiler.snapshot`)
+    #: taken when the pipeline finished, present only when profiling was
+    #: enabled.  Under a process pool the parent merges worker stage timings
+    #: before this snapshot, so it covers the whole run's work.
+    profile: dict[str, object] | None = None
 
     def summary(self) -> str:
         """Multi-line human summary of the whole run."""
@@ -201,6 +206,8 @@ class LiberateReport:
             lines.append(f"  deployed:         {self.deployed_technique}")
         if self.metrics is not None:
             lines.append(f"  metrics:          {len(self.metrics)} series collected")
+        if self.profile is not None:
+            lines.append(f"  profile:          {len(self.profile)} stage(s) timed")
         if self.trace_summary is not None:
             lines.append(
                 f"  trace:            {self.trace_summary['events']} events over "

@@ -14,6 +14,7 @@ from repro.core.evasion.base import EvasionContext
 from repro.core.evasion.flushing import PauseBeforeMatch
 from repro.envs.gfc import make_gfc
 from repro.netsim.faults import FaultProfile
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
@@ -67,6 +68,8 @@ def _sample_task(
         )
     if obs_metrics.METRICS is not None:
         obs_metrics.METRICS.inc("figure4.samples")
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("figure4.sample", hour=hour, trial=trial, min_delay=found)
     return FlushSample(hour=hour, trial=trial, min_successful_delay=found)
 
 
@@ -91,17 +94,28 @@ def run_figure4(
     """
     if pool is None:
         pool = WorkerPool()
-    if obs_metrics.METRICS is not None:
-        # Same rule as table3: metrics are process-local, so a metered run
-        # stays serial; traced runs parallelize via per-task shard merging.
-        pool = WorkerPool("serial")
+    # Metered runs parallelize like traced ones: process workers snapshot
+    # their registries at task end and the pool merges the dumps back into
+    # the parent in (task index, key) order (see runtime/pool.py).
     tasks = [
         (hour, trial, tuple(delays), _task_faults(faults, seed, hour, trial))
         for hour in hours
         for trial in range(trials)
     ]
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit(
+            "exp.start",
+            experiment="figure4",
+            hours=list(hours),
+            trials=trials,
+            samples=len(tasks),
+            fault_seed=faults.seed if faults is not None else None,
+        )
     with obs_profiling.stage("figure4.sweep"):
-        return pool.map(_sample_task, tasks)
+        samples = pool.map(_sample_task, tasks)
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("exp.finish", experiment="figure4", samples=len(samples))
+    return samples
 
 
 def _task_faults(

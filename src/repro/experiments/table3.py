@@ -35,6 +35,7 @@ from repro.envs.base import Environment
 from repro.experiments import paper_expectations
 from repro.experiments.workloads import PreparedEnvironment, prepare
 from repro.netsim.faults import FaultProfile
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
@@ -104,16 +105,24 @@ def run_table3(
     """
     if pool is None:
         pool = WorkerPool()
-    if obs_metrics.METRICS is not None:
-        # Metrics are process-local: counters incremented in a pool worker
-        # would land in that worker's (unobserved) registry, so a metered run
-        # stays serial and in-process.  Tracing no longer forces this — the
-        # pool shards per-task traces and merges them in (task index, seq)
-        # order, byte-identical to a serial run (see runtime/pool.py).
-        pool = WorkerPool("serial")
+    # Metered runs no longer force the serial backend: the pool ships each
+    # worker's metrics-registry snapshot home with its result and merges the
+    # dumps in (task index, key) order, so a process-pool run's snapshot is
+    # identical to a serial run's (see runtime/pool.py, same guarantee the
+    # trace sharder gives).
     if cell_trials is None:
         cell_trials = 5 if faults is not None and not faults.is_zero() else 1
     tasks = [(name, techniques, characterize, faults, cell_trials) for name in env_names]
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit(
+            "exp.start",
+            experiment="table3",
+            envs=list(env_names),
+            techniques=[t.name for t in techniques],
+            cells=len(env_names) * len(techniques),
+            characterize=characterize,
+            fault_seed=faults.seed if faults is not None else None,
+        )
     with obs_profiling.stage("table3.columns"):
         results = pool.map(_measure_env_column, tasks, retry=retry)
     columns = []
@@ -141,6 +150,12 @@ def run_table3(
             os_rows = run_os_matrix(techniques)
         for row in rows:
             row.os_cells = os_rows[row.technique]
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit(
+            "exp.finish",
+            experiment="table3",
+            cells=sum(len(row.cells) for row in rows),
+        )
     return rows
 
 
@@ -149,6 +164,8 @@ def _measure_env_column(
 ) -> tuple[str, list[Table3Cell]]:
     """One environment's full Table 3 column (a worker-pool task)."""
     name, techniques, characterize, faults, cell_trials = task
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("cell.start", env=name, phase="prepare")
     prep = prepare(ENVIRONMENT_FACTORIES[name](faults=faults), characterize=characterize)
     cells = []
     for technique in techniques:
@@ -164,7 +181,18 @@ def _measure_env_column(
             )
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc("table3.cells")
+        if obs_live.BUS is not None:
+            obs_live.BUS.emit(
+                "table3.cell",
+                env=name,
+                technique=technique.name,
+                category=technique.category,
+                cc=cell.cc,
+                rs=cell.rs,
+            )
         cells.append(cell)
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("cell.finish", env=name, cells=len(cells))
     return name, cells
 
 

@@ -626,9 +626,11 @@ class DPIMiddlebox(NetworkElement):
             # per-packet mode, only the un-scanned tail past the watermark in
             # stream modes (the incremental-scan optimisation).
             if scan is None:
-                metrics.inc("mbx.scan_bytes", len(buffer))
+                scanned = len(buffer)
             else:
-                metrics.inc("mbx.scan_bytes", max(0, len(buffer) - scan.watermark))
+                scanned = max(0, len(buffer) - scan.watermark)
+            metrics.inc("mbx.scan_bytes", scanned)
+            metrics.observe("mbx.scan.payload_bytes", scanned)
         return view.match(buffer, packet_payload, index, scan)
 
     def _window_exhausted(self, state: FlowState) -> bool:
@@ -677,6 +679,7 @@ class DPIMiddlebox(NetworkElement):
             return
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc("mbx.scan_bytes", len(payload))
+            obs_metrics.METRICS.observe("mbx.scan.payload_bytes", len(payload))
         rule = self._view(protocol, server_port, direction).match_stateless(payload)
         if rule is not None:
             self.match_log.append((ctx.clock.now, rule.name, key))

@@ -19,6 +19,7 @@ import struct
 from dataclasses import dataclass, field, replace
 
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
@@ -262,6 +263,10 @@ class FaultElement(NetworkElement):
                 obs_metrics.METRICS.inc(f"netsim.packets.dropped.fault-{cause}")
             elif fault == "corrupt":
                 obs_metrics.METRICS.inc("netsim.packets.corrupted")
+        if obs_live.BUS is not None:
+            obs_live.BUS.emit(
+                f"fault.{fault}", element=self.name, reason=cause
+            )
 
     def reset(self) -> None:
         """Drop transient flow state (RNG streams, burst state, held packet).

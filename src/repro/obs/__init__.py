@@ -23,12 +23,28 @@ On top of the recorders sit the analysis tools:
   decision divergence.
 * :mod:`repro.obs.history` — the benchmark-regression watchdog engine
   (``liberate obs watch`` / ``benchmarks/watchdog.py``).
+* :mod:`repro.obs.live` — the telemetry event bus: structured lifecycle
+  events (experiment/cell/sample progress, pool dispatch/retry/circuit,
+  fault injections, verdicts) buffered per pool task for a byte-deterministic
+  ``events.jsonl`` and optionally streamed to a live terminal progress view.
+* :mod:`repro.obs.report_html` — the zero-dependency, self-contained HTML
+  experiment dashboard (``liberate obs html`` / ``--dashboard``).
 
 See ``docs/OBSERVABILITY.md`` for the trace schema and metric catalog.
 """
 
 from repro.obs.analyze import TraceIndex, summarize_tracer
 from repro.obs.diff import TraceDiff, diff_traces
+from repro.obs.live import (
+    EVENTS_SCHEMA_VERSION,
+    LiveEvent,
+    LiveProgressView,
+    TelemetryBus,
+    bus_on,
+    disable_bus,
+    enable_bus,
+    load_events_jsonl,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     collecting,
@@ -42,6 +58,14 @@ from repro.obs.profiling import (
     profiled,
     stage,
 )
+from repro.obs.report_html import (
+    DASHBOARD_SCHEMA_VERSION,
+    HEADLINE_METRICS,
+    build_model,
+    missing_metric_keys,
+    render_dashboard,
+    write_dashboard,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     FlowTracer,
@@ -54,8 +78,14 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DASHBOARD_SCHEMA_VERSION",
+    "EVENTS_SCHEMA_VERSION",
+    "HEADLINE_METRICS",
     "TRACE_SCHEMA_VERSION",
     "FlowTracer",
+    "LiveEvent",
+    "LiveProgressView",
+    "TelemetryBus",
     "TraceEvent",
     "TraceIndex",
     "TraceDiff",
@@ -73,6 +103,14 @@ __all__ = [
     "disable_profiling",
     "profiled",
     "stage",
+    "enable_bus",
+    "disable_bus",
+    "bus_on",
+    "build_model",
+    "render_dashboard",
+    "write_dashboard",
+    "missing_metric_keys",
+    "load_events_jsonl",
     "load_jsonl",
     "structural_view",
     "observability_off",
@@ -80,7 +118,8 @@ __all__ = [
 
 
 def observability_off() -> None:
-    """Disable tracing, metrics and profiling in one call (test teardown)."""
+    """Disable tracing, metrics, profiling and the bus in one call (test teardown)."""
     disable_tracing()
     disable_metrics()
     disable_profiling()
+    disable_bus()

@@ -1,0 +1,464 @@
+"""The live telemetry bus: structured lifecycle events, streamed and logged.
+
+The paper's workflow is interactive — an operator watches detection and
+characterization converge against a live middlebox and reads off which
+evasion technique won.  Traces and metrics (PRs 3–4) only answer questions
+*after* a run finishes; the telemetry bus closes that gap with structured
+**lifecycle events** (experiment/cell/trial start+finish, pool task
+dispatch/retry/circuit activity, fault injections, replay verdicts) that are
+
+* **streamed live** to the parent process over a multiprocessing queue while
+  worker-pool tasks are still running, feeding the terminal progress view
+  (:class:`LiveProgressView`, ``--live``), and
+* **logged deterministically** to an append-only ``events.jsonl``
+  (``--events-out``): event timestamps come from a **logical clock** (the
+  event's position in the merged log), never wall-clock, so two runs of the
+  same seeded experiment produce byte-identical event logs.
+
+Both renderings come from one recorder.  Like the tracer and the metrics
+registry, the bus is **off by default**: the module-level :data:`BUS` is
+``None`` and every instrumented site guards with a single ``is not None``
+check, so the PR 1 fast paths are untouched when telemetry is disabled.
+
+Process safety follows the trace sharder's playbook
+(:mod:`repro.obs.trace`): a worker-pool task buffers its events locally
+(per-thread on the thread backend, per-process on the process backend) and
+the pool ships each task's buffer back with its result, merging buffers into
+the parent log in **task-index order** — the order a serial run would have
+appended them in.  The multiprocessing stream queue is display-only;
+dropping a streamed event can blur the progress view but can never corrupt
+the log.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from typing import IO, Callable, Iterator, Sequence
+
+#: Bumped whenever an event kind or field is renamed or removed (additions
+#: are backward-compatible and do not bump it).
+EVENTS_SCHEMA_VERSION = 1
+
+#: Sentinel kind terminating the stream-drainer thread.
+_STREAM_STOP = "__telemetry.stream.stop__"
+
+
+class LiveEvent:
+    """One telemetry record.
+
+    Attributes:
+        lclock: logical-clock timestamp — the event's position in the merged
+            log.  Deterministic by construction (no wall-clock anywhere).
+        kind: dotted event kind ("exp.start", "table3.cell", "pool.retry").
+        fields: flat JSON-serializable payload.
+    """
+
+    __slots__ = ("lclock", "kind", "fields")
+
+    def __init__(self, lclock: int, kind: str, fields: dict) -> None:
+        self.lclock = lclock
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        record = {"lclock": self.lclock, "kind": self.kind}
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        """One canonical JSON line (sorted keys, no whitespace)."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LiveEvent({self.lclock}, {self.kind!r}, {self.fields!r})"
+
+
+class TelemetryBus:
+    """An append-only telemetry log plus live fan-out to subscribers.
+
+    Emissions from the driver process append directly (and notify
+    subscribers immediately); emissions inside a worker-pool task are
+    buffered per task (:meth:`begin_task` / :meth:`end_task`) and appended
+    later by :meth:`absorb`, in task-index order, when the pool merges the
+    shipped buffers — so the log is identical whatever backend ran the map.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[LiveEvent] = []
+        self._lclock = 0
+        self._subscribers: list[Callable[[str, dict], None]] = []
+        self._local = threading.local()
+        self._stream = None  # display-only multiprocessing queue, if any
+        self._drainer: threading.Thread | None = None
+        self._manager = None
+
+    # ------------------------------------------------------------------
+    # recording (called only behind an ``is not None`` guard)
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: object) -> None:
+        """Record one event: buffered inside a pool task, appended otherwise."""
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            self._append(kind, fields, notify=True)
+            return
+        buffer.append((kind, fields))
+        stream = getattr(self._local, "stream", None)
+        if stream is not None:
+            try:
+                stream.put((kind, fields))
+            except Exception:  # pragma: no cover - display-only, best-effort
+                pass
+
+    def _append(self, kind: str, fields: dict, notify: bool) -> None:
+        self.events.append(LiveEvent(self._lclock, kind, fields))
+        self._lclock += 1
+        if notify:
+            self._notify(kind, fields)
+
+    def _notify(self, kind: str, fields: dict) -> None:
+        for subscriber in self._subscribers:
+            subscriber(kind, fields)
+
+    # ------------------------------------------------------------------
+    # worker-side task buffering
+    # ------------------------------------------------------------------
+    def begin_task(self, stream=None) -> None:
+        """Route this worker's emissions into a fresh per-task buffer.
+
+        *stream* is the optional display-only multiprocessing queue; each
+        buffered event is additionally pushed there so the parent's progress
+        view updates while the task is still running.
+        """
+        self._local.buffer = []
+        self._local.stream = stream
+
+    def end_task(self) -> list[tuple[str, dict]]:
+        """Detach and return the buffer installed by :meth:`begin_task`."""
+        buffer = getattr(self._local, "buffer", None) or []
+        self._local.buffer = None
+        self._local.stream = None
+        return buffer
+
+    def absorb(self, buffers: Sequence[Sequence[tuple[str, dict]]]) -> int:
+        """Append shipped task *buffers* to the log, in the given order.
+
+        The pool passes buffers in task-index order, reproducing the append
+        sequence of a serial run.  Subscribers are only re-notified when no
+        stream queue is attached (streamed events already reached them live).
+        """
+        notify = self._stream is None
+        absorbed = 0
+        for buffer in buffers:
+            for kind, fields in buffer:
+                self._append(kind, dict(fields), notify=notify)
+                absorbed += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # live fan-out
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Callable[[str, dict], None]) -> None:
+        """Register *subscriber* to receive ``(kind, fields)`` as events land."""
+        self._subscribers.append(subscriber)
+
+    def enable_streaming(self):
+        """Create the display-only multiprocessing queue and its drainer.
+
+        Returns the queue (a picklable manager proxy, so worker-pool tasks
+        on any backend can push to it).  Idempotent.
+        """
+        if self._stream is not None:
+            return self._stream
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self._stream = self._manager.Queue()
+        self._drainer = threading.Thread(
+            target=self._drain, name="telemetry-stream-drainer", daemon=True
+        )
+        self._drainer.start()
+        return self._stream
+
+    @property
+    def stream(self):
+        """The streaming queue, or None when streaming is off."""
+        return self._stream
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                kind, fields = self._stream.get()
+            except (EOFError, OSError):  # pragma: no cover - manager shut down
+                return
+            if kind == _STREAM_STOP:
+                return
+            self._notify(kind, fields)
+
+    def close(self) -> None:
+        """Stop the stream drainer and shut the manager down (idempotent)."""
+        if self._stream is not None:
+            try:
+                self._stream.put((_STREAM_STOP, {}))
+            except Exception:  # pragma: no cover - manager already gone
+                pass
+            if self._drainer is not None:
+                self._drainer.join(timeout=5.0)
+            self._drainer = None
+            self._stream = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    # ------------------------------------------------------------------
+    # readout / export
+    # ------------------------------------------------------------------
+    def tally(self) -> dict[str, int]:
+        """Event count per kind, sorted."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def export_jsonl(self, target: str | IO[str]) -> int:
+        """Write the event log as JSON lines; returns the number of events.
+
+        The first line is a header record carrying the schema version and
+        event count, mirroring the flow tracer's export, so a truncated log
+        is detectable.  The payload is byte-deterministic: logical-clock
+        timestamps, canonical JSON, sorted keys.
+        """
+        header = json.dumps(
+            {
+                "kind": "events.header",
+                "schema": EVENTS_SCHEMA_VERSION,
+                "events": len(self.events),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        lines = [header] + [event.to_json() for event in self.events]
+        payload = "\n".join(lines) + "\n"
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        else:
+            target.write(payload)
+        return len(self.events)
+
+
+def load_events_jsonl(path: str) -> list[dict]:
+    """Read an exported event log back as dicts (header line dropped)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "events.header":
+                continue
+            records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# the module-level bus (None = telemetry disabled, the default)
+# ----------------------------------------------------------------------
+BUS: TelemetryBus | None = None
+
+
+def enable_bus() -> TelemetryBus:
+    """Install a fresh process-wide telemetry bus and return it."""
+    global BUS
+    BUS = TelemetryBus()
+    return BUS
+
+
+def disable_bus() -> None:
+    """Remove the process-wide bus (after closing any stream it holds)."""
+    global BUS
+    if BUS is not None:
+        BUS.close()
+    BUS = None
+
+
+@contextmanager
+def bus_on() -> Iterator[TelemetryBus]:
+    """Scoped telemetry: enable on entry, restore the previous state on exit."""
+    global BUS
+    previous = BUS
+    bus = TelemetryBus()
+    BUS = bus
+    try:
+        yield bus
+    finally:
+        bus.close()
+        BUS = previous
+
+
+def begin_task(stream=None) -> None:
+    """Worker-side: buffer this task's emissions for deterministic merging.
+
+    In a worker *process* the forked/spawned interpreter has its own
+    :data:`BUS` global (a fork-time copy, or ``None`` under spawn); a fresh
+    bus is installed if needed so the buffer never aliases the parent log.
+    In a worker *thread* the shared bus buffers per-thread via its
+    ``threading.local`` slot.
+    """
+    global BUS
+    if BUS is None:
+        BUS = TelemetryBus()
+    BUS.begin_task(stream=stream)
+
+
+def end_task() -> list[tuple[str, dict]]:
+    """Worker-side: detach and return the buffer begun by :func:`begin_task`."""
+    if BUS is None:  # pragma: no cover - begin_task always installs a bus
+        return []
+    return BUS.end_task()
+
+
+# ----------------------------------------------------------------------
+# the live terminal progress view (--live)
+# ----------------------------------------------------------------------
+class LiveProgressView:
+    """Renders bus events as a filling cell matrix with an ETA.
+
+    Subscribes to a :class:`TelemetryBus` and keeps a tiny model of the run:
+    the experiment's dimensions (from ``exp.start``), which cells have
+    completed (``table3.cell`` / ``figure4.sample``), and pool activity
+    (dispatch/done/retry).  ETA extrapolates from the mean wall-clock gap
+    between completed cells — wall time stays in the view, never in the log.
+
+    Args:
+        stream: where to draw (e.g. ``sys.stderr``); ``None`` renders only
+            on demand via :meth:`render` (how the tests drive it).
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, clock=None) -> None:
+        import time
+
+        self.stream = stream
+        self.clock = clock or time.monotonic
+        self.experiment: str | None = None
+        self.envs: list[str] = []
+        self.techniques: list[str] = []
+        self.total_cells = 0
+        self.cells: dict[tuple[str, str], dict] = {}
+        self.samples = 0
+        self.tasks_dispatched = 0
+        self.tasks_done = 0
+        self.retries = 0
+        self._started_at: float | None = None
+        self._finish_times: list[float] = []
+        self._lock = threading.Lock()
+        self._lines_drawn = 0
+
+    def attach(self, bus: TelemetryBus) -> "LiveProgressView":
+        bus.subscribe(self.on_event)
+        return self
+
+    # ------------------------------------------------------------------
+    # event model
+    # ------------------------------------------------------------------
+    def on_event(self, kind: str, fields: dict) -> None:
+        with self._lock:
+            self._apply(kind, fields)
+        if self.stream is not None:
+            self.draw()
+
+    def _apply(self, kind: str, fields: dict) -> None:
+        if kind == "exp.start":
+            self.experiment = str(fields.get("experiment", "?"))
+            self.envs = list(fields.get("envs") or [])
+            self.techniques = list(fields.get("techniques") or [])
+            self.total_cells = int(fields.get("cells") or 0)
+            self._started_at = self.clock()
+        elif kind == "table3.cell":
+            key = (str(fields.get("env")), str(fields.get("technique")))
+            self.cells[key] = dict(fields)
+            self._finish_times.append(self.clock())
+        elif kind == "figure4.sample":
+            self.samples += 1
+            self._finish_times.append(self.clock())
+        elif kind == "pool.dispatch":
+            self.tasks_dispatched += 1
+        elif kind == "pool.task_done":
+            self.tasks_done += 1
+        elif kind == "pool.retry":
+            self.retries += 1
+
+    def completed(self) -> int:
+        return len(self.cells) + self.samples
+
+    def eta_seconds(self) -> float | None:
+        """Remaining-cell estimate from the mean completed-cell spacing."""
+        done = self.completed()
+        if self._started_at is None or not self.total_cells or done == 0:
+            return None
+        remaining = self.total_cells - done
+        if remaining <= 0:
+            return 0.0
+        elapsed = (self._finish_times[-1] if self._finish_times else self.clock()) - self._started_at
+        return elapsed / done * remaining
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The current progress picture as text (matrix + counters + ETA)."""
+        with self._lock:
+            return self._render_locked()
+
+    def _render_locked(self) -> str:
+        done = self.completed()
+        title = self.experiment or "experiment"
+        header = f"{title}: {done}/{self.total_cells or '?'} cells"
+        if self.tasks_dispatched:
+            header += f"  pool {self.tasks_done}/{self.tasks_dispatched}"
+        if self.retries:
+            header += f"  retries {self.retries}"
+        eta = self.eta_seconds()
+        if eta is not None:
+            header += f"  ETA {eta:.0f}s" if eta > 0 else "  done"
+        lines = [header]
+        if self.envs and self.techniques:
+            width = max((len(t) for t in self.techniques), default=8)
+            lines.append(" " * (width + 1) + " ".join(f"{e[:7]:>7s}" for e in self.envs))
+            for technique in self.techniques:
+                marks = []
+                for env in self.envs:
+                    cell = self.cells.get((env, technique))
+                    if cell is None:
+                        marks.append(f"{'·':>7s}")
+                    else:
+                        cc, rs = cell.get("cc", "?"), cell.get("rs", "?")
+                        marks.append(f"{cc + '/' + rs:>7s}")
+                lines.append(f"{technique:<{width}s} " + " ".join(marks))
+        return "\n".join(lines)
+
+    def draw(self) -> None:
+        """Redraw in place on the attached stream (ANSI cursor-up rewind)."""
+        if self.stream is None:
+            return
+        with self._lock:
+            text = self._render_locked()
+            if self._lines_drawn:
+                self.stream.write(f"\x1b[{self._lines_drawn}F\x1b[J")
+            self.stream.write(text + "\n")
+            self._lines_drawn = text.count("\n") + 1
+            try:
+                self.stream.flush()
+            except Exception:  # pragma: no cover - stream closed mid-run
+                pass
+
+    def finish(self) -> None:
+        """Final draw; leaves the completed matrix on screen."""
+        if self.stream is not None:
+            self.draw()

@@ -76,6 +76,23 @@ class Histogram:
         cumulative["inf"] = running + self.counts[-1]
         return {"count": self.count, "sum": round(self.total, 6), "buckets": cumulative}
 
+    def merge_counts(self, counts: list[int], total: float, count: int) -> None:
+        """Fold another histogram's raw per-bucket counts into this one.
+
+        The worker-snapshot merge path: both histograms must share bounds
+        (they do — instrumented sites pass the same bucket layout on every
+        process), so merging is element-wise addition and the merged
+        summary equals what a single-process run would have recorded.
+        """
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram shape mismatch: {len(counts)} buckets vs {len(self.counts)}"
+            )
+        for index, n in enumerate(counts):
+            self.counts[index] += n
+        self.total += total
+        self.count += count
+
 
 class MetricsRegistry:
     """A flat namespace of counters, gauges and histograms."""
@@ -141,6 +158,52 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # cross-process merging (the worker-pool snapshot path)
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """A lossless, picklable export of the registry's raw state.
+
+        Unlike :meth:`snapshot` (which flattens histograms into cumulative
+        buckets for display), a dump keeps raw per-bucket counts so another
+        registry can :meth:`merge_dump` it without information loss.  This
+        is what process-pool workers ship back with each task result.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def merge_dump(self, dump: dict) -> None:
+        """Fold one worker's :meth:`dump` into this registry.
+
+        Counters and histograms add; gauges take the dump's value (last
+        write wins, exactly as if the worker had run inline).  The pool
+        merges dumps in (task index, key) order — task buffers visited in
+        task order, keys sorted within each — so the merged registry is
+        deterministic and, for a clean run, identical to a serial run's.
+        """
+        for name, value in sorted(dump.get("counters", {}).items()):
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in sorted(dump.get("gauges", {}).items()):
+            self._gauges[name] = value
+        for name, payload in sorted(dump.get("histograms", {}).items()):
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(tuple(payload["bounds"]))
+            histogram.merge_counts(
+                payload["counts"], payload["total"], payload["count"]
+            )
 
 
 # ----------------------------------------------------------------------

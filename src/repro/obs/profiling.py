@@ -61,6 +61,32 @@ class Profiler:
         """All stage timings as a sorted JSON-ready dict."""
         return {name: t.as_dict() for name, t in sorted(self.stages.items())}
 
+    # ------------------------------------------------------------------
+    # cross-process merging (the worker-pool snapshot path)
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """Raw per-stage timings, picklable, for shipping out of a worker."""
+        return {
+            name: {"wall": t.wall, "cpu": t.cpu, "calls": t.calls}
+            for name, t in self.stages.items()
+        }
+
+    def merge_dump(self, dump: dict) -> None:
+        """Fold one worker's :meth:`dump` into this profiler.
+
+        Wall/CPU seconds and call counts add per stage, so a parallel run's
+        parent profile reports the *total* work each stage performed across
+        all workers (the parent's own ``stage()`` spans still measure the
+        map's wall-clock envelope).
+        """
+        for name, payload in sorted(dump.items()):
+            timing = self.stages.get(name)
+            if timing is None:
+                timing = self.stages[name] = StageTiming()
+            timing.wall += payload["wall"]
+            timing.cpu += payload["cpu"]
+            timing.calls += payload["calls"]
+
     def render(self) -> str:
         """A human-readable per-stage table."""
         lines = [f"{'stage':40s} {'wall s':>10s} {'cpu s':>10s} {'calls':>6s}"]

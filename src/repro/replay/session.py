@@ -12,6 +12,7 @@ from repro.endpoint.tcpstack import TCPServerStack
 from repro.endpoint.udpstack import UDPServerStack
 from repro.envs.base import Environment, SignalType
 from repro.middlebox.engine import DPIMiddlebox
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.packets.tcp import TCPFlags
@@ -362,6 +363,14 @@ class ReplaySession:
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc(
                 "replay.differentiated" if differentiated else "replay.undifferentiated"
+            )
+        if obs_live.BUS is not None:
+            obs_live.BUS.emit(
+                "replay.verdict",
+                env=self.env.name,
+                technique=runner.technique_name,
+                verdict=classification,
+                differentiated=differentiated,
             )
         return ReplayOutcome(
             env_name=self.env.name,

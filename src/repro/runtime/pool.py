@@ -30,6 +30,16 @@ fresh per-task shard tracer, exports its events to a shard file, and the
 pool merges the shards back into the parent tracer in (task index, seq)
 order after the map — producing a trace byte-identical to the serial run's
 (each task's events are contiguous and in task order either way).
+
+Cross-process observability: the same guarantee covers the metrics
+registry, the profiler and the telemetry bus.  A concurrent map whose
+parent has any of them enabled wraps each task in :class:`_ObsCall`, which
+installs fresh worker-side recorders, snapshots them at task end, and ships
+the snapshots home with the result; the parent merges them in (task index,
+key) order.  Counters and stage timings sum, gauges keep the last task's
+write, telemetry buffers append in task order — so a process-pool run's
+merged metrics snapshot is identical to a serial run's, and experiment
+drivers no longer force the serial backend when metering.
 """
 
 from __future__ import annotations
@@ -51,7 +61,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
+from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
 
 logger = logging.getLogger(__name__)
@@ -162,6 +174,67 @@ class _SeededCall:
         return self.fn(item)
 
 
+class _ObsPayload:
+    """A task result bundled with the worker-side observability it produced."""
+
+    __slots__ = ("result", "metrics", "profile", "events")
+
+    def __init__(self, result, metrics, profile, events) -> None:
+        self.result = result
+        self.metrics = metrics
+        self.profile = profile
+        self.events = events
+
+
+class _ObsCall:
+    """Picklable wrapper shipping a task's observability home with its result.
+
+    Process-pool workers have their own (unobserved) metrics registry,
+    profiler and telemetry bus, so anything they record is lost unless it
+    travels back with the result.  This wrapper installs fresh worker-side
+    recorders around the task, snapshots them at task end, and returns an
+    :class:`_ObsPayload` the parent unwraps — merging metrics/profile dumps
+    and telemetry buffers in task-index order, reproducing exactly what a
+    serial run would have recorded.
+
+    Thread-pool tasks share the parent's registry and profiler (their
+    increments already land home, and swapping the process-global registry
+    per-thread would race), so they only buffer telemetry, which the bus
+    routes per-thread.  A failing attempt discards its buffered events —
+    the retry that eventually succeeds owns the task's telemetry, matching
+    the trace sharder's retry semantics.
+    """
+
+    def __init__(
+        self, call: Callable[[T], R], ship_metrics: bool, ship_profile: bool,
+        buffer_events: bool, stream=None,
+    ) -> None:
+        self.call = call
+        self.ship_metrics = ship_metrics
+        self.ship_profile = ship_profile
+        self.buffer_events = buffer_events
+        self.stream = stream
+
+    def __call__(self, item: T) -> "_ObsPayload":
+        if self.buffer_events:
+            obs_live.begin_task(stream=self.stream)
+        registry = obs_metrics.enable_metrics() if self.ship_metrics else None
+        profiler = obs_profiling.enable_profiling() if self.ship_profile else None
+        try:
+            result = self.call(item)
+        except BaseException:
+            if self.buffer_events:
+                obs_live.end_task()
+            raise
+        events = obs_live.end_task() if self.buffer_events else None
+        return _ObsPayload(
+            result,
+            registry.dump() if registry is not None else None,
+            profiler.dump() if profiler is not None else None,
+            events,
+        )
+
+
 class _ShardedCall:
     """Picklable wrapper running one task under a fresh trace shard.
 
@@ -239,6 +312,8 @@ class WorkerPool:
         into its own trace shard and merges the shards back into the
         tracer in (task index, seq) order — the merged trace is
         byte-identical to what the serial backend would have recorded.
+        The metrics registry, profiler and telemetry bus get the same
+        treatment through per-task snapshots shipped home with results.
         """
         tasks: Sequence[T] = list(items)
         if not tasks:
@@ -248,14 +323,81 @@ class WorkerPool:
             calls = [_SeededCall(fn, seed, i) for i in range(len(tasks))]
         else:
             calls = [fn] * len(tasks)
+        obs_wrapped = self._wrap_obs(calls, len(tasks), retry)
+        if obs_wrapped is not None:
+            calls = obs_wrapped
+        bus = obs_live.BUS
+        if bus is not None:
+            for index in range(len(tasks)):
+                bus.emit("pool.dispatch", task=index)
         tracer = obs_trace.TRACER
         if (
             isinstance(tracer, obs_trace.FlowTracer)
             and self.backend is not Backend.SERIAL
             and len(tasks) > 1
         ):
-            return self._map_sharded(calls, tasks, retry, tracer)
-        return self._execute(calls, tasks, retry)
+            results = self._map_sharded(calls, tasks, retry, tracer)
+        else:
+            results = self._execute(calls, tasks, retry)
+        if obs_wrapped is not None:
+            results = self._merge_obs_results(results)
+        if bus is not None:
+            for index, result in enumerate(results):
+                bus.emit(
+                    "pool.task_done",
+                    task=index,
+                    ok=not isinstance(result, TaskFailure),
+                )
+        return results
+
+    def _wrap_obs(
+        self,
+        calls: Sequence[Callable[[T], R]],
+        count: int,
+        retry: RetryPolicy | None,
+    ) -> list["_ObsCall"] | None:
+        """Wrap calls in :class:`_ObsCall` when tasks leave the driver process.
+
+        Serial maps — and single-task concurrent maps without a retry
+        policy, which run inline — record straight into the parent's
+        facilities and need no wrapping.  Metrics/profile snapshots ship
+        only from *process* workers (thread workers share the parent's
+        recorders); telemetry buffers ship from both concurrent backends.
+        """
+        if self.backend is Backend.SERIAL or (count == 1 and retry is None):
+            return None
+        ship = self.backend is Backend.PROCESS
+        ship_metrics = ship and obs_metrics.METRICS is not None
+        ship_profile = ship and obs_profiling.PROFILER is not None
+        bus = obs_live.BUS
+        if not (ship_metrics or ship_profile or bus is not None):
+            return None
+        stream = bus.stream if bus is not None else None
+        return [
+            _ObsCall(call, ship_metrics, ship_profile, bus is not None, stream)
+            for call in calls
+        ]
+
+    def _merge_obs_results(
+        self, results: Sequence["R | TaskFailure | _ObsPayload"]
+    ) -> list[R | TaskFailure]:
+        """Unwrap :class:`_ObsPayload` results, merging snapshots in task order."""
+        merged: list[R | TaskFailure] = []
+        buffers: list[list[tuple[str, dict]]] = []
+        for result in results:
+            if not isinstance(result, _ObsPayload):
+                merged.append(result)  # a TaskFailure slot: nothing shipped
+                continue
+            if result.metrics is not None and obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.merge_dump(result.metrics)
+            if result.profile is not None and obs_profiling.PROFILER is not None:
+                obs_profiling.PROFILER.merge_dump(result.profile)
+            if result.events is not None:
+                buffers.append(result.events)
+            merged.append(result.result)
+        if buffers and obs_live.BUS is not None:
+            obs_live.BUS.absorb(buffers)
+        return merged
 
     def _execute(
         self,
@@ -510,6 +652,14 @@ def _record_retry(index: int, attempt: int, error_type: str, backend: Backend) -
             error=error_type,
             backend=backend.value,
         )
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit(
+            "pool.retry",
+            task=index,
+            attempt=attempt,
+            error=error_type,
+            backend=backend.value,
+        )
 
 
 def _record_exhaustion(index: int, backend: Backend) -> None:
@@ -520,6 +670,8 @@ def _record_exhaustion(index: int, backend: Backend) -> None:
         obs_trace.TRACER.emit(
             "pool.task_failed", task=index, backend=backend.value
         )
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("pool.task_failed", task=index, backend=backend.value)
 
 
 def _circuit_failure(index: int, backend: Backend) -> TaskFailure:
@@ -527,6 +679,8 @@ def _circuit_failure(index: int, backend: Backend) -> TaskFailure:
         obs_metrics.METRICS.inc("pool.circuit_open")
     if obs_trace.TRACER is not None:
         obs_trace.TRACER.emit("pool.circuit_open", task=index, backend=backend.value)
+    if obs_live.BUS is not None:
+        obs_live.BUS.emit("pool.circuit_open", task=index, backend=backend.value)
     return TaskFailure(
         index=index,
         attempts=0,

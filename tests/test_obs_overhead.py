@@ -19,6 +19,7 @@ import pytest
 
 from repro.core.evasion import ALL_TECHNIQUES
 from repro.experiments.table3 import run_table3
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
@@ -37,6 +38,19 @@ def test_observability_disabled_by_default():
     assert obs_trace.TRACER is None
     assert obs_metrics.METRICS is None
     assert obs_profiling.PROFILER is None
+    assert obs_live.BUS is None
+
+
+def test_bus_guard_is_single_none_check():
+    """The telemetry bus follows the same disabled-site pattern as the rest."""
+    checks = 100_000
+    t0 = time.perf_counter()
+    for _ in range(checks):
+        if obs_live.BUS is not None:  # pragma: no cover - never taken
+            raise AssertionError
+    per_check = (time.perf_counter() - t0) / checks
+    # One attribute load + identity check: far below a microsecond each.
+    assert per_check < 1e-6
 
 
 def test_tracing_does_not_change_results():
@@ -65,10 +79,11 @@ def test_disabled_instrumentation_under_5_percent():
 
     # How many instrumented sites does the slice execute?  A traced run
     # counts one event per trace site; double it (metrics sites pair with
-    # trace sites) and double again as margin for guard-only branches.
+    # trace sites), add another for the telemetry-bus guards, and double
+    # again as margin for guard-only branches.
     with obs_trace.tracing() as tracer:
         run_table3(**_KWARGS)
-    site_executions = 4 * len(tracer)
+    site_executions = 6 * len(tracer)
 
     # Cost of one disabled-site guard (attribute load + None check),
     # measured with its loop overhead included — an overestimate.

@@ -128,10 +128,17 @@ class TestShardScaffolding:
         merged = obs_trace.FlowTracer()
         assert obs_trace.merge_shard_dir(merged, str(tmp_path), 5) == 1
 
-    def test_metered_runs_still_force_serial(self, tmp_path):
-        # Metrics are process-local; a metered table3 run must not fan out.
+    def test_metered_runs_no_longer_force_serial(self, tmp_path):
+        # Metrics used to force the serial backend; now the pool ships each
+        # worker's registry dump home and merges it, so a metered process-pool
+        # run records the same counters a serial run would.
         from repro.obs import metrics as obs_metrics
 
         with obs_metrics.collecting() as registry:
             run_table3(pool=WorkerPool("process"), **TABLE3_KWARGS)
-        assert registry.counter("mbx.rule_matches") > 0
+            parallel = registry.snapshot()
+        with obs_metrics.collecting() as registry:
+            run_table3(pool=WorkerPool("serial"), **TABLE3_KWARGS)
+            serial = registry.snapshot()
+        assert parallel["mbx.rule_matches"] > 0
+        assert parallel == serial
