@@ -39,11 +39,23 @@ def test_table3_full_matrix(benchmark, results_dir):
 
 
 def test_table3_fast_mode(benchmark, results_dir):
-    """Ground-truth contexts instead of live characterization (sanity check)."""
-    with BenchProbe() as probe:
-        rows = benchmark.pedantic(
-            run_table3, kwargs={"characterize": False}, rounds=1, iterations=1
-        )
+    """Ground-truth contexts instead of live characterization (sanity check).
+
+    Throughput is the fastest of five rounds: scheduler noise and GC debt
+    only ever slow a round down, so the minimum is the least-biased estimate
+    of what the simulator sustains (early rounds also pay allocator warmup;
+    later ones run settled).
+    """
+    probes: list[BenchProbe] = []
+
+    def run():
+        with BenchProbe() as probe:
+            rows = run_table3(characterize=False)
+        probes.append(probe)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=5, iterations=1)
+    probe = min(probes, key=lambda p: p.seconds)
     matches, total, mismatches = compare_with_paper(rows)
     save_bench_json(
         results_dir,
@@ -51,5 +63,6 @@ def test_table3_fast_mode(benchmark, results_dir):
         probe,
         rounds=_rounds_measured(rows),
         paper_agreement=f"{matches}/{total}",
+        timing_rounds=len(probes),
     )
     assert matches == total, mismatches

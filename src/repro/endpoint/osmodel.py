@@ -43,6 +43,18 @@ class OSProfile:
 
     def verdict_for_ip(self, packet: IPPacket) -> Verdict:
         """Mandatory IP-header validation plus the profile-specific option checks."""
+        if (
+            packet.version == 4
+            and packet.ihl is None
+            and packet.total_length is None
+            and packet.checksum is None
+            and packet.protocol is None
+            and not packet.options
+            and not isinstance(packet.transport, bytes)
+        ):
+            # Pristine header: every auto-computed field is self-consistent
+            # and the protocol derives from a typed (hence known) transport.
+            return Verdict.DELIVER
         if not packet.has_valid_version():
             return Verdict.DROP
         if not packet.has_valid_ihl():
@@ -53,7 +65,7 @@ class OSProfile:
             return Verdict.DROP
         if not packet.has_known_protocol():
             return Verdict.DROP  # protocol unreachable in practice; inert either way
-        if packet.padded_options:
+        if packet.options:  # padding never makes an empty option list non-empty
             if not packet.has_wellformed_options():
                 return self.invalid_ip_options
             if packet.has_deprecated_options():
@@ -72,7 +84,8 @@ class OSProfile:
             return Verdict.DROP
         if not segment.flags.is_valid_combination():
             return self.invalid_tcp_flag_combo
-        if not segment.flags & (TCPFlags.SYN | TCPFlags.RST) and not segment.flags & TCPFlags.ACK:
+        flags = int(segment.flags)
+        if not flags & 0x06 and not flags & 0x10:  # neither SYN/RST nor ACK
             # Established-state segment without ACK: all measured OSes drop it.
             return Verdict.DROP
         if expected_seq is not None and segment.payload:

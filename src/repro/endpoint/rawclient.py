@@ -21,6 +21,15 @@ from repro.packets.udp import UDPDatagram
 CLIENT_ISN = 7_000
 MTU_PAYLOAD = 1460
 
+# Prototypes cloned by the crafting hot path (see tcpstack for rationale).
+_SEG_PROTO = TCPSegment()
+_IP_PROTO = IPPacket(src="0.0.0.0", dst="0.0.0.0")
+_ACK_PSH = TCPFlags.ACK | TCPFlags.PSH
+
+#: The block-page signature differentiation detection looks for (indexed at
+#: arrival by :class:`ClientCollector` so observation never rescans payloads).
+BLOCK_PAGE_MARKER = b"403 Forbidden"
+
 
 class ClientCollector:
     """The client-side endpoint: records everything arriving at the client.
@@ -32,25 +41,58 @@ class ClientCollector:
     def __init__(self, clock=None) -> None:
         self.packets: list[IPPacket] = []
         self.arrival_times: list[float] = []
+        self._rsts: list[IPPacket] = []
+        # TCP data index: (time, src, sport, dport, seq, payload) per
+        # payload-bearing segment, so throughput sampling and stream
+        # reassembly never rescan the full packet list through properties.
+        self._tcp_data: list[tuple[float, str, int, int, int, bytes]] = []
+        self._block_page_seen = False
         self._clock = clock
 
     def receive(self, packet: IPPacket) -> list[IPPacket]:
         """Record the packet; a raw client never auto-responds."""
         self.packets.append(packet)
-        self.arrival_times.append(self._clock.now if self._clock is not None else 0.0)
+        now = self._clock.now if self._clock is not None else 0.0
+        self.arrival_times.append(now)
+        # Inlined packet.tcp: this runs once per arriving packet.
+        transport = packet.transport
+        declared = packet.protocol
+        tcp = (
+            transport
+            if type(transport) is TCPSegment and (declared is None or declared == 6)
+            else None
+        )
+        if tcp is not None:
+            if int(tcp.flags) & 0x04:  # RST index, see rst_packets
+                self._rsts.append(packet)
+            payload = tcp.payload
+            if payload:
+                self._tcp_data.append(
+                    (now, packet.src, tcp.sport, tcp.dport, tcp.seq, payload)
+                )
+                if not self._block_page_seen and BLOCK_PAGE_MARKER in payload:
+                    self._block_page_seen = True
         return []
 
     def timed_packets(self) -> list[tuple[float, IPPacket]]:
         """(arrival time, packet) pairs in arrival order."""
         return list(zip(self.arrival_times, self.packets))
 
-    def rst_packets(self) -> list[IPPacket]:
-        """All TCP RSTs received."""
+    def tcp_data_samples(self, src: str) -> list[tuple[float, int]]:
+        """(arrival time, payload length) for TCP data packets from *src*."""
         return [
-            p
-            for p in self.packets
-            if p.tcp is not None and p.tcp.flags & TCPFlags.RST
+            (t, len(payload))
+            for t, source, _sport, _dport, _seq, payload in self._tcp_data
+            if source == src
         ]
+
+    def block_page_seen(self) -> bool:
+        """True when any TCP payload carried the block-page signature."""
+        return self._block_page_seen
+
+    def rst_packets(self) -> list[IPPacket]:
+        """All TCP RSTs received (indexed at arrival, not rescanned)."""
+        return self._rsts
 
     def icmp_time_exceeded(self) -> list[IPPacket]:
         """All ICMP Time Exceeded messages received."""
@@ -69,16 +111,12 @@ class ClientCollector:
         still collapsed (the caller compares against the expected stream).
         """
         chunks: dict[int, bytes] = {}
-        for p in self.packets:
-            tcp = p.tcp
-            if tcp is None or p.src != server:
+        for _t, src, sport, dport, seq, payload in self._tcp_data:
+            if src != server or sport != server_port or dport != client_port:
                 continue
-            if tcp.sport != server_port or tcp.dport != client_port:
-                continue
-            if tcp.payload:
-                existing = chunks.get(tcp.seq)
-                if existing is None or len(tcp.payload) > len(existing):
-                    chunks[tcp.seq] = tcp.payload
+            existing = chunks.get(seq)
+            if existing is None or len(payload) > len(existing):
+                chunks[seq] = payload
         stream = bytearray()
         max_end: int | None = None
         for seq in sorted(chunks):
@@ -101,7 +139,8 @@ class ClientCollector:
                 continue
             if tcp.sport != server_port or tcp.dport != client_port:
                 continue
-            if tcp.flags & TCPFlags.RST or not tcp.flags & TCPFlags.ACK:
+            flags = int(tcp.flags)
+            if flags & 0x04 or not flags & 0x10:  # RST, or no ACK
                 continue
             if best is None or tcp.ack > best:
                 best = tcp.ack
@@ -122,6 +161,10 @@ class ClientCollector:
     def reset(self) -> None:
         """Forget everything received."""
         self.packets.clear()
+        self.arrival_times.clear()
+        self._rsts.clear()
+        self._tcp_data.clear()
+        self._block_page_seen = False
 
 
 @dataclass
@@ -164,17 +207,17 @@ def packet_from_plan(
     without a live connection (e.g. the per-OS server-response matrix).
     """
     seq = default_seq if plan.seq is None else plan.seq
-    segment = TCPSegment(
+    segment = _SEG_PROTO.copy(
         sport=sport,
         dport=dport,
         seq=seq,
         ack=ack,
-        flags=plan.flags if plan.flags is not None else TCPFlags.ACK | TCPFlags.PSH,
+        flags=plan.flags if plan.flags is not None else _ACK_PSH,
         payload=plan.payload,
         checksum=plan.tcp_checksum,
         data_offset=plan.data_offset,
     )
-    packet = IPPacket(
+    packet = _IP_PROTO.copy(
         src=src,
         dst=dst,
         transport=segment,
@@ -344,8 +387,8 @@ class RawTCPClient:
     # ------------------------------------------------------------------
     # data transmission
     # ------------------------------------------------------------------
-    def send_plan(self, plan: SegmentPlan) -> IPPacket:
-        """Craft and send one packet per *plan*; returns the packet sent."""
+    def _craft_plan(self, plan: SegmentPlan) -> IPPacket:
+        """Craft the packet for *plan*, applying its clock/seq side effects."""
         if plan.pause_before > 0:
             self.path.clock.advance(plan.pause_before)
         packet = packet_from_plan(
@@ -363,15 +406,29 @@ class RawTCPClient:
             self._tracked.append((seq, plan.payload))
         if plan.seq is None and plan.advances_seq:
             self.next_seq = (self.next_seq + len(plan.payload)) & 0xFFFFFFFF
+        return packet
+
+    def send_plan(self, plan: SegmentPlan) -> IPPacket:
+        """Craft and send one packet per *plan*; returns the packet sent."""
+        packet = self._craft_plan(plan)
         self.path.send_from_client(packet)
         return packet
 
     def send_payload(self, payload: bytes, mss: int = MTU_PAYLOAD) -> None:
-        """Send *payload* as ordinary in-order, MSS-sized segments."""
-        for offset in range(0, len(payload), mss):
-            self.send_plan(SegmentPlan(payload=payload[offset : offset + mss]))
+        """Send *payload* as ordinary in-order, MSS-sized segments.
+
+        All segments are crafted up front (the ack/ttl fields only depend on
+        handshake state, so interleaving crafting with delivery would produce
+        the same bytes) and handed to the path as one batch, which
+        pre-encodes the wire bytes in a single vectorized pass.
+        """
+        plans = [
+            SegmentPlan(payload=payload[offset : offset + mss])
+            for offset in range(0, len(payload), mss)
+        ]
         if not payload:
-            self.send_plan(SegmentPlan(payload=b""))
+            plans = [SegmentPlan(payload=b"")]
+        self.path.send_batch_from_client([self._craft_plan(plan) for plan in plans])
 
     def send_raw(self, packet: IPPacket) -> None:
         """Send an arbitrary pre-built packet."""

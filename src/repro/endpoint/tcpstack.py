@@ -14,11 +14,16 @@ from typing import Protocol
 
 from repro.endpoint.osmodel import LINUX, OSProfile, Verdict
 from repro.packets.flow import FiveTuple
-from repro.packets.ip import IPPacket
-from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.ip import IPPacket, fast_packet
+from repro.packets.tcp import TCPFlags, TCPSegment, fast_segment
 
 MTU_PAYLOAD = 1460
 SERVER_ISN = 100_000
+
+_SYN_ACK = TCPFlags.SYN | TCPFlags.ACK
+_ACK_PSH = TCPFlags.ACK | TCPFlags.PSH
+_RST_ACK = TCPFlags.RST | TCPFlags.ACK
+_FIN, _SYN, _RST, _ACK = 0x01, 0x02, 0x04, 0x10
 
 
 class TCPApp(Protocol):
@@ -114,7 +119,7 @@ class TCPServerStack:
         self.raw_arrivals.append(packet)
         if packet.dst != self.address:
             return []
-        if packet.is_fragment:
+        if packet.mf or packet.frag_offset > 0:
             # Every mainstream OS reassembles IP fragments in the IP layer.
             whole = self._assemble_fragment(packet)
             if whole is None:
@@ -122,8 +127,9 @@ class TCPServerStack:
             packet = whole
         if self.os_profile.verdict_for_ip(packet) is not Verdict.DELIVER:
             return []
-        segment = packet.tcp
-        if segment is None or packet.effective_protocol != 6:
+        segment = packet.transport
+        declared = packet.protocol
+        if type(segment) is not TCPSegment or not (declared is None or declared == 6):
             return []
         if self.ports is not None and segment.dport not in self.ports:
             return [self._rst_for(packet, segment)]
@@ -144,13 +150,14 @@ class TCPServerStack:
                 conn.state = "closed"
             return [self._rst_for(packet, segment)]
 
-        if segment.flags & TCPFlags.RST:
+        flags = int(segment.flags)
+        if flags & _RST:
             if conn:
                 conn.reset_received = True
                 conn.state = "closed"
             return []
 
-        if segment.flags & TCPFlags.SYN and not segment.flags & TCPFlags.ACK:
+        if flags & _SYN and not flags & _ACK:
             conn = _Connection(
                 client=packet.src,
                 client_port=segment.sport,
@@ -158,20 +165,16 @@ class TCPServerStack:
                 expected_seq=(segment.seq + 1) & 0xFFFFFFFF,
             )
             self._connections[key] = conn
-            synack = TCPSegment(
-                sport=segment.dport,
-                dport=segment.sport,
-                seq=SERVER_ISN,
-                ack=conn.expected_seq,
-                flags=TCPFlags.SYN | TCPFlags.ACK,
+            synack = fast_segment(
+                segment.dport, segment.sport, SERVER_ISN, conn.expected_seq, flags=_SYN_ACK
             )
-            return [IPPacket(src=self.address, dst=packet.src, transport=synack)]
+            return [fast_packet(self.address, packet.src, synack)]
 
         if conn is None or conn.state == "closed":
             return []
 
         responses: list[IPPacket] = []
-        if conn.state == "syn-rcvd" and segment.flags & TCPFlags.ACK:
+        if conn.state == "syn-rcvd" and flags & _ACK:
             conn.state = "established"
             self.app.on_connect(self._conn_id(conn))
 
@@ -184,11 +187,11 @@ class TCPServerStack:
         elif (
             self.retransmit_enabled
             and conn.state == "established"
-            and segment.flags == TCPFlags.ACK
+            and flags == _ACK
         ):
             responses.extend(self._retransmit_for(conn, segment.ack))
 
-        if segment.flags & TCPFlags.FIN:
+        if flags & _FIN:
             conn.expected_seq = (conn.expected_seq + 1) & 0xFFFFFFFF
             conn.state = "closed"
             responses.append(self._ack_packet(conn))
@@ -234,29 +237,19 @@ class TCPServerStack:
         )
 
     def _ack_packet(self, conn: _Connection) -> IPPacket:
-        ack = TCPSegment(
-            sport=conn.server_port,
-            dport=conn.client_port,
-            seq=conn.server_seq,
-            ack=conn.expected_seq,
-            flags=TCPFlags.ACK,
-        )
-        return IPPacket(src=self.address, dst=conn.client, transport=ack)
+        ack = fast_segment(conn.server_port, conn.client_port, conn.server_seq, conn.expected_seq)
+        return fast_packet(self.address, conn.client, ack)
 
     def _data_packets(self, conn: _Connection, data: bytes) -> list[IPPacket]:
         packets = []
         for offset in range(0, len(data), MTU_PAYLOAD):
             chunk = data[offset : offset + MTU_PAYLOAD]
-            segment = TCPSegment(
-                sport=conn.server_port,
-                dport=conn.client_port,
-                seq=conn.server_seq,
-                ack=conn.expected_seq,
-                flags=TCPFlags.ACK | TCPFlags.PSH,
-                payload=chunk,
+            segment = fast_segment(
+                conn.server_port, conn.client_port, conn.server_seq, conn.expected_seq,
+                flags=_ACK_PSH, payload=chunk,
             )
             conn.server_seq = (conn.server_seq + len(chunk)) & 0xFFFFFFFF
-            packets.append(IPPacket(src=self.address, dst=conn.client, transport=segment))
+            packets.append(fast_packet(self.address, conn.client, segment))
         if self.retransmit_enabled:
             conn.sent.extend(data)
         return packets
@@ -271,27 +264,23 @@ class TCPServerStack:
         seq = ack
         for offset in range(0, len(tail), MTU_PAYLOAD):
             chunk = tail[offset : offset + MTU_PAYLOAD]
-            segment = TCPSegment(
-                sport=conn.server_port,
-                dport=conn.client_port,
-                seq=seq,
-                ack=conn.expected_seq,
-                flags=TCPFlags.ACK | TCPFlags.PSH,
-                payload=chunk,
+            segment = fast_segment(
+                conn.server_port, conn.client_port, seq, conn.expected_seq,
+                flags=_ACK_PSH, payload=chunk,
             )
             seq = (seq + len(chunk)) & 0xFFFFFFFF
-            packets.append(IPPacket(src=self.address, dst=conn.client, transport=segment))
+            packets.append(fast_packet(self.address, conn.client, segment))
         return packets
 
     def _rst_for(self, packet: IPPacket, segment: TCPSegment) -> IPPacket:
-        rst = TCPSegment(
-            sport=segment.dport,
-            dport=segment.sport,
-            seq=segment.ack,
-            ack=(segment.seq + len(segment.payload)) & 0xFFFFFFFF,
-            flags=TCPFlags.RST | TCPFlags.ACK,
+        rst = fast_segment(
+            segment.dport,
+            segment.sport,
+            segment.ack,
+            (segment.seq + len(segment.payload)) & 0xFFFFFFFF,
+            flags=_RST_ACK,
         )
-        reply = IPPacket(src=self.address, dst=packet.src, transport=rst)
+        reply = fast_packet(self.address, packet.src, rst)
         self.rst_sent.append(reply)
         return reply
 

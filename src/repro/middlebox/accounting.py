@@ -44,9 +44,14 @@ class UsageCounter(NetworkElement):
         self, packet: IPPacket, direction: Direction, ctx: TransitContext
     ) -> list[IPPacket]:
         """Charge non-zero-rated payload bytes to the quota; always forward."""
-        key = FiveTuple.of(packet)
         payload_len = len(packet.app_payload)
-        if payload_len and not self.policy_state.is_zero_rated(key):
+        if payload_len:
+            # Flow keys are only needed to honor zero-rating marks; with
+            # none set (the common case) every payload byte is counted.
+            if self.policy_state.zero_rated_flows and self.policy_state.is_zero_rated(
+                FiveTuple.of(packet)
+            ):
+                return [packet]
             self._counted += payload_len
         return [packet]
 

@@ -164,8 +164,13 @@ class DPIMiddlebox(NetworkElement):
         self.max_flows = max_flows
         self.evictions = 0
 
-        self._compiled = CompiledRuleSet(self.rules)
+        self._compiled = CompiledRuleSet.shared(self.rules)
+        self._compiled_source: list[MatchRule] = self.rules
         self._now = 0.0  # last packet's clock time, for event timestamps
+        #: Sticky flag: True once any flow received an RST-shortened
+        #: timeout, so the per-packet expiry sweep can skip scanning when no
+        #: timeout source exists at all.
+        self._any_timeout_override = False
         self._flows: dict[FiveTuple, FlowState] = {}
         self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
         self._endpoint_block_counts: dict[tuple[str, int], int] = {}
@@ -196,7 +201,9 @@ class DPIMiddlebox(NetworkElement):
         if key is None:
             return [packet]  # non-TCP/UDP (wrong protocol field, ICMP, ...)
 
-        if self._endpoint_blocked(inspect_target, now, ctx):
+        if self.policy_state.blocked_endpoints and self._endpoint_blocked(
+            inspect_target, key, now, ctx
+        ):
             return []
 
         if not self.track_flows:
@@ -209,7 +216,7 @@ class DPIMiddlebox(NetworkElement):
         state.last_packet_time = now
 
         tcp = inspect_target.tcp
-        if tcp is not None and tcp.flags & TCPFlags.RST:
+        if tcp is not None and int(tcp.flags) & 0x04:  # RST
             self._handle_rst(state, key)
             return [packet]
 
@@ -233,8 +240,12 @@ class DPIMiddlebox(NetworkElement):
         if key is None or not self.protocol_agnostic_flow_keying:
             return key
         if packet.tcp is not None:
+            if key.protocol == 6:
+                return key
             return FiveTuple(key.src, key.sport, key.dst, key.dport, 6)
         if packet.udp is not None:
+            if key.protocol == 17:
+                return key
             return FiveTuple(key.src, key.sport, key.dst, key.dport, 17)
         return key
 
@@ -249,6 +260,7 @@ class DPIMiddlebox(NetworkElement):
 
     def reset(self) -> None:
         """Forget every flow, fragment buffer, block counter and log entry."""
+        self._any_timeout_override = False
         self._flows.clear()
         self._fragments.clear()
         self._endpoint_block_counts.clear()
@@ -264,9 +276,8 @@ class DPIMiddlebox(NetworkElement):
         if state is not None:
             return state
         tcp = packet.tcp
-        is_flow_start = (
-            self._transport_protocol(packet) == 17
-            or (tcp is not None and tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK)
+        is_flow_start = self._transport_protocol(packet) == 17 or (
+            tcp is not None and int(tcp.flags) & 0x12 == 0x02  # SYN without ACK
         )
         if not is_flow_start:
             return None  # mid-flow packet for a flow we never tracked (or flushed)
@@ -318,6 +329,16 @@ class DPIMiddlebox(NetworkElement):
         return spec
 
     def _expire(self, now: float) -> None:
+        # Fast path: nothing can expire when no timeout is configured, no
+        # flow carries an RST-shortened override, and no endpoint is blocked
+        # — true for most environments, checked per packet.
+        if (
+            self.pre_match_timeout is None
+            and self.post_match_timeout is None
+            and not self._any_timeout_override
+            and not self._endpoint_block_until
+        ):
+            return
         stale: list[FiveTuple] = []
         for normalized, state in self._flows.items():
             timeout: float | None
@@ -370,6 +391,7 @@ class DPIMiddlebox(NetworkElement):
             self._forget_flow(key.normalized(), reason="rst-pre-match")
         elif self.rst_timeout_reduction is not None:
             state.timeout_override = self.rst_timeout_reduction
+            self._any_timeout_override = True
             if obs_trace.TRACER is not None:
                 obs_trace.TRACER.emit(
                     "mbx.rst_timeout_reduced",
@@ -596,10 +618,11 @@ class DPIMiddlebox(NetworkElement):
     def _view(self, protocol: str, server_port: int, direction: str) -> CompiledView:
         """The precompiled rule view for this flow context (rebuilds if the
         rule list was replaced since compilation)."""
-        if len(self._compiled.rules) != len(self.rules) or any(
-            a is not b for a, b in zip(self._compiled.rules, self.rules)
+        if self.rules is not self._compiled_source or len(self._compiled.rules) != len(
+            self.rules
         ):
-            self._compiled = CompiledRuleSet(self.rules)
+            self._compiled = CompiledRuleSet.shared(self.rules)
+            self._compiled_source = self.rules
         return self._compiled.view(protocol, server_port, direction)
 
     def _match_rules(
@@ -757,11 +780,8 @@ class DPIMiddlebox(NetworkElement):
                 obs_metrics.METRICS.inc("mbx.endpoint_blocks")
 
     def _endpoint_blocked(
-        self, packet: IPPacket, now: float, ctx: TransitContext
+        self, packet: IPPacket, key: FiveTuple, now: float, ctx: TransitContext
     ) -> bool:
-        key = FiveTuple.of(packet)
-        if key is None:
-            return False
         endpoint = (key.dst, key.dport)
         if endpoint not in self.policy_state.blocked_endpoints:
             return False

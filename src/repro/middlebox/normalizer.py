@@ -24,6 +24,8 @@ from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
 from repro.packets.tcp import TCPFlags, TCPSegment
 
+_ACK_PSH = TCPFlags.ACK | TCPFlags.PSH
+
 NORMALIZED_MSS = 1460
 
 
@@ -120,11 +122,8 @@ class TrafficNormalizer(NetworkElement):
                 return False
             if not tcp.flags.is_valid_combination():
                 return False
-            if (
-                tcp.payload
-                and not tcp.flags & (TCPFlags.SYN | TCPFlags.RST)
-                and not tcp.flags & TCPFlags.ACK
-            ):
+            flags = int(tcp.flags)
+            if tcp.payload and not flags & 0x06 and not flags & 0x10:
                 return False
         udp = packet.udp
         if udp is not None and packet.effective_protocol == 17:
@@ -151,10 +150,11 @@ class TrafficNormalizer(NetworkElement):
     # ------------------------------------------------------------------
     def _coalesce_tcp(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
         key = (packet.src, tcp.sport, packet.dst, tcp.dport)
-        if tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK:
+        flags = int(tcp.flags)
+        if flags & 0x12 == 0x02:  # SYN without ACK
             self._flows[key] = _NormalizedFlow(expected_seq=(tcp.seq + 1) & 0xFFFFFFFF)
             return [packet]
-        if tcp.flags & TCPFlags.RST:
+        if flags & 0x04:  # RST
             self._flows.pop(key, None)
             return [packet]
         flow = self._flows.get(key)
@@ -196,7 +196,7 @@ class TrafficNormalizer(NetworkElement):
                 dport=tcp.dport,
                 seq=(start_seq + offset) & 0xFFFFFFFF,
                 ack=tcp.ack,
-                flags=TCPFlags.ACK | TCPFlags.PSH | (tcp.flags & TCPFlags.FIN),
+                flags=_ACK_PSH | (tcp.flags & TCPFlags.FIN),
                 payload=chunk,
             )
             packets.append(

@@ -19,6 +19,9 @@ from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
 from repro.packets.tcp import TCPFlags, TCPSegment
 
+_FIN_ACK = TCPFlags.FIN | TCPFlags.ACK
+_ACK_PSH = TCPFlags.ACK | TCPFlags.PSH
+
 PROXY_MSS = 1460
 ANCHORS = (b"GET", b"POST", b"HEAD", b"PUT")
 
@@ -38,6 +41,13 @@ class _ProxiedConnection:
     server_matched: bool = False
     throttled: bool = False
     closed: bool = False
+    # Scan watermarks: keywords already found, and how far each buffer has
+    # been searched, so classification never rescans bytes it has seen
+    # (matches stay monotonic — buffers only grow).
+    client_found: set[bytes] = field(default_factory=set)
+    server_found: set[bytes] = field(default_factory=set)
+    client_scan_pos: int = 0
+    server_scan_pos: int = 0
 
 
 class TransparentHTTPProxy(NetworkElement):
@@ -77,13 +87,14 @@ class TransparentHTTPProxy(NetworkElement):
         self, packet: IPPacket, direction: Direction, ctx: TransitContext
     ) -> list[IPPacket]:
         """Terminate in-scope flows; forward everything else untouched."""
-        if packet.is_fragment:
+        if packet.mf or packet.frag_offset > 0:
             whole = self._feed_fragment(packet)
             if whole is None:
                 return []  # the proxy host buffers fragments; nothing forwards yet
             packet = whole
-        tcp = packet.tcp
-        if tcp is None or packet.effective_protocol != 6:
+        tcp = packet.transport
+        declared = packet.protocol
+        if type(tcp) is not TCPSegment or not (declared is None or declared == 6):
             return [packet]  # non-TCP (including wrong-protocol packets) is tunneled
         in_scope = (
             tcp.dport in self.ports
@@ -112,7 +123,8 @@ class TransparentHTTPProxy(NetworkElement):
         key = (packet.src, tcp.sport, packet.dst, tcp.dport)
         conn = self._connections.get(key)
 
-        if tcp.flags & TCPFlags.SYN and not tcp.flags & TCPFlags.ACK:
+        flags = int(tcp.flags)
+        if flags & 0x12 == 0x02:  # SYN without ACK
             self._connections[key] = _ProxiedConnection(
                 client=packet.src,
                 client_port=tcp.sport,
@@ -125,7 +137,7 @@ class TransparentHTTPProxy(NetworkElement):
 
         if conn is None:
             return []  # mid-flow traffic for a connection we never saw
-        if tcp.flags & TCPFlags.RST:
+        if flags & 0x04:  # RST
             conn.closed = True
             return [packet]
         if conn.closed:
@@ -140,14 +152,14 @@ class TransparentHTTPProxy(NetworkElement):
                 forwarded.extend(self._normalized_packets(packet, conn, fresh))
         else:
             forwarded.append(packet)  # bare ACKs keep the far handshake moving
-        if tcp.flags & TCPFlags.FIN:
+        if flags & 0x01:  # FIN
             conn.closed = True
             fin = TCPSegment(
                 sport=conn.client_port,
                 dport=conn.server_port,
                 seq=conn.emit_seq,
                 ack=tcp.ack,
-                flags=TCPFlags.FIN | TCPFlags.ACK,
+                flags=_FIN_ACK,
             )
             forwarded.append(IPPacket(src=conn.client, dst=conn.server, transport=fin))
         return forwarded
@@ -179,7 +191,8 @@ class TransparentHTTPProxy(NetworkElement):
             return False
         if not tcp.flags.is_valid_combination():
             return False
-        if tcp.payload and not tcp.flags & (TCPFlags.SYN | TCPFlags.RST) and not tcp.flags & TCPFlags.ACK:
+        flags = int(tcp.flags)
+        if tcp.payload and not flags & 0x06 and not flags & 0x10:  # data needs SYN/RST/ACK
             return False
         return True
 
@@ -217,7 +230,7 @@ class TransparentHTTPProxy(NetworkElement):
                 dport=conn.server_port,
                 seq=conn.emit_seq,
                 ack=original.tcp.ack if original.tcp else 0,
-                flags=TCPFlags.ACK | TCPFlags.PSH,
+                flags=_ACK_PSH,
                 payload=chunk,
             )
             conn.emit_seq = (conn.emit_seq + len(chunk)) & 0xFFFFFFFF
@@ -232,10 +245,16 @@ class TransparentHTTPProxy(NetworkElement):
             return
         if not conn.client_matched:
             anchored = bytes(conn.client_buffer[:4]).startswith(ANCHORS)
-            if anchored and all(k in conn.client_buffer for k in self.client_keywords):
+            conn.client_scan_pos = self._scan_keywords(
+                conn.client_buffer, self.client_keywords, conn.client_found, conn.client_scan_pos
+            )
+            if anchored and len(conn.client_found) == len(self.client_keywords):
                 conn.client_matched = True
         if not conn.server_matched:
-            if all(k in conn.server_buffer for k in self.server_keywords):
+            conn.server_scan_pos = self._scan_keywords(
+                conn.server_buffer, self.server_keywords, conn.server_found, conn.server_scan_pos
+            )
+            if len(conn.server_found) == len(self.server_keywords):
                 conn.server_matched = True
         if conn.client_matched and conn.server_matched:
             conn.throttled = True
@@ -247,6 +266,24 @@ class TransparentHTTPProxy(NetworkElement):
                 protocol=6,
             )
             self.policy_state.throttle(key, self.throttle_rate_bps)
+
+    @staticmethod
+    def _scan_keywords(
+        buffer: bytearray, keywords: tuple[bytes, ...], found: set[bytes], pos: int
+    ) -> int:
+        """Search bytes past watermark *pos* for keywords not yet found.
+
+        Rewinds by ``len(keyword) - 1`` so matches spanning the old boundary
+        are still caught; returns the new watermark.  Equivalent to
+        ``k in buffer`` over the full buffer because found-ness is monotonic
+        (the buffer only grows), without the quadratic rescans.
+        """
+        for keyword in keywords:
+            if keyword not in found:
+                start = pos - len(keyword) + 1
+                if buffer.find(keyword, start if start > 0 else 0) != -1:
+                    found.add(keyword)
+        return len(buffer)
 
     def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
         key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)

@@ -1,35 +1,52 @@
-"""Precompiled rule index with combined multi-pattern search.
+"""Precompiled rule index: rule programs over an Aho-Corasick automaton.
 
 The naive matcher re-runs ``keyword in buffer`` for every keyword of every
 rule on every packet, re-scanning the whole reassembled stream each time.
 This module compiles a rule list once into per-(protocol, port, direction)
-views, each with a single combined substring scanner over every keyword the
-view can match, plus a per-flow incremental-scan watermark so stream bytes
-are inspected at most once.
+views.  Each view interns its keywords into one shared
+:class:`~repro.middlebox.automaton.PatternAutomaton` (every rule served by
+a single sweep per byte) and lowers its rules to small bitmask programs
+over the automaton's pattern-id hits:
 
-Exact-equivalence contract (verified by the differential tests): for any
-rule list, buffer, payload and packet index, :meth:`CompiledView.match`
-returns the same rule :meth:`DPIMiddlebox._match_rules` would have picked
-with the naive per-rule loop — first match in rule-list order, position
-rules only firing on their packet index, STUN rules parsing the buffer.
+* ``require_any`` rules collapse into a per-pattern *order table* — the
+  minimum rule order that fires when that pattern is seen — so resolving
+  the first match costs one table lookup per distinct pattern hit;
+* ``require_all`` rules become ``(order, mask)`` programs satisfied when
+  ``hits & mask == mask``;
+* the winning order maps straight to its rule through an order→rule dict
+  (no linear scan over the view's rule list).
 
-The combined scanner joins all patterns into one zero-width-lookahead
-alternation, ordered longest-first.  Two patterns that occur at the same
-text position are necessarily prefix-related, so crediting every prefix of
-the captured (longest) alternative recovers exactly the per-pattern
-substring semantics — including overlapping and nested occurrences that a
-plain alternation would swallow.
+Exact-equivalence contract (verified by the differential tests in
+``tests/test_ruleindex.py`` and ``tests/test_automaton_differential.py``):
+for any rule list, buffer, payload and packet index,
+:meth:`CompiledView.match` returns the same rule the naive per-rule loop
+would have picked — first match in rule-list order, position rules only
+firing on their packet index, STUN rules parsing the buffer.
 
 The index assumes rules are not mutated after compilation; replacing the
-engine's rule *list* is detected and recompiled.
+engine's rule *list* is detected and recompiled.  Engines built from the
+same rule objects share one interned :class:`CompiledRuleSet` (and thus
+its views and automata) via :meth:`CompiledRuleSet.shared`.
 """
 
 from __future__ import annotations
 
-import re
-
+from repro.middlebox.automaton import (
+    PatternAutomaton,
+    StreamScan,
+    automaton_for,
+    mask_to_ids,
+)
 from repro.middlebox.rules import MatchRule
 from repro.traffic.stun import parse_stun_attributes
+
+__all__ = [
+    "Buffer",
+    "CompiledRuleSet",
+    "CompiledView",
+    "MultiPatternScanner",
+    "StreamScan",
+]
 
 Buffer = bytes | bytearray | memoryview
 
@@ -37,109 +54,101 @@ Buffer = bytes | bytearray | memoryview
 class MultiPatternScanner:
     """One-pass search for every occurrence of any pattern in a byte buffer.
 
-    ``scan`` returns the set of pattern indices (into the constructor's
-    list) that occur anywhere in ``buffer[start:end]`` — identical to
-    running ``pattern in buffer[start:end]`` per pattern, in one pass.
+    A thin set-returning facade over the shared automaton: ``scan`` returns
+    the set of pattern indices (into the constructor's list) that occur
+    anywhere in ``buffer[start:end]`` — identical to running
+    ``pattern in buffer[start:end]`` per pattern, in one pass.
     """
 
-    __slots__ = ("patterns", "max_len", "_regex", "_closure")
+    __slots__ = ("patterns", "automaton")
 
     def __init__(self, patterns: list[bytes]) -> None:
         self.patterns = list(patterns)
-        self.max_len = max((len(p) for p in self.patterns), default=0)
-        # Longest-first: of all patterns matching at one position, the
-        # longest captures, and every other one is a prefix of it.
-        order = sorted(range(len(self.patterns)), key=lambda i: -len(self.patterns[i]))
-        alternation = b"|".join(b"(" + re.escape(self.patterns[i]) + b")" for i in order)
-        self._regex = re.compile(b"(?=" + alternation + b")") if self.patterns else None
-        self._closure: list[frozenset[int]] = []
-        for i in order:
-            captured = self.patterns[i]
-            self._closure.append(
-                frozenset(j for j, p in enumerate(self.patterns) if captured.startswith(p))
-            )
+        self.automaton = automaton_for(self.patterns)
+
+    @property
+    def max_len(self) -> int:
+        return self.automaton.max_len
 
     def scan(self, buffer: Buffer, start: int = 0, end: int | None = None) -> set[int]:
         """All pattern indices occurring in ``buffer[start:end]``."""
-        found: set[int] = set()
-        if self._regex is None:
-            return found
-        if end is None:
-            end = len(buffer)
-        closure = self._closure
-        for match in self._regex.finditer(buffer, start, end):
-            found |= closure[match.lastindex - 1]
-        return found
-
-
-class StreamScan:
-    """Per-flow, per-direction incremental scan state.
-
-    ``watermark`` counts stream bytes already fed through the scanner;
-    ``seen`` accumulates pattern indices found so far.  Because stream
-    buffers only ever grow by appends (and are truncated from the tail by
-    the byte limit, never from the head), a pattern occurs in the current
-    buffer iff it was seen by some feed — re-scanning the prefix is never
-    needed.
-    """
-
-    __slots__ = ("watermark", "seen")
-
-    def __init__(self) -> None:
-        self.watermark = 0
-        self.seen: set[int] = set()
-
-    def feed(self, scanner: MultiPatternScanner, buffer: Buffer) -> set[int]:
-        """Scan bytes appended since the last feed; return all patterns seen."""
-        end = len(buffer)
-        if end > self.watermark:
-            # Back up so patterns spanning the append boundary are found;
-            # re-hits inside the overlap are deduplicated by the set.
-            start = self.watermark - scanner.max_len + 1
-            self.seen |= scanner.scan(buffer, start if start > 0 else 0, end)
-            self.watermark = end
-        return self.seen
+        return mask_to_ids(self.automaton.scan_mask(buffer, start, end))
 
 
 class CompiledView:
     """The rules applicable to one (protocol, server port, direction) context."""
 
-    __slots__ = ("rules", "scanner", "special", "keyword_rules", "stateless_rules", "has_stun")
+    __slots__ = (
+        "rules",
+        "automaton",
+        "scanner",
+        "special",
+        "keyword_rules",
+        "any_order",
+        "any_mask",
+        "all_programs",
+        "stateless_rules",
+        "rule_by_order",
+        "has_stun",
+    )
 
     def __init__(self, rules: list[tuple[int, MatchRule]]) -> None:
         self.rules = rules
+        #: order → rule, the final resolution step of :meth:`match`.
+        self.rule_by_order: dict[int, MatchRule] = {order: rule for order, rule in rules}
         patterns: list[bytes] = []
         pattern_ids: dict[bytes, int] = {}
 
-        def intern_patterns(rule: MatchRule) -> frozenset[int]:
-            ids = []
+        def intern_patterns(rule: MatchRule) -> int:
+            mask = 0
             for keyword in rule.keywords:
-                if keyword not in pattern_ids:
-                    pattern_ids[keyword] = len(patterns)
+                pid = pattern_ids.get(keyword)
+                if pid is None:
+                    pid = pattern_ids[keyword] = len(patterns)
                     patterns.append(keyword)
-                ids.append(pattern_ids[keyword])
-            return frozenset(ids)
+                mask |= 1 << pid
+            return mask
 
         #: rules needing per-call handling in the stateful path (position
         #: and/or STUN) — evaluated directly, they are rare and fire seldom.
         self.special: list[tuple[int, MatchRule]] = []
-        #: (order, pattern ids, require_all) — the stream fast path.
-        self.keyword_rules: list[tuple[int, frozenset[int], bool]] = []
-        #: (order, rule, pattern ids or None) — the stateless path ignores
+        #: (order, pattern mask, require_all) — kept for introspection; the
+        #: hot path runs the lowered programs below instead.
+        self.keyword_rules: list[tuple[int, int, bool]] = []
+        #: pattern id → minimum order among require-any rules containing it.
+        any_order: dict[int, int] = {}
+        #: (order, pattern mask) programs for require-all rules, in order.
+        self.all_programs: list[tuple[int, int]] = []
+        #: (order, rule, pattern mask or None) — the stateless path ignores
         #: ``position``, so position keyword rules join the combined scan.
-        self.stateless_rules: list[tuple[int, MatchRule, frozenset[int] | None]] = []
+        self.stateless_rules: list[tuple[int, MatchRule, int | None]] = []
         for order, rule in rules:
             if rule.stun_attribute is not None:
                 self.special.append((order, rule))
                 self.stateless_rules.append((order, rule, None))
                 continue
-            ids = intern_patterns(rule)
+            mask = intern_patterns(rule)
             if rule.position is not None:
                 self.special.append((order, rule))
             else:
-                self.keyword_rules.append((order, ids, rule.require_all))
-            self.stateless_rules.append((order, rule, ids))
+                self.keyword_rules.append((order, mask, rule.require_all))
+                if rule.require_all:
+                    self.all_programs.append((order, mask))
+                else:
+                    bits = mask
+                    while bits:
+                        low = bits & -bits
+                        pid = low.bit_length() - 1
+                        if pid not in any_order:  # rules arrive in order
+                            any_order[pid] = order
+                        bits ^= low
+            self.stateless_rules.append((order, rule, mask))
+        self.automaton = automaton_for(patterns)
         self.scanner = MultiPatternScanner(patterns)
+        self.any_order = any_order
+        self.any_mask = 0
+        for pid in any_order:
+            self.any_mask |= 1 << pid
         self.has_stun = any(rule.stun_attribute is not None for _, rule in self.special)
 
     def match(
@@ -151,7 +160,7 @@ class CompiledView:
     ) -> MatchRule | None:
         """First rule (in rule-list order) matching this inspection step.
 
-        *scan* carries the incremental stream state; ``None`` means *buffer*
+        *scan* carries the resumable stream state; ``None`` means *buffer*
         is a standalone per-packet payload and is scanned in full.
         """
         best: int | None = None
@@ -170,37 +179,43 @@ class CompiledView:
 
         if self.keyword_rules:
             if scan is None:
-                seen = self.scanner.scan(buffer)
+                hits = self.automaton.scan_mask(buffer)
             else:
-                seen = scan.feed(self.scanner, buffer)
-            for order, ids, require_all in self.keyword_rules:
-                if best is not None and order > best:
-                    break
-                if (ids <= seen) if require_all else (ids & seen):
-                    best = order
-                    break
+                hits = scan.feed_mask(self.automaton, buffer)
+            if hits:
+                any_order = self.any_order
+                bits = hits & self.any_mask
+                while bits:
+                    low = bits & -bits
+                    order = any_order[low.bit_length() - 1]
+                    if best is None or order < best:
+                        best = order
+                    bits ^= low
+                for order, mask in self.all_programs:
+                    if best is not None and order > best:
+                        break
+                    if hits & mask == mask:
+                        best = order
+                        break
 
         if best is None:
             return None
-        for order, rule in self.rules:
-            if order == best:
-                return rule
-        raise AssertionError("unreachable: matched order not in view")
+        return self.rule_by_order[best]
 
     def match_stateless(self, payload: Buffer) -> MatchRule | None:
         """First matching rule ignoring packet position (Iran-style DPI)."""
-        seen: set[int] | None = None
+        hits: int | None = None
         stun_attrs: dict[int, bytes] | None | bool = False
-        for _order, rule, ids in self.stateless_rules:
-            if ids is None:
+        for _order, rule, mask in self.stateless_rules:
+            if mask is None:
                 if stun_attrs is False:
                     stun_attrs = parse_stun_attributes(payload)
                 if stun_attrs is not None and rule.stun_attribute in stun_attrs:
                     return rule
                 continue
-            if seen is None:
-                seen = self.scanner.scan(payload)
-            if (ids <= seen) if rule.require_all else (ids & seen):
+            if hits is None:
+                hits = self.automaton.scan_mask(payload)
+            if (hits & mask == mask) if rule.require_all else (hits & mask):
                 return rule
         return None
 
@@ -210,9 +225,33 @@ class CompiledRuleSet:
 
     __slots__ = ("rules", "_views")
 
+    #: Interned rule sets keyed by the identity of their rule objects.  The
+    #: cached set holds strong references to those rules, so a key's ids can
+    #: never be reused by new objects while the entry lives.  Bounded the
+    #: same way as the automaton intern table.
+    _shared: dict[tuple[int, ...], "CompiledRuleSet"] = {}
+    _SHARED_LIMIT = 512
+
     def __init__(self, rules: list[MatchRule]) -> None:
         self.rules = tuple(rules)
         self._views: dict[tuple[str, int, str], CompiledView] = {}
+
+    @classmethod
+    def shared(cls, rules: list[MatchRule]) -> "CompiledRuleSet":
+        """The interned compiled set for these exact rule objects.
+
+        Engines built from the same rule list (the common testbed shape:
+        one rule catalog, several middlebox configurations) share one
+        compiled set — and therefore its views and automata — instead of
+        recompiling per engine.
+        """
+        key = tuple(map(id, rules))
+        compiled = cls._shared.get(key)
+        if compiled is None:
+            if len(cls._shared) >= cls._SHARED_LIMIT:
+                cls._shared.pop(next(iter(cls._shared)))
+            compiled = cls._shared[key] = cls(rules)
+        return compiled
 
     def view(self, protocol: str, server_port: int, direction: str) -> CompiledView:
         key = (protocol, server_port, direction)

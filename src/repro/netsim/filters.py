@@ -18,6 +18,7 @@ from repro.netsim.element import NetworkElement, TransitContext
 from repro.packets.flow import Direction, FiveTuple
 from repro.packets.ip import IPPacket
 from repro.packets.tcp import TCPFlags, TCPSegment
+from repro.packets.udp import UDPDatagram
 
 #: Sequence numbers further than this from the expected value count as
 #: "wildly out of window" for stateful firewalls.
@@ -91,19 +92,33 @@ class MalformedPacketFilter(NetworkElement):
         if self._should_drop(packet):
             self.dropped.append(packet)
             return []
-        self._track(packet)
+        if self.policy.drop_out_of_window_seq:
+            # Sequence state is only consulted by the out-of-window check.
+            self._track(packet)
         return [packet]
 
     def _should_drop(self, packet: IPPacket) -> bool:
         policy = self.policy
-        if policy.drop_bad_ip_header and not (
-            packet.has_valid_version()
-            and packet.has_valid_ihl()
-            and packet.has_valid_total_length()
-            and packet.has_valid_checksum()
+        if (
+            policy.drop_bad_ip_header
+            # Pristine fast path: auto-computed IHL/length/checksum are
+            # self-consistent by construction, so only crafted overrides
+            # need the full predicate walk.
+            and (
+                packet.version != 4
+                or packet.ihl is not None
+                or packet.total_length is not None
+                or packet.checksum is not None
+            )
+            and not (
+                packet.has_valid_version()
+                and packet.has_valid_ihl()
+                and packet.has_valid_total_length()
+                and packet.has_valid_checksum()
+            )
         ):
             return True
-        if packet.padded_options:
+        if packet.options:
             if policy.drop_any_ip_options:
                 return True
             if policy.drop_invalid_ip_options and not packet.has_wellformed_options():
@@ -114,8 +129,12 @@ class MalformedPacketFilter(NetworkElement):
             return True
         if policy.drop_ip_fragments and packet.is_fragment:
             return True
-        tcp = packet.tcp
-        if tcp is not None and packet.effective_protocol == 6:
+        # Direct transport access: the tcp/udp properties cost a descriptor
+        # call each, and this runs for every packet on strict-carrier paths.
+        transport = packet.transport
+        declared = packet.protocol
+        tcp = transport if type(transport) is TCPSegment else None
+        if tcp is not None and (declared is None or declared == 6):
             if policy.drop_bad_tcp_checksum and not tcp.verify_checksum(packet.src, packet.dst):
                 return True
             if policy.drop_bad_data_offset and not tcp.has_valid_data_offset():
@@ -126,8 +145,8 @@ class MalformedPacketFilter(NetworkElement):
                 return True
             if policy.drop_out_of_window_seq and self._out_of_window(packet, tcp):
                 return True
-        udp = packet.udp
-        if udp is not None and packet.effective_protocol == 17:
+        udp = transport if type(transport) is UDPDatagram else None
+        if udp is not None and (declared is None or declared == 17):
             if policy.drop_bad_udp_checksum and not udp.verify_checksum(packet.src, packet.dst):
                 return True
             if policy.drop_bad_udp_length and not udp.has_valid_length():
@@ -136,9 +155,10 @@ class MalformedPacketFilter(NetworkElement):
 
     def _missing_ack(self, packet: IPPacket, tcp: TCPSegment) -> bool:
         # The initial SYN legitimately has no ACK; RST-only is also normal.
-        if tcp.flags & (TCPFlags.SYN | TCPFlags.RST):
+        flags = int(tcp.flags)
+        if flags & 0x06:  # SYN or RST
             return False
-        return not tcp.flags & TCPFlags.ACK
+        return not flags & 0x10  # ACK
 
     def _out_of_window(self, packet: IPPacket, tcp: TCPSegment) -> bool:
         key = FiveTuple.of(packet)
@@ -157,7 +177,7 @@ class MalformedPacketFilter(NetworkElement):
         if tcp is None or key is None:
             return
         advance = len(tcp.payload)
-        if tcp.flags & (TCPFlags.SYN | TCPFlags.FIN):
+        if int(tcp.flags) & 0x03:  # SYN or FIN each consume one sequence number
             advance += 1
         self._next_seq[key] = (tcp.seq + advance) & 0xFFFFFFFF
 

@@ -45,9 +45,18 @@ class RouterHop(NetworkElement):
         self, packet: IPPacket, direction: Direction, ctx: TransitContext
     ) -> list[IPPacket]:
         """Decrement TTL, drop expired/malformed packets, forward the rest."""
-        if self.validate_ip_header and not self._header_acceptable(packet):
-            self._drop(packet, "bad-header", ctx)
-            return []
+        if self.validate_ip_header:
+            # Pristine fast path: auto-computed IHL/length/checksum are
+            # self-consistent by construction, so only crafted overrides
+            # need the full predicate walk.
+            if (
+                packet.version != 4
+                or packet.ihl is not None
+                or packet.total_length is not None
+                or packet.checksum is not None
+            ) and not self._header_acceptable(packet):
+                self._drop(packet, "bad-header", ctx)
+                return []
         if packet.ttl <= 1:
             self._drop(packet, "ttl-expired", ctx)
             if self.send_time_exceeded:
@@ -67,7 +76,7 @@ class RouterHop(NetworkElement):
                     )
                 ctx.inject_back(reply)
             return []
-        return [packet.copy(ttl=packet.ttl - 1, checksum=None)]
+        return [packet.decremented()]
 
     def _drop(self, packet: IPPacket, reason: str, ctx: TransitContext) -> None:
         self.dropped.append(packet)

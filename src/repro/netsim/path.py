@@ -11,8 +11,10 @@ from typing import Protocol
 
 from repro.netsim.clock import VirtualClock
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.netsim.hop import RouterHop
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.packets.batch import serialize_batch
 from repro.packets.flow import Direction
 from repro.packets.ip import IPPacket
 
@@ -79,6 +81,21 @@ class Path:
             packet, Direction.SERVER_TO_CLIENT, index=len(self.elements) - 1, depth=0
         )
 
+    def send_batch_from_client(self, packets: list[IPPacket]) -> None:
+        """Inject *packets* at the client edge in order, pre-encoding the batch.
+
+        Wire encoding is vectorized across the whole batch up front (sharing
+        per-(src, dst) pseudo-header work and warming every wire memo) so
+        downstream taps, DPI byte scans and replay observation serialize by
+        cache hit.  Delivery is otherwise identical to calling
+        :meth:`send_from_client` once per packet.  Skipped when metrics are
+        live: the per-packet path owns the wirecache hit/miss counts.
+        """
+        if obs_metrics.METRICS is None:
+            serialize_batch(packets, lenient=True)
+        for packet in packets:
+            self._propagate(packet, Direction.CLIENT_TO_SERVER, index=0, depth=0)
+
     def insert_element(self, element: NetworkElement, index: int = 0) -> None:
         """Insert *element* into the chain at *index* (0 = client edge)."""
         self.elements.insert(index, element)
@@ -108,11 +125,56 @@ class Path:
         if metrics is not None:
             metrics.inc("netsim.packets.propagated")
         step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
+        elements = self.elements
+        count = len(elements)
+        # One mutable context serves the whole frame: injections only happen
+        # synchronously inside element.process, when ``index`` is current.
+        ctx = _FrameContext(self, direction, depth, step)
         current = packet
         i = index
-        while 0 <= i < len(self.elements):
-            element = self.elements[i]
-            ctx = self._context_for(i, direction, depth)
+        if tracer is None and metrics is None:
+            # Obs-free hot loop: no per-hop emit/counter checks, and runs of
+            # consecutive routers collapse into one TTL subtraction.  Only
+            # sound with nothing per-hop observable (no traverse events, no
+            # hop counters); the traced loop below stays hop-by-hop so
+            # golden traces are byte-identical.
+            while 0 <= i < count:
+                element = elements[i]
+                if type(element) is RouterHop and (
+                    current.version == 4
+                    and current.ihl is None
+                    and current.total_length is None
+                    and current.checksum is None
+                ):
+                    # Walk the maximal run of consecutive routers.  A run of
+                    # k routers applied to a pristine packet with TTL > k is
+                    # exactly k TTL decrements: headers stay valid at every
+                    # hop (auto-computed fields are self-consistent) and the
+                    # TTL cannot expire mid-run, so no drops, no ICMP, and
+                    # the single clone below is byte-identical to hop-by-hop.
+                    j = i + step
+                    run = 1
+                    while 0 <= j < count and type(elements[j]) is RouterHop:
+                        run += 1
+                        j += step
+                    if current.ttl > run:
+                        current = current.decremented(run)
+                        i = j
+                        continue
+                ctx.index = i
+                outputs = element.process(current, direction, ctx)
+                if not outputs:
+                    return
+                if len(outputs) > 1:
+                    for extra in outputs[:-1]:
+                        self._propagate(extra, direction, i + step, depth + 1)
+                current = outputs[-1]
+                i += step
+            self._deliver_to_endpoint(current, direction, depth)
+            return
+        while 0 <= i < count:
+            element = elements[i]
+            ctx.index = i
             outputs = element.process(current, direction, ctx)
             if tracer is not None:
                 tracer.emit(
@@ -130,10 +192,11 @@ class Path:
                 return
             if metrics is not None:
                 metrics.inc("netsim.hop.forwarded")
-            # An element may emit several packets (e.g. reassembly flushes);
-            # all but the last recurse, the last continues the loop.
-            for extra in outputs[:-1]:
-                self._propagate(extra, direction, i + step, depth + 1)
+            if len(outputs) > 1:
+                # An element may emit several packets (e.g. reassembly
+                # flushes); all but the last recurse, the last continues.
+                for extra in outputs[:-1]:
+                    self._propagate(extra, direction, i + step, depth + 1)
             current = outputs[-1]
             i += step
         if tracer is not None:
@@ -164,6 +227,11 @@ class Path:
                 self._propagate(response, Direction.CLIENT_TO_SERVER, index=0, depth=depth + 1)
 
     def _context_for(self, element_index: int, direction: Direction, depth: int) -> TransitContext:
+        """A standalone :class:`TransitContext` for one element position.
+
+        Kept for callers that hand-drive a single element; the propagation
+        loop itself uses the cheaper reusable :class:`_FrameContext`.
+        """
         step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
 
         def inject_back(injected: IPPacket) -> None:
@@ -174,4 +242,34 @@ class Path:
 
         return TransitContext(
             clock=self.clock, inject_back=inject_back, inject_forward=inject_forward
+        )
+
+
+class _FrameContext:
+    """The propagation loop's transit context: one per frame, not per hop.
+
+    Duck-typed stand-in for :class:`TransitContext` (same ``clock`` /
+    ``inject_back`` / ``inject_forward`` surface).  The owning frame updates
+    ``index`` as the walk advances; elements only inject synchronously from
+    ``process``, so the position is always current when it is read.
+    """
+
+    __slots__ = ("clock", "index", "_path", "_direction", "_depth", "_step")
+
+    def __init__(self, path: Path, direction: Direction, depth: int, step: int) -> None:
+        self.clock = path.clock
+        self.index = 0
+        self._path = path
+        self._direction = direction
+        self._depth = depth
+        self._step = step
+
+    def inject_back(self, injected: IPPacket) -> None:
+        self._path._propagate(
+            injected, self._direction.reversed, self.index - self._step, self._depth + 1
+        )
+
+    def inject_forward(self, injected: IPPacket) -> None:
+        self._path._propagate(
+            injected, self._direction, self.index + self._step, self._depth + 1
         )

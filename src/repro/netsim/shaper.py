@@ -42,15 +42,26 @@ class TokenBucket:
         Returns the delay (seconds) that was charged.
         """
         rate_bytes = self.rate_bps / 8.0
-        self._refill(clock.now, rate_bytes)
-        if self._tokens >= size_bytes:
-            self._tokens -= size_bytes
+        # Inlined _refill: this runs once per packet per shaper.
+        now = clock.now
+        elapsed = now - self._last
+        tokens = self._tokens + elapsed * rate_bytes if elapsed > 0.0 else self._tokens
+        if tokens > self.burst_bytes:
+            tokens = self.burst_bytes
+        self._last = now
+        if tokens >= size_bytes:
+            self._tokens = tokens - size_bytes
             return 0.0
-        deficit = size_bytes - self._tokens
+        self._tokens = tokens
+        deficit = size_bytes - tokens
         delay = deficit / rate_bytes
         clock.advance(delay)
-        self._refill(clock.now, rate_bytes)
-        self._tokens = max(self._tokens - size_bytes, 0.0)
+        now = clock.now
+        elapsed = now - self._last
+        if elapsed > 0.0:
+            tokens = min(self.burst_bytes, tokens + elapsed * rate_bytes)
+        self._last = now
+        self._tokens = max(tokens - size_bytes, 0.0)
         return delay
 
     def _refill(self, now: float, rate_bytes: float) -> None:
@@ -123,17 +134,38 @@ class TokenBucketShaper(NetworkElement):
     ) -> list[IPPacket]:
         """Charge the packet's transmission time, throttled when marked."""
         size = packet.wire_length()
-        key = FiveTuple.of(packet)
-        rate = self.policy_state.throttle_rate_for(key)
-        if rate is not None and key is not None:
-            bucket = self._flow_buckets.get(key.normalized())
-            if bucket is None or bucket.rate_bps != rate:
-                bucket = TokenBucket(rate_bps=rate, burst_bytes=8_000.0)
-                bucket._last = ctx.clock.now
-                self._flow_buckets[key.normalized()] = bucket
-            bucket.consume(size, ctx.clock)
+        # Flow keys are only needed to look up throttle marks; with none
+        # set (the common case) every packet takes the base link.
+        throttled = self.policy_state.throttled_flows
+        if throttled:
+            key = FiveTuple.of(packet)
+            normalized = None if key is None else key.normalized()
+            rate = None if normalized is None else throttled.get(normalized)
+            if rate is not None:
+                bucket = self._flow_buckets.get(normalized)
+                if bucket is None or bucket.rate_bps != rate:
+                    bucket = TokenBucket(rate_bps=rate, burst_bytes=8_000.0)
+                    bucket._last = ctx.clock.now
+                    self._flow_buckets[normalized] = bucket
+                bucket.consume(size, ctx.clock)
+                return [packet]
+        # Inlined base-bucket fast path: the base link rarely saturates, so
+        # most packets only need a refill-and-subtract with no delay.
+        bucket = self.base_bucket
+        clock = ctx.clock
+        now = clock.now
+        elapsed = now - bucket._last
+        tokens = bucket._tokens
+        if elapsed > 0.0:
+            tokens += elapsed * (bucket.rate_bps / 8.0)
+            if tokens > bucket.burst_bytes:
+                tokens = bucket.burst_bytes
+        bucket._last = now
+        if tokens >= size:
+            bucket._tokens = tokens - size
         else:
-            self.base_bucket.consume(size, ctx.clock)
+            bucket._tokens = tokens
+            bucket.consume(size, clock)  # recomputes elapsed=0, charges delay
         return [packet]
 
     def reset(self) -> None:

@@ -6,7 +6,11 @@ benchmark run (the BENCH payload minus its bulky ``profile`` section).
 that history and flags
 
 * **slowdowns** — current wall-clock seconds beyond a noise band above the
-  median of the recorded runs (timings are noisy; medians are not), and
+  median of the recorded runs (timings are noisy; medians are not),
+* **throughput drops** — current ``packets_per_second`` below the recorded
+  median by more than the same noise band; unlike raw seconds this is
+  packet-normalized, so a workload that grew legitimately does not mask a
+  real per-packet regression (and vice versa), and
 * **determinism breaks** — keys that must never change between runs
   (replay rounds, paper agreement) differing from the last recorded entry.
 
@@ -143,6 +147,8 @@ def check_regressions(
     Wall-clock seconds compare against the **median** of recorded runs —
     strictly beyond ``median * (1 + threshold)`` flags, so the default 0.25
     band catches a 30% slowdown while absorbing ordinary timer noise.
+    Throughput applies the same band inverted: ``packets_per_second`` below
+    ``median / (1 + threshold)`` flags (a >=25% drop under the default).
     """
     flags: list[RegressionFlag] = []
     for name in sorted(current):
@@ -167,6 +173,30 @@ def check_regressions(
                             f"{name}: {seconds:.4f}s is {ratio:.2f}x the "
                             f"history median {baseline:.4f}s "
                             f"(threshold {1.0 + threshold:.2f}x over {len(past)} runs)"
+                        ),
+                    )
+                )
+        pps = payload.get("packets_per_second")
+        past_pps = [
+            e["packets_per_second"]
+            for e in recorded
+            if isinstance(e.get("packets_per_second"), (int, float))
+        ]
+        if isinstance(pps, (int, float)) and past_pps:
+            baseline = statistics.median(past_pps)
+            if pps > 0 and baseline > pps * (1.0 + threshold):
+                ratio = pps / baseline
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key="packets_per_second",
+                        baseline=round(baseline, 1),
+                        current=pps,
+                        ratio=round(ratio, 3),
+                        message=(
+                            f"{name}: {pps:.1f} pkt/s is {ratio:.2f}x the "
+                            f"history median {baseline:.1f} pkt/s "
+                            f"(floor {1.0 / (1.0 + threshold):.2f}x over {len(past_pps)} runs)"
                         ),
                     )
                 )

@@ -40,6 +40,11 @@ HEADLINE_METRICS = (
     "mbx.rule_matches",
     "mbx.scan_bytes",
     "mbx.flows_created",
+    # Automaton compilations are memoized per process, so the *lookup*
+    # counter is the headline (present in every metered run); the
+    # mbx.automaton.builds/states/patterns series ride along when a run
+    # actually compiled.
+    "mbx.automaton.lookups",
     "env.created",
 )
 

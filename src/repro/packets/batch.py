@@ -1,0 +1,156 @@
+"""Batched wire serialization for packet collections.
+
+Replay observation, pcap export and path delivery all serialize *many*
+packets at once — usually long runs of plain TCP/UDP packets that share the
+same (src, dst) pair.  :func:`serialize_batch` exploits that shape: the
+pseudo-header prefix and address bytes are computed once per endpoint pair,
+checksums are folded over memo-warm zero-wires, and every result is written
+back into the per-object wire caches so later ``to_bytes()`` calls hit.
+
+Exact-equivalence contract: for every packet, the produced bytes are
+byte-identical to ``packet.to_bytes()`` — anything whose shape the fast path
+does not cover (header overrides, IP options, fragments, raw/ICMP
+transports, explicit checksums) falls back to ``to_bytes()`` itself.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.obs import metrics as obs_metrics
+from repro.packets.checksum import internet_checksum, ip_to_bytes
+from repro.packets.ip import IPPacket
+from repro.packets.tcp import TCP_PROTO, TCPSegment
+from repro.packets.udp import UDP_PROTO, UDPDatagram
+
+_PACK_BBH = struct.Struct("!BBH").pack
+_PACK_H = struct.Struct("!H").pack
+_PACK_IP = struct.Struct("!BBHHHBBH").pack
+
+
+def _plain_shape(packet: IPPacket) -> bool:
+    """True when the fast path reproduces ``to_bytes()`` exactly.
+
+    Pristine IP header (every override field at its auto-computed default,
+    no options) wrapping a typed TCP/UDP transport whose checksum is
+    computed, not frozen.  A UDP length override is fine: both the
+    pseudo-header and the IP total length use the actual serialized size,
+    exactly as ``to_bytes()`` does.
+    """
+    if (
+        packet.version != 4
+        or packet.ihl is not None
+        or packet.total_length is not None
+        or packet.protocol is not None
+        or packet.checksum is not None
+        or packet.options
+    ):
+        return False
+    transport = packet.transport
+    if type(transport) is TCPSegment:
+        return transport.checksum is None
+    if type(transport) is UDPDatagram:
+        return transport.checksum is None
+    return False
+
+
+def serialize_batch(
+    packets: list[IPPacket], *, lenient: bool = False
+) -> list[bytes | None]:
+    """Serialize *packets* to wire bytes, sharing work across the batch.
+
+    Returns one entry per input packet, in order.  With ``lenient=True``,
+    packets that cannot be serialized (deliberately malformed crafted
+    packets) yield ``None`` instead of raising.
+
+    Every produced byte string equals the packet's own ``to_bytes()``
+    result, and both the transport's and the packet's wire memos are warmed,
+    so interleaved per-packet serialization stays consistent.
+    """
+    if obs_metrics.METRICS is not None:
+        # The per-packet path counts wirecache hits/misses; bypassing it
+        # would skew those metrics, so batch mode defers when they're live.
+        return _fallback_batch(packets, lenient)
+
+    out: list[bytes | None] = []
+    # Shared per-(src, dst) state: address bytes and pseudo-header prefix.
+    pair_key: tuple[str, str] | None = None
+    addr_bytes = b""
+    for packet in packets:
+        if not _plain_shape(packet):
+            out.append(_serialize_one(packet, lenient))
+            continue
+        src = packet.src
+        dst = packet.dst
+        transport = packet.transport
+        proto = TCP_PROTO if type(transport) is TCPSegment else UDP_PROTO
+        try:
+            if (src, dst) != pair_key:
+                addr_bytes = ip_to_bytes(src) + ip_to_bytes(dst)
+                pair_key = (src, dst)
+            # Transport bytes: reuse the per-(src, dst) memo, else compute
+            # over the shared pseudo-header prefix and warm the memo.
+            cached = transport._wire_cache
+            if cached is not None and cached[0] == pair_key:
+                seg = cached[1]
+            else:
+                zero = transport._wire_zero()
+                csum = internet_checksum(
+                    addr_bytes + _PACK_BBH(0, proto, len(zero)) + zero
+                )
+                if proto == TCP_PROTO:
+                    seg = zero[:16] + _PACK_H(csum) + zero[18:]
+                else:
+                    if csum == 0:
+                        csum = 0xFFFF  # RFC 768: zero means "no checksum"
+                    seg = zero[:6] + _PACK_H(csum) + zero[8:]
+                object.__setattr__(transport, "_wire_cache", (pair_key, seg))
+        except (ValueError, OverflowError):
+            if not lenient:
+                raise
+            out.append(None)
+            continue
+        # IP header: pristine shape means IHL 5, version 4, derived
+        # protocol, computed total length and checksum.
+        flags_frag = (0x4000 if packet.df else 0) | (0x2000 if packet.mf else 0)
+        flags_frag |= packet.frag_offset & 0x1FFF
+        header0 = (
+            _PACK_IP(
+                0x45,
+                packet.tos,
+                (20 + len(seg)) & 0xFFFF,
+                packet.identification,
+                flags_frag,
+                packet.ttl & 0xFF,
+                proto,
+                0,
+            )
+            + addr_bytes
+        )
+        wire = header0[:10] + _PACK_H(internet_checksum(header0)) + header0[12:] + seg
+        object.__setattr__(packet, "_wire_cache", (seg, wire))
+        out.append(wire)
+    return out
+
+
+def _serialize_one(packet: IPPacket, lenient: bool) -> bytes | None:
+    try:
+        return packet.to_bytes()
+    except (ValueError, OverflowError):
+        if not lenient:
+            raise
+        return None
+
+
+def _fallback_batch(packets: list[IPPacket], lenient: bool) -> list[bytes | None]:
+    return [_serialize_one(p, lenient) for p in packets]
+
+
+def concat_wire_bytes(packets: list[IPPacket]) -> bytes:
+    """All serializable packets' wire bytes, concatenated in order.
+
+    Unserializable crafted packets are skipped — the marker-scan and
+    replay-progress checks that call this only care about the byte stream
+    that actually made it onto the wire.
+    """
+    return b"".join(wire for wire in serialize_batch(packets, lenient=True) if wire)

@@ -93,7 +93,8 @@ class IPPacket:
     @property
     def header_length(self) -> int:
         """Actual serialized header length in bytes (ignores IHL override)."""
-        return IP_HEADER_MIN + len(self.padded_options)
+        length = len(self.options)
+        return IP_HEADER_MIN + length + (-length % 4)
 
     @property
     def effective_ihl(self) -> int:
@@ -107,9 +108,12 @@ class IPPacket:
         """The protocol field value that will appear on the wire."""
         if self.protocol is not None:
             return self.protocol
-        for klass, number in _PROTO_FOR_TYPE.items():
+        number = _PROTO_FOR_TYPE.get(type(self.transport))
+        if number is not None:
+            return number
+        for klass, proto in _PROTO_FOR_TYPE.items():  # transport subclasses
             if isinstance(self.transport, klass):
-                return number
+                return proto
         return 0xFF  # raw bytes with no declared protocol
 
     @property
@@ -124,11 +128,21 @@ class IPPacket:
         """The total-length field value that will appear on the wire."""
         if self.total_length is not None:
             return self.total_length
-        return self.header_length + len(self.payload_bytes)
+        return self.wire_length()
 
     def wire_length(self) -> int:
-        """Actual number of bytes the packet occupies on the wire."""
-        return self.header_length + len(self.payload_bytes)
+        """Actual number of bytes the packet occupies on the wire.
+
+        Computed arithmetically — every transport knows its serialized
+        length without serializing, which keeps the per-hop validation and
+        shaping paths free of wire encoding.
+        """
+        length = len(self.options)
+        header = IP_HEADER_MIN + length + (-length % 4)
+        transport = self.transport
+        if isinstance(transport, bytes):
+            return header + len(transport)
+        return header + transport.wire_length()
 
     # ------------------------------------------------------------------
     # typed transport accessors
@@ -169,19 +183,27 @@ class IPPacket:
 
     def has_valid_ihl(self) -> bool:
         """True when the IHL matches the actual header length."""
-        return self.effective_ihl * 4 == self.header_length and self.effective_ihl >= 5
+        if self.ihl is None:
+            return True  # computed IHL is header_length // 4, always consistent
+        return self.ihl * 4 == self.header_length and self.ihl >= 5
 
     def has_valid_total_length(self) -> bool:
         """True when the total-length field matches the actual wire length."""
-        return self.effective_total_length == self.wire_length()
+        if self.total_length is None:
+            return True  # computed on serialization, always consistent
+        return self.total_length == self.wire_length()
 
     def total_length_too_long(self) -> bool:
         """True when the declared total length exceeds the actual bytes."""
-        return self.effective_total_length > self.wire_length()
+        if self.total_length is None:
+            return False
+        return self.total_length > self.wire_length()
 
     def total_length_too_short(self) -> bool:
         """True when the declared total length understates the actual bytes."""
-        return self.effective_total_length < self.wire_length()
+        if self.total_length is None:
+            return False
+        return self.total_length < self.wire_length()
 
     def has_valid_checksum(self) -> bool:
         """True when the header checksum is correct (or auto-computed)."""
@@ -347,12 +369,77 @@ class IPPacket:
             fresh = object.__new__(type(transport))
             fresh.__dict__.update(transport.__dict__)
             d["transport"] = fresh
+        flow = d.get("_flow_cache")
+        if flow is not None:
+            # The memoized flow key survives copies that leave the flow
+            # identity alone (the per-hop TTL decrement), re-keyed onto the
+            # cloned transport; any flow-identity change drops it.
+            if changes and not _FLOW_FIELDS.isdisjoint(changes):
+                del d["_flow_cache"]
+            elif d["transport"] is not flow[0]:
+                d["_flow_cache"] = (d["transport"], flow[1])
+        return new
+
+    def decremented(self, hops: int = 1) -> "IPPacket":
+        """The packet *hops* router hops later: TTL − hops, checksum recomputed.
+
+        Dedicated clone for the router-hop fast path — the single most
+        frequent packet operation in the simulator.  Unlike :meth:`copy`
+        the transport object is *shared*, not cloned: no element mutates a
+        transport in place (mutators like ``TCPChecksumNormalizer`` take a
+        :meth:`copy`, which clones, first), and sharing keeps one set of
+        memoized wire bytes per transport across the whole path.
+        """
+        new = object.__new__(IPPacket)
+        d = self.__dict__.copy()
+        d.pop("_hdr0_cache", None)
+        d.pop("_wire_cache", None)
+        d["ttl"] = self.ttl - hops
+        d["checksum"] = None
+        object.__setattr__(new, "__dict__", d)
         return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IP({self.src}->{self.dst} ttl={self.ttl} proto={self.effective_protocol} {self.transport!r})"
 
 
-install_wire_cache(IPPacket, ("_hdr0_cache", "_wire_cache"))
+install_wire_cache(IPPacket, ("_hdr0_cache", "_wire_cache", "_flow_cache"))
 
 _FIELD_NAMES = frozenset(f.name for f in fields(IPPacket))
+#: Fields that participate in flow identity (see FiveTuple.of's packet memo).
+_FLOW_FIELDS = frozenset({"src", "dst", "transport", "protocol"})
+
+
+def fast_packet(src: str, dst: str, transport: Transport, ttl: int = 64) -> IPPacket:
+    """Build a pristine IPv4 packet without ``__init__``/validation overhead.
+
+    For hot paths that wrap already-validated transports (endpoint stacks
+    emitting ACKs and data): one dict display instead of the dataclass
+    constructor's per-field ``__setattr__`` walk.  Every header field takes
+    its auto-computed default; callers needing overrides use the
+    constructor or copy().
+    """
+    packet = object.__new__(IPPacket)
+    object.__setattr__(packet, "__dict__", {
+        "src": src,
+        "dst": dst,
+        "transport": transport,
+        "ttl": ttl,
+        "version": 4,
+        "ihl": None,
+        "tos": 0,
+        "total_length": None,
+        "identification": 0,
+        "df": False,
+        "mf": False,
+        "frag_offset": 0,
+        "protocol": None,
+        "checksum": None,
+        "options": b"",
+    })
+    return packet
+
+
+# fast_packet's dict display must cover exactly the dataclass fields;
+# this trips at import time if a field is ever added or renamed.
+assert set(fast_packet("0.0.0.0", "0.0.0.0", b"").__dict__) == _FIELD_NAMES

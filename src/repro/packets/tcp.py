@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields
 
 from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import internet_checksum, pseudo_header
@@ -40,17 +40,16 @@ class TCPFlags(enum.IntFlag):
         SYN together with FIN or RST, a segment with no flags at all, or the
         "christmas tree" pattern with every flag lit.
         """
-        flags = TCPFlags(self)
-        if not flags:
+        # Plain int arithmetic: this runs per packet in strict-carrier
+        # filters, and IntFlag operators re-wrap every result.
+        value = int(self)
+        if not value:
             return False
-        if flags & TCPFlags.SYN and flags & (TCPFlags.FIN | TCPFlags.RST):
+        if value & 0x02 and value & 0x05:  # SYN with FIN or RST
             return False
-        if flags & TCPFlags.RST and flags & TCPFlags.FIN:
+        if value & 0x04 and value & 0x01:  # RST with FIN
             return False
-        all_lit = (
-            TCPFlags.FIN | TCPFlags.SYN | TCPFlags.RST | TCPFlags.PSH | TCPFlags.ACK | TCPFlags.URG
-        )
-        if flags & all_lit == all_lit:
+        if value & 0x3F == 0x3F:  # FIN|SYN|RST|PSH|ACK|URG all lit
             return False
         return True
 
@@ -88,7 +87,8 @@ class TCPSegment:
     checksum: int | None = None
 
     def __post_init__(self) -> None:
-        self.flags = TCPFlags(self.flags)
+        if type(self.flags) is not TCPFlags:
+            self.flags = TCPFlags(self.flags)
         for name in ("sport", "dport"):
             value = getattr(self, name)
             if not 0 <= value <= 0xFFFF:
@@ -114,11 +114,17 @@ class TCPSegment:
     @property
     def header_length(self) -> int:
         """Actual serialized header length in bytes (ignores overrides)."""
-        return TCP_HEADER_MIN + len(self.padded_options)
+        length = len(self.options)
+        return TCP_HEADER_MIN + length + (-length % 4)
 
     def wire_length(self) -> int:
-        """Total serialized length: header plus payload."""
-        return self.header_length + len(self.payload)
+        """Total serialized length: header plus payload.
+
+        Inlined arithmetic rather than going through ``header_length``:
+        shapers call this once per packet per hop.
+        """
+        length = len(self.options)
+        return TCP_HEADER_MIN + length + (-length % 4) + len(self.payload)
 
     def has_valid_data_offset(self) -> bool:
         """True when the declared data offset matches the actual header."""
@@ -214,13 +220,44 @@ class TCPSegment:
         """
         if self.checksum is None:
             return True
+        cached = self._csum_cache
+        if cached is not None and cached[0] == (src, dst):
+            return cached[1]
         segment = self._wire_zero()
         pseudo = pseudo_header(src, dst, TCP_PROTO, len(segment))
-        return internet_checksum(pseudo + segment) == self.checksum
+        ok = internet_checksum(pseudo + segment) == self.checksum
+        object.__setattr__(self, "_csum_cache", ((src, dst), ok))
+        return ok
 
     def copy(self, **changes: object) -> "TCPSegment":
-        """Return a copy with *changes* applied (dataclasses.replace wrapper)."""
-        return replace(self, **changes)  # type: ignore[arg-type]
+        """Return a copy with *changes* applied.
+
+        Equivalent to ``dataclasses.replace`` but built as a direct
+        instance-dict clone (this is the per-packet construction hot path):
+        unchanged fields already satisfy every ``__post_init__`` invariant,
+        so only the changed ones are re-validated.
+        """
+        if changes and not _FIELD_NAMES.issuperset(changes):
+            bad = ", ".join(sorted(set(changes) - _FIELD_NAMES))
+            raise TypeError(f"unknown TCPSegment field(s): {bad}")
+        new = object.__new__(TCPSegment)
+        d = new.__dict__
+        d.update(self.__dict__)
+        d.pop("_wire0_cache", None)
+        d.pop("_wire_cache", None)
+        d.pop("_csum_cache", None)
+        if changes:
+            d.update(changes)
+            if "flags" in changes and type(d["flags"]) is not TCPFlags:
+                d["flags"] = TCPFlags(d["flags"])
+            for name in ("sport", "dport"):
+                if name in changes and not 0 <= d[name] <= 0xFFFF:
+                    raise ValueError(f"{name} out of range: {d[name]}")
+            if "seq" in changes:
+                d["seq"] &= 0xFFFFFFFF
+            if "ack" in changes:
+                d["ack"] &= 0xFFFFFFFF
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -229,4 +266,43 @@ class TCPSegment:
         )
 
 
-install_wire_cache(TCPSegment, ("_wire0_cache", "_wire_cache"))
+install_wire_cache(TCPSegment, ("_wire0_cache", "_wire_cache", "_csum_cache"))
+
+_FIELD_NAMES = frozenset(f.name for f in fields(TCPSegment))
+
+
+def fast_segment(
+    sport: int,
+    dport: int,
+    seq: int,
+    ack: int,
+    flags: TCPFlags = TCPFlags.ACK,
+    payload: bytes = b"",
+) -> TCPSegment:
+    """Build a plain segment without ``__init__``/validation overhead.
+
+    For hot paths that construct segments from already-validated values
+    (established connections): one dict display instead of the dataclass
+    constructor's per-field ``__setattr__`` walk.  Every other field takes
+    its default; callers needing overrides use the constructor or copy().
+    """
+    segment = object.__new__(TCPSegment)
+    object.__setattr__(segment, "__dict__", {
+        "sport": sport,
+        "dport": dport,
+        "seq": seq,
+        "ack": ack,
+        "flags": flags,
+        "window": 65535,
+        "urgent": 0,
+        "options": b"",
+        "payload": payload,
+        "data_offset": None,
+        "checksum": None,
+    })
+    return segment
+
+
+# fast_segment's dict display must cover exactly the dataclass fields;
+# this trips at import time if a field is ever added or renamed.
+assert set(fast_segment(0, 0, 0, 0).__dict__) == _FIELD_NAMES

@@ -8,7 +8,7 @@ Checksum* inert packets from the paper's Table 3.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields
 
 from repro.packets._wirecache import install_wire_cache
 from repro.packets.checksum import internet_checksum, pseudo_header
@@ -116,19 +116,40 @@ class UDPDatagram:
         """Check the datagram checksum against the pseudo-header for src/dst."""
         if self.checksum is None or self.checksum == 0:
             return True  # zero means "checksum not used" in UDP over IPv4
+        cached = self._csum_cache
+        if cached is not None and cached[0] == (src, dst):
+            return cached[1]
         datagram = self._wire_zero()
         pseudo = pseudo_header(src, dst, UDP_PROTO, len(datagram))
         expected = internet_checksum(pseudo + datagram)
         if expected == 0:
             expected = 0xFFFF
-        return expected == self.checksum
+        ok = expected == self.checksum
+        object.__setattr__(self, "_csum_cache", ((src, dst), ok))
+        return ok
 
     def copy(self, **changes: object) -> "UDPDatagram":
-        """Return a copy with *changes* applied."""
-        return replace(self, **changes)  # type: ignore[arg-type]
+        """Return a copy with *changes* applied (validating changed ports)."""
+        if changes and not _FIELD_NAMES.issuperset(changes):
+            bad = ", ".join(sorted(set(changes) - _FIELD_NAMES))
+            raise TypeError(f"unknown UDPDatagram field(s): {bad}")
+        new = object.__new__(UDPDatagram)
+        d = new.__dict__
+        d.update(self.__dict__)
+        d.pop("_wire0_cache", None)
+        d.pop("_wire_cache", None)
+        d.pop("_csum_cache", None)
+        if changes:
+            d.update(changes)
+            for name in ("sport", "dport"):
+                if name in changes and not 0 <= d[name] <= 0xFFFF:
+                    raise ValueError(f"{name} out of range: {d[name]}")
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UDP({self.sport}->{self.dport} len={len(self.payload)})"
 
 
-install_wire_cache(UDPDatagram, ("_wire0_cache", "_wire_cache"))
+install_wire_cache(UDPDatagram, ("_wire0_cache", "_wire_cache", "_csum_cache"))
+
+_FIELD_NAMES = frozenset(f.name for f in fields(UDPDatagram))

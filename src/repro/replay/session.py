@@ -15,6 +15,7 @@ from repro.middlebox.engine import DPIMiddlebox
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.packets.batch import concat_wire_bytes
 from repro.packets.tcp import TCPFlags
 from repro.replay.runner import ReplayRunner
 from repro.traffic.trace import Trace
@@ -309,10 +310,7 @@ class ReplaySession:
                 for p in self.client.collector.rst_packets()
                 if p.tcp is not None and p.tcp.dport == self.sport
             )
-            block_page = any(
-                p.tcp is not None and b"403 Forbidden" in p.tcp.payload
-                for p in self.client.collector.packets
-            )
+            block_page = self.client.collector.block_page_seen()
         else:
             assert isinstance(self.client, RawUDPClient) and self.udp_stack is not None
             delivered_list = self.udp_stack.delivered_stream(self.sport, self.server_port)
@@ -400,11 +398,7 @@ class ReplaySession:
         if self.trace.protocol != "tcp" or len(expected_server) < MIN_THROUGHPUT_SAMPLE_BYTES:
             return None, None
         assert isinstance(self.client, RawTCPClient)
-        samples = [
-            (t, len(p.tcp.payload))
-            for t, p in self.client.collector.timed_packets()
-            if p.tcp is not None and p.src == self.env.server_addr and p.tcp.payload
-        ]
+        samples = self.client.collector.tcp_data_samples(self.env.server_addr)
         if len(samples) < 2:
             return None, None
         start, end = samples[0][0], samples[-1][0]
@@ -484,20 +478,16 @@ class ReplaySession:
         return any(
             p.src == self.env.client_addr
             and p.tcp is not None
-            and p.tcp.flags & TCPFlags.RST
+            and int(p.tcp.flags) & 0x04  # RST
             and p.ttl < 32
             for p in self.tcp_stack.raw_arrivals
         )
 
     def _markers_reached(self, markers: list[bytes]) -> bool:
         stacks = [s for s in (self.tcp_stack, self.udp_stack) if s is not None]
-        arrival_bytes = bytearray()
-        for stack in stacks:
-            for packet in stack.raw_arrivals:
-                try:
-                    arrival_bytes.extend(packet.to_bytes())
-                except (ValueError, OverflowError):
-                    continue
+        arrival_bytes = b"".join(
+            concat_wire_bytes(stack.raw_arrivals) for stack in stacks
+        )
         return any(marker in arrival_bytes for marker in markers)
 
 

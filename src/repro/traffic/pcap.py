@@ -12,6 +12,7 @@ import struct
 from pathlib import Path
 
 from repro.netsim.element import PacketTap
+from repro.packets.batch import serialize_batch
 
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_VERSION = (2, 4)
@@ -78,10 +79,11 @@ def read_pcap(path: str | Path) -> list[tuple[float, bytes]]:
 
 def tap_to_pcap(tap: PacketTap, path: str | Path) -> int:
     """Serialize everything a :class:`PacketTap` saw into a pcap file."""
-    records = []
-    for record in tap.records:
-        try:
-            records.append((record.time, record.packet.to_bytes()))
-        except (ValueError, OverflowError):
-            continue  # a deliberately unserializable crafted packet
+    tap_records = tap.records
+    wires = serialize_batch([record.packet for record in tap_records], lenient=True)
+    records = [
+        (record.time, wire)
+        for record, wire in zip(tap_records, wires)
+        if wire is not None  # a deliberately unserializable crafted packet
+    ]
     return write_pcap(path, records)

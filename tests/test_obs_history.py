@@ -107,6 +107,41 @@ class TestRegressionChecks:
         assert flags[0].baseline == 10
         assert flags[0].current == 11
 
+    def test_throughput_drop_is_flagged(self, tmp_path):
+        history_path = tmp_path / "BENCH_history.jsonl"
+        obs_history.append_entries(
+            history_path,
+            [
+                {"name": "tput", "seconds": 1.0, "packets_per_second": pps}
+                for pps in (10_000.0, 10_200.0, 9_800.0)
+            ],
+        )
+        results = tmp_path / "results"
+        # 7000 pkt/s is below median/1.25 = 8000: a >25% throughput drop.
+        # Seconds are unchanged, so only the normalized check can see it
+        # (the workload shrank along with the throughput).
+        _write_bench(results, {"name": "tput", "seconds": 1.0, "packets_per_second": 7_000.0})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert [flag.key for flag in flags] == ["packets_per_second"]
+        assert flags[0].ratio == pytest.approx(0.7)
+        assert "pkt/s" in flags[0].message
+
+    def test_throughput_within_band_or_gained_passes(self, tmp_path):
+        history_path = tmp_path / "BENCH_history.jsonl"
+        obs_history.append_entries(
+            history_path,
+            [{"name": "tput", "seconds": 1.0, "packets_per_second": 10_000.0}],
+        )
+        history = obs_history.load_history(history_path)
+        results = tmp_path / "results"
+        for pps in (8_500.0, 10_000.0, 50_000.0):  # small dip, flat, speedup
+            _write_bench(results, {"name": "tput", "seconds": 1.0, "packets_per_second": pps})
+            current = obs_history.collect_bench_payloads(results)
+            assert obs_history.check_regressions(history, current) == []
+
     def test_unrecorded_benchmark_is_skipped(self, tmp_path):
         _write_bench(tmp_path, {"name": "brand-new", "seconds": 99.0})
         assert obs_history.check_regressions({}, obs_history.collect_bench_payloads(tmp_path)) == []

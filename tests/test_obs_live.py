@@ -112,7 +112,18 @@ def _seeded_run(backend: str) -> tuple[dict, str, dict]:
                 assert rows
                 out = io.StringIO()
                 bus.export_jsonl(out)
-                return registry.snapshot(), out.getvalue(), bus.tally()
+                return _portable(registry.snapshot()), out.getvalue(), bus.tally()
+
+
+def _portable(snapshot: dict) -> dict:
+    """The snapshot minus process-local series.
+
+    ``mbx.automaton.*`` counts lookups and memoized builds — how many of
+    each a process performs depends on worker scheduling and intern-cache
+    state, not on the experiment, so those series are excluded from the
+    cross-backend identity contract (see ``automaton._record_build``).
+    """
+    return {k: v for k, v in snapshot.items() if not k.startswith("mbx.automaton.")}
 
 
 @pytest.mark.slow
