@@ -79,6 +79,9 @@ def save_bench_json(
         "packets": probe.packets,
         "packets_per_second": round(probe.packets_per_second, 1),
     }
+    peak_rss = obs_profiling.peak_rss_kb()
+    if peak_rss is not None:
+        payload["peak_rss_kb"] = peak_rss
     payload.update(metrics)
     if obs_profiling.PROFILER is not None and obs_profiling.PROFILER.stages:
         payload["profile"] = obs_profiling.PROFILER.snapshot()

@@ -7,6 +7,7 @@ Subcommands mirror the paper's workflow over the simulated environments::
     liberate detect --env tmobile --host d1.cloudfront.net
     liberate characterize --env iran --host facebook.com
     liberate table1 | table2 | table3 | figure4 | efficiency | throughput
+    liberate scale --flows 1000000      # bounded flow-state churn workload
     liberate trace --host x.com --out trace.json   # save a workload
     liberate obs query|diff|report|watch|html      # trace analysis + watchdog
 
@@ -401,6 +402,29 @@ def cmd_bilateral(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Run the bounded flow-state churn workload."""
+    import json
+
+    from repro.experiments.scale import ScaleConfig, format_scale, run_scale
+
+    config = ScaleConfig(
+        flows=args.flows,
+        packets_per_flow=args.packets_per_flow,
+        filler_bytes=args.filler_bytes,
+        max_flows=args.max_flows,
+        flow_byte_budget=args.byte_budget,
+        shed=args.shed,
+        shed_seed=args.seed if args.seed is not None else ScaleConfig.shed_seed,
+    )
+    result = run_scale(config)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_scale(result))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the full measured-results markdown report."""
     from repro.experiments.reportgen import write_report
@@ -642,6 +666,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "countermeasures", help="run the §4.3 normalizer countermeasure study"
     ).set_defaults(func=cmd_countermeasures)
+    scale = sub.add_parser(
+        "scale", help="bounded flow-state churn workload (LRU, timer wheel, shedding)"
+    )
+    scale.add_argument("--flows", type=int, default=100_000, help="distinct flows to churn")
+    scale.add_argument(
+        "--packets-per-flow", type=int, default=2, help="payload packets per flow"
+    )
+    scale.add_argument(
+        "--filler-bytes", type=int, default=0, help="payload padding (drives the byte budget)"
+    )
+    scale.add_argument("--max-flows", type=int, default=8_192, help="engine flow-table capacity")
+    scale.add_argument(
+        "--byte-budget", type=int, default=None, help="scan-buffer byte bound across flows"
+    )
+    scale.add_argument(
+        "--shed", action="store_true", help="enable deterministic admission load-shedding"
+    )
+    scale.add_argument("--seed", type=int, default=None, help="load-shedding coin seed")
+    scale.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_obs_args(scale)
+    scale.set_defaults(func=cmd_scale)
+
     report = sub.add_parser("report", help="regenerate the measured-results report")
     report.add_argument("--out", required=True)
     report.add_argument("--trials", type=int, default=3, help="Figure 4 trials per hour")

@@ -23,6 +23,8 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
+from repro.middlebox.flowtable import FlowTable
+from repro.middlebox.overload import LoadShedder, OverloadPolicy
 from repro.middlebox.policy import PolicyAction
 from repro.middlebox.ruleindex import CompiledRuleSet, CompiledView, StreamScan
 from repro.middlebox.rules import MatchRule
@@ -30,6 +32,8 @@ from repro.middlebox.state import UNCLASSIFIED_FINAL, FlowState
 from repro.middlebox.validation import MiddleboxValidation
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.netsim.shaper import PolicyState
+from repro.netsim.timerwheel import TimerWheel
+from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction, FiveTuple
@@ -57,6 +61,22 @@ def _verdict_name(verdict: MatchRule | str | None) -> str | None:
     if isinstance(verdict, MatchRule):
         return verdict.name
     return verdict
+
+
+def _flow_cost(state: FlowState) -> int:
+    """Approximate heap bytes pinned by one flow's scan state."""
+    cost = 256 + len(state.client_buffer) + len(state.server_buffer)
+    if state.ooo_segments:
+        cost += sum(len(chunk) for chunk in state.ooo_segments.values())
+    return cost
+
+
+def _low_value_flow(state: FlowState) -> bool:
+    """Flows whose inspection already finished are the cheapest to evict:
+    no classification work is lost, only a final verdict that the flow
+    would need to re-earn if it ever resumes.  Blocked flows stay: their
+    state keeps injecting resets on further payload."""
+    return state.verdict is not None and not state.blocked
 
 
 class ReassemblyMode(enum.Enum):
@@ -109,6 +129,18 @@ class DPIMiddlebox(NetworkElement):
             flow is evicted (marks cleared).  This is the mechanism the
             paper hypothesizes behind Figure 4's busy-hour flushing:
             "classification results being flushed due to scarce resources".
+            Backed by the O(1) slab/LRU store in
+            :mod:`repro.middlebox.flowtable`.
+        flow_byte_budget: optional bound on the summed scan-buffer bytes
+            across tracked flows; exceeding it sheds least-recently-active
+            flows (reason ``evicted-bytes``) until back under budget.
+        overload: optional :class:`~repro.middlebox.overload.OverloadPolicy`
+            enabling deterministic load-shedding (victim preference and
+            admission shedding); None keeps historical behaviour exactly.
+        fragment_capacity: bound on concurrently-reassembling fragment
+            groups (oldest group dropped beyond it).
+        endpoint_block_capacity: bound on tracked (server, port) block
+            counters / active blocks.
     """
 
     def __init__(
@@ -136,6 +168,10 @@ class DPIMiddlebox(NetworkElement):
         endpoint_block_duration: float = 90.0,
         protocol_agnostic_flow_keying: bool = False,
         max_flows: int | None = None,
+        flow_byte_budget: int | None = None,
+        overload: OverloadPolicy | None = None,
+        fragment_capacity: int | None = 4096,
+        endpoint_block_capacity: int | None = 65536,
     ) -> None:
         self.name = name
         self.rules = list(rules)
@@ -162,7 +198,10 @@ class DPIMiddlebox(NetworkElement):
         self.endpoint_block_duration = endpoint_block_duration
         self.protocol_agnostic_flow_keying = protocol_agnostic_flow_keying
         self.max_flows = max_flows
+        self.flow_byte_budget = flow_byte_budget
+        self.overload = overload
         self.evictions = 0
+        self.sheds = 0
 
         self._compiled = CompiledRuleSet.shared(self.rules)
         self._compiled_source: list[MatchRule] = self.rules
@@ -171,10 +210,39 @@ class DPIMiddlebox(NetworkElement):
         #: timeout, so the per-packet expiry sweep can skip scanning when no
         #: timeout source exists at all.
         self._any_timeout_override = False
-        self._flows: dict[FiveTuple, FlowState] = {}
-        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
-        self._endpoint_block_counts: dict[tuple[str, int], int] = {}
-        self._endpoint_block_until: dict[tuple[str, int], float] = {}
+        #: Callable timeouts (GFC time-of-day flushing) can shrink between
+        #: packets, so fixed-deadline wheel scheduling would fire late; those
+        #: configurations keep the per-packet scan.  Constant timeouts (and
+        #: RST overrides, which are always constants) use the timer wheel.
+        self._scan_timeouts = callable(pre_match_timeout) or callable(post_match_timeout)
+        self._wheel: TimerWheel | None = None
+        self._shedder = LoadShedder(overload) if overload is not None else None
+        prefer_victim = None
+        victim_scan_limit = 1
+        if overload is not None and overload.prefer_finished_victims:
+            prefer_victim = _low_value_flow
+            victim_scan_limit = overload.victim_scan_limit
+        cost_of = _flow_cost if flow_byte_budget is not None else None
+        self._flows: FlowTable[FiveTuple, FlowState] = FlowTable(
+            capacity=max_flows,
+            byte_budget=flow_byte_budget,
+            cost_of=cost_of,
+            on_evict=self._flow_evicted,
+            prefer_victim=prefer_victim,
+            victim_scan_limit=victim_scan_limit,
+            name="flows",
+        )
+        self._fragments: FlowTable[tuple[str, str, int, int], list[IPPacket]] = FlowTable(
+            capacity=fragment_capacity, name="fragments"
+        )
+        self._endpoint_block_counts: FlowTable[tuple[str, int], int] = FlowTable(
+            capacity=endpoint_block_capacity, name="endpoint_counts"
+        )
+        self._endpoint_block_until: FlowTable[tuple[str, int], float] = FlowTable(
+            capacity=endpoint_block_capacity,
+            name="endpoint_blocks",
+            on_evict=self._endpoint_block_evicted,
+        )
         self.match_log: list[tuple[float, str, FiveTuple]] = []
 
     # ==================================================================
@@ -232,6 +300,9 @@ class DPIMiddlebox(NetworkElement):
             return [packet]
 
         self._inspect(state, inspect_target, now, ctx)
+        if self.flow_byte_budget is not None:
+            # Scan buffers may have grown; re-appraise and shed if over.
+            self._flows.recost(key.normalized())
         return [packet]
 
     def _flow_key(self, packet: IPPacket) -> FiveTuple | None:
@@ -261,6 +332,9 @@ class DPIMiddlebox(NetworkElement):
     def reset(self) -> None:
         """Forget every flow, fragment buffer, block counter and log entry."""
         self._any_timeout_override = False
+        self._wheel = None
+        if self.overload is not None:
+            self._shedder = LoadShedder(self.overload)
         self._flows.clear()
         self._fragments.clear()
         self._endpoint_block_counts.clear()
@@ -272,7 +346,7 @@ class DPIMiddlebox(NetworkElement):
     # ==================================================================
     def _flow_for(self, packet: IPPacket, key: FiveTuple, now: float) -> FlowState | None:
         normalized = key.normalized()
-        state = self._flows.get(normalized)
+        state = self._flows.get(normalized)  # touches the LRU chain
         if state is not None:
             return state
         tcp = packet.tcp
@@ -281,12 +355,12 @@ class DPIMiddlebox(NetworkElement):
         )
         if not is_flow_start:
             return None  # mid-flow packet for a flow we never tracked (or flushed)
+        if self._shedder is not None and not self._admit_flow(key, normalized, now):
+            return None  # shed: the flow forwards uninspected
         protocol = "udp" if self._transport_protocol(packet) == 17 else "tcp"
         expected_seq = None
         if tcp is not None:
             expected_seq = (tcp.seq + 1) & 0xFFFFFFFF
-        if self.max_flows is not None and len(self._flows) >= self.max_flows:
-            self._evict_lru()
         state = FlowState(
             client_tuple=key,
             protocol=protocol,
@@ -295,7 +369,10 @@ class DPIMiddlebox(NetworkElement):
             last_packet_time=now,
             expected_seq=expected_seq,
         )
-        self._flows[normalized] = state
+        # Capacity pressure evicts inside insert() (O(1) via the LRU chain),
+        # firing _flow_evicted for the victim before this flow's creation
+        # event — the same event order as the historical evict-then-insert.
+        self._flows.insert(normalized, state)
         if obs_trace.TRACER is not None:
             obs_trace.TRACER.emit(
                 "mbx.flow_created",
@@ -306,12 +383,47 @@ class DPIMiddlebox(NetworkElement):
             )
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc("mbx.flows_created")
+        self._arm_timer(normalized, state, now)
         return state
 
-    def _evict_lru(self) -> None:
-        """Capacity pressure: drop the least-recently-active flow's state."""
-        victim = min(self._flows, key=lambda k: self._flows[k].last_packet_time)
-        self._forget_flow(victim, reason="evicted")
+    def _admit_flow(self, key: FiveTuple, normalized: FiveTuple, now: float) -> bool:
+        """Admission control under overload: decide whether to track at all."""
+        shedder = self._shedder
+        assert shedder is not None
+        if self.max_flows is None:
+            return True
+        fullness = len(self._flows) / self.max_flows
+        transition = shedder.crossed(fullness)
+        if transition is not None:
+            if obs_live.BUS is not None:
+                obs_live.BUS.emit(
+                    "mbx.overload",
+                    element=self.name,
+                    phase=transition,
+                    fullness=round(fullness, 4),
+                    shed=shedder.shed,
+                )
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc(f"mbx.shed.overload_{transition}")
+        if shedder.admit(normalized, fullness):
+            return True
+        self.sheds += 1
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "mbx.flow_shed",
+                now,
+                element=self.name,
+                flow=_flow_fields(key),
+                fullness=round(fullness, 4),
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.shed.flows")
+        return False
+
+    def _flow_evicted(self, normalized: FiveTuple, state: FlowState, reason: str) -> None:
+        """Table-driven eviction (capacity or byte budget): clean up marks."""
+        reason = "evicted" if reason == "evicted" else "evicted-bytes"
+        self._flow_dropped(normalized, state, reason)
         self.evictions += 1
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc("mbx.evictions")
@@ -328,6 +440,46 @@ class DPIMiddlebox(NetworkElement):
             return spec(now)
         return spec
 
+    def _timeout_for(self, state: FlowState, now: float) -> float | None:
+        """The flush timeout applying to the flow's current category."""
+        if state.timeout_override is not None:
+            return state.timeout_override
+        if state.matched_rule is not None:
+            return self._resolve_timeout(self.post_match_timeout, now)
+        if state.verdict is None:
+            return self._resolve_timeout(self.pre_match_timeout, now)
+        return self._resolve_timeout(self.post_match_timeout, now)
+
+    def _arm_timer(self, normalized: FiveTuple, state: FlowState, now: float) -> None:
+        """Schedule (or tighten) the flow's expiry timer on the wheel.
+
+        Called when a timeout *source* changes — flow creation, a verdict,
+        an RST override — never per packet: activity pushes the true
+        deadline later, and the pending timer handles that lazily by
+        re-checking the idle condition and rescheduling when it fires.
+        Only a deadline **earlier** than the pending one forces a
+        replacement (firing late would miss a flush the per-packet scan
+        would have caught).
+        """
+        if self._scan_timeouts:
+            return  # callable timeouts keep the exact per-packet scan
+        timeout = self._timeout_for(state, now)
+        if timeout is None:
+            return
+        deadline = state.last_packet_time + timeout
+        if state.timer_deadline is not None and deadline >= state.timer_deadline:
+            return
+        wheel = self._wheel
+        if wheel is None:
+            wheel = self._wheel = TimerWheel()
+        if state.timer_id is not None:
+            wheel.cancel(state.timer_id)
+        handle = self._flows.handle_of(normalized)
+        if handle is None:
+            return
+        state.timer_id = wheel.schedule(deadline, handle)
+        state.timer_deadline = deadline
+
     def _expire(self, now: float) -> None:
         # Fast path: nothing can expire when no timeout is configured, no
         # flow carries an RST-shortened override, and no endpoint is blocked
@@ -336,38 +488,80 @@ class DPIMiddlebox(NetworkElement):
             self.pre_match_timeout is None
             and self.post_match_timeout is None
             and not self._any_timeout_override
-            and not self._endpoint_block_until
+            and not len(self._endpoint_block_until)
         ):
             return
+        if self._scan_timeouts:
+            self._expire_scan(now)
+        else:
+            self._expire_wheel(now)
+        if len(self._endpoint_block_until):
+            expired_endpoints = [
+                endpoint
+                for endpoint, until in self._endpoint_block_until.items()
+                if now > until
+            ]
+            for endpoint in expired_endpoints:
+                self._endpoint_block_until.pop(endpoint)
+                self.policy_state.blocked_endpoints.discard(endpoint)
+                self._endpoint_block_counts.pop(endpoint)
+
+    def _expire_scan(self, now: float) -> None:
+        """Per-packet timeout scan, kept for callable (time-of-day) specs."""
         stale: list[FiveTuple] = []
         for normalized, state in self._flows.items():
-            timeout: float | None
-            if state.timeout_override is not None:
-                timeout = state.timeout_override
-            elif state.matched_rule is not None:
-                timeout = self._resolve_timeout(self.post_match_timeout, now)
-            elif state.verdict is None:
-                timeout = self._resolve_timeout(self.pre_match_timeout, now)
-            else:
-                timeout = self._resolve_timeout(self.post_match_timeout, now)
+            timeout = self._timeout_for(state, now)
             if timeout is not None and now - state.last_packet_time > timeout:
                 stale.append(normalized)
         for normalized in stale:
             self._forget_flow(normalized, reason="timeout")
-        expired_endpoints = [
-            endpoint
-            for endpoint, until in self._endpoint_block_until.items()
-            if now > until
-        ]
-        for endpoint in expired_endpoints:
-            del self._endpoint_block_until[endpoint]
-            self.policy_state.blocked_endpoints.discard(endpoint)
-            self._endpoint_block_counts.pop(endpoint, None)
+
+    def _expire_wheel(self, now: float) -> None:
+        """Batch expiry off the timer wheel: O(timers due), not O(flows).
+
+        Due timers re-check the exact idle condition the scan used (the
+        flow may have been touched since the timer was armed) and
+        reschedule when not yet stale.  Stale flows flush in flow-table
+        insertion order, matching the scan's dict-iteration order.
+        """
+        wheel = self._wheel
+        if wheel is None or not len(wheel):
+            return
+        due = wheel.advance(now)
+        if not due:
+            return
+        stale: list[tuple[int, FiveTuple]] = []
+        for handle in due:
+            entry = self._flows.entry_by_handle(handle)
+            if entry is None:
+                continue  # flow already flushed/evicted; stale handle
+            normalized, state = entry
+            state.timer_id = None
+            state.timer_deadline = None
+            timeout = self._timeout_for(state, now)
+            if timeout is None:
+                continue
+            if now - state.last_packet_time > timeout:
+                seq = self._flows.seq_of(normalized)
+                stale.append((seq if seq is not None else 0, normalized))
+            else:
+                self._arm_timer(normalized, state, now)
+        stale.sort()
+        for _seq, normalized in stale:
+            self._forget_flow(normalized, reason="timeout")
 
     def _forget_flow(self, normalized: FiveTuple, reason: str = "flush") -> None:
-        state = self._flows.pop(normalized, None)
+        state = self._flows.pop(normalized)
         if state is None:
             return
+        self._flow_dropped(normalized, state, reason)
+
+    def _flow_dropped(self, normalized: FiveTuple, state: FlowState, reason: str) -> None:
+        """Shared teardown for flushed *and* table-evicted flows."""
+        if state.timer_id is not None and self._wheel is not None:
+            self._wheel.cancel(state.timer_id)
+            state.timer_id = None
+            state.timer_deadline = None
         self.policy_state.throttled_flows.pop(normalized, None)
         self.policy_state.zero_rated_flows.discard(normalized)
         if obs_trace.TRACER is not None:
@@ -392,6 +586,7 @@ class DPIMiddlebox(NetworkElement):
         elif self.rst_timeout_reduction is not None:
             state.timeout_override = self.rst_timeout_reduction
             self._any_timeout_override = True
+            self._arm_timer(key.normalized(), state, self._now)
             if obs_trace.TRACER is not None:
                 obs_trace.TRACER.emit(
                     "mbx.rst_timeout_reduced",
@@ -406,11 +601,14 @@ class DPIMiddlebox(NetworkElement):
     # ==================================================================
     def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
         key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
-        bucket = self._fragments.setdefault(key, [])
+        bucket = self._fragments.get(key)
+        if bucket is None:
+            bucket = []
+            self._fragments.insert(key, bucket)  # bounds evict oldest group
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is not None:
-            del self._fragments[key]
+            self._fragments.pop(key)
         return whole
 
     # ==================================================================
@@ -471,6 +669,7 @@ class DPIMiddlebox(NetworkElement):
         if matched is not None:
             state.verdict = matched
             state.match_time = now
+            self._arm_timer(state.client_tuple.normalized(), state, now)
             self.match_log.append((now, matched.name, state.client_tuple))
             if obs_trace.TRACER is not None:
                 self._emit_rule_match(state, matched, buffer, index, direction, now)
@@ -485,6 +684,7 @@ class DPIMiddlebox(NetworkElement):
     def _finalize_unclassified(self, state: FlowState, reason: str, now: float) -> None:
         """Commit the match-and-forget "never going to match" verdict."""
         state.verdict = UNCLASSIFIED_FINAL
+        self._arm_timer(state.client_tuple.normalized(), state, now)
         if obs_trace.TRACER is not None:
             obs_trace.TRACER.emit(
                 "mbx.verdict",
@@ -760,21 +960,30 @@ class DPIMiddlebox(NetworkElement):
         elif action in (PolicyAction.BLOCK_RST, PolicyAction.BLOCK_PAGE):
             self._inject_block(rule, key, packet, ctx)
 
+    def _endpoint_block_evicted(
+        self, endpoint: tuple[str, int], until: float, reason: str
+    ) -> None:
+        """Endpoint-block capacity pressure: the block simply lapses early."""
+        self.policy_state.blocked_endpoints.discard(endpoint)
+        self._endpoint_block_counts.pop(endpoint)
+
     def _register_endpoint_block(self, key: FiveTuple, ctx: TransitContext) -> None:
         if self.endpoint_block_threshold is None:
             return
         endpoint = (key.dst, key.dport)
-        self._endpoint_block_counts[endpoint] = self._endpoint_block_counts.get(endpoint, 0) + 1
-        if self._endpoint_block_counts[endpoint] >= self.endpoint_block_threshold:
+        count = (self._endpoint_block_counts.get(endpoint) or 0) + 1
+        self._endpoint_block_counts.insert(endpoint, count)
+        if count >= self.endpoint_block_threshold:
+            until = ctx.clock.now + self.endpoint_block_duration
             self.policy_state.blocked_endpoints.add(endpoint)
-            self._endpoint_block_until[endpoint] = ctx.clock.now + self.endpoint_block_duration
+            self._endpoint_block_until.insert(endpoint, until)
             if obs_trace.TRACER is not None:
                 obs_trace.TRACER.emit(
                     "mbx.endpoint_block",
                     ctx.clock.now,
                     element=self.name,
                     endpoint=f"{endpoint[0]}:{endpoint[1]}",
-                    until=round(self._endpoint_block_until[endpoint], 6),
+                    until=round(until, 6),
                 )
             if obs_metrics.METRICS is not None:
                 obs_metrics.METRICS.inc("mbx.endpoint_blocks")
@@ -867,7 +1076,7 @@ class DPIMiddlebox(NetworkElement):
             lookup = FiveTuple(
                 src=client, sport=sport, dst=server, dport=dport, protocol=protocol
             ).normalized()
-            state = self._flows.get(lookup)
+            state = self._flows.peek(lookup)  # readout must not disturb LRU
             if state is not None:
                 if isinstance(state.verdict, MatchRule):
                     return state.verdict.name

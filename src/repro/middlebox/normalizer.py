@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.middlebox.flowtable import FlowTable
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.packets.flow import Direction
 from repro.packets.fragment import reassemble_fragments
@@ -45,6 +46,11 @@ class TrafficNormalizer(NetworkElement):
         strip_ip_options: remove all IP options (defeats the options rows).
         coalesce: reassemble and re-emit in-order MSS segments (defeats
             splitting and reordering).
+        max_flows: bound on concurrently-coalescing flows; beyond it the
+            least-recently-active flow's reassembly state is evicted (its
+            later segments pass through un-coalesced, a safe degradation).
+        fragment_capacity: bound on concurrently-reassembling fragment
+            groups.
     """
 
     def __init__(
@@ -53,14 +59,20 @@ class TrafficNormalizer(NetworkElement):
         strip_ip_options: bool = True,
         coalesce: bool = True,
         name: str = "normalizer",
+        max_flows: int | None = 65536,
+        fragment_capacity: int | None = 4096,
     ) -> None:
         self.name = name
         self.min_ttl = min_ttl
         self.strip_ip_options = strip_ip_options
         self.coalesce = coalesce
         self.dropped: list[IPPacket] = []
-        self._flows: dict[tuple[str, int, str, int], _NormalizedFlow] = {}
-        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
+        self._flows: FlowTable[tuple[str, int, str, int], _NormalizedFlow] = FlowTable(
+            capacity=max_flows, name="normalizer"
+        )
+        self._fragments: FlowTable[tuple[str, str, int, int], list[IPPacket]] = FlowTable(
+            capacity=fragment_capacity, name="normalizer_fragments"
+        )
 
     # ------------------------------------------------------------------
     # element interface
@@ -93,11 +105,14 @@ class TrafficNormalizer(NetworkElement):
 
     def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
         key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
-        bucket = self._fragments.setdefault(key, [])
+        bucket = self._fragments.get(key)
+        if bucket is None:
+            bucket = []
+            self._fragments.insert(key, bucket)  # bounds evict oldest group
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is not None:
-            del self._fragments[key]
+            self._fragments.pop(key)
         return whole
 
     # ------------------------------------------------------------------
@@ -152,12 +167,12 @@ class TrafficNormalizer(NetworkElement):
         key = (packet.src, tcp.sport, packet.dst, tcp.dport)
         flags = int(tcp.flags)
         if flags & 0x12 == 0x02:  # SYN without ACK
-            self._flows[key] = _NormalizedFlow(expected_seq=(tcp.seq + 1) & 0xFFFFFFFF)
+            self._flows.insert(key, _NormalizedFlow(expected_seq=(tcp.seq + 1) & 0xFFFFFFFF))
             return [packet]
         if flags & 0x04:  # RST
-            self._flows.pop(key, None)
+            self._flows.pop(key)
             return [packet]
-        flow = self._flows.get(key)
+        flow = self._flows.get(key)  # touches the LRU chain
         if flow is None or not tcp.payload:
             return [packet]
         fresh = self._reassemble(flow, tcp)

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.middlebox.flowtable import FlowTable
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.netsim.shaper import PolicyState
+from repro.obs import metrics as obs_metrics
 from repro.packets.flow import Direction, FiveTuple
 from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
@@ -48,6 +50,11 @@ class _ProxiedConnection:
     server_found: set[bytes] = field(default_factory=set)
     client_scan_pos: int = 0
     server_scan_pos: int = 0
+    # Tail-scan degrade mode: bytes trimmed from each buffer's head under a
+    # scan-buffer cap, and the anchor decision cached before the head went.
+    trimmed_client: int = 0
+    trimmed_server: int = 0
+    anchored: bool = False
 
 
 class TransparentHTTPProxy(NetworkElement):
@@ -59,6 +66,16 @@ class TransparentHTTPProxy(NetworkElement):
         client_keywords: patterns that must all appear in the client stream.
         server_keywords: patterns that must all appear in the server stream.
         throttle_rate_bps: shaping rate applied once both sides match.
+        max_connections: bound on tracked proxied connections; beyond it
+            the least-recently-active connection is evicted (closed ones
+            preferred).
+        scan_buffer_cap: per-direction scan-buffer byte cap.  On overflow
+            the head is trimmed and only the tail window stays scannable —
+            keywords wholly inside the trimmed region are missed (degraded,
+            counted in ``mbx.shed.scan_trimmed_bytes``) but memory per
+            connection stays bounded.  None (the default) never trims.
+        fragment_capacity: bound on concurrently-reassembling fragment
+            groups.
     """
 
     def __init__(
@@ -69,15 +86,27 @@ class TransparentHTTPProxy(NetworkElement):
         server_keywords: tuple[bytes, ...] = (b"Content-Type: video",),
         throttle_rate_bps: float = 1_500_000.0,
         name: str = "transparent-proxy",
+        max_connections: int | None = 65536,
+        scan_buffer_cap: int | None = None,
+        fragment_capacity: int | None = 4096,
     ) -> None:
+        if scan_buffer_cap is not None and scan_buffer_cap < 64:
+            raise ValueError("scan_buffer_cap must be >= 64 bytes")
         self.name = name
         self.policy_state = policy_state
         self.ports = frozenset(ports)
         self.client_keywords = tuple(client_keywords)
         self.server_keywords = tuple(server_keywords)
         self.throttle_rate_bps = throttle_rate_bps
-        self._connections: dict[tuple[str, int, str, int], _ProxiedConnection] = {}
-        self._fragments: dict[tuple[str, str, int, int], list[IPPacket]] = {}
+        self.scan_buffer_cap = scan_buffer_cap
+        self._connections: FlowTable[tuple[str, int, str, int], _ProxiedConnection] = FlowTable(
+            capacity=max_connections,
+            prefer_victim=lambda conn: conn.closed,
+            name="proxy",
+        )
+        self._fragments: FlowTable[tuple[str, str, int, int], list[IPPacket]] = FlowTable(
+            capacity=fragment_capacity, name="proxy_fragments"
+        )
         self.dropped: list[IPPacket] = []
 
     # ------------------------------------------------------------------
@@ -121,18 +150,18 @@ class TransparentHTTPProxy(NetworkElement):
             self.dropped.append(packet)
             return []
         key = (packet.src, tcp.sport, packet.dst, tcp.dport)
-        conn = self._connections.get(key)
+        conn = self._connections.get(key)  # touches the LRU chain
 
         flags = int(tcp.flags)
         if flags & 0x12 == 0x02:  # SYN without ACK
-            self._connections[key] = _ProxiedConnection(
+            self._connections.insert(key, _ProxiedConnection(
                 client=packet.src,
                 client_port=tcp.sport,
                 server=packet.dst,
                 server_port=tcp.dport,
                 expected_seq=(tcp.seq + 1) & 0xFFFFFFFF,
                 emit_seq=(tcp.seq + 1) & 0xFFFFFFFF,
-            )
+            ))
             return [packet]  # the handshake is relayed
 
         if conn is None:
@@ -149,6 +178,7 @@ class TransparentHTTPProxy(NetworkElement):
             if fresh:
                 conn.client_buffer.extend(fresh)
                 self._classify(conn)
+                self._cap_buffer(conn, "client")
                 forwarded.extend(self._normalized_packets(packet, conn, fresh))
         else:
             forwarded.append(packet)  # bare ACKs keep the far handshake moving
@@ -166,11 +196,36 @@ class TransparentHTTPProxy(NetworkElement):
 
     def _server_to_client(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
         key = (packet.dst, tcp.dport, packet.src, tcp.sport)
-        conn = self._connections.get(key)
+        conn = self._connections.get(key)  # touches the LRU chain
         if conn is not None and tcp.payload:
             conn.server_buffer.extend(tcp.payload)
             self._classify(conn)
+            self._cap_buffer(conn, "server")
         return [packet]
+
+    def _cap_buffer(self, conn: _ProxiedConnection, side: str) -> None:
+        """Tail-scan degrade: trim a capped buffer's head after scanning it.
+
+        The scanner has already walked everything up to the current
+        watermark, so trimming only forfeits *future* matches that would
+        span bytes older than the retained tail window.
+        """
+        cap = self.scan_buffer_cap
+        if cap is None:
+            return
+        buffer = conn.client_buffer if side == "client" else conn.server_buffer
+        excess = len(buffer) - cap
+        if excess <= 0:
+            return
+        del buffer[:excess]
+        if side == "client":
+            conn.trimmed_client += excess
+            conn.client_scan_pos = max(0, conn.client_scan_pos - excess)
+        else:
+            conn.trimmed_server += excess
+            conn.server_scan_pos = max(0, conn.server_scan_pos - excess)
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("mbx.shed.scan_trimmed_bytes", excess)
 
     # ------------------------------------------------------------------
     # host-grade validation: the proxy is an endpoint
@@ -244,7 +299,10 @@ class TransparentHTTPProxy(NetworkElement):
         if conn.throttled:
             return
         if not conn.client_matched:
-            anchored = bytes(conn.client_buffer[:4]).startswith(ANCHORS)
+            if conn.trimmed_client == 0:
+                # Head intact: judge (and cache) the anchor from live bytes.
+                conn.anchored = bytes(conn.client_buffer[:4]).startswith(ANCHORS)
+            anchored = conn.anchored
             conn.client_scan_pos = self._scan_keywords(
                 conn.client_buffer, self.client_keywords, conn.client_found, conn.client_scan_pos
             )
@@ -287,9 +345,12 @@ class TransparentHTTPProxy(NetworkElement):
 
     def _feed_fragment(self, packet: IPPacket) -> IPPacket | None:
         key = (packet.src, packet.dst, packet.identification, packet.effective_protocol)
-        bucket = self._fragments.setdefault(key, [])
+        bucket = self._fragments.get(key)
+        if bucket is None:
+            bucket = []
+            self._fragments.insert(key, bucket)  # bounds evict oldest group
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is not None:
-            del self._fragments[key]
+            self._fragments.pop(key)
         return whole

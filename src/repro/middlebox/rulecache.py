@@ -1,0 +1,229 @@
+"""Dependency-aware cache for compiled rule artifacts (HQTimer-style).
+
+The compile pipeline builds three kinds of interned artifacts, each layered
+on the one below::
+
+    rule list ──compile──▶ CompiledRuleSet ──view──▶ CompiledView
+    patterns  ──build────▶ PatternAutomaton ──────────▶ (used by views)
+
+Historically each layer kept its own ad-hoc bounded dict
+(``CompiledRuleSet._shared``, ``automaton._INTERNED``), evicting oldest
+first with no notion of the layering: evicting an automaton left views
+holding it alive but unreachable for sharing, and evicting a rule set left
+its views stranded in the per-set memo.
+
+:class:`DependencyCache` centralizes this with *dependency sets* in the
+style of HQTimer's rule caching: every entry records the entries it was
+derived from, and invalidating (evicting, expiring, or explicitly dropping)
+an entry cascades to its dependents in deterministic insertion order —
+evicting a rule set drops its views; evicting an automaton drops every view
+compiled over it.  Each entry may carry an ``on_invalidate`` callback that
+unhooks it from whatever layer-local memo serves the hot path (the hot
+path itself never pays a cache lookup — views stay memoized on their rule
+set; the cache governs *lifetime*, not access).
+
+Idle timeouts are explicit: :meth:`tick` expires entries untouched for
+longer than their TTL.  Nothing calls it implicitly — virtual clocks are
+per-experiment, so TTL-driven expiry is driven by whoever owns the clock
+(the scale workload, tests) and is deterministic.
+
+Storage, LRU ordering and capacity bounds reuse
+:class:`~repro.middlebox.flowtable.FlowTable` — one slab/LRU
+implementation for flows and rule programs alike.
+
+``mbx.rulecache.*`` metrics are compile-path facts: like
+``mbx.automaton.*`` they are per-process and memoization-dependent, and are
+excluded from the cross-process snapshot identity contract (see
+``tests/test_obs_live.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.middlebox.flowtable import FlowTable
+from repro.obs import metrics as obs_metrics
+
+Key = Hashable
+
+#: Default bound on cached artifacts across all layers; generous enough
+#: that the full Table 3 matrix (every environment's rule sets, views and
+#: automata) fits without a single eviction.
+DEFAULT_CAPACITY = 4096
+
+
+class CacheEntry:
+    """One cached artifact plus its place in the dependency graph."""
+
+    __slots__ = ("key", "value", "deps", "dependents", "ttl", "last_touch", "on_invalidate")
+
+    def __init__(
+        self,
+        key: Key,
+        value: object,
+        deps: tuple[Key, ...],
+        ttl: float | None,
+        on_invalidate: Callable[[Key, object, str], None] | None,
+    ) -> None:
+        self.key = key
+        self.value = value
+        self.deps = deps
+        #: dependent keys in registration order (dict-as-ordered-set).
+        self.dependents: dict[Key, None] = {}
+        self.ttl = ttl
+        self.last_touch = 0.0
+        self.on_invalidate = on_invalidate
+
+
+class DependencyCache:
+    """A bounded LRU cache whose invalidations cascade along dependencies."""
+
+    def __init__(
+        self,
+        capacity: int | None = DEFAULT_CAPACITY,
+        ttl: float | None = None,
+        name: str = "rulecache",
+    ) -> None:
+        self.capacity = capacity
+        self.ttl = ttl
+        self.name = name
+        self._store: FlowTable[Key, CacheEntry] = FlowTable(
+            capacity=capacity, on_evict=self._store_evicted
+        )
+        self.invalidations = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    # core API
+    # ------------------------------------------------------------------
+    def get(self, key: Key, now: float | None = None, touch: bool = True) -> object | None:
+        """The cached value for *key*, touching LRU and TTL recency."""
+        entry = self._store.get(key, touch=touch)
+        metrics = obs_metrics.METRICS
+        if entry is None:
+            if metrics is not None:
+                metrics.inc(f"mbx.{self.name}.misses")
+            return None
+        if metrics is not None:
+            metrics.inc(f"mbx.{self.name}.hits")
+        if touch and now is not None:
+            entry.last_touch = now
+        return entry.value
+
+    def touch(self, key: Key, now: float | None = None) -> bool:
+        """Refresh *key*'s LRU position (and TTL recency) without counters.
+
+        The compile layers keep their own O(1) memo dicts for lookup and
+        call this on memo hits so cache eviction order tracks real use.
+        """
+        entry = self._store.get(key, touch=True)
+        if entry is None:
+            return False
+        if now is not None:
+            entry.last_touch = now
+        return True
+
+    def put(
+        self,
+        key: Key,
+        value: object,
+        deps: tuple[Key, ...] = (),
+        ttl: float | None = None,
+        now: float | None = None,
+        on_invalidate: Callable[[Key, object, str], None] | None = None,
+    ) -> object:
+        """Cache *value* under *key*, derived from *deps*; returns *value*.
+
+        Missing dependency keys are tolerated (the parent may itself have
+        been evicted already); present ones record the dependent edge.
+        """
+        existing = self._store.get(key, touch=False)
+        if existing is not None:
+            self.invalidate(key, reason="replaced")
+        entry = CacheEntry(key, value, tuple(deps), ttl if ttl is not None else self.ttl, on_invalidate)
+        if now is not None:
+            entry.last_touch = now
+        for dep in entry.deps:
+            parent = self._store.get(dep, touch=False)
+            if parent is not None:
+                parent.dependents[key] = None
+        self._store.insert(key, entry)
+        return value
+
+    def invalidate(self, key: Key, reason: str = "invalidated") -> list[Key]:
+        """Drop *key* and every transitive dependent; returns dropped keys.
+
+        Cascade order is deterministic: breadth-first over dependent sets
+        in their registration order.
+        """
+        dropped: list[Key] = []
+        queue: list[tuple[Key, str]] = [(key, reason)]
+        while queue:
+            current, why = queue.pop(0)
+            entry = self._store.pop(current)
+            if entry is None:
+                continue
+            dropped.append(current)
+            self.invalidations += 1
+            if obs_metrics.METRICS is not None:
+                obs_metrics.METRICS.inc(f"mbx.{self.name}.invalidations")
+            for dependent in entry.dependents:
+                queue.append((dependent, f"dependency:{why}"))
+            if entry.on_invalidate is not None:
+                entry.on_invalidate(current, entry.value, why)
+        return dropped
+
+    def tick(self, now: float) -> list[Key]:
+        """Expire entries idle past their TTL, cascading to dependents.
+
+        Expiry examines entries in insertion order and is driven explicitly
+        by whoever owns the experiment clock.
+        """
+        stale = [
+            key
+            for key, entry in self._store.items()
+            if entry.ttl is not None and now - entry.last_touch > entry.ttl
+        ]
+        dropped: list[Key] = []
+        for key in stale:
+            if key in self._store:  # may already be gone via a cascade
+                self.expirations += 1
+                dropped.extend(self.invalidate(key, reason="expired"))
+        return dropped
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _store_evicted(self, key: Key, entry: CacheEntry, reason: str) -> None:
+        """Capacity eviction from the slab: cascade to dependents."""
+        self.invalidations += 1
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc(f"mbx.{self.name}.invalidations")
+        if entry.on_invalidate is not None:
+            entry.on_invalidate(key, entry.value, reason)
+        for dependent in list(entry.dependents):
+            self.invalidate(dependent, reason=f"dependency:{reason}")
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop everything, unhooking each entry from its layer memo."""
+        entries = list(self._store.items())
+        self._store.clear()
+        for key, entry in entries:
+            if entry.on_invalidate is not None:
+                entry.on_invalidate(key, entry.value, "cleared")
+
+    def stats(self) -> dict[str, int]:
+        stats = self._store.stats()
+        stats["invalidations"] = self.invalidations
+        stats["expirations"] = self.expirations
+        return stats
+
+
+#: The process-wide cache every compile layer registers into.
+RULE_CACHE = DependencyCache()

@@ -35,6 +35,9 @@ class FlowState:
             testbed shortens its timeout to 10 s after seeing a RST).
         client_scan / server_scan: incremental multi-pattern scan state over
             the corresponding buffer (stream reassembly modes only).
+        timer_id / timer_deadline: the flow's pending expiry timer on the
+            engine's timer wheel (lazy-rescheduled; None when no constant
+            timeout applies to the flow's current category).
     """
 
     client_tuple: FiveTuple
@@ -55,6 +58,8 @@ class FlowState:
     timeout_override: float | None = None
     client_scan: StreamScan | None = None
     server_scan: StreamScan | None = None
+    timer_id: int | None = None
+    timer_deadline: float | None = None
 
     @property
     def matched_rule(self) -> MatchRule | None:

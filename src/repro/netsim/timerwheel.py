@@ -1,0 +1,252 @@
+"""Hierarchical timer wheel over the virtual clock.
+
+Replaces "walk every flow on every packet and compare its idle time against
+the flush timeout" with a classic hashed-and-hierarchical timer wheel: a
+timer costs O(1) to schedule and cancel, and advancing the wheel touches
+only the buckets the clock actually crossed, so a packet's expiry sweep is
+amortized O(timers fired) instead of O(flows tracked).
+
+Layout: ``levels`` wheels of ``slots`` buckets each.  Level 0 buckets span
+one ``tick``; each higher level's buckets span ``slots`` times the level
+below.  A timer lands in the coarsest level whose resolution still
+separates it from *now*, and cascades down a level each time its coarse
+bucket expires, reaching level 0 in the tick it is actually due.
+
+Determinism contract (the engine's flush ordering depends on it):
+
+* :meth:`advance` returns due payloads sorted by ``(deadline, schedule
+  sequence)`` — wall-deadline order with FIFO tie-breaking, independent of
+  bucket hashing.
+* The wheel never runs backwards.  Virtual clocks in tests are per-driver
+  and may restart at zero; an ``advance`` into the past is a no-op and a
+  timer scheduled before the wheel's current time is *overdue*: it fires on
+  the next advance (the caller re-checks its exact condition and may
+  reschedule, which is how lazy rescheduling degrades gracefully to the old
+  per-packet scan for clock-regressed flows).
+* Large clock jumps (virtual clocks leap hours) short-circuit: when the
+  jump exceeds the wheel's total span, every pending timer due by *now* is
+  drained directly rather than stepping tick by tick.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+#: Default tick resolution in (virtual) seconds.
+DEFAULT_TICK = 0.5
+
+#: Default buckets per level.
+DEFAULT_SLOTS = 64
+
+#: Default hierarchy depth.  3 levels x 64 slots x 0.5 s tick spans ~36 h,
+#: far beyond any flush timeout the paper observed.
+DEFAULT_LEVELS = 3
+
+
+class TimerWheel:
+    """A hierarchical timer wheel with deterministic fire ordering."""
+
+    __slots__ = (
+        "tick",
+        "slots",
+        "levels",
+        "_wheel",
+        "_ticks",
+        "_timers",
+        "_overdue",
+        "_next_id",
+        "_next_seq",
+        "pending",
+        "fired",
+        "cascades",
+    )
+
+    def __init__(
+        self,
+        tick: float = DEFAULT_TICK,
+        slots: int = DEFAULT_SLOTS,
+        levels: int = DEFAULT_LEVELS,
+        start: float = 0.0,
+    ) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if slots < 2 or levels < 1:
+            raise ValueError("need at least 2 slots and 1 level")
+        self.tick = tick
+        self.slots = slots
+        self.levels = levels
+        self._wheel: list[list[list[int]]] = [
+            [[] for _ in range(slots)] for _ in range(levels)
+        ]
+        self._ticks = self._tick_of(start)  # current absolute tick count
+        #: timer id -> [deadline, seq, payload]; cancelled ids are removed
+        #: here and lazily skipped when their bucket drains.
+        self._timers: dict[int, tuple[float, int, Any]] = {}
+        self._overdue: list[int] = []  # scheduled at/before the current time
+        self._next_id = 0
+        self._next_seq = 0
+        self.pending = 0
+        self.fired = 0
+        self.cascades = 0
+
+    # ------------------------------------------------------------------
+    # time plumbing
+    # ------------------------------------------------------------------
+    def _tick_of(self, when: float) -> int:
+        return int(when / self.tick)
+
+    @property
+    def now(self) -> float:
+        """The wheel's current time (tick-quantized, monotonic)."""
+        return self._ticks * self.tick
+
+    def span(self) -> float:
+        """Total time the hierarchy can place without wrapping."""
+        return self.tick * (self.slots ** self.levels)
+
+    def __len__(self) -> int:
+        return len(self._timers)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _place(self, timer_id: int, deadline: float) -> None:
+        delta_ticks = self._tick_of(deadline) - self._ticks
+        if delta_ticks <= 0:
+            self._overdue.append(timer_id)
+            return
+        for level in range(self.levels):
+            level_span = self.slots ** (level + 1)
+            if delta_ticks < level_span or level == self.levels - 1:
+                resolution = self.slots ** level
+                slot = (self._ticks + delta_ticks) // resolution % self.slots
+                self._wheel[level][slot].append(timer_id)
+                return
+
+    def schedule(self, deadline: float, payload: Any) -> int:
+        """Register *payload* to fire once the wheel advances past *deadline*.
+
+        Returns a timer id for :meth:`cancel`.  Deadlines at or before the
+        wheel's current time are overdue and fire on the next advance.
+        """
+        timer_id = self._next_id
+        self._next_id += 1
+        self._timers[timer_id] = (deadline, self._next_seq, payload)
+        self._next_seq += 1
+        self.pending += 1
+        self._place(timer_id, deadline)
+        return timer_id
+
+    def cancel(self, timer_id: int) -> bool:
+        """Forget a timer; True when it was still pending.
+
+        O(1): the id is dropped from the live map and its bucket entry is
+        skipped when the bucket drains.
+        """
+        if self._timers.pop(timer_id, None) is None:
+            return False
+        self.pending -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # advancing
+    # ------------------------------------------------------------------
+    def _drain_bucket(self, level: int, slot: int, due: list[tuple[float, int, Any]], now: float) -> None:
+        """Move a bucket's live timers into *due* or re-place the early ones.
+
+        The bucket is swapped out before draining: a timer whose deadline
+        lies beyond the wheel's total span re-places into the *same*
+        coarsest-level slot it came from (it must wait a full revolution),
+        and that re-place has to land in the fresh list — not extend the
+        list under iteration.
+        """
+        bucket = self._wheel[level][slot]
+        if not bucket:
+            return
+        self._wheel[level][slot] = []
+        for timer_id in bucket:
+            timer = self._timers.get(timer_id)
+            if timer is None:
+                continue  # cancelled
+            deadline, seq, payload = timer
+            if deadline <= now:
+                del self._timers[timer_id]
+                due.append((deadline, seq, payload))
+            else:
+                # Cascaded from a coarser level; lands nearer its deadline.
+                self.cascades += 1
+                self._place(timer_id, deadline)
+
+    def _drain_all(self, now: float) -> list[tuple[float, int, Any]]:
+        """Clock jumped past the whole span: inspect everything once."""
+        due: list[tuple[float, int, Any]] = []
+        survivors: list[tuple[int, float]] = []
+        for timer_id, (deadline, seq, payload) in self._timers.items():
+            if deadline <= now:
+                due.append((deadline, seq, payload))
+            else:
+                survivors.append((timer_id, deadline))
+        for level in self._wheel:
+            for bucket in level:
+                bucket.clear()
+        self._overdue.clear()
+        self._timers = {tid: self._timers[tid] for tid, _deadline in survivors}
+        self._ticks = self._tick_of(now)
+        for tid, deadline in survivors:
+            self._place(tid, deadline)
+        return due
+
+    def advance(self, now: float) -> list[Any]:
+        """Advance to *now*; return every due payload in deterministic order.
+
+        Payloads come back sorted by ``(deadline, schedule sequence)``.
+        Advancing into the past only drains the overdue list.
+        """
+        due: list[tuple[float, int, Any]] = []
+        if self._overdue:
+            keep: list[int] = []
+            for timer_id in self._overdue:
+                timer = self._timers.get(timer_id)
+                if timer is None:
+                    continue  # cancelled
+                if timer[0] <= now:
+                    del self._timers[timer_id]
+                    due.append(timer)
+                else:
+                    # Quantization or a clock regression placed it here
+                    # before its wall deadline; hold until actually due.
+                    keep.append(timer_id)
+            self._overdue = keep
+        target = self._tick_of(now)
+        if target > self._ticks:
+            if target - self._ticks >= self.slots ** self.levels:
+                due.extend(self._drain_all(now))
+            else:
+                while self._ticks < target:
+                    self._ticks += 1
+                    self._drain_bucket(0, self._ticks % self.slots, due, now)
+                    # Cascade coarser levels on their boundaries.
+                    ticks = self._ticks
+                    for level in range(1, self.levels):
+                        resolution = self.slots ** level
+                        if ticks % resolution != 0:
+                            break
+                        self._drain_bucket(level, ticks // resolution % self.slots, due, now)
+        if not due:
+            return []
+        due.sort(key=lambda t: (t[0], t[1]))
+        self.pending -= len(due)
+        self.fired += len(due)
+        return [payload for _deadline, _seq, payload in due]
+
+    def drain(self) -> Iterator[Any]:
+        """Every pending payload in (deadline, seq) order; empties the wheel."""
+        timers = sorted(self._timers.values(), key=lambda t: (t[0], t[1]))
+        self._timers.clear()
+        self._overdue.clear()
+        for level in self._wheel:
+            for bucket in level:
+                bucket.clear()
+        self.pending = 0
+        for _deadline, _seq, payload in timers:
+            yield payload

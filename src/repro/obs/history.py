@@ -10,7 +10,11 @@ that history and flags
 * **throughput drops** — current ``packets_per_second`` below the recorded
   median by more than the same noise band; unlike raw seconds this is
   packet-normalized, so a workload that grew legitimately does not mask a
-  real per-packet regression (and vice versa), and
+  real per-packet regression (and vice versa),
+* **memory blow-ups** — current ``peak_rss_kb`` beyond a (separate, wider)
+  band above the recorded median: peak RSS is far less noisy than wall
+  clock, so a sustained jump means a bounded structure stopped being
+  bounded, and
 * **determinism breaks** — keys that must never change between runs
   (replay rounds, paper agreement) differing from the last recorded entry.
 
@@ -28,14 +32,20 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Keys whose values are seeded-deterministic: any change vs. the last
-#: recorded run is a behaviour change, not noise.
-DETERMINISTIC_KEYS = ("rounds", "paper_agreement")
+#: recorded run is a behaviour change, not noise.  ``evictions``/``sheds``
+#: come from the scale benchmark's seeded churn: same config, same counts.
+DETERMINISTIC_KEYS = ("rounds", "paper_agreement", "evictions", "sheds")
 
 #: Default rolling-window length per benchmark name.
 DEFAULT_WINDOW = 50
 
 #: Default noise band: seconds beyond median * (1 + threshold) flag.
 DEFAULT_THRESHOLD = 0.25
+
+#: Noise band for ``peak_rss_kb``: beyond median * (1 + this) flags.
+#: Allocator and interpreter variance stays within a few percent; a 25%
+#: jump in peak RSS is a leak or an unbounded table, not noise.
+RSS_THRESHOLD = 0.25
 
 #: BENCH files that are not per-run payloads (regression baseline, the
 #: history itself) and therefore never enter the history.
@@ -197,6 +207,29 @@ def check_regressions(
                             f"{name}: {pps:.1f} pkt/s is {ratio:.2f}x the "
                             f"history median {baseline:.1f} pkt/s "
                             f"(floor {1.0 / (1.0 + threshold):.2f}x over {len(past_pps)} runs)"
+                        ),
+                    )
+                )
+        rss = payload.get("peak_rss_kb")
+        past_rss = [
+            e["peak_rss_kb"] for e in recorded if isinstance(e.get("peak_rss_kb"), (int, float))
+        ]
+        if isinstance(rss, (int, float)) and past_rss:
+            baseline = statistics.median(past_rss)
+            if baseline > 0 and rss > baseline * (1.0 + RSS_THRESHOLD):
+                ratio = rss / baseline
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key="peak_rss_kb",
+                        baseline=round(baseline, 1),
+                        current=rss,
+                        ratio=round(ratio, 3),
+                        message=(
+                            f"{name}: peak RSS {rss} KiB is {ratio:.2f}x the "
+                            f"history median {baseline:.0f} KiB "
+                            f"(threshold {1.0 + RSS_THRESHOLD:.2f}x over "
+                            f"{len(past_rss)} runs)"
                         ),
                     )
                 )

@@ -13,9 +13,41 @@ deterministic and never belong in golden artifacts.
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from typing import Iterator
+
+#: Reserved key carrying the peak-RSS sample through :meth:`Profiler.dump`,
+#: distinct from any stage name (stage names never use dunder framing).
+_PEAK_RSS_KEY = "__peak_rss_kb__"
+
+
+def peak_rss_kb() -> int | None:
+    """This process's lifetime peak resident set size in KiB, or None.
+
+    Zero-dependency: ``resource.getrusage`` where available (Linux reports
+    ``ru_maxrss`` in KiB, macOS in bytes), falling back to ``VmHWM`` from
+    ``/proc/self/status``.  The value is process-lifetime-monotonic — it
+    never decreases — so flat-memory assertions must compare *separate
+    processes*, not phases of one.
+    """
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak > 0:
+            return int(peak // 1024) if sys.platform == "darwin" else int(peak)
+    except (ImportError, OSError, ValueError):
+        pass
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
 
 
 class StageTiming:
@@ -41,6 +73,16 @@ class Profiler:
 
     def __init__(self) -> None:
         self.stages: dict[str, StageTiming] = {}
+        #: Highest peak-RSS sample seen by this profiler (own process and,
+        #: after :meth:`merge_dump`, every worker's); 0 until sampled.
+        self.peak_rss_kb = 0
+
+    def refresh_peak_rss(self) -> int:
+        """Re-sample this process's peak RSS and fold it in (max)."""
+        sample = peak_rss_kb()
+        if sample is not None and sample > self.peak_rss_kb:
+            self.peak_rss_kb = sample
+        return self.peak_rss_kb
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -58,18 +100,31 @@ class Profiler:
             timing.calls += 1
 
     def snapshot(self) -> dict:
-        """All stage timings as a sorted JSON-ready dict."""
-        return {name: t.as_dict() for name, t in sorted(self.stages.items())}
+        """All stage timings as a sorted JSON-ready dict.
+
+        Includes a ``peak_rss_kb`` entry (plain int, not a stage dict) with
+        the highest resident-set sample across this process and any merged
+        workers; renderers treat non-dict values as summary facts.
+        """
+        out: dict = {name: t.as_dict() for name, t in sorted(self.stages.items())}
+        out["peak_rss_kb"] = self.refresh_peak_rss()
+        return out
 
     # ------------------------------------------------------------------
     # cross-process merging (the worker-pool snapshot path)
     # ------------------------------------------------------------------
     def dump(self) -> dict:
-        """Raw per-stage timings, picklable, for shipping out of a worker."""
-        return {
+        """Raw per-stage timings, picklable, for shipping out of a worker.
+
+        Carries the worker's peak-RSS sample under a reserved key so the
+        parent can take the max across the fleet.
+        """
+        out: dict = {
             name: {"wall": t.wall, "cpu": t.cpu, "calls": t.calls}
             for name, t in self.stages.items()
         }
+        out[_PEAK_RSS_KEY] = self.refresh_peak_rss()
+        return out
 
     def merge_dump(self, dump: dict) -> None:
         """Fold one worker's :meth:`dump` into this profiler.
@@ -77,9 +132,14 @@ class Profiler:
         Wall/CPU seconds and call counts add per stage, so a parallel run's
         parent profile reports the *total* work each stage performed across
         all workers (the parent's own ``stage()`` spans still measure the
-        map's wall-clock envelope).
+        map's wall-clock envelope).  Peak RSS merges by max: the reported
+        figure is the hungriest single process, not a meaningless sum.
         """
         for name, payload in sorted(dump.items()):
+            if name == _PEAK_RSS_KEY:
+                if payload > self.peak_rss_kb:
+                    self.peak_rss_kb = payload
+                continue
             timing = self.stages.get(name)
             if timing is None:
                 timing = self.stages[name] = StageTiming()
@@ -94,10 +154,12 @@ class Profiler:
             lines.append(
                 f"{name:40s} {timing.wall:10.4f} {timing.cpu:10.4f} {timing.calls:6d}"
             )
+        lines.append(f"peak RSS: {self.refresh_peak_rss()} KiB")
         return "\n".join(lines)
 
     def reset(self) -> None:
         self.stages.clear()
+        self.peak_rss_kb = 0
 
 
 # ----------------------------------------------------------------------

@@ -154,7 +154,11 @@ def render_text(model: dict) -> str:
         lines.append(f"metrics: {len(metrics)} series")
     profile = model.get("profile")
     if profile:
-        lines.append(f"profile: {len(profile)} stage(s)")
+        stages = {k: v for k, v in profile.items() if isinstance(v, dict)}
+        lines.append(f"profile: {len(stages)} stage(s)")
+        peak = profile.get("peak_rss_kb")
+        if peak:
+            lines.append(f"peak RSS: {peak} KiB")
     flags = model.get("flags")
     if flags:
         lines.append(f"watchdog: {len(flags)} regression flag(s)")
@@ -210,7 +214,8 @@ def _spark_line(values: Sequence[float], width: int = 220, height: int = 36) -> 
 
 def _waterfall(profile: dict) -> str:
     """Per-stage horizontal bars, scaled to the slowest stage's wall time."""
-    stages = sorted(profile.items())
+    # Non-dict entries (e.g. the peak_rss_kb summary fact) are not stages.
+    stages = sorted((k, v) for k, v in profile.items() if isinstance(v, dict))
     peak = max((s.get("wall_seconds", 0.0) for _, s in stages), default=0.0) or 1.0
     rows = []
     for name, stage in stages:
@@ -354,7 +359,15 @@ def _profile_section(model: dict) -> str:
     profile = model.get("profile")
     if not profile:
         return ""
-    return _section("Stage profile", _waterfall(profile))
+    body = _waterfall(profile)
+    peak = profile.get("peak_rss_kb")
+    if peak:
+        mib = peak / 1024
+        body = (
+            f'<p class="tile">peak RSS <strong>{mib:.1f} MiB</strong> '
+            f"({_esc(peak)} KiB, max across processes)</p>" + body
+        )
+    return _section("Stage profile", body)
 
 
 def _trace_section(model: dict) -> str:

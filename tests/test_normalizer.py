@@ -153,4 +153,4 @@ class TestCoalescing:
         feeder = Feeder(normalizer)
         feeder.syn()
         normalizer.reset()
-        assert normalizer._flows == {}
+        assert len(normalizer._flows) == 0

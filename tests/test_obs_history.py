@@ -210,3 +210,86 @@ class TestRunWatch:
             ["--results-dir", str(results), "--history", str(history_path)]
         )
         assert code == 1
+
+
+class TestPeakRSSChecks:
+    @pytest.fixture
+    def rss_history(self, tmp_path):
+        """Three runs at a steady ~40 MB peak RSS."""
+        history = tmp_path / "BENCH_history.jsonl"
+        obs_history.append_entries(
+            history,
+            [
+                {"name": "scale", "seconds": 1.0, "peak_rss_kb": rss}
+                for rss in (40_000, 41_000, 40_500)
+            ],
+        )
+        return history, tmp_path / "results"
+
+    def test_rss_jump_is_flagged(self, rss_history):
+        history_path, results = rss_history
+        _write_bench(results, {"name": "scale", "seconds": 1.0, "peak_rss_kb": 55_000})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert [flag.key for flag in flags] == ["peak_rss_kb"]
+        assert flags[0].ratio == pytest.approx(55_000 / 40_500, abs=1e-3)
+        assert "peak RSS" in flags[0].message
+
+    def test_rss_within_band_passes(self, rss_history):
+        history_path, results = rss_history
+        # +23% is inside the 25% band (allocator variance, not a leak).
+        _write_bench(results, {"name": "scale", "seconds": 1.0, "peak_rss_kb": 49_800})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert flags == []
+
+    def test_rss_band_is_independent_of_the_timing_threshold(self, rss_history):
+        # A generous wall-clock threshold must not loosen the memory band.
+        history_path, results = rss_history
+        _write_bench(results, {"name": "scale", "seconds": 1.0, "peak_rss_kb": 80_000})
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+            threshold=5.0,
+        )
+        assert [flag.key for flag in flags] == ["peak_rss_kb"]
+
+    def test_history_without_rss_skips_the_check(self, synthetic):
+        history_path, results = synthetic
+        _write_bench(
+            results,
+            {"name": "synthetic", "seconds": 1.0, "rounds": 10, "peak_rss_kb": 99_999},
+        )
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert flags == []
+
+    def test_churn_counters_are_deterministic_keys(self, tmp_path):
+        history_path = tmp_path / "BENCH_history.jsonl"
+        obs_history.append_entries(
+            history_path,
+            [{"name": "scale", "seconds": 1.0, "evictions": 91_808, "sheds": 0}],
+        )
+        results = tmp_path / "results"
+        _write_bench(
+            results, {"name": "scale", "seconds": 1.0, "evictions": 91_809, "sheds": 5}
+        )
+        flags = obs_history.check_regressions(
+            obs_history.load_history(history_path),
+            obs_history.collect_bench_payloads(results),
+        )
+        assert sorted(flag.key for flag in flags) == ["evictions", "sheds"]
+
+    def test_watchdog_reports_rss_flag(self, rss_history, capsys):
+        history_path, results = rss_history
+        _write_bench(results, {"name": "scale", "seconds": 1.0, "peak_rss_kb": 60_000})
+        code = obs_history.run_watch(results, history_path=history_path, json_output=True)
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flags"][0]["key"] == "peak_rss_kb"

@@ -1,0 +1,255 @@
+"""DependencyCache: HQTimer-style dependency-aware rule-artifact caching.
+
+Unit tests drive a private cache instance through cascades, TTL expiry,
+capacity eviction and replacement; integration tests verify the three
+compile layers (rule sets, views, automata) stay coherent with their
+layer-local memos when entries are invalidated underneath them.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.middlebox import automaton as mbx_automaton
+from repro.middlebox.automaton import automaton_cache_key, automaton_for
+from repro.middlebox.rulecache import RULE_CACHE, DependencyCache
+from repro.middlebox.ruleindex import CompiledRuleSet
+from repro.middlebox.rules import MatchRule
+
+settings_kwargs = dict(
+    deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCoreSemantics:
+    def test_put_get_roundtrip(self):
+        cache = DependencyCache(capacity=8)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_invalidate_cascades_to_transitive_dependents(self):
+        cache = DependencyCache(capacity=8)
+        log = []
+        hook = lambda key, value, reason: log.append((key, reason))  # noqa: E731
+        cache.put("a", 1, on_invalidate=hook)
+        cache.put("b", 2, deps=("a",), on_invalidate=hook)
+        cache.put("c", 3, deps=("b",), on_invalidate=hook)
+        cache.put("d", 4, deps=("a",), on_invalidate=hook)
+        dropped = cache.invalidate("a", reason="test")
+        # Breadth-first in registration order: a, then its dependents b and
+        # d, then b's dependent c.
+        assert dropped == ["a", "b", "d", "c"]
+        assert log == [
+            ("a", "test"),
+            ("b", "dependency:test"),
+            ("d", "dependency:test"),
+            ("c", "dependency:dependency:test"),
+        ]
+        assert len(cache) == 0
+
+    def test_invalidating_a_leaf_leaves_parents(self):
+        cache = DependencyCache(capacity=8)
+        cache.put("a", 1)
+        cache.put("b", 2, deps=("a",))
+        assert cache.invalidate("b") == ["b"]
+        assert cache.get("a") == 1
+
+    def test_replacement_invalidates_the_old_entry_and_its_dependents(self):
+        cache = DependencyCache(capacity=8)
+        log = []
+        cache.put("a", 1)
+        cache.put("b", 2, deps=("a",), on_invalidate=lambda k, v, r: log.append((k, v, r)))
+        cache.put("a", 10)
+        assert log == [("b", 2, "dependency:replaced")]
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_missing_dependencies_are_tolerated(self):
+        cache = DependencyCache(capacity=8)
+        cache.put("orphan", 1, deps=("never-existed",))
+        assert cache.get("orphan") == 1
+
+    def test_capacity_eviction_cascades(self):
+        log = []
+        cache = DependencyCache(capacity=2)
+        cache.put("a", 1, on_invalidate=lambda k, v, r: log.append((k, r)))
+        cache.put("view-of-a", 2, deps=("a",), on_invalidate=lambda k, v, r: log.append((k, r)))
+        cache.put("b", 3)  # capacity 2: LRU entry "a" evicted, cascade drops its view
+        assert log == [("a", "evicted"), ("view-of-a", "dependency:evicted")]
+        assert len(cache) == 1
+        assert cache.get("b") == 3
+
+    def test_touch_protects_from_eviction(self):
+        cache = DependencyCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.touch("a")
+        cache.put("c", 3)  # LRU is now "b"
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert not cache.touch("b")
+
+    def test_clear_unhooks_everything(self):
+        log = []
+        cache = DependencyCache(capacity=8)
+        for key in ("a", "b"):
+            cache.put(key, key, on_invalidate=lambda k, v, r: log.append((k, r)))
+        cache.clear()
+        assert log == [("a", "cleared"), ("b", "cleared")]
+        assert len(cache) == 0
+
+    def test_stats_shape(self):
+        cache = DependencyCache(capacity=4)
+        cache.put("a", 1)
+        cache.invalidate("a")
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["expirations"] == 0
+        assert stats["size"] == 0
+
+
+class TestTTL:
+    def test_tick_expires_idle_entries(self):
+        cache = DependencyCache(capacity=8, ttl=10.0)
+        log = []
+        cache.put("a", 1, now=0.0, on_invalidate=lambda k, v, r: log.append((k, r)))
+        cache.put("b", 2, deps=("a",), now=0.0)
+        assert cache.tick(5.0) == []
+        assert cache.tick(11.0) == ["a", "b"]
+        assert log == [("a", "expired")]
+        assert cache.expirations == 1  # the cascade victim is not an expiry
+
+    def test_touch_resets_the_idle_clock(self):
+        cache = DependencyCache(capacity=8, ttl=10.0)
+        cache.put("a", 1, now=0.0)
+        cache.touch("a", now=8.0)
+        assert cache.tick(15.0) == []
+        assert cache.tick(20.0) == ["a"]
+
+    def test_per_entry_ttl_overrides_default(self):
+        cache = DependencyCache(capacity=8, ttl=100.0)
+        cache.put("short", 1, ttl=1.0, now=0.0)
+        cache.put("long", 2, now=0.0)
+        assert cache.tick(5.0) == ["short"]
+        assert cache.get("long") == 2
+
+    def test_no_ttl_never_expires(self):
+        cache = DependencyCache(capacity=8)
+        cache.put("a", 1, now=0.0)
+        assert cache.tick(1e9) == []
+
+
+class TestPropertyGraph:
+    @settings(**settings_kwargs)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=24
+        ),
+        root=st.integers(0, 11),
+    )
+    def test_cascade_drops_exactly_the_reachable_set(self, edges, root):
+        """Invalidation == reachability in the dependent graph (when keys
+        are registered before their dependents reference them)."""
+        cache = DependencyCache(capacity=64)
+        reachable = {root}
+        adjacency = {}
+        for node in range(12):
+            cache.put(node, node)
+        for child, parent in edges:
+            if child == parent:
+                continue
+            # Re-putting would invalidate, so record edges via a fresh put
+            # only the first time the child appears.
+            adjacency.setdefault(parent, []).append(child)
+        for parent, children in adjacency.items():
+            for child in children:
+                entry = cache._store.get(parent, touch=False)
+                entry.dependents.setdefault(child, None)
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for child in adjacency.get(node, ()):
+                if child not in reachable:
+                    reachable.add(child)
+                    frontier.append(child)
+        dropped = cache.invalidate(root)
+        assert set(dropped) == reachable
+        assert len(cache) == 12 - len(reachable)
+
+
+def fresh_rules():
+    return [
+        MatchRule(name="video", keywords=[b"video.example.com"]),
+        MatchRule(name="news", keywords=[b"news.example.org"]),
+    ]
+
+
+class TestCompileLayerIntegration:
+    def test_shared_rulesets_intern_and_register(self):
+        rules = fresh_rules()
+        compiled = CompiledRuleSet.shared(rules)
+        assert CompiledRuleSet.shared(rules) is compiled
+        assert compiled.cache_key in RULE_CACHE
+
+    def test_dropping_a_ruleset_drops_its_views(self):
+        rules = fresh_rules()
+        compiled = CompiledRuleSet.shared(rules)
+        view = compiled.view("tcp", 80, "client_to_server")
+        view_key = ("view", compiled.cache_key[1], ("tcp", 80, "client_to_server"))
+        assert view_key in RULE_CACHE
+        dropped = RULE_CACHE.invalidate(compiled.cache_key, reason="test")
+        assert compiled.cache_key in dropped and view_key in dropped
+        assert compiled._views == {}
+        assert tuple(map(id, rules)) not in CompiledRuleSet._shared
+        # The set recompiles cleanly afterwards.
+        rebuilt = CompiledRuleSet.shared(rules)
+        assert rebuilt is not compiled
+        assert rebuilt.view("tcp", 80, "client_to_server") is not view
+
+    def test_dropping_an_automaton_drops_views_but_not_the_ruleset(self):
+        rules = fresh_rules()
+        compiled = CompiledRuleSet.shared(rules)
+        view = compiled.view("tcp", 80, "client_to_server")
+        patterns = view.automaton.patterns
+        assert patterns in mbx_automaton._INTERNED
+        RULE_CACHE.invalidate(automaton_cache_key(patterns), reason="test")
+        assert patterns not in mbx_automaton._INTERNED
+        assert ("tcp", 80, "client_to_server") not in compiled._views
+        assert compiled.cache_key in RULE_CACHE  # the parent layer survives
+        # Rebuilding the view rebuilds (and re-registers) the automaton.
+        rebuilt = compiled.view("tcp", 80, "client_to_server")
+        assert rebuilt is not view
+        assert patterns in mbx_automaton._INTERNED
+
+    def test_automaton_interning_survives_touch(self):
+        first = automaton_for((b"alpha", b"beta"))
+        assert automaton_for((b"alpha", b"beta")) is first
+        assert automaton_cache_key((b"alpha", b"beta")) in RULE_CACHE
+        RULE_CACHE.invalidate(automaton_cache_key((b"alpha", b"beta")))
+        assert automaton_for((b"alpha", b"beta")) is not first
+
+    def test_view_memo_hits_do_not_rebuild(self):
+        compiled = CompiledRuleSet.shared(fresh_rules())
+        view = compiled.view("tcp", 80, "client_to_server")
+        assert compiled.view("tcp", 80, "client_to_server") is view
+
+    def test_churned_rulesets_stay_bounded(self):
+        """Thousands of throwaway rule sets cannot grow the memos without
+        bound: the cache's capacity evicts old sets and pops their memo
+        entries (the regression the ad-hoc dicts guarded with hard limits)."""
+        capacity = RULE_CACHE.capacity
+        assert capacity is not None
+        for index in range(64):
+            CompiledRuleSet.shared([MatchRule(name=f"r{index}", keywords=[b"x%d" % index])])
+        assert len(CompiledRuleSet._shared) <= capacity
+        assert len(RULE_CACHE) <= capacity
+
+    def test_global_cache_capacity_bounds_interned_automata(self):
+        before = len(mbx_automaton._INTERNED)
+        for index in range(32):
+            automaton_for((b"churn-%d" % index,))
+        assert len(mbx_automaton._INTERNED) <= before + 32
+        assert len(RULE_CACHE) <= RULE_CACHE.capacity

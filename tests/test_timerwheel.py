@@ -1,0 +1,149 @@
+"""TimerWheel: hierarchical expiry checked against a brute-force scan.
+
+The wheel's contract is exactly "what a full scan over pending timers
+would fire, in (deadline, schedule order)" — the engine's flush ordering
+and the replay client's retransmit ordering both lean on it.  The property
+test drives random schedule/cancel/advance sequences through the wheel and
+a sorted-list reference and requires identical firings, including
+deadlines beyond the wheel's total span (which must cascade once per
+revolution, not hang or fire early).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.timerwheel import TimerWheel
+
+settings_kwargs = dict(
+    deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# (kind, a, b): schedule offset a (scaled), cancel index a, or advance by a.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(-10, 600)),
+        st.tuples(st.just("cancel"), st.integers(0, 30)),
+        st.tuples(st.just("advance"), st.integers(0, 90)),
+    ),
+    max_size=60,
+)
+
+
+def run_differential(ops, wheel):
+    """Replay *ops* on *wheel* and on a brute-force pending list."""
+    pending = {}  # payload -> (deadline, payload); payload doubles as seq
+    ids = {}
+    seq = 0
+    now = 0.0
+    for op, arg in ops:
+        if op == "schedule":
+            deadline = now + arg / 10.0
+            ids[seq] = wheel.schedule(deadline, seq)
+            pending[seq] = deadline
+            seq += 1
+        elif op == "cancel":
+            live = sorted(pending)
+            if live:
+                victim = live[arg % len(live)]
+                assert wheel.cancel(ids[victim]) is True
+                assert wheel.cancel(ids[victim]) is False
+                del pending[victim]
+        else:
+            now += arg / 10.0
+            fired = wheel.advance(now)
+            expect = [p for p, d in sorted(pending.items(), key=lambda kv: (kv[1], kv[0])) if d <= now]
+            assert fired == expect
+            for payload in fired:
+                del pending[payload]
+        assert wheel.pending == len(pending)
+    return pending
+
+
+class TestAgainstBruteForce:
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_small_wheel_fires_exactly_the_due_set(self, ops):
+        # 2 levels x 4 slots x 0.5s tick: a 8s span, so the 60s deadline
+        # range keeps beyond-span cascades constantly exercised.
+        run_differential(ops, TimerWheel(tick=0.5, slots=4, levels=2))
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_single_level_wheel(self, ops):
+        run_differential(ops, TimerWheel(tick=1.0, slots=8, levels=1))
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_default_geometry(self, ops):
+        run_differential(ops, TimerWheel())
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_drain_returns_survivors_in_deadline_order(self, ops):
+        wheel = TimerWheel(tick=0.5, slots=4, levels=2)
+        pending = run_differential(ops, wheel)
+        expected = [p for p, d in sorted(pending.items(), key=lambda kv: (kv[1], kv[0]))]
+        assert list(wheel.drain()) == expected
+        assert wheel.pending == 0
+        assert len(wheel) == 0
+
+
+class TestEdgeSemantics:
+    def test_overdue_deadline_fires_on_next_advance(self):
+        wheel = TimerWheel(tick=0.5, slots=4, levels=1, start=10.0)
+        wheel.schedule(3.0, "past")  # before the wheel's current time
+        assert wheel.advance(5.0) == ["past"]  # even a past-advance drains it
+
+    def test_advance_into_the_past_is_a_noop(self):
+        wheel = TimerWheel(tick=0.5, slots=4, levels=1, start=10.0)
+        wheel.schedule(12.0, "later")
+        assert wheel.advance(1.0) == []
+        assert wheel.now == 10.0
+        assert wheel.advance(12.5) == ["later"]
+
+    def test_beyond_span_deadline_survives_full_revolutions(self):
+        wheel = TimerWheel(tick=1.0, slots=4, levels=1)  # 4s span
+        wheel.schedule(11.0, "far")
+        for t in range(1, 11):
+            assert wheel.advance(float(t)) == []
+        assert wheel.advance(11.0) == ["far"]
+
+    def test_giant_jump_short_circuits(self):
+        wheel = TimerWheel(tick=0.5, slots=64, levels=3)
+        wheel.schedule(100.0, "a")
+        wheel.schedule(50.0, "b")
+        wheel.schedule(1_000_000.0, "far")
+        assert wheel.advance(500_000.0) == ["b", "a"]
+        assert wheel.advance(1_000_000.0) == ["far"]
+
+    def test_same_deadline_fires_in_schedule_order(self):
+        wheel = TimerWheel(tick=1.0, slots=8, levels=1)
+        for name in ("first", "second", "third"):
+            wheel.schedule(3.0, name)
+        assert wheel.advance(5.0) == ["first", "second", "third"]
+
+    def test_cancel_inside_bucket_is_skipped(self):
+        wheel = TimerWheel(tick=1.0, slots=8, levels=1)
+        keep = wheel.schedule(2.0, "keep")
+        drop = wheel.schedule(2.0, "drop")
+        assert wheel.cancel(drop)
+        assert wheel.advance(3.0) == ["keep"]
+        assert not wheel.cancel(keep)  # already fired
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(slots=1)
+        with pytest.raises(ValueError):
+            TimerWheel(levels=0)
+
+    def test_counters(self):
+        wheel = TimerWheel(tick=0.5, slots=4, levels=2)
+        for offset in (1.0, 3.0, 9.0):
+            wheel.schedule(offset, offset)
+        assert wheel.pending == 3
+        wheel.advance(4.0)
+        assert wheel.fired == 2
+        assert wheel.pending == 1
