@@ -78,6 +78,15 @@ def _make_trace(args: argparse.Namespace):
     return http_get_trace(args.host, response_body=b"x" * args.size)
 
 
+def _add_event_core_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--event-core",
+        action="store_true",
+        help="run the netsim on the event-scheduler core (byte-identical "
+        "verdicts/traces; the differential suite pins the equivalence)",
+    )
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="video.example.com", help="hostname in the workload")
     parser.add_argument("--video", action="store_true", help="use a video-stream workload")
@@ -425,6 +434,126 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_congest(args: argparse.Namespace) -> int:
+    """Run the event-core interleaved-flow congestion workload."""
+    import json
+
+    from repro.experiments.congestion import (
+        CongestionConfig,
+        format_congestion,
+        run_congestion,
+    )
+
+    config = CongestionConfig(
+        flows=args.flows,
+        packets_per_flow=args.packets_per_flow,
+        payload_bytes=args.payload_bytes,
+        spacing=args.spacing,
+        stagger=args.stagger,
+        env_name=args.env,
+        host=args.host,
+    )
+    result = run_congestion(config)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_congestion(result))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve live loopback connections through the fallback ladder (§8)."""
+    import asyncio
+    import json
+
+    from repro.core.pipeline import Liberate
+    from repro.core.proxy_server import ProxyServer, drive_clients
+    from repro.traffic.trace import invert_bits
+
+    env = _make_env(args.env, faults=_fault_profile(args))
+    base = _make_trace(args)
+    pipeline = Liberate(env, seed=args.seed)
+    try:
+        ladder = pipeline.deploy_ladder(
+            base, window=args.window, failure_threshold=args.failure_threshold
+        )
+    except RuntimeError as error:
+        print(f"cannot serve: {error}", file=sys.stderr)
+        return 1
+    overload = None
+    if args.shed:
+        from repro.middlebox.overload import OverloadPolicy
+
+        overload = OverloadPolicy(
+            seed=args.seed if args.seed is not None else OverloadPolicy.seed,
+            shed_start=args.shed_start,
+        )
+    server = ProxyServer(
+        ladder,
+        host=args.bind,
+        port=args.port,
+        max_active=args.max_active,
+        overload=overload,
+        server_port=base.server_port,
+    )
+
+    if args.selfcheck:
+        matching = base.client_payloads()[0]
+        # Two canonical payload objects referenced N times — the workload
+        # list costs one pointer per flow, not one buffer per flow.
+        payloads = [
+            matching if i % 2 == 0 else invert_bits(matching)
+            for i in range(args.selfcheck)
+        ]
+        tally = {"verdicts_returned": 0, "evaded_verdicts": 0}
+
+        def _tally(_index: int, verdict: dict) -> None:
+            # Streamed, never accumulated: the smoke run's memory footprint
+            # must stay O(concurrency) no matter how many flows it serves.
+            tally["verdicts_returned"] += 1
+            tally["evaded_verdicts"] += 1 if verdict.get("evaded") else 0
+
+        async def _selfcheck() -> None:
+            await server.start()
+            try:
+                await drive_clients(
+                    "127.0.0.1",
+                    server.bound_port,
+                    payloads,
+                    concurrency=args.concurrency,
+                    on_verdict=_tally,
+                )
+            finally:
+                await server.stop()
+
+        asyncio.run(_selfcheck())
+        report = server.snapshot()
+        report.update(tally)
+        # ru_maxrss is process-lifetime-monotonic: the proxy-smoke CI job
+        # compares this across two separate interpreters to prove that
+        # serving more flows doesn't grow per-flow server state.
+        from repro.obs import profiling as obs_profiling
+
+        report["peak_rss_kb"] = obs_profiling.peak_rss_kb()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if tally["verdicts_returned"] == len(payloads) else 1
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving {env.name} via {ladder.active_technique.name} "
+            f"on {args.bind}:{server.bound_port} (ctrl-c to stop)",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print(json.dumps(server.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the full measured-results markdown report."""
     from repro.experiments.reportgen import write_report
@@ -598,7 +727,87 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(run)
     _add_fault_args(run)
     _add_obs_args(run, workload_trace=True)
+    _add_event_core_arg(run)
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="live transparent proxy: real sockets through the fallback ladder"
+    )
+    serve.add_argument("--env", default="testbed")
+    serve.add_argument("--bind", default="127.0.0.1", help="listen address")
+    serve.add_argument("--port", type=int, default=0, help="listen port (0 = pick free)")
+    serve.add_argument(
+        "--window", type=int, default=5, help="fallback-ladder health window (flows)"
+    )
+    serve.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=3,
+        help="unhealthy flows in the window that trigger a ladder step-down",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=512,
+        help="concurrent-connection capacity (the overload denominator)",
+    )
+    serve.add_argument(
+        "--shed", action="store_true", help="enable deterministic admission load-shedding"
+    )
+    serve.add_argument(
+        "--shed-start",
+        type=float,
+        default=0.95,
+        help="fullness watermark where admission shedding begins",
+    )
+    serve.add_argument(
+        "--selfcheck",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve N loopback flows from this process, print the verdict "
+        "summary and exit (CI smoke mode)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="concurrent selfcheck clients",
+    )
+    _add_workload_args(serve)
+    _add_fault_args(serve)
+    _add_obs_args(serve, workload_trace=True)
+    serve.set_defaults(func=cmd_serve)
+
+    congest = sub.add_parser(
+        "congest", help="event-core congestion workload: interleaved flows on one path"
+    )
+    congest.add_argument("--env", default="tmobile")
+    congest.add_argument("--flows", type=int, default=200, help="concurrent flows")
+    congest.add_argument(
+        "--packets-per-flow", type=int, default=4, help="payload packets per flow"
+    )
+    congest.add_argument(
+        "--payload-bytes", type=int, default=400, help="request padding bytes"
+    )
+    congest.add_argument(
+        "--spacing",
+        type=float,
+        default=0.004,
+        help="virtual seconds between one flow's packets",
+    )
+    congest.add_argument(
+        "--stagger",
+        type=float,
+        default=0.001,
+        help="arrival offset between consecutive flows",
+    )
+    congest.add_argument(
+        "--host", default="video.example.com", help="hostname carried in every request"
+    )
+    congest.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_obs_args(congest)
+    congest.set_defaults(func=cmd_congest)
 
     detect = sub.add_parser("detect", help="differentiation detection only")
     detect.add_argument("--env", default="testbed")
@@ -641,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(t3)
     _add_obs_args(t3)
+    _add_event_core_arg(t3)
     t3.set_defaults(func=cmd_table3)
     f4 = sub.add_parser("figure4", help="regenerate Figure 4")
     f4.add_argument("--trials", type=int, default=6)
@@ -653,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(f4)
     _add_obs_args(f4)
+    _add_event_core_arg(f4)
     f4.set_defaults(func=cmd_figure4)
     sub.add_parser("efficiency", help="regenerate §6 efficiency numbers").set_defaults(
         func=cmd_efficiency
@@ -789,6 +1000,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     _setup_obs(args)
     try:
+        if getattr(args, "event_core", False):
+            from repro.netsim.scheduler import use_event_core
+
+            with use_event_core():
+                return args.func(args)
         return args.func(args)
     finally:
         _finish_obs(args)

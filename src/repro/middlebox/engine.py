@@ -21,6 +21,7 @@ reverse-engineered, through configuration:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import Callable
 
 from repro.middlebox.flowtable import FlowTable
@@ -385,6 +386,23 @@ class DPIMiddlebox(NetworkElement):
             obs_metrics.METRICS.inc("mbx.flows_created")
         self._arm_timer(normalized, state, now)
         return state
+
+    def bound_flow_state(self, max_flows: int, match_log_bound: int | None = None) -> None:
+        """Bound per-flow state for long-lived (live-serve) deployments.
+
+        Table 3 cells run a handful of flows, so the historical default is
+        an unbounded flow table; a transparent proxy pushes an open-ended
+        flow population through the *same* engine, where unbounded per-flow
+        state is a leak.  Call before serving: completed simulated flows
+        never span an eviction (``run_flow`` is synchronous), so bounding
+        cannot change any verdict.
+        """
+        if max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        self.max_flows = max_flows
+        self._flows.capacity = max_flows
+        if match_log_bound is not None:
+            self.match_log = deque(self.match_log, maxlen=match_log_bound)
 
     def _admit_flow(self, key: FiveTuple, normalized: FiveTuple, now: float) -> bool:
         """Admission control under overload: decide whether to track at all."""

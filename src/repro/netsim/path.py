@@ -1,17 +1,30 @@
 """Path composition: endpoints connected through an ordered element chain.
 
-Packets travel synchronously.  An element may inject packets back toward the
-sender (ICMP Time Exceeded, censor RSTs) or forward toward the destination;
-injected packets traverse the remaining elements exactly as real ones would.
+Packet propagation is event-driven: every unit of work — "this packet is at
+element *i*" — is an explicit agenda item that the frame loop consumes in
+depth-first order, byte-identical to the historical nested-call driver (the
+scheduler differential suite pins this).  An element may inject packets back
+toward the sender (ICMP Time Exceeded, censor RSTs) or forward toward the
+destination; injected packets traverse the remaining elements exactly as
+real ones would.
+
+When a :class:`~repro.netsim.scheduler.EventScheduler` is bound (explicitly
+or via the process-wide event-core switch), sends become scheduler events:
+the synchronous API posts a frame and drains it immediately (the thin
+driver), while :meth:`schedule_from_client` defers frames to future virtual
+times so thousands of flows interleave in ``(deadline, seq)`` order —
+congestion scenarios the nested driver cannot express.
 """
 
 from __future__ import annotations
 
 from typing import Protocol
 
+from repro.netsim import scheduler as _schedmod
 from repro.netsim.clock import VirtualClock
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.netsim.hop import RouterHop
+from repro.netsim.scheduler import EventScheduler
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.packets.batch import serialize_batch
@@ -20,7 +33,9 @@ from repro.packets.ip import IPPacket
 
 #: Process-wide count of packet propagations across every simulated path.
 #: Monotonically increasing, never reset — benchmarks take deltas around the
-#: measured section to report packets/second.
+#: measured section to report packets/second.  Counts frames (a packet
+#: entering the chain), not per-element steps: agenda continuation items do
+#: not re-count, so the meaning is identical to the nested-call driver's.
 _packets_propagated_total = 0
 
 
@@ -54,6 +69,11 @@ class Path:
         clock: shared virtual clock.
         elements: processing stages, client side first.
         max_depth: recursion guard against response loops.
+        scheduler: an event scheduler to route sends through.  ``None``
+            binds a fresh one automatically when the process-wide
+            event-core switch (:func:`repro.netsim.scheduler.use_event_core`
+            / ``REPRO_EVENT_CORE``) is active, and otherwise leaves the
+            path in direct-call mode.
     """
 
     def __init__(
@@ -61,22 +81,48 @@ class Path:
         clock: VirtualClock,
         elements: list[NetworkElement],
         max_depth: int = 50,
+        scheduler: EventScheduler | None = None,
     ) -> None:
         self.clock = clock
         self.elements = list(elements)
         self.client_endpoint: Endpoint = _SinkEndpoint()
         self.server_endpoint: Endpoint = _SinkEndpoint()
         self.max_depth = max_depth
+        if scheduler is None and _schedmod.event_core_enabled():
+            scheduler = EventScheduler(clock)
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
-    # public API
+    # public API — synchronous driver
     # ------------------------------------------------------------------
+    def bind_scheduler(self, scheduler: EventScheduler) -> EventScheduler:
+        """Attach *scheduler*; subsequent sends route through its queue."""
+        self.scheduler = scheduler
+        return scheduler
+
     def send_from_client(self, packet: IPPacket) -> None:
-        """Inject *packet* at the client edge, traveling toward the server."""
+        """Inject *packet* at the client edge, traveling toward the server.
+
+        With a scheduler bound this is the thin driver: the frame is posted
+        as a zero-delay event and the due queue is drained before
+        returning, so the call is byte-identical to the direct walk.
+        """
+        sched = self.scheduler
+        if sched is not None:
+            sched.post(self._propagate, packet, Direction.CLIENT_TO_SERVER, 0, 0)
+            sched.run(until=sched.now)
+            return
         self._propagate(packet, Direction.CLIENT_TO_SERVER, index=0, depth=0)
 
     def send_from_server(self, packet: IPPacket) -> None:
         """Inject *packet* at the server edge, traveling toward the client."""
+        sched = self.scheduler
+        if sched is not None:
+            sched.post(
+                self._propagate, packet, Direction.SERVER_TO_CLIENT, len(self.elements) - 1, 0
+            )
+            sched.run(until=sched.now)
+            return
         self._propagate(
             packet, Direction.SERVER_TO_CLIENT, index=len(self.elements) - 1, depth=0
         )
@@ -94,8 +140,48 @@ class Path:
         if obs_metrics.METRICS is None:
             serialize_batch(packets, lenient=True)
         for packet in packets:
-            self._propagate(packet, Direction.CLIENT_TO_SERVER, index=0, depth=0)
+            self.send_from_client(packet)
 
+    # ------------------------------------------------------------------
+    # public API — deferred (event-native) driver
+    # ------------------------------------------------------------------
+    def schedule_from_client(
+        self, packet: IPPacket, delay: float = 0.0, at: float | None = None
+    ) -> int:
+        """Schedule a client-edge frame for a future virtual time.
+
+        Unlike :meth:`send_from_client`, the frame does **not** run now; it
+        fires when :meth:`run` (or the scheduler) drains past its deadline,
+        interleaving with every other scheduled flow in ``(deadline, seq)``
+        order.  Returns the scheduler event id (cancellable).
+        """
+        sched = self._require_scheduler()
+        deadline = at if at is not None else sched.now + delay
+        return sched.at(deadline, self._propagate, packet, Direction.CLIENT_TO_SERVER, 0, 0)
+
+    def schedule_from_server(
+        self, packet: IPPacket, delay: float = 0.0, at: float | None = None
+    ) -> int:
+        """Schedule a server-edge frame for a future virtual time."""
+        sched = self._require_scheduler()
+        deadline = at if at is not None else sched.now + delay
+        return sched.at(
+            deadline, self._propagate, packet, Direction.SERVER_TO_CLIENT,
+            len(self.elements) - 1, 0,
+        )
+
+    def run(self, until: float | None = None) -> int:
+        """Drain scheduled frames in virtual-time order; returns events fired."""
+        return self._require_scheduler().run(until=until)
+
+    def _require_scheduler(self) -> EventScheduler:
+        if self.scheduler is None:
+            self.scheduler = EventScheduler(self.clock)
+        return self.scheduler
+
+    # ------------------------------------------------------------------
+    # chain management
+    # ------------------------------------------------------------------
     def insert_element(self, element: NetworkElement, index: int = 0) -> None:
         """Insert *element* into the chain at *index* (0 = client edge)."""
         self.elements.insert(index, element)
@@ -113,21 +199,52 @@ class Path:
             element.reset()
 
     # ------------------------------------------------------------------
-    # propagation machinery
+    # propagation machinery (the event core's frame executor)
     # ------------------------------------------------------------------
     def _propagate(self, packet: IPPacket, direction: Direction, index: int, depth: int) -> None:
+        """Run one frame to completion via an explicit event agenda.
+
+        Agenda items are ``(packet, direction, index, depth, counted)``
+        tuples consumed LIFO, which reproduces the nested-call driver's
+        depth-first order exactly: an element's extra outputs complete
+        before its last output continues, and endpoint responses run before
+        anything that was stacked earlier.  ``counted`` is False for
+        continuation items (the same packet resuming mid-chain) so the
+        process-wide propagation counter keeps its historical meaning.
+
+        Injections via the transit context (:class:`_FrameContext`) remain
+        synchronous re-entrant calls — they must finish before the
+        injecting element's ``process`` returns, exactly as before.
+        """
+        agenda: list[tuple[IPPacket, Direction, int, int, bool]] = [
+            (packet, direction, index, depth, True)
+        ]
+        while agenda:
+            pkt, item_direction, i, item_depth, counted = agenda.pop()
+            self._walk(agenda, pkt, item_direction, i, item_depth, counted)
+
+    def _walk(
+        self,
+        agenda: list[tuple[IPPacket, Direction, int, int, bool]],
+        packet: IPPacket,
+        direction: Direction,
+        index: int,
+        depth: int,
+        counted: bool,
+    ) -> None:
         global _packets_propagated_total
-        _packets_propagated_total += 1
+        if counted:
+            _packets_propagated_total += 1
         if depth > self.max_depth:
             raise RuntimeError("packet propagation exceeded max depth (response loop?)")
         tracer = obs_trace.TRACER
         metrics = obs_metrics.METRICS
-        if metrics is not None:
+        if counted and metrics is not None:
             metrics.inc("netsim.packets.propagated")
         step = 1 if direction is Direction.CLIENT_TO_SERVER else -1
         elements = self.elements
         count = len(elements)
-        # One mutable context serves the whole frame: injections only happen
+        # One mutable context serves the whole walk: injections only happen
         # synchronously inside element.process, when ``index`` is current.
         ctx = _FrameContext(self, direction, depth, step)
         current = packet
@@ -166,11 +283,17 @@ class Path:
                 if not outputs:
                     return
                 if len(outputs) > 1:
-                    for extra in outputs[:-1]:
-                        self._propagate(extra, direction, i + step, depth + 1)
+                    # An element may emit several packets (e.g. reassembly
+                    # flushes); extras propagate to completion before the
+                    # last output continues, so the continuation is stacked
+                    # first (LIFO) and the extras above it in order.
+                    agenda.append((outputs[-1], direction, i + step, depth, False))
+                    for extra in reversed(outputs[:-1]):
+                        agenda.append((extra, direction, i + step, depth + 1, True))
+                    return
                 current = outputs[-1]
                 i += step
-            self._deliver_to_endpoint(current, direction, depth)
+            self._deliver_to_endpoint(agenda, current, direction, depth)
             return
         while 0 <= i < count:
             element = elements[i]
@@ -193,10 +316,10 @@ class Path:
             if metrics is not None:
                 metrics.inc("netsim.hop.forwarded")
             if len(outputs) > 1:
-                # An element may emit several packets (e.g. reassembly
-                # flushes); all but the last recurse, the last continues.
-                for extra in outputs[:-1]:
-                    self._propagate(extra, direction, i + step, depth + 1)
+                agenda.append((outputs[-1], direction, i + step, depth, False))
+                for extra in reversed(outputs[:-1]):
+                    agenda.append((extra, direction, i + step, depth + 1, True))
+                return
             current = outputs[-1]
             i += step
         if tracer is not None:
@@ -209,22 +332,31 @@ class Path:
             )
         if metrics is not None:
             metrics.inc("netsim.packets.delivered")
-        self._deliver_to_endpoint(current, direction, depth)
+        self._deliver_to_endpoint(agenda, current, direction, depth)
 
-    def _deliver_to_endpoint(self, packet: IPPacket, direction: Direction, depth: int) -> None:
+    def _deliver_to_endpoint(
+        self,
+        agenda: list[tuple[IPPacket, Direction, int, int, bool]],
+        packet: IPPacket,
+        direction: Direction,
+        depth: int,
+    ) -> None:
+        """Hand the frame's packet to its endpoint; stack the responses.
+
+        Responses are pushed in reverse so they pop in order, running
+        before any earlier-stacked work — the nested-call driver's
+        "responses recurse inside delivery" order.
+        """
         if direction is Direction.CLIENT_TO_SERVER:
             responses = self.server_endpoint.receive(packet)
-            for response in responses:
-                self._propagate(
-                    response,
-                    Direction.SERVER_TO_CLIENT,
-                    index=len(self.elements) - 1,
-                    depth=depth + 1,
-                )
+            back = Direction.SERVER_TO_CLIENT
+            start = len(self.elements) - 1
         else:
             responses = self.client_endpoint.receive(packet)
-            for response in responses:
-                self._propagate(response, Direction.CLIENT_TO_SERVER, index=0, depth=depth + 1)
+            back = Direction.CLIENT_TO_SERVER
+            start = 0
+        for response in reversed(responses):
+            agenda.append((response, back, start, depth + 1, True))
 
     def _context_for(self, element_index: int, direction: Direction, depth: int) -> TransitContext:
         """A standalone :class:`TransitContext` for one element position.
@@ -241,7 +373,10 @@ class Path:
             self._propagate(injected, direction, element_index + step, depth + 1)
 
         return TransitContext(
-            clock=self.clock, inject_back=inject_back, inject_forward=inject_forward
+            clock=self.clock,
+            inject_back=inject_back,
+            inject_forward=inject_forward,
+            scheduler=self.scheduler,
         )
 
 
@@ -249,15 +384,17 @@ class _FrameContext:
     """The propagation loop's transit context: one per frame, not per hop.
 
     Duck-typed stand-in for :class:`TransitContext` (same ``clock`` /
-    ``inject_back`` / ``inject_forward`` surface).  The owning frame updates
-    ``index`` as the walk advances; elements only inject synchronously from
-    ``process``, so the position is always current when it is read.
+    ``inject_back`` / ``inject_forward`` / ``scheduler`` surface).  The
+    owning frame updates ``index`` as the walk advances; elements only
+    inject synchronously from ``process``, so the position is always
+    current when it is read.
     """
 
-    __slots__ = ("clock", "index", "_path", "_direction", "_depth", "_step")
+    __slots__ = ("clock", "scheduler", "index", "_path", "_direction", "_depth", "_step")
 
     def __init__(self, path: Path, direction: Direction, depth: int, step: int) -> None:
         self.clock = path.clock
+        self.scheduler = path.scheduler
         self.index = 0
         self._path = path
         self._direction = direction

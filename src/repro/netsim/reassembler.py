@@ -35,6 +35,9 @@ class FragmentReassembler(NetworkElement):
         self.timeout = timeout
         self._pending: dict[ReassemblyKey, list[IPPacket]] = {}
         self._first_seen: dict[ReassemblyKey, float] = {}
+        #: key -> (scheduler, event_id) for natively armed expiry timers
+        #: (only populated when the path's scheduler has ``arm_timeouts``).
+        self._timers: dict[ReassemblyKey, tuple[object, int]] = {}
         self.reassembled_count = 0
         self.expired_count = 0
 
@@ -55,6 +58,7 @@ class FragmentReassembler(NetworkElement):
         bucket = self._pending.setdefault(key, [])
         if key not in self._first_seen:
             self._first_seen[key] = ctx.clock.now
+            self._arm_expiry(key, ctx)
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is None:
@@ -69,6 +73,7 @@ class FragmentReassembler(NetworkElement):
             return []
         del self._pending[key]
         self._first_seen.pop(key, None)
+        self._disarm(key)
         self.reassembled_count += 1
         if obs_trace.TRACER is not None:
             obs_trace.TRACER.emit(
@@ -89,25 +94,68 @@ class FragmentReassembler(NetworkElement):
             if now - first > self.timeout
         ]
         for key in stale:
-            pending = self._pending.pop(key, None)
-            del self._first_seen[key]
-            self.expired_count += 1
-            if obs_trace.TRACER is not None:
-                obs_trace.TRACER.emit(
-                    "frag.expired",
-                    now,
-                    element=self.name,
-                    reason="timeout",
-                    fragments=len(pending) if pending else 0,
-                    src=key[0],
-                    dst=key[1],
-                    ident=key[2],
-                )
-            if obs_metrics.METRICS is not None:
-                obs_metrics.METRICS.inc("netsim.frags.expired")
+            self._drop_expired(key, now)
+
+    def _drop_expired(self, key: ReassemblyKey, now: float) -> None:
+        pending = self._pending.pop(key, None)
+        self._first_seen.pop(key, None)
+        self._disarm(key)
+        self.expired_count += 1
+        if obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "frag.expired",
+                now,
+                element=self.name,
+                reason="timeout",
+                fragments=len(pending) if pending else 0,
+                src=key[0],
+                dst=key[1],
+                ident=key[2],
+            )
+        if obs_metrics.METRICS is not None:
+            obs_metrics.METRICS.inc("netsim.frags.expired")
+
+    # ------------------------------------------------------------------
+    # native (scheduler-armed) expiry — event-core deferred mode only
+    # ------------------------------------------------------------------
+    def _arm_expiry(self, key: ReassemblyKey, ctx: TransitContext) -> None:
+        """Arm a scheduler timer for *key*'s expiry deadline.
+
+        Only when the bound scheduler opts in via ``arm_timeouts`` — in
+        thin-driver (synchronous) mode the per-packet scan is authoritative
+        and arming would change the trace stream.  The callback re-checks
+        the pending state: the scan may have expired (strictly-late) or a
+        completing fragment may have consumed the datagram first.
+        """
+        scheduler = getattr(ctx, "scheduler", None)
+        if self.timeout is None or scheduler is None or not getattr(scheduler, "arm_timeouts", False):
+            return
+        deadline = self._first_seen[key] + self.timeout
+        event_id = scheduler.at(deadline, self._on_expiry_timer, key, deadline)
+        self._timers[key] = (scheduler, event_id)
+
+    def _on_expiry_timer(self, key: ReassemblyKey, deadline: float) -> None:
+        self._timers.pop(key, None)
+        first = self._first_seen.get(key)
+        if first is None or self.timeout is None:
+            return  # completed (or reset) before the deadline
+        # The timer fires exactly at first + timeout; the native deadline is
+        # inclusive (the scan's strict ``>`` would wait for the next packet,
+        # which in deferred mode may never come).
+        if deadline - first >= self.timeout:
+            self._drop_expired(key, deadline)
+
+    def _disarm(self, key: ReassemblyKey) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            scheduler, event_id = timer
+            scheduler.cancel(event_id)  # type: ignore[attr-defined]
 
     def reset(self) -> None:
         """Drop buffered fragments."""
+        for scheduler, event_id in self._timers.values():
+            scheduler.cancel(event_id)  # type: ignore[attr-defined]
+        self._timers.clear()
         self._pending.clear()
         self._first_seen.clear()
         self.reassembled_count = 0

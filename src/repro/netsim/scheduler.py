@@ -1,0 +1,319 @@
+"""Deterministic event scheduler — the netsim's event-driven core.
+
+Historically the simulator advanced per packet through nested function
+calls: ``Path.send_from_client`` walked every element synchronously, and a
+second flow could only begin once the first one's whole frame (including
+injected responses) had unwound.  That shape cannot express thousands of
+interleaved flows — the regime the bounded flow tables were built for — nor
+congestion scenarios where flow B's packets land *between* flow A's.
+
+:class:`EventScheduler` is the replacement substrate: a priority queue of
+``(deadline, seq)``-keyed events over the existing
+:class:`~repro.netsim.clock.VirtualClock`.  Work is *posted* as events and
+*consumed* in virtual-time order; the per-packet synchronous API survives as
+a thin driver that posts a frame event and drains it immediately, which the
+differential suite holds byte-identical to the legacy nested-call driver.
+
+Determinism contract (the differential and property suites pin all of it):
+
+* Events fire in ``(deadline, seq)`` order — wall-deadline order with FIFO
+  tie-breaking on the schedule sequence, independent of heap internals.
+* The clock never runs backwards: firing an event whose deadline has
+  already passed (scheduled "in the past" by a lazy re-arm) runs it at the
+  current time without rewinding.
+* **Zero-delay events fire in the same drain.**  An event posted at the
+  current time — including from inside another event's handler — is
+  consumed by the drain already in progress, not parked for a future
+  advance.  This mirrors the fix for ``VirtualClock.advance(0)``: a zero
+  advance still drains everything due *now* instead of treating it as
+  overdue-next-tick.
+* Cancellation is O(log n) lazy: the heap entry is tombstoned and skipped
+  when popped, the same idiom the timer wheel uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.netsim.clock import VirtualClock
+from repro.obs import trace as obs_trace
+
+__all__ = ["EventScheduler", "use_event_core", "event_core_enabled"]
+
+
+class EventScheduler:
+    """A deterministic ``(deadline, seq)`` event queue over a virtual clock.
+
+    Args:
+        clock: the shared virtual clock; firing an event advances it to the
+            event's deadline (monotonically).
+        trace_events: when True, every *deferred* firing (deadline strictly
+            after the post time) emits a ``scheduler.fire`` trace event.
+            Off by default so the synchronous driver stays byte-identical
+            to the legacy nested-call driver.
+    """
+
+    __slots__ = (
+        "clock",
+        "trace_events",
+        "arm_timeouts",
+        "_heap",
+        "_live",
+        "_next_id",
+        "_next_seq",
+        "scheduled",
+        "fired",
+        "cancelled",
+        "max_pending",
+        "_draining",
+    )
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        trace_events: bool = False,
+        arm_timeouts: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.trace_events = trace_events
+        #: When True, stateful elements (fragment reassembly) arm native
+        #: expiry timers on this scheduler instead of relying solely on
+        #: their per-packet scans.  Off in thin-driver mode so the trace
+        #: stream stays byte-identical to the nested-call driver.
+        self.arm_timeouts = arm_timeouts
+        #: heap entries: (deadline, seq, event_id)
+        self._heap: list[tuple[float, int, int]] = []
+        #: event_id -> (fn, args, deadline, posted_at); cancelled ids are
+        #: removed here and lazily skipped when popped from the heap.
+        self._live: dict[int, tuple[Callable[..., Any], tuple, float, float]] = {}
+        self._next_id = 0
+        self._next_seq = 0
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+        self.max_pending = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The scheduler's current virtual time (the clock's)."""
+        return self.clock.now
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    @property
+    def pending(self) -> int:
+        """Number of events scheduled and not yet fired or cancelled."""
+        return len(self._live)
+
+    def next_deadline(self) -> float | None:
+        """Deadline of the earliest pending event (None when idle)."""
+        while self._heap and self._heap[0][2] not in self._live:
+            heapq.heappop(self._heap)  # tombstoned (cancelled)
+        return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, deadline: float, fn: Callable[..., Any], *args: Any) -> int:
+        """Register ``fn(*args)`` to run once the drain reaches *deadline*.
+
+        A deadline at or before the current time means "as soon as
+        possible": the event keeps its requested deadline for ordering but
+        fires within the drain in progress (zero-delay semantics).
+        Returns an event id for :meth:`cancel`.
+        """
+        event_id = self._next_id
+        self._next_id += 1
+        seq = self._next_seq
+        self._next_seq += 1
+        self._live[event_id] = (fn, args, deadline, self.clock.now)
+        heapq.heappush(self._heap, (deadline, seq, event_id))
+        self.scheduled += 1
+        if len(self._live) > self.max_pending:
+            self.max_pending = len(self._live)
+        return event_id
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> int:
+        """Register ``fn(*args)`` to run *delay* seconds from now (>= 0)."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.at(self.clock.now + delay, fn, *args)
+
+    def post(self, fn: Callable[..., Any], *args: Any) -> int:
+        """Zero-delay scheduling: run in the current (or next) drain."""
+        return self.at(self.clock.now, fn, *args)
+
+    def cancel(self, event_id: int) -> bool:
+        """Forget a pending event; True when it had not fired yet."""
+        if self._live.pop(event_id, None) is None:
+            return False
+        self.cancelled += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def _pop_due(self, horizon: float | None) -> tuple[float, Callable[..., Any], tuple, float] | None:
+        """The earliest live event due by *horizon* (None = no bound)."""
+        while self._heap:
+            deadline, _seq, event_id = self._heap[0]
+            if event_id not in self._live:
+                heapq.heappop(self._heap)  # cancelled
+                continue
+            if horizon is not None and deadline > horizon:
+                return None
+            heapq.heappop(self._heap)
+            fn, args, _deadline, posted_at = self._live.pop(event_id)
+            return deadline, fn, args, posted_at
+        return None
+
+    def _fire(self, deadline: float, fn: Callable[..., Any], args: tuple, posted_at: float) -> None:
+        clock = self.clock
+        if deadline > clock.now:
+            clock.advance(deadline - clock.now)
+        self.fired += 1
+        if self.trace_events and deadline > posted_at and obs_trace.TRACER is not None:
+            obs_trace.TRACER.emit(
+                "scheduler.fire",
+                clock.now,
+                element="scheduler",
+                deadline=round(deadline, 6),
+                pending=len(self._live),
+            )
+        fn(*args)
+
+    def step(self) -> bool:
+        """Fire exactly one event (the earliest); False when idle."""
+        entry = self._pop_due(None)
+        if entry is None:
+            return False
+        self._fire(*entry)
+        return True
+
+    def run(self, until: float | None = None, limit: int | None = None) -> int:
+        """Drain events in ``(deadline, seq)`` order; returns events fired.
+
+        *until* bounds the drain to events due at or before that time
+        (inclusive); None drains until the queue is empty.  Events posted by
+        handlers during the drain participate immediately — a zero-delay
+        post from inside a handler fires in this same drain.  *limit* is a
+        safety valve against runaway self-posting loops.
+        """
+        fired = 0
+        # Re-entrant run (a handler drained the scheduler itself) would
+        # double-fire; the inner call is a no-op and the outer loop picks
+        # the new events up naturally.
+        if self._draining:
+            return 0
+        self._draining = True
+        try:
+            while True:
+                if limit is not None and fired >= limit:
+                    break
+                entry = self._pop_due(until)
+                if entry is None:
+                    break
+                self._fire(*entry)
+                fired += 1
+        finally:
+            self._draining = False
+        return fired
+
+    def run_until_idle(self, limit: int | None = None) -> int:
+        """Drain everything, advancing the clock as far as events require."""
+        return self.run(until=None, limit=limit)
+
+    def advance(self, seconds: float) -> int:
+        """Move the clock forward by *seconds* and drain everything now due.
+
+        ``advance(0)`` is meaningful: it drains events due at the current
+        instant (the zero-delay guarantee) instead of silently doing
+        nothing, which is the scheduler-level fix for the old
+        "``VirtualClock.advance(0)`` is accepted but a zero-delay timer
+        waits for the next tick" trap.
+        """
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        target = self.clock.now + seconds
+        fired = self.run(until=target)
+        # The drain stops at the last event; cover the remaining gap so the
+        # clock lands exactly on the requested instant.
+        if self.clock.now < target:
+            self.clock.advance(target - self.clock.now)
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventScheduler(now={self.clock.now:.3f}, pending={len(self._live)}, "
+            f"fired={self.fired})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide event-core switch
+# ----------------------------------------------------------------------
+#: When True, every newly constructed :class:`~repro.netsim.path.Path`
+#: binds its own :class:`EventScheduler` and routes sends through it (the
+#: synchronous API becomes a thin post-and-drain driver).  Controlled by
+#: :func:`use_event_core` and the ``REPRO_EVENT_CORE`` environment variable
+#: so worker-pool subprocesses inherit the mode.
+_EVENT_CORE = False
+
+
+def _env_flag() -> bool:
+    import os
+
+    return os.environ.get("REPRO_EVENT_CORE", "") not in ("", "0", "false", "no")
+
+
+_EVENT_CORE = _env_flag()
+
+
+def event_core_enabled() -> bool:
+    """True when new paths should run on the event scheduler."""
+    return _EVENT_CORE
+
+
+class use_event_core:
+    """Context manager (or plain on/off switch) for event-core mode.
+
+    Sets both the module flag and ``REPRO_EVENT_CORE`` in the environment,
+    so worker processes spawned while the mode is active inherit it — the
+    differential suite leans on this to compare serial, thread and process
+    runs of the same matrix.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._saved_flag: bool | None = None
+        self._saved_env: str | None = None
+
+    def __enter__(self) -> "use_event_core":
+        import os
+
+        global _EVENT_CORE
+        self._saved_flag = _EVENT_CORE
+        self._saved_env = os.environ.get("REPRO_EVENT_CORE")
+        _EVENT_CORE = self.enabled
+        if self.enabled:
+            os.environ["REPRO_EVENT_CORE"] = "1"
+        else:
+            os.environ.pop("REPRO_EVENT_CORE", None)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        import os
+
+        global _EVENT_CORE
+        assert self._saved_flag is not None
+        _EVENT_CORE = self._saved_flag
+        if self._saved_env is None:
+            os.environ.pop("REPRO_EVENT_CORE", None)
+        else:
+            os.environ["REPRO_EVENT_CORE"] = self._saved_env

@@ -1,0 +1,287 @@
+"""EventScheduler: the deterministic event core, checked against an oracle.
+
+The scheduler's contract is "fire exactly what a brute-force scan over
+pending events would, in (deadline, seq) order, never moving the clock
+backwards".  The property tests drive random schedule/cancel/advance
+sequences through the scheduler and a sorted-list reference (the same
+pattern as ``tests/test_timerwheel.py``); the edge tests pin the
+zero-delay guarantee — a zero-delay event fires in the drain already in
+progress, and ``advance(0)`` drains everything due *now* instead of
+parking it for the next tick (the regression the timer wheel is also held
+to below).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.clock import VirtualClock
+from repro.netsim.scheduler import EventScheduler, event_core_enabled, use_event_core
+from repro.netsim.timerwheel import TimerWheel
+
+settings_kwargs = dict(
+    deadline=None, max_examples=60, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# (kind, a): schedule at now + a/10 (negative = in the past), cancel the
+# a-th live event, or advance the clock by a/10.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(-10, 600)),
+        st.tuples(st.just("cancel"), st.integers(0, 30)),
+        st.tuples(st.just("advance"), st.integers(0, 90)),
+    ),
+    max_size=60,
+)
+
+
+def run_differential(ops):
+    """Replay *ops* on a scheduler and a brute-force pending dict."""
+    clock = VirtualClock()
+    scheduler = EventScheduler(clock)
+    fired: list[int] = []
+    pending: dict[int, float] = {}  # payload (doubles as seq) -> deadline
+    ids: dict[int, int] = {}
+    seq = 0
+    for op, arg in ops:
+        if op == "schedule":
+            deadline = clock.now + arg / 10.0
+            ids[seq] = scheduler.at(deadline, fired.append, seq)
+            pending[seq] = deadline
+            seq += 1
+        elif op == "cancel":
+            live = sorted(pending)
+            if live:
+                victim = live[arg % len(live)]
+                assert scheduler.cancel(ids[victim]) is True
+                assert scheduler.cancel(ids[victim]) is False
+                del pending[victim]
+        else:
+            target = clock.now + arg / 10.0
+            fired.clear()
+            scheduler.advance(arg / 10.0)
+            expect = [
+                p
+                for p, d in sorted(pending.items(), key=lambda kv: (kv[1], kv[0]))
+                if d <= target
+            ]
+            assert fired == expect
+            assert clock.now == target  # lands exactly, even past the last event
+            for payload in expect:
+                del pending[payload]
+        assert scheduler.pending == len(pending)
+    return scheduler, pending, fired
+
+
+class TestAgainstBruteForce:
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_fires_exactly_the_due_set_in_deadline_seq_order(self, ops):
+        run_differential(ops)
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_no_event_loss(self, ops):
+        scheduler, pending, _fired = run_differential(ops)
+        assert scheduler.scheduled == scheduler.fired + scheduler.cancelled + len(pending)
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_run_until_idle_drains_survivors_in_order(self, ops):
+        scheduler, pending, fired = run_differential(ops)
+        fired.clear()
+        scheduler.run_until_idle()
+        expected = [
+            p for p, _d in sorted(pending.items(), key=lambda kv: (kv[1], kv[0]))
+        ]
+        assert fired == expected
+        assert scheduler.pending == 0
+
+    @settings(**settings_kwargs)
+    @given(ops=OPS)
+    def test_clock_is_monotone_through_any_drain(self, ops):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        observed: list[float] = []
+        for op, arg in ops:
+            if op == "schedule":
+                scheduler.at(clock.now + arg / 10.0, lambda: observed.append(clock.now))
+            elif op == "advance":
+                scheduler.advance(arg / 10.0)
+        scheduler.run_until_idle()
+        assert observed == sorted(observed)
+
+
+class TestZeroDelay:
+    """The fix for "advance(0) accepted but zero-delay fires next tick"."""
+
+    def test_advance_zero_drains_due_now(self):
+        clock = VirtualClock(start=5.0)
+        scheduler = EventScheduler(clock)
+        fired = []
+        scheduler.post(fired.append, "now")
+        assert scheduler.advance(0) == 1
+        assert fired == ["now"]
+        assert clock.now == 5.0
+
+    def test_zero_delay_from_inside_a_handler_fires_in_the_same_drain(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            scheduler.post(lambda: fired.append("inner"))
+
+        scheduler.post(outer)
+        assert scheduler.run(until=scheduler.now) == 2
+        assert fired == ["outer", "inner"]
+
+    def test_call_later_zero_equals_post(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        fired = []
+        scheduler.call_later(0.0, fired.append, "a")
+        scheduler.post(fired.append, "b")
+        scheduler.advance(0)
+        assert fired == ["a", "b"]  # FIFO at the same deadline
+
+    def test_timerwheel_zero_delay_timer_fires_in_the_same_drain(self):
+        # Regression: a timer armed exactly at the wheel's current time must
+        # fire on a zero advance, not wait overdue for the next tick.
+        wheel = TimerWheel(tick=0.5, slots=4, levels=1, start=10.0)
+        wheel.schedule(10.0, "due-now")
+        assert wheel.advance(10.0) == ["due-now"]
+
+    def test_timerwheel_zero_advance_after_schedule_mixed_deadlines(self):
+        wheel = TimerWheel(tick=0.5, slots=4, levels=1, start=3.0)
+        wheel.schedule(3.0, "now")
+        wheel.schedule(3.5, "later")
+        assert wheel.advance(3.0) == ["now"]
+        assert wheel.pending == 1
+        assert wheel.advance(3.5) == ["later"]
+
+    def test_virtualclock_accepts_zero_advance(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance(0)
+        assert clock.now == 2.0
+
+
+class TestEdgeSemantics:
+    def test_past_deadline_fires_without_rewinding_the_clock(self):
+        clock = VirtualClock(start=10.0)
+        scheduler = EventScheduler(clock)
+        stamps = []
+        scheduler.at(3.0, lambda: stamps.append(clock.now))
+        scheduler.run_until_idle()
+        assert stamps == [10.0]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler(VirtualClock())
+        with pytest.raises(ValueError):
+            scheduler.call_later(-0.1, lambda: None)
+
+    def test_negative_advance_rejected(self):
+        scheduler = EventScheduler(VirtualClock())
+        with pytest.raises(ValueError):
+            scheduler.advance(-1.0)
+
+    def test_same_deadline_fires_in_schedule_order(self):
+        scheduler = EventScheduler(VirtualClock())
+        fired = []
+        for name in ("first", "second", "third"):
+            scheduler.at(1.0, fired.append, name)
+        scheduler.run_until_idle()
+        assert fired == ["first", "second", "third"]
+
+    def test_cancel_and_rearm(self):
+        clock = VirtualClock()
+        scheduler = EventScheduler(clock)
+        fired = []
+        stale = scheduler.at(1.0, fired.append, "stale")
+        assert scheduler.cancel(stale) is True
+        rearmed = scheduler.at(2.0, fired.append, "rearmed")
+        scheduler.run_until_idle()
+        assert fired == ["rearmed"]
+        assert clock.now == 2.0
+        assert scheduler.cancel(rearmed) is False  # already fired
+
+    def test_next_deadline_skips_tombstones(self):
+        scheduler = EventScheduler(VirtualClock())
+        first = scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        scheduler.cancel(first)
+        assert scheduler.next_deadline() == 2.0
+
+    def test_step_fires_one_event(self):
+        scheduler = EventScheduler(VirtualClock())
+        fired = []
+        scheduler.at(1.0, fired.append, "a")
+        scheduler.at(2.0, fired.append, "b")
+        assert scheduler.step() is True
+        assert fired == ["a"]
+        assert scheduler.step() is True
+        assert scheduler.step() is False
+
+    def test_run_limit_bounds_self_posting_loops(self):
+        scheduler = EventScheduler(VirtualClock())
+
+        def reproduce():
+            scheduler.post(reproduce)
+
+        scheduler.post(reproduce)
+        assert scheduler.run(limit=25) == 25
+        assert scheduler.pending == 1  # the next generation survives
+
+    def test_reentrant_run_is_a_noop(self):
+        scheduler = EventScheduler(VirtualClock())
+        inner_counts = []
+
+        def handler():
+            inner_counts.append(scheduler.run())
+
+        scheduler.post(handler)
+        assert scheduler.run() == 1
+        assert inner_counts == [0]
+
+    def test_run_until_is_inclusive(self):
+        scheduler = EventScheduler(VirtualClock())
+        fired = []
+        scheduler.at(1.0, fired.append, "at-horizon")
+        scheduler.at(1.0000001, fired.append, "beyond")
+        assert scheduler.run(until=1.0) == 1
+        assert fired == ["at-horizon"]
+
+    def test_stats_counters(self):
+        scheduler = EventScheduler(VirtualClock())
+        a = scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        scheduler.cancel(a)
+        scheduler.run_until_idle()
+        assert (scheduler.scheduled, scheduler.fired, scheduler.cancelled) == (2, 1, 1)
+        assert scheduler.max_pending == 2
+
+
+class TestEventCoreSwitch:
+    def test_context_manager_sets_and_restores(self):
+        import os
+
+        baseline = event_core_enabled()
+        with use_event_core():
+            assert event_core_enabled() is True
+            assert os.environ.get("REPRO_EVENT_CORE") == "1"
+        assert event_core_enabled() is baseline
+
+    def test_disable_inside_enable(self):
+        with use_event_core():
+            with use_event_core(enabled=False):
+                assert event_core_enabled() is False
+            assert event_core_enabled() is True
+
+    def test_paths_bind_a_scheduler_under_the_switch(self):
+        from repro.netsim.path import Path
+
+        with use_event_core():
+            path = Path(VirtualClock(), [])
+            assert path.scheduler is not None
+        assert Path(VirtualClock(), []).scheduler is None
