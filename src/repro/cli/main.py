@@ -185,6 +185,7 @@ def _dashboard_model(title: str):
     """Build the report model from whatever recorders this run installed."""
     from repro.obs import metrics as obs_metrics
     from repro.obs import live as obs_live
+    from repro.obs import ops as obs_ops
     from repro.obs import profiling as obs_profiling
     from repro.obs import trace as obs_trace
     from repro.obs.report_html import build_model
@@ -199,6 +200,7 @@ def _dashboard_model(title: str):
         metrics=obs_metrics.METRICS.snapshot() if obs_metrics.METRICS else None,
         profile=obs_profiling.PROFILER.snapshot() if obs_profiling.PROFILER else None,
         events=obs_live.BUS.tally() if obs_live.BUS else None,
+        ops=obs_ops.OPS.snapshot() if obs_ops.OPS else None,
         title=title,
     )
 
@@ -468,6 +470,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.pipeline import Liberate
     from repro.core.proxy_server import ProxyServer, drive_clients
+    from repro.obs import flight as obs_flight
+    from repro.obs import ops as obs_ops
     from repro.traffic.trace import invert_bits
 
     env = _make_env(args.env, faults=_fault_profile(args))
@@ -497,6 +501,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server_port=base.server_port,
     )
 
+    # The operational layer is always-on for serving: latency recorders
+    # cost one bisect per sample, and the flight recorder keeps sampled
+    # evidence so a degradation mid-serve leaves a dump behind.  Both live
+    # in the segregated ops namespace — experiment determinism is untouched.
+    obs_ops.enable_ops()
+    if not args.no_flight:
+        obs_flight.enable_flight(
+            out_dir=args.flight_dir, sample_every=args.flight_sample
+        )
+    slo = obs_ops.SLOPolicy(verdict_p99_ms=args.slo_p99_ms)
+    ops_server = (
+        obs_ops.OpsServer(server, host=args.bind, port=args.ops_port, slo=slo)
+        if args.ops_port is not None
+        else None
+    )
+
     if args.selfcheck:
         matching = base.client_payloads()[0]
         # Two canonical payload objects referenced N times — the workload
@@ -513,8 +533,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             tally["verdicts_returned"] += 1
             tally["evaded_verdicts"] += 1 if verdict.get("evaded") else 0
 
+        ops_report: dict = {}
+
         async def _selfcheck() -> None:
             await server.start()
+            if ops_server is not None:
+                await ops_server.start()
+                ops_report["port"] = ops_server.bound_port
             try:
                 await drive_clients(
                     "127.0.0.1",
@@ -523,12 +548,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     concurrency=args.concurrency,
                     on_verdict=_tally,
                 )
+                if ops_server is not None:
+                    # Exercise the surfaces over a real socket while the
+                    # proxy is still up — the selfcheck proves the endpoint
+                    # serves, not just that the handlers exist.
+                    host = "127.0.0.1" if args.bind == "0.0.0.0" else args.bind
+                    code, body = await obs_ops.http_get(
+                        host, ops_server.bound_port, "/healthz"
+                    )
+                    ops_report["healthz_status"] = code
+                    ops_report["healthz"] = json.loads(body)
+                    code, body = await obs_ops.http_get(
+                        host, ops_server.bound_port, "/metrics"
+                    )
+                    ops_report["metrics_status"] = code
+                    ops_report["metrics_series"] = sum(
+                        1
+                        for line in body.splitlines()
+                        if line and not line.startswith("#")
+                    )
             finally:
+                if ops_server is not None:
+                    await ops_server.stop()
                 await server.stop()
 
         asyncio.run(_selfcheck())
         report = server.snapshot()
         report.update(tally)
+        if ops_report:
+            report["ops"] = ops_report
         # ru_maxrss is process-lifetime-monotonic: the proxy-smoke CI job
         # compares this across two separate interpreters to prove that
         # serving more flows doesn't grow per-flow server state.
@@ -540,6 +588,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         await server.start()
+        if ops_server is not None:
+            await ops_server.start()
+            print(
+                f"ops endpoint on {args.bind}:{ops_server.bound_port} "
+                "(/metrics /healthz /statusz)",
+                file=sys.stderr,
+            )
         print(
             f"serving {env.name} via {ladder.active_technique.name} "
             f"on {args.bind}:{server.bound_port} (ctrl-c to stop)",
@@ -600,6 +655,33 @@ def cmd_obs_query(args: argparse.Namespace) -> int:
             print(json.dumps(event, sort_keys=True))
     else:
         print(format_events(events))
+    return 0
+
+
+def cmd_obs_flight(args: argparse.Namespace) -> int:
+    """Inspect a flight-recorder dump (trace-shaped JSONL)."""
+    import json
+
+    from repro.obs.analyze import TraceIndex, format_events
+
+    try:
+        index = TraceIndex.load(args.dump_file)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"obs flight: {error}", file=sys.stderr)
+        return 2
+    # The trip record carries the anomaly that caused the dump; lead with it.
+    trips = index.query(kind="flight.trip")
+    events = index.query(kind=args.kind, limit=args.limit)
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    if trips:
+        for trip in trips:
+            reason = trip.get("reason", "?")
+            episode = trip.get("episode", reason)
+            print(f"trip: {reason} (episode {episode})")
+    print(format_events(events))
     return 0
 
 
@@ -774,6 +856,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="concurrent selfcheck clients",
     )
+    serve.add_argument(
+        "--ops-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics, /healthz and /statusz on this port "
+        "(0 picks a free port); off when omitted",
+    )
+    serve.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="p99 verdict-latency SLO in milliseconds; breaches degrade "
+        "/healthz and trip the flight recorder",
+    )
+    serve.add_argument(
+        "--flight-dir",
+        default=".",
+        metavar="DIR",
+        help="directory flight-recorder dumps are written into",
+    )
+    serve.add_argument(
+        "--flight-sample",
+        type=int,
+        default=16,
+        metavar="N",
+        help="flight recorder keeps 1 in N flow records",
+    )
+    serve.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the always-on flight recorder",
+    )
     _add_workload_args(serve)
     _add_fault_args(serve)
     _add_obs_args(serve, workload_trace=True)
@@ -932,6 +1048,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     odiff.add_argument("--json", action="store_true", help="machine-readable output")
     odiff.set_defaults(func=cmd_obs_diff)
+
+    oflight = obs_sub.add_parser(
+        "flight", help="inspect a flight-recorder dump (the sampled anomaly evidence)"
+    )
+    oflight.add_argument("dump_file", help="flight dump JSONL (flight-NNN-<reason>.jsonl)")
+    oflight.add_argument("--kind", default=None, help="filter records by kind")
+    oflight.add_argument(
+        "--limit", type=int, default=None, help="show at most N records"
+    )
+    oflight.add_argument("--json", action="store_true", help="machine-readable output")
+    oflight.set_defaults(func=cmd_obs_flight)
 
     oreport = obs_sub.add_parser("report", help="aggregate summary of an exported trace")
     oreport.add_argument("trace_file", help="exported JSONL trace")

@@ -31,13 +31,16 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.deployment import FallbackLadder
+from repro.obs import flight as obs_flight
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
+from repro.obs import ops as obs_ops
 from repro.middlebox.overload import LoadShedder, OverloadPolicy
 from repro.packets.flow import Direction
 from repro.traffic.trace import Trace, TracePacket
@@ -86,6 +89,7 @@ class ProxyStats:
         evaded / differentiated / broken: verdict tallies.
         shed: flows refused tracking by the overload policy.
         step_downs: fallback-ladder transitions observed so far.
+        overload_transitions: shed-watermark crossings (enter + exit edges).
         peak_active: high-water mark of concurrent connections.
         recent: sliding window of the last few verdict strings.
     """
@@ -96,6 +100,7 @@ class ProxyStats:
     broken: int = 0
     shed: int = 0
     step_downs: int = 0
+    overload_transitions: int = 0
     peak_active: int = 0
     recent: deque = field(default_factory=lambda: deque(maxlen=64))
 
@@ -110,6 +115,7 @@ class ProxyStats:
             "broken": self.broken,
             "shed": self.shed,
             "step_downs": self.step_downs,
+            "overload_transitions": self.overload_transitions,
             "peak_active": self.peak_active,
         }
 
@@ -224,6 +230,7 @@ class ProxyServer:
     # connection handling
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        accepted = time.perf_counter()
         flow_id = self._next_flow
         self._next_flow += 1
         self._active += 1
@@ -234,6 +241,10 @@ class ProxyServer:
             verdict = await self._verdict_for(flow_id, reader)
             writer.write(json.dumps(verdict, sort_keys=True).encode("ascii") + b"\n")
             await writer.drain()
+            ops = obs_ops.OPS
+            if ops is not None:
+                # End-to-end: accept → verdict line flushed.
+                ops.record("proxy.verdict", time.perf_counter() - accepted)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-flow; nothing to answer
         finally:
@@ -268,6 +279,8 @@ class ProxyServer:
         return b"".join(chunks)
 
     async def _verdict_for(self, flow_id: int, reader: asyncio.StreamReader) -> dict:
+        ops = obs_ops.OPS
+        flight = obs_flight.FLIGHT
         fullness = self._active / self.max_active
         if self.shedder is not None and not self.shedder.admit(("proxy", flow_id), fullness):
             # Fail-open: drain the payload so the client's write completes,
@@ -277,11 +290,29 @@ class ProxyServer:
             self.stats.recent.append("shed")
             self._inc("proxy.flows.shed")
             self._emit_bus("proxy.flow", flow=flow_id, verdict="shed")
+            if ops is not None:
+                ops.inc("proxy.shed")
+            if flight is not None:
+                flight.note("proxy.flow", flow=flow_id, verdict="shed")
+                flight.trip(
+                    "overload_shed",
+                    episode="overload",
+                    flow=flow_id,
+                    fullness=round(fullness, 4),
+                    shed_total=self.stats.shed,
+                )
             return {"flow": flow_id, "shed": True}
+        started = time.perf_counter()
         payload = await self._read_payload(reader)
+        read_done = time.perf_counter()
         trace = payload_trace(payload, f"live-{flow_id}", self.server_port)
         before_rung = self.ladder.rung
         outcome = self.ladder.run_flow(trace)
+        if ops is not None:
+            # Stage splits: socket read (accept → client EOF) and the
+            # synchronous ladder judgement.
+            ops.record("proxy.read", read_done - started)
+            ops.record("proxy.judge", time.perf_counter() - read_done)
         verdict_kind = (
             "evaded"
             if outcome.evaded
@@ -296,10 +327,20 @@ class ProxyServer:
             verdict=verdict_kind,
             technique=outcome.technique or "",
         )
+        if flight is not None:
+            flight.note(
+                "proxy.flow",
+                flow=flow_id,
+                verdict=verdict_kind,
+                technique=outcome.technique or "",
+                rung=self.ladder.rung,
+            )
         if self.ladder.rung != before_rung:
             self.stats.step_downs += 1
             step = self.ladder.step_downs[-1]
             self._inc("proxy.step_downs")
+            if ops is not None:
+                ops.inc("proxy.step_downs")
             self._emit_bus(
                 "proxy.step_down",
                 flow=flow_id,
@@ -307,6 +348,17 @@ class ProxyServer:
                 to_technique=step.to_technique or "",
                 exhausted=self.ladder.exhausted,
             )
+            if flight is not None:
+                # Each rung transition is its own anomaly episode: stepping
+                # 0→1 dumps once, a later 1→2 dumps again.
+                flight.trip(
+                    "step_down",
+                    episode=f"step_down:{self.ladder.rung}",
+                    flow=flow_id,
+                    from_technique=step.from_technique,
+                    to_technique=step.to_technique or "",
+                    exhausted=self.ladder.exhausted,
+                )
         return {
             "flow": flow_id,
             "technique": outcome.technique,
@@ -321,7 +373,12 @@ class ProxyServer:
             return
         transition = self.shedder.crossed(self._active / self.max_active)
         if transition is not None:
+            self.stats.overload_transitions += 1
             self._emit_bus("proxy.overload", edge=transition, active=self._active)
+            if transition == "exit" and obs_flight.FLIGHT is not None:
+                # The overload episode is over: re-arm the shed trigger so
+                # the *next* storm produces its own dump.
+                obs_flight.FLIGHT.recover("overload")
 
     # ------------------------------------------------------------------
     # telemetry plumbing (all no-ops when obs is off)
@@ -337,11 +394,27 @@ class ProxyServer:
             obs_metrics.METRICS.inc(name)
 
     def snapshot(self) -> dict[str, object]:
-        """Aggregate server + ladder state for reports and the CLI."""
+        """Aggregate server + ladder state for reports and the CLI.
+
+        Includes the full overload/ladder tally (shed, step-downs,
+        watermark transitions, shedder stats) plus — when the ops layer or
+        flight recorder are enabled — live latency percentiles and flight
+        state, so ``serve-*.json`` artifacts show degradation, not just
+        verdict counts.
+        """
         report: dict[str, object] = dict(self.stats.as_dict())
+        report["active"] = self._active
+        report["max_active"] = self.max_active
+        report["verdict_window"] = self.stats.verdict_counts()
         report["ladder"] = self.ladder.health_snapshot()
         if self.shedder is not None:
             report["shedder"] = self.shedder.stats()
+        ops = obs_ops.OPS
+        if ops is not None:
+            report["latency"] = ops.latency_summaries(prefix="proxy.")
+        flight = obs_flight.FLIGHT
+        if flight is not None:
+            report["flight"] = flight.stats()
         return report
 
 

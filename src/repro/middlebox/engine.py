@@ -21,6 +21,7 @@ reverse-engineered, through configuration:
 from __future__ import annotations
 
 import enum
+import time
 from collections import deque
 from typing import Callable
 
@@ -36,6 +37,7 @@ from repro.netsim.shaper import PolicyState
 from repro.netsim.timerwheel import TimerWheel
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
+from repro.obs import ops as obs_ops
 from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction, FiveTuple
 from repro.packets.fragment import reassemble_fragments
@@ -872,7 +874,13 @@ class DPIMiddlebox(NetworkElement):
                 scanned = max(0, len(buffer) - scan.watermark)
             metrics.inc("mbx.scan_bytes", scanned)
             metrics.observe("mbx.scan.payload_bytes", scanned)
-        return view.match(buffer, packet_payload, index, scan)
+        ops = obs_ops.OPS
+        if ops is None:
+            return view.match(buffer, packet_payload, index, scan)
+        started = time.perf_counter()
+        match = view.match(buffer, packet_payload, index, scan)
+        ops.record("mbx.scan", time.perf_counter() - started)
+        return match
 
     def _window_exhausted(self, state: FlowState) -> bool:
         limit = (
@@ -921,7 +929,13 @@ class DPIMiddlebox(NetworkElement):
         if obs_metrics.METRICS is not None:
             obs_metrics.METRICS.inc("mbx.scan_bytes", len(payload))
             obs_metrics.METRICS.observe("mbx.scan.payload_bytes", len(payload))
-        rule = self._view(protocol, server_port, direction).match_stateless(payload)
+        ops = obs_ops.OPS
+        if ops is None:
+            rule = self._view(protocol, server_port, direction).match_stateless(payload)
+        else:
+            started = time.perf_counter()
+            rule = self._view(protocol, server_port, direction).match_stateless(payload)
+            ops.record("mbx.scan", time.perf_counter() - started)
         if rule is not None:
             self.match_log.append((ctx.clock.now, rule.name, key))
             if obs_trace.TRACER is not None:

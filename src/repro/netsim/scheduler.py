@@ -176,7 +176,9 @@ class EventScheduler:
     def _fire(self, deadline: float, fn: Callable[..., Any], args: tuple, posted_at: float) -> None:
         clock = self.clock
         if deadline > clock.now:
-            clock.advance(deadline - clock.now)
+            # Land exactly on the deadline: `now += deadline - now` can
+            # overshoot by one ulp, and exactness is part of the contract.
+            clock.now = deadline
         self.fired += 1
         if self.trace_events and deadline > posted_at and obs_trace.TRACER is not None:
             obs_trace.TRACER.emit(
@@ -242,10 +244,12 @@ class EventScheduler:
             raise ValueError("time cannot move backwards")
         target = self.clock.now + seconds
         fired = self.run(until=target)
-        # The drain stops at the last event; cover the remaining gap so the
-        # clock lands exactly on the requested instant.
+        # The drain stops at the last event; cover the remaining gap.  Set
+        # the clock rather than advancing by the difference — the float
+        # catch-up can overshoot by one ulp, and the contract is landing
+        # exactly on the requested instant.
         if self.clock.now < target:
-            self.clock.advance(target - self.clock.now)
+            self.clock.now = target
         return fired
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,11 +30,23 @@ On top of the recorders sit the analysis tools:
 * :mod:`repro.obs.report_html` — the zero-dependency, self-contained HTML
   experiment dashboard (``liberate obs html`` / ``--dashboard``).
 
-See ``docs/OBSERVABILITY.md`` for the trace schema and metric catalog.
+The live serving path adds the **operational** layer (wall-clock by design,
+segregated from every deterministic guarantee above):
+
+* :mod:`repro.obs.ops` — log-bucketed latency recorders, SLO policies and
+  the asyncio ops endpoint (``/metrics`` / ``/healthz`` / ``/statusz``
+  behind ``liberate serve --ops-port``).
+* :mod:`repro.obs.flight` — the always-on sampled flight recorder that
+  dumps trace-shaped JSONL evidence once per anomaly episode
+  (``liberate obs flight``).
+
+See ``docs/OBSERVABILITY.md`` for the trace schema, metric catalog and the
+"Operating liberate live" runbook.
 """
 
 from repro.obs.analyze import TraceIndex, summarize_tracer
 from repro.obs.diff import TraceDiff, diff_traces
+from repro.obs.flight import FlightRecorder, disable_flight, enable_flight
 from repro.obs.live import (
     EVENTS_SCHEMA_VERSION,
     LiveEvent,
@@ -46,10 +58,24 @@ from repro.obs.live import (
     load_events_jsonl,
 )
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    OPS_PREFIX,
     MetricsRegistry,
     collecting,
     disable_metrics,
     enable_metrics,
+    log_bucket_bounds,
+)
+from repro.obs.ops import (
+    LatencyRecorder,
+    OpsRegistry,
+    OpsServer,
+    SLOPolicy,
+    disable_ops,
+    enable_ops,
+    evaluate_health,
+    ops_recording,
+    render_prometheus,
 )
 from repro.obs.profiling import (
     Profiler,
@@ -91,6 +117,21 @@ __all__ = [
     "TraceDiff",
     "MetricsRegistry",
     "Profiler",
+    "LATENCY_BUCKETS",
+    "OPS_PREFIX",
+    "LatencyRecorder",
+    "OpsRegistry",
+    "OpsServer",
+    "SLOPolicy",
+    "FlightRecorder",
+    "log_bucket_bounds",
+    "evaluate_health",
+    "render_prometheus",
+    "enable_ops",
+    "disable_ops",
+    "ops_recording",
+    "enable_flight",
+    "disable_flight",
     "diff_traces",
     "summarize_tracer",
     "enable_tracing",
@@ -118,8 +159,10 @@ __all__ = [
 
 
 def observability_off() -> None:
-    """Disable tracing, metrics, profiling and the bus in one call (test teardown)."""
+    """Disable every obs facility in one call (test teardown)."""
     disable_tracing()
     disable_metrics()
     disable_profiling()
     disable_bus()
+    disable_ops()
+    disable_flight()

@@ -47,6 +47,13 @@ DEFAULT_THRESHOLD = 0.25
 #: jump in peak RSS is a leak or an unbounded table, not noise.
 RSS_THRESHOLD = 0.25
 
+#: Noise band for ``verdict_p99_ms``: beyond median * (1 + this) flags.
+#: Tail latency on shared CI runners is the noisiest number we track —
+#: a scheduler hiccup doubles a single p99 sample — so the band is wide;
+#: it exists to catch an order-of-magnitude serving regression, while the
+#: live SLO in :mod:`repro.obs.ops` handles operational targets.
+LATENCY_THRESHOLD = 1.0
+
 #: BENCH files that are not per-run payloads (regression baseline, the
 #: history itself) and therefore never enter the history.
 EXCLUDED_STEMS = ("BENCH_baseline", "BENCH_history")
@@ -230,6 +237,31 @@ def check_regressions(
                             f"history median {baseline:.0f} KiB "
                             f"(threshold {1.0 + RSS_THRESHOLD:.2f}x over "
                             f"{len(past_rss)} runs)"
+                        ),
+                    )
+                )
+        p99 = payload.get("verdict_p99_ms")
+        past_p99 = [
+            e["verdict_p99_ms"]
+            for e in recorded
+            if isinstance(e.get("verdict_p99_ms"), (int, float))
+        ]
+        if isinstance(p99, (int, float)) and past_p99:
+            baseline = statistics.median(past_p99)
+            if baseline > 0 and p99 > baseline * (1.0 + LATENCY_THRESHOLD):
+                ratio = p99 / baseline
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key="verdict_p99_ms",
+                        baseline=round(baseline, 3),
+                        current=p99,
+                        ratio=round(ratio, 3),
+                        message=(
+                            f"{name}: verdict p99 {p99:.1f}ms is {ratio:.2f}x "
+                            f"the history median {baseline:.1f}ms "
+                            f"(threshold {1.0 + LATENCY_THRESHOLD:.2f}x over "
+                            f"{len(past_p99)} runs)"
                         ),
                     )
                 )

@@ -28,6 +28,49 @@ from typing import Iterator
 #: whose bound is >= the observation; the last bucket is +inf).
 DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
 
+#: Wall-clock metric namespace.  Anything under ``ops.`` is operational
+#: telemetry (latency percentiles, uptime, live serving counters) and is
+#: **excluded from deterministic snapshots** — cross-backend byte-identity
+#: of :meth:`MetricsRegistry.snapshot` covers simulated behaviour only, and
+#: wall-clock numbers would break it.  The ops endpoint and ``/statusz``
+#: read the segregated series through ``include_ops=True``.
+OPS_PREFIX = "ops."
+
+
+def log_bucket_bounds(
+    low: float, high: float, per_decade: int = 5
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds from *low* to at least *high*.
+
+    The HDR-style layout shared by :meth:`Histogram.log_spaced` and
+    :class:`repro.obs.ops.LatencyRecorder`: *per_decade* geometrically
+    spaced bounds per factor of ten, so relative quantile error is bounded
+    (~``10**(1/per_decade)``) across the whole range with a few dozen
+    buckets.  Bounds are rounded to three significant digits so exported
+    layouts are stable across platforms.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got low={low} high={high}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    growth = 10.0 ** (1.0 / per_decade)
+    bounds: list[float] = []
+    value = low
+    while True:
+        rounded = float(f"{value:.3g}")
+        if not bounds or rounded > bounds[-1]:
+            bounds.append(rounded)
+        if rounded >= high:
+            break
+        value *= growth
+    return tuple(bounds)
+
+
+#: Canonical latency bucket layout (seconds): 1µs .. 60s, 5 per decade.
+#: Shared by the ops-layer latency recorders and any time-scaled Histogram
+#: so dumps merge without shape mismatches.
+LATENCY_BUCKETS = log_bucket_bounds(1e-6, 60.0, per_decade=5)
+
 
 class Histogram:
     """A fixed-bucket histogram (counts per upper bound, plus sum/count)."""
@@ -39,6 +82,16 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)  # last slot = +inf
         self.total = 0.0
         self.count = 0
+
+    @classmethod
+    def log_spaced(
+        cls, low: float = 1e-6, high: float = 60.0, per_decade: int = 5
+    ) -> "Histogram":
+        """A histogram on :func:`log_bucket_bounds` — the explicit-boundary
+        constructor for time-scaled observations (seconds), sharing its
+        layout with :class:`repro.obs.ops.LatencyRecorder` so worker dumps
+        merge element-wise."""
+        return cls(log_bucket_bounds(low, high, per_decade))
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -127,17 +180,41 @@ class MetricsRegistry:
         """The current value of counter *name* (0 when never incremented)."""
         return self._counters.get(name, 0)
 
-    def snapshot(self) -> dict:
+    def counters(self) -> dict[str, float]:
+        """All counters by name (a copy; Prometheus exposition reads this)."""
+        return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        """All gauges by name (a copy; Prometheus exposition reads this)."""
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """The live histogram objects by name (Prometheus exposition reads
+        raw bucket counts from them; do not mutate)."""
+        return dict(self._histograms)
+
+    def snapshot(self, include_ops: bool = False) -> dict:
         """Everything, as one sorted JSON-ready dict.
 
         Counter/gauge keys map to scalars; histogram keys map to
         ``{count, sum, buckets}`` dicts.  Sorted so two snapshots of the
         same run serialize identically.
+
+        Keys under :data:`OPS_PREFIX` carry wall-clock operational data and
+        are excluded by default: the deterministic snapshot (golden
+        artifacts, cross-backend identity checks) must never depend on real
+        time.  ``include_ops=True`` is the operational read (``/statusz``).
         """
         merged: dict[str, object] = {}
         merged.update(self._counters)
         merged.update(self._gauges)
         merged.update({name: h.as_dict() for name, h in self._histograms.items()})
+        if not include_ops:
+            merged = {
+                name: value
+                for name, value in merged.items()
+                if not name.startswith(OPS_PREFIX)
+            }
         return dict(sorted(merged.items()))
 
     def render(self) -> str:

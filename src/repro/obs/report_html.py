@@ -61,6 +61,7 @@ def build_model(
     events: dict[str, int] | None = None,
     history: dict[str, list[dict]] | None = None,
     flags: Sequence[dict] | None = None,
+    ops: dict | None = None,
     title: str = "lib*erate experiment dashboard",
 ) -> dict:
     """Combine a run's observability artifacts into one JSON-ready model.
@@ -75,6 +76,9 @@ def build_model(
         events: :meth:`repro.obs.live.TelemetryBus.tally` output.
         history: :func:`repro.obs.history.load_history` output.
         flags: watchdog regression flags (``RegressionFlag.as_dict()``).
+        ops: :meth:`repro.obs.ops.OpsRegistry.snapshot` output — wall-clock
+            operational data, rendered in its own section and deliberately
+            kept out of the deterministic ``metrics`` snapshot.
         title: the page heading.
     """
     return {
@@ -87,6 +91,7 @@ def build_model(
         "events": events,
         "history": history,
         "flags": list(flags) if flags is not None else None,
+        "ops": ops,
     }
 
 
@@ -162,6 +167,18 @@ def render_text(model: dict) -> str:
     flags = model.get("flags")
     if flags:
         lines.append(f"watchdog: {len(flags)} regression flag(s)")
+    ops = model.get("ops")
+    if ops:
+        latency = ops.get("latency") or {}
+        lines.append(
+            f"ops: {len(latency)} latency recorder(s), "
+            f"uptime {ops.get('uptime_seconds', 0)}s"
+        )
+        for name, summary in latency.items():
+            lines.append(
+                f"  {name:42s} n={summary.get('count', 0)} "
+                f"p50={summary.get('p50_ms', 0)}ms p99={summary.get('p99_ms', 0)}ms"
+            )
     return "\n".join(lines) if lines else "(empty report model)"
 
 
@@ -420,6 +437,51 @@ def _events_section(model: dict) -> str:
     )
 
 
+def _ops_section(model: dict) -> str:
+    """Wall-clock serving telemetry: latency percentiles + ops counters.
+
+    Everything in this section comes from the segregated ops layer — it is
+    real time, varies run to run, and is exactly what the deterministic
+    metrics section must never contain.
+    """
+    ops = model.get("ops")
+    if not ops:
+        return ""
+    parts = []
+    uptime = ops.get("uptime_seconds")
+    if uptime is not None:
+        parts.append(
+            '<div class="tiles"><div class="tile">'
+            f'<div class="tile-value">{_esc(uptime)}s</div>'
+            '<div class="tile-key">uptime</div></div></div>'
+        )
+    latency = ops.get("latency") or {}
+    if latency:
+        rows = []
+        for name, summary in sorted(latency.items()):
+            cells = "".join(
+                f'<td class="num">{_esc(summary.get(key, ""))}</td>'
+                for key in ("count", "p50_ms", "p90_ms", "p99_ms", "p999_ms", "max_ms")
+            )
+            rows.append(f"<tr><td><code>{_esc(name)}</code></td>{cells}</tr>")
+        parts.append(
+            "<table><thead><tr><th>recorder</th><th>count</th><th>p50 ms</th>"
+            "<th>p90 ms</th><th>p99 ms</th><th>p99.9 ms</th><th>max ms</th>"
+            f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+        )
+    counters = ops.get("counters") or {}
+    if counters:
+        rows = "".join(
+            f'<tr><td><code>{_esc(name)}</code></td><td class="num">{_esc(value)}</td></tr>'
+            for name, value in sorted(counters.items())
+        )
+        parts.append(
+            "<table><thead><tr><th>ops counter</th><th>value</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
+    return _section("Live serving (wall clock)", "".join(parts))
+
+
 def _history_section(model: dict) -> str:
     history = model.get("history")
     if not history:
@@ -504,6 +566,7 @@ def render_dashboard(model: dict) -> str:
             _profile_section,
             _trace_section,
             _events_section,
+            _ops_section,
             _history_section,
         )
     )

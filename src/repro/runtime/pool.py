@@ -61,8 +61,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import flight as obs_flight
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
+from repro.obs import ops as obs_ops
 from repro.obs import profiling as obs_profiling
 from repro.obs import trace as obs_trace
 
@@ -407,15 +409,44 @@ class WorkerPool:
     ) -> list[R | TaskFailure]:
         if retry is not None:
             return self._map_resilient(calls, tasks, retry)
+        ops = obs_ops.OPS
         if self.backend is Backend.SERIAL or len(tasks) == 1:
-            return [call(task) for call, task in zip(calls, tasks)]
+            if ops is None:
+                return [call(task) for call, task in zip(calls, tasks)]
+            results = []
+            for call, task in zip(calls, tasks):
+                started = time.perf_counter()
+                results.append(call(task))
+                ops.record("pool.task", time.perf_counter() - started)
+            return results
         workers = min(self.max_workers, len(tasks))
         executor_cls = (
             ThreadPoolExecutor if self.backend is Backend.THREAD else ProcessPoolExecutor
         )
         with executor_cls(max_workers=workers) as executor:
-            futures = [executor.submit(call, task) for call, task in zip(calls, tasks)]
-            return [future.result() for future in futures]
+            if ops is None:
+                futures = [
+                    executor.submit(call, task) for call, task in zip(calls, tasks)
+                ]
+                return [future.result() for future in futures]
+            # Dispatch→done latency per task: the done-callback stamps the
+            # completion time (on whichever thread delivers it), and the
+            # driver records after collection so the recorder is only ever
+            # touched from this thread.
+            done_at: list[float] = [0.0] * len(tasks)
+            submitted: list[float] = []
+            futures = []
+            for index, (call, task) in enumerate(zip(calls, tasks)):
+                submitted.append(time.perf_counter())
+                future = executor.submit(call, task)
+                future.add_done_callback(
+                    lambda _f, i=index: done_at.__setitem__(i, time.perf_counter())
+                )
+                futures.append(future)
+            results = [future.result() for future in futures]
+            for index, dispatch in enumerate(submitted):
+                ops.record("pool.task", max(0.0, done_at[index] - dispatch))
+            return results
 
     def _map_sharded(
         self,
@@ -681,6 +712,12 @@ def _circuit_failure(index: int, backend: Backend) -> TaskFailure:
         obs_trace.TRACER.emit("pool.circuit_open", task=index, backend=backend.value)
     if obs_live.BUS is not None:
         obs_live.BUS.emit("pool.circuit_open", task=index, backend=backend.value)
+    if obs_flight.FLIGHT is not None:
+        # A tripped breaker fails every remaining task the same way; dump
+        # the evidence once per trip episode, not once per failed slot.
+        obs_flight.FLIGHT.trip(
+            "circuit_open", episode="circuit", task=index, backend=backend.value
+        )
     return TaskFailure(
         index=index,
         attempts=0,
