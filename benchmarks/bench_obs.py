@@ -1,15 +1,17 @@
 """Observability overhead — the same Table 3 slice traced and untraced.
 
-Runs a single-environment Table 3 column twice: once with every
-observability facility disabled (the shipping default) and once with the
-flow tracer, metrics registry and profiler all enabled.  ``BENCH_obs.json``
-records both wall-clock timings, the traced event volume, and the per-stage
-profile so the cost of instrumentation is a tracked number instead of
-folklore.
+Runs a single-environment Table 3 column three times: once with every
+observability facility disabled (the shipping default), once with the
+flow tracer, metrics registry and profiler all enabled, and once with the
+rule/automaton coverage profiler on its own.  ``BENCH_obs.json`` records
+the wall-clock timings, the traced event volume, the per-stage profile and
+the coverage-overhead ratio so the cost of instrumentation is a tracked
+number instead of folklore.
 """
 
 from repro.experiments.table3 import run_table3
 from repro.obs import (
+    covering,
     disable_metrics,
     disable_tracing,
     enable_metrics,
@@ -33,6 +35,11 @@ def test_obs_overhead_datapoint(benchmark, results_dir):
     with BenchProbe() as probe_off:
         benchmark.pedantic(run_table3, kwargs=_KWARGS, rounds=1, iterations=1)
 
+    with covering() as recorder:
+        with BenchProbe() as probe_cov:
+            run_table3(**_KWARGS)
+        coverage_hits = recorder.snapshot()["total_rule_hits"]
+
     tracer = enable_tracing()
     metrics = enable_metrics()
     try:
@@ -52,6 +59,13 @@ def test_obs_overhead_datapoint(benchmark, results_dir):
                 overhead_ratio=round(probe_on.seconds / probe_off.seconds, 3)
                 if probe_off.seconds > 0
                 else None,
+                coverage_seconds=round(probe_cov.seconds, 4),
+                coverage_overhead_ratio=round(
+                    probe_cov.seconds / probe_off.seconds, 3
+                )
+                if probe_off.seconds > 0
+                else None,
+                coverage_rule_hits=coverage_hits,
             )
             assert profiler.stages, "profiling stages should have fired"
     finally:
@@ -61,3 +75,4 @@ def test_obs_overhead_datapoint(benchmark, results_dir):
     assert events > 0, "a traced table3 run must emit events"
     assert tracer.dropped_events == 0
     assert rule_matches > 0
+    assert coverage_hits > 0, "a covered table3 run must record rule hits"

@@ -152,6 +152,16 @@ def _add_obs_args(parser: argparse.ArgumentParser, workload_trace: bool = False)
         help="render the self-contained HTML dashboard after the run "
         "(default file: dashboard.html; implies --metrics)",
     )
+    group.add_argument(
+        "--coverage",
+        nargs="?",
+        const="coverage.json",
+        default=None,
+        metavar="FILE",
+        help="profile rule/automaton coverage (exercised vs. dead rules, "
+        "state visits) and write the snapshot as JSON "
+        "(default file: coverage.json)",
+    )
 
 
 #: The progress view installed by ``--live`` (torn down in :func:`_finish_obs`).
@@ -161,10 +171,18 @@ _LIVE_VIEW = None
 def _setup_obs(args: argparse.Namespace) -> None:
     """Install the requested observability facilities before dispatch."""
     global _LIVE_VIEW
-    from repro.obs import enable_bus, enable_metrics, enable_profiling, enable_tracing
+    from repro.obs import (
+        enable_bus,
+        enable_coverage,
+        enable_metrics,
+        enable_profiling,
+        enable_tracing,
+    )
 
     if getattr(args, "flow_trace", False) or getattr(args, "trace_out", None):
         enable_tracing()
+    if getattr(args, "coverage", None):
+        enable_coverage()
     dashboard = getattr(args, "dashboard", None)
     if getattr(args, "metrics", False) or dashboard:
         # --dashboard implies --metrics: the headline tiles need a snapshot.
@@ -183,6 +201,7 @@ def _setup_obs(args: argparse.Namespace) -> None:
 
 def _dashboard_model(title: str):
     """Build the report model from whatever recorders this run installed."""
+    from repro.obs import coverage as obs_coverage
     from repro.obs import metrics as obs_metrics
     from repro.obs import live as obs_live
     from repro.obs import ops as obs_ops
@@ -201,6 +220,7 @@ def _dashboard_model(title: str):
         profile=obs_profiling.PROFILER.snapshot() if obs_profiling.PROFILER else None,
         events=obs_live.BUS.tally() if obs_live.BUS else None,
         ops=obs_ops.OPS.snapshot() if obs_ops.OPS else None,
+        coverage=obs_coverage.COVERAGE.snapshot() if obs_coverage.COVERAGE else None,
         title=title,
     )
 
@@ -208,6 +228,7 @@ def _dashboard_model(title: str):
 def _finish_obs(args: argparse.Namespace) -> None:
     """Export/print whatever observability was collected, then tear it down."""
     global _LIVE_VIEW
+    from repro.obs import coverage as obs_coverage
     from repro.obs import live as obs_live
     from repro.obs import metrics as obs_metrics
     from repro.obs import observability_off
@@ -235,6 +256,14 @@ def _finish_obs(args: argparse.Namespace) -> None:
                 print(
                     f"wrote {count} telemetry events to {events_out}", file=sys.stderr
                 )
+        coverage_out = getattr(args, "coverage", None)
+        if coverage_out and obs_coverage.COVERAGE is not None:
+            import json
+
+            with open(coverage_out, "w", encoding="utf-8") as handle:
+                json.dump(obs_coverage.COVERAGE.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote coverage snapshot to {coverage_out}", file=sys.stderr)
         dashboard = getattr(args, "dashboard", None)
         if dashboard:
             from repro.obs.report_html import write_dashboard
@@ -739,6 +768,15 @@ def cmd_obs_html(args: argparse.Namespace) -> int:
     if args.metrics_file:
         with open(args.metrics_file, encoding="utf-8") as handle:
             metrics = json.load(handle)
+    coverage = None
+    if args.coverage_file:
+        from repro.obs.coverage import load_snapshot
+
+        try:
+            coverage = load_snapshot(args.coverage_file)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"obs html: {error}", file=sys.stderr)
+            return 2
     history = flags = None
     if args.history:
         from repro.obs.history import load_history
@@ -747,6 +785,7 @@ def cmd_obs_html(args: argparse.Namespace) -> int:
     model = build_model(
         trace_summary=TraceIndex.load(args.trace_file).summary(),
         metrics=metrics,
+        coverage=coverage,
         history=history,
         flags=flags,
         title=args.title,
@@ -771,6 +810,86 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     else:
         print(explain(diff, left_name=args.left, right_name=args.right))
     return 0 if diff.identical else 1
+
+
+def cmd_obs_explain(args: argparse.Namespace) -> int:
+    """Reconstruct a flow's verdict-provenance chain from an exported trace."""
+    import json
+
+    from repro.obs.analyze import TraceIndex
+    from repro.obs.provenance import explain_flow, format_explain
+
+    try:
+        index = TraceIndex.load(args.trace_file)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"obs explain: {error}", file=sys.stderr)
+        return 2
+    try:
+        chain = explain_flow(index, args.flow)
+    except ValueError as error:
+        print(f"obs explain: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(chain, indent=2, sort_keys=True))
+    else:
+        print(format_explain(chain))
+    return 0 if chain["resolved"] is not None else 2
+
+
+def cmd_obs_coverage(args: argparse.Namespace) -> int:
+    """Report rule/automaton coverage from a --coverage snapshot."""
+    import json
+
+    from repro.obs.coverage import format_snapshot, load_snapshot
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"obs coverage: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(format_snapshot(snapshot))
+    if args.fail_on_dead:
+        dead = sum(
+            len(scope.get("dead", ())) for scope in snapshot.get("scopes", {}).values()
+        )
+        if dead:
+            print(f"obs coverage: {dead} dead rule(s)", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_obs_witness(args: argparse.Namespace) -> int:
+    """Delta-debug a payload to the minimal bytes preserving its verdict."""
+    import json
+
+    from repro.obs.witness import format_witness, minimal_payload_witness
+
+    if args.payload_file:
+        with open(args.payload_file, "rb") as handle:
+            payload = handle.read()
+    elif args.hex:
+        try:
+            payload = bytes.fromhex(args.hex)
+        except ValueError as error:
+            print(f"obs witness: bad --hex payload: {error}", file=sys.stderr)
+            return 2
+    else:
+        payload = args.payload.encode("utf-8")
+    try:
+        report = minimal_payload_witness(
+            args.env, payload, protocol=args.protocol, server_port=args.port
+        )
+    except ValueError as error:
+        print(f"obs witness: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_witness(report))
+    return 0
 
 
 def cmd_obs_watch(args: argparse.Namespace) -> int:
@@ -1049,6 +1168,48 @@ def build_parser() -> argparse.ArgumentParser:
     odiff.add_argument("--json", action="store_true", help="machine-readable output")
     odiff.set_defaults(func=cmd_obs_diff)
 
+    oexplain = obs_sub.add_parser(
+        "explain", help="reconstruct a flow's verdict-provenance chain from a trace"
+    )
+    oexplain.add_argument("trace_file", help="exported JSONL trace")
+    oexplain.add_argument(
+        "--flow",
+        required=True,
+        metavar="KEY",
+        help="flow key (src:sport>dst:dport/proto) or any unambiguous substring",
+    )
+    oexplain.add_argument("--json", action="store_true", help="machine-readable chain")
+    oexplain.set_defaults(func=cmd_obs_explain)
+
+    ocoverage = obs_sub.add_parser(
+        "coverage", help="report exercised vs. dead rules from a --coverage snapshot"
+    )
+    ocoverage.add_argument("snapshot", help="coverage snapshot JSON (from --coverage)")
+    ocoverage.add_argument(
+        "--fail-on-dead",
+        action="store_true",
+        help="exit 1 when any registered rule was never exercised",
+    )
+    ocoverage.add_argument("--json", action="store_true", help="machine-readable output")
+    ocoverage.set_defaults(func=cmd_obs_coverage)
+
+    owitness = obs_sub.add_parser(
+        "witness", help="delta-debug a payload to the minimal bytes behind a verdict"
+    )
+    owitness.add_argument("--env", required=True, help="environment to probe")
+    payload_group = owitness.add_mutually_exclusive_group(required=True)
+    payload_group.add_argument("--payload", help="payload as UTF-8 text")
+    payload_group.add_argument(
+        "--payload-file", metavar="FILE", help="payload from a binary file"
+    )
+    payload_group.add_argument("--hex", help="payload as hex bytes")
+    owitness.add_argument(
+        "--protocol", choices=("tcp", "udp"), default="tcp", help="transport protocol"
+    )
+    owitness.add_argument("--port", type=int, default=80, help="server port to probe")
+    owitness.add_argument("--json", action="store_true", help="machine-readable report")
+    owitness.set_defaults(func=cmd_obs_witness)
+
     oflight = obs_sub.add_parser(
         "flight", help="inspect a flight-recorder dump (the sampled anomaly evidence)"
     )
@@ -1076,6 +1237,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="metrics snapshot JSON to include (headline tiles + sparklines)",
+    )
+    ohtml.add_argument(
+        "--coverage-file",
+        default=None,
+        metavar="FILE",
+        help="coverage snapshot JSON to include (rule/automaton coverage section)",
     )
     ohtml.add_argument(
         "--history",

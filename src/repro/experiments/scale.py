@@ -173,12 +173,14 @@ def build_engine(config: ScaleConfig) -> tuple[DPIMiddlebox, PolicyState]:
 def run_scale(config: ScaleConfig) -> ScaleResult:
     """Run the churn workload; returns the deterministic counter summary."""
     engine, _policy = build_engine(config)
+    # Diagnostics stay bounded too: the match log becomes a fixed-size ring
+    # (old entries fall off) while `matches_logged` keeps the exact total.
+    engine.bound_flow_state(config.max_flows, match_log_bound=4_096)
     clock = VirtualClock()
     sink: list[IPPacket] = []
     ctx = TransitContext(clock=clock, inject_back=sink.append, inject_forward=sink.append)
 
     packets = 0
-    matches = 0
     expired_base = 0
     peak_tracked = 0
     data_flags = TCPFlags.ACK | TCPFlags.PSH
@@ -213,18 +215,13 @@ def run_scale(config: ScaleConfig) -> ScaleResult:
             tracked = len(engine._flows)
             if tracked > peak_tracked:
                 peak_tracked = tracked
-            # Diagnostics stay bounded too: fold the match log into a counter.
-            if len(engine.match_log) >= 4_096:
-                matches += len(engine.match_log)
-                engine.match_log.clear()
             if config.idle_every and (index + 1) % config.idle_every == 0:
                 before = len(engine._flows)
                 clock.advance(config.idle_seconds)
                 send(*_flow_endpoint(index + config.flows), 1_000, TCPFlags.SYN)
                 expired_base += max(0, before - len(engine._flows) + 1)
 
-    matches += len(engine.match_log)
-    engine.match_log.clear()
+    matches = engine.matches_logged
 
     return ScaleResult(
         config=config,

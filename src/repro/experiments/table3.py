@@ -35,6 +35,7 @@ from repro.envs.base import Environment
 from repro.experiments import paper_expectations
 from repro.experiments.workloads import PreparedEnvironment, prepare
 from repro.netsim.faults import FaultProfile
+from repro.obs import coverage as obs_coverage
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import profiling as obs_profiling
@@ -169,7 +170,15 @@ def _measure_env_column(
     prep = prepare(ENVIRONMENT_FACTORIES[name](faults=faults), characterize=characterize)
     cells = []
     for technique in techniques:
-        cell = _measure_cell(prep, technique, trials=cell_trials)
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None:
+            # Attribute this cell's rule hits to the (env, technique) matrix
+            # slot; the context is thread-local, so parallel env columns on
+            # the thread backend cannot cross-attribute.
+            with coverage.cell_context(name, technique.name):
+                cell = _measure_cell(prep, technique, trials=cell_trials)
+        else:
+            cell = _measure_cell(prep, technique, trials=cell_trials)
         if obs_trace.TRACER is not None:
             obs_trace.TRACER.emit(
                 "table3.cell",

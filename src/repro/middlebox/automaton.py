@@ -42,6 +42,7 @@ import time
 from typing import Iterable, Sequence
 
 from repro.middlebox import rulecache
+from repro.obs import coverage as obs_coverage
 from repro.obs import metrics as obs_metrics
 
 Buffer = bytes | bytearray | memoryview
@@ -78,6 +79,7 @@ class PatternAutomaton:
         "fail",
         "out",
         "all_mask",
+        "digest",
         "_regex",
         "_closure_masks",
     )
@@ -90,6 +92,9 @@ class PatternAutomaton:
         self._build_block_regex()
         self.all_mask = (1 << len(self.patterns)) - 1
         self.states = len(self.goto)
+        #: Stable cross-process identity (``id()`` differs per process and
+        #: per intern-cache churn; coverage arrays must merge by content).
+        self.digest = obs_coverage.automaton_digest(self.patterns)
         _record_build(self, time.perf_counter() - started)
 
     # ------------------------------------------------------------------
@@ -177,6 +182,43 @@ class PatternAutomaton:
                 mask |= m
         return node, mask
 
+    def advance_counted(
+        self, node: int, data: Buffer, recorder: "obs_coverage.CoverageRecorder"
+    ) -> tuple[int, int]:
+        """:meth:`advance` with per-state/edge visit accounting.
+
+        The coverage executor: semantically identical to :meth:`advance`
+        (same loop, same tables), but it records every state reached and
+        every goto-edge traversed into *recorder*.  Fail-link hops are not
+        counted — they revisit already-counted states without consuming
+        input.  Scans take this path instead of the bulk regex whenever
+        coverage is enabled, so each stream byte is walked (and counted)
+        exactly once.
+        """
+        recorder.register_automaton(self.digest, self.states, len(self.patterns))
+        goto = self.goto
+        fail = self.fail
+        out = self.out
+        mask = 0
+        nodes: list[int] = []
+        edges = 0
+        for byte in bytes(data):
+            g = goto[node].get(byte)
+            while g is None and node:
+                node = fail[node]
+                g = goto[node].get(byte)
+            if g is not None:
+                node = g
+                edges += 1
+            else:
+                node = 0
+            nodes.append(node)
+            m = out[node]
+            if m:
+                mask |= m
+        recorder.automaton_walk(self.digest, nodes, edges)
+        return node, mask
+
     def resume_node(self, buffer: Buffer, end: int) -> int:
         """The automaton state after ``buffer[:end]``, recomputed from its tail.
 
@@ -195,6 +237,14 @@ class PatternAutomaton:
             return 0
         if end is None:
             end = len(buffer)
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None:
+            # A window scan from the root is the automaton's own definition
+            # of "occurs within the window" (the differential suites pin
+            # regex == advance); the counted walk keeps state/edge tallies.
+            return self.advance_counted(
+                0, memoryview(buffer)[start:end], coverage
+            )[1]
         mask = 0
         closure = self._closure_masks
         all_mask = self.all_mask
@@ -249,7 +299,18 @@ class StreamScan:
         if max_len == 0:
             self.watermark = end
             return self.mask
-        if end - wm <= max_len * _INLINE_FACTOR:
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None:
+            # Counted walk: each appended byte visits the automaton exactly
+            # once, so state/edge tallies are exact per stream byte.  The
+            # hybrid path below would re-walk boundary bytes and tail bytes
+            # (resume_node), inflating the counts nondeterministically with
+            # chunking.
+            self.node, hits = automaton.advance_counted(
+                self.node, memoryview(buffer)[wm:end], coverage
+            )
+            self.mask |= hits
+        elif end - wm <= max_len * _INLINE_FACTOR:
             # Small append: walk it directly from the carried node.
             self.node, hits = automaton.advance(self.node, memoryview(buffer)[wm:end])
             self.mask |= hits

@@ -35,6 +35,7 @@ from repro.middlebox.validation import MiddleboxValidation
 from repro.netsim.element import NetworkElement, TransitContext
 from repro.netsim.shaper import PolicyState
 from repro.netsim.timerwheel import TimerWheel
+from repro.obs import coverage as obs_coverage
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
 from repro.obs import ops as obs_ops
@@ -247,6 +248,13 @@ class DPIMiddlebox(NetworkElement):
             on_evict=self._endpoint_block_evicted,
         )
         self.match_log: list[tuple[float, str, FiveTuple]] = []
+        #: Total matches ever logged, surviving log bounding and flushes —
+        #: harnesses that bound ``match_log`` (the churn workload) read this
+        #: instead of draining the log between flush points.
+        self.matches_logged = 0
+        #: The coverage recorder this engine last declared its universe to
+        #: (identity-compared so re-registration costs one check per view).
+        self._coverage_registered: obs_coverage.CoverageRecorder | None = None
 
     # ==================================================================
     # NetworkElement interface
@@ -343,6 +351,7 @@ class DPIMiddlebox(NetworkElement):
         self._endpoint_block_counts.clear()
         self._endpoint_block_until.clear()
         self.match_log.clear()
+        self.matches_logged = 0
 
     # ==================================================================
     # flow bookkeeping
@@ -628,7 +637,22 @@ class DPIMiddlebox(NetworkElement):
         bucket.append(packet)
         whole = reassemble_fragments(bucket)
         if whole is not None:
+            fragment_count = len(bucket)
             self._fragments.pop(key)
+            if obs_trace.TRACER is not None:
+                # Provenance: which on-the-wire fragments produced the packet
+                # the matcher actually saw.  Flow fields are not yet known
+                # (the reassembled transport header carries them), so the
+                # fragment key identifies the group.
+                obs_trace.TRACER.emit(
+                    "mbx.frag_reassembled",
+                    self._now,
+                    element=self.name,
+                    src=packet.src,
+                    dst=packet.dst,
+                    ident=packet.identification,
+                    fragments=fragment_count,
+                )
         return whole
 
     # ==================================================================
@@ -691,6 +715,7 @@ class DPIMiddlebox(NetworkElement):
             state.match_time = now
             self._arm_timer(state.client_tuple.normalized(), state, now)
             self.match_log.append((now, matched.name, state.client_tuple))
+            self.matches_logged += 1
             if obs_trace.TRACER is not None:
                 self._emit_rule_match(state, matched, buffer, index, direction, now)
             if obs_metrics.METRICS is not None:
@@ -740,6 +765,7 @@ class DPIMiddlebox(NetworkElement):
             if offset >= 0 and (match_start is None or offset < match_start):
                 match_start, match_end = offset, offset + len(keyword)
         scan = state.client_scan if direction == "client" else state.server_scan
+        view = self._view(state.protocol, state.server_port, direction)
         tracer = obs_trace.TRACER
         assert tracer is not None
         tracer.emit(
@@ -755,6 +781,9 @@ class DPIMiddlebox(NetworkElement):
             match_end=match_end,
             watermark=scan.watermark if scan is not None else None,
             buffer_len=len(buffer),
+            automaton=view.automaton.digest if view.automaton.patterns else None,
+            scan_node=scan.node if scan is not None else None,
+            rule_scope=view.scope,
         )
         tracer.emit(
             "mbx.verdict",
@@ -843,6 +872,11 @@ class DPIMiddlebox(NetworkElement):
         ):
             self._compiled = CompiledRuleSet.shared(self.rules)
             self._compiled_source = self.rules
+            self._coverage_registered = None  # new catalog: re-declare
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None and self._coverage_registered is not coverage:
+            self._compiled.register_coverage(coverage)
+            self._coverage_registered = coverage
         return self._compiled.view(protocol, server_port, direction)
 
     def _match_rules(
@@ -938,12 +972,14 @@ class DPIMiddlebox(NetworkElement):
             ops.record("mbx.scan", time.perf_counter() - started)
         if rule is not None:
             self.match_log.append((ctx.clock.now, rule.name, key))
+            self.matches_logged += 1
             if obs_trace.TRACER is not None:
                 match_start = match_end = None
                 for keyword in rule.keywords:
                     offset = payload.find(keyword)
                     if offset >= 0 and (match_start is None or offset < match_start):
                         match_start, match_end = offset, offset + len(keyword)
+                view = self._view(protocol, server_port, direction)
                 obs_trace.TRACER.emit(
                     "mbx.rule_match",
                     ctx.clock.now,
@@ -957,6 +993,9 @@ class DPIMiddlebox(NetworkElement):
                     match_end=match_end,
                     watermark=None,
                     buffer_len=len(payload),
+                    automaton=view.automaton.digest if view.automaton.patterns else None,
+                    scan_node=None,
+                    rule_scope=view.scope,
                 )
             if obs_metrics.METRICS is not None:
                 obs_metrics.METRICS.inc("mbx.rule_matches")

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.middlebox.flowtable import FlowTable
 from repro.netsim.element import NetworkElement, TransitContext
+from repro.obs import trace as obs_trace
 from repro.packets.flow import Direction
 from repro.packets.fragment import reassemble_fragments
 from repro.packets.ip import IPPacket
@@ -83,19 +84,32 @@ class TrafficNormalizer(NetworkElement):
         """Validate, de-fragment, raise TTLs, strip options, coalesce streams."""
         if direction is not Direction.CLIENT_TO_SERVER:
             return [packet]
+        now = ctx.clock.now
         if packet.is_fragment:
             whole = self._feed_fragment(packet)
             if whole is None:
                 return []
             packet = whole
-        if not self._wellformed(packet):
+        reason = self._malformed_reason(packet)
+        if reason is not None:
             self.dropped.append(packet)
+            if obs_trace.TRACER is not None:
+                # Provenance: a normalizer drop is a verdict-shaping decision
+                # — the classifier never sees this packet at all.
+                obs_trace.TRACER.emit(
+                    "norm.drop",
+                    now,
+                    element=self.name,
+                    reason=reason,
+                    src=packet.src,
+                    dst=packet.dst,
+                )
             return []
-        packet = self._scrub(packet)
+        packet = self._scrub(packet, now)
         tcp = packet.tcp
         if tcp is None or packet.effective_protocol != 6 or not self.coalesce:
             return [packet]
-        return self._coalesce_tcp(packet, tcp)
+        return self._coalesce_tcp(packet, tcp, now)
 
     def reset(self) -> None:
         """Forget all flow and fragment state."""
@@ -118,37 +132,45 @@ class TrafficNormalizer(NetworkElement):
     # ------------------------------------------------------------------
     # the norm rule set
     # ------------------------------------------------------------------
-    def _wellformed(self, packet: IPPacket) -> bool:
-        if not (
-            packet.has_valid_version()
-            and packet.has_valid_ihl()
-            and packet.has_valid_total_length()
-            and packet.has_valid_checksum()
-            and packet.has_known_protocol()
-        ):
-            return False
+    def _malformed_reason(self, packet: IPPacket) -> str | None:
+        """Why the norm rule set rejects *packet* (None = well-formed).
+
+        The reason string is the provenance payload of ``norm.drop`` — it
+        names the exact rule an inert packet tripped, which is the evidence
+        the paper's countermeasure discussion turns on.
+        """
+        if not packet.has_valid_version():
+            return "ip-version"
+        if not packet.has_valid_ihl():
+            return "ip-ihl"
+        if not packet.has_valid_total_length():
+            return "ip-total-length"
+        if not packet.has_valid_checksum():
+            return "ip-checksum"
+        if not packet.has_known_protocol():
+            return "ip-protocol"
         if packet.padded_options and not packet.has_wellformed_options():
-            return False
+            return "ip-options"
         tcp = packet.tcp
         if tcp is not None and packet.effective_protocol == 6:
             if not tcp.has_valid_data_offset():
-                return False
+                return "tcp-data-offset"
             if not tcp.verify_checksum(packet.src, packet.dst):
-                return False
+                return "tcp-checksum"
             if not tcp.flags.is_valid_combination():
-                return False
+                return "tcp-flags"
             flags = int(tcp.flags)
             if tcp.payload and not flags & 0x06 and not flags & 0x10:
-                return False
+                return "tcp-payload-flags"
         udp = packet.udp
         if udp is not None and packet.effective_protocol == 17:
             if not udp.verify_checksum(packet.src, packet.dst):
-                return False
+                return "udp-checksum"
             if not udp.has_valid_length():
-                return False
-        return True
+                return "udp-length"
+        return None
 
-    def _scrub(self, packet: IPPacket) -> IPPacket:
+    def _scrub(self, packet: IPPacket, now: float) -> IPPacket:
         changes: dict[str, object] = {}
         if packet.ttl < self.min_ttl:
             changes["ttl"] = self.min_ttl
@@ -156,6 +178,19 @@ class TrafficNormalizer(NetworkElement):
             changes["options"] = b""
             changes["ihl"] = None
         if changes:
+            if obs_trace.TRACER is not None:
+                # Provenance: a scrub silently rewrites what the classifier
+                # (and the server!) will see — e.g. a raised TTL un-inerts a
+                # TTL-limited insertion, the paper's predicted cost.
+                obs_trace.TRACER.emit(
+                    "norm.scrub",
+                    now,
+                    element=self.name,
+                    src=packet.src,
+                    dst=packet.dst,
+                    ttl_raised="ttl" in changes,
+                    options_stripped="options" in changes,
+                )
             changes["checksum"] = None
             packet = packet.copy(**changes)
         return packet
@@ -163,7 +198,9 @@ class TrafficNormalizer(NetworkElement):
     # ------------------------------------------------------------------
     # stream coalescing
     # ------------------------------------------------------------------
-    def _coalesce_tcp(self, packet: IPPacket, tcp: TCPSegment) -> list[IPPacket]:
+    def _coalesce_tcp(
+        self, packet: IPPacket, tcp: TCPSegment, now: float
+    ) -> list[IPPacket]:
         key = (packet.src, tcp.sport, packet.dst, tcp.dport)
         flags = int(tcp.flags)
         if flags & 0x12 == 0x02:  # SYN without ACK
@@ -178,7 +215,25 @@ class TrafficNormalizer(NetworkElement):
         fresh = self._reassemble(flow, tcp)
         if not fresh:
             return []  # out-of-order or duplicate: held until in order
-        return self._emit(packet, tcp, flow, fresh)
+        packets = self._emit(packet, tcp, flow, fresh)
+        if obs_trace.TRACER is not None and (
+            len(packets) != 1 or packets[0].tcp.payload != tcp.payload
+        ):
+            # Provenance: the classifier sees these re-segmented bytes, not
+            # the wire packet — splitting/reordering evasion is undone here.
+            obs_trace.TRACER.emit(
+                "norm.coalesce",
+                now,
+                element=self.name,
+                src=packet.src,
+                dst=packet.dst,
+                sport=tcp.sport,
+                dport=tcp.dport,
+                in_bytes=len(tcp.payload),
+                out_bytes=len(fresh),
+                out_segments=len(packets),
+            )
+        return packets
 
     def _reassemble(self, flow: _NormalizedFlow, tcp: TCPSegment) -> bytes:
         seq, payload = tcp.seq, tcp.payload

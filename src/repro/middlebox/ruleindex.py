@@ -40,6 +40,7 @@ from repro.middlebox.automaton import (
     mask_to_ids,
 )
 from repro.middlebox.rules import MatchRule
+from repro.obs import coverage as obs_coverage
 from repro.traffic.stun import parse_stun_attributes
 
 __all__ = [
@@ -82,6 +83,7 @@ class CompiledView:
 
     __slots__ = (
         "rules",
+        "scope",
         "automaton",
         "scanner",
         "special",
@@ -94,8 +96,15 @@ class CompiledView:
         "has_stun",
     )
 
-    def __init__(self, rules: list[tuple[int, MatchRule]]) -> None:
+    def __init__(
+        self, rules: list[tuple[int, MatchRule]], scope: str | None = None
+    ) -> None:
         self.rules = rules
+        #: Coverage scope winning matches are attributed to — the owning
+        #: rule set's content digest, or a view-local one for standalone use.
+        self.scope = scope or obs_coverage.ruleset_scope(
+            rule.name for _order, rule in rules
+        )
         #: order → rule, the final resolution step of :meth:`match`.
         self.rule_by_order: dict[int, MatchRule] = {order: rule for order, rule in rules}
         patterns: list[bytes] = []
@@ -202,7 +211,11 @@ class CompiledView:
 
         if best is None:
             return None
-        return self.rule_by_order[best]
+        rule = self.rule_by_order[best]
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None:
+            coverage.rule_hit(self.scope, rule.name)
+        return rule
 
     def match_stateless(self, payload: Buffer) -> MatchRule | None:
         """First matching rule ignoring packet position (Iran-style DPI)."""
@@ -213,13 +226,21 @@ class CompiledView:
                 if stun_attrs is False:
                     stun_attrs = parse_stun_attributes(payload)
                 if stun_attrs is not None and rule.stun_attribute in stun_attrs:
+                    self._coverage_hit(rule)
                     return rule
                 continue
             if hits is None:
                 hits = self.automaton.scan_mask(payload)
             if (hits & mask == mask) if rule.require_all else (hits & mask):
+                self._coverage_hit(rule)
                 return rule
         return None
+
+    def _coverage_hit(self, rule: MatchRule) -> None:
+        """Attribute one winning match to the coverage recorder, if live."""
+        coverage = obs_coverage.COVERAGE
+        if coverage is not None:
+            coverage.rule_hit(self.scope, rule.name)
 
 
 def _ruleset_invalidated(key: object, compiled: object, reason: str) -> None:
@@ -240,7 +261,7 @@ class CompiledRuleSet:
     per-packet path a single dict lookup.
     """
 
-    __slots__ = ("rules", "_views", "cache_key")
+    __slots__ = ("rules", "scope", "_views", "cache_key")
 
     #: Interned rule sets keyed by the identity of their rule objects.  The
     #: cached set holds strong references to those rules, so a key's ids can
@@ -250,9 +271,22 @@ class CompiledRuleSet:
 
     def __init__(self, rules: list[MatchRule]) -> None:
         self.rules = tuple(rules)
+        #: Coverage scope shared by every view of this set, so per-context
+        #: view hits sum into one per-catalog universe.
+        self.scope = obs_coverage.ruleset_scope(rule.name for rule in self.rules)
         self._views: dict[tuple[str, int, str], CompiledView] = {}
         self.cache_key = ("ruleset", tuple(map(id, self.rules)))
         rulecache.RULE_CACHE.put(self.cache_key, self, on_invalidate=_ruleset_invalidated)
+
+    def register_coverage(self, recorder: "obs_coverage.CoverageRecorder") -> None:
+        """Declare the full rule universe to *recorder*.
+
+        Registration is what makes *dead* rules reportable: a rule the
+        workload never exercises has no hit to announce itself with, so the
+        engine declares the whole catalog up front (idempotently) and the
+        coverage report subtracts.
+        """
+        recorder.register_rules(self.scope, (rule.name for rule in self.rules))
 
     @classmethod
     def shared(cls, rules: list[MatchRule]) -> "CompiledRuleSet":
@@ -280,7 +314,7 @@ class CompiledRuleSet:
                 for order, rule in enumerate(self.rules)
                 if rule.applies_to(protocol, server_port, direction)
             ]
-            view = CompiledView(applicable)
+            view = CompiledView(applicable, scope=self.scope)
             # Register before memoizing: a replace-invalidation of a stale
             # cache entry pops the memo slot, which must not be the fresh
             # view.  Memo hits stay cache-free (this is the per-packet

@@ -29,6 +29,17 @@ On top of the recorders sit the analysis tools:
   ``events.jsonl`` and optionally streamed to a live terminal progress view.
 * :mod:`repro.obs.report_html` — the zero-dependency, self-contained HTML
   experiment dashboard (``liberate obs html`` / ``--dashboard``).
+* :mod:`repro.obs.coverage` — the rule/automaton coverage profiler
+  (``--coverage`` / ``liberate obs coverage``): per-rule hit counts against
+  a registered universe (dead-rule reporting), automaton state/edge visit
+  arrays, and the env × technique coverage matrix.
+* :mod:`repro.obs.provenance` — the verdict-provenance reconstructor
+  (``liberate obs explain``): fold an exported trace into per-flow causal
+  chains linking each verdict to the rule, bytes, normalizer/fragment and
+  state decisions that produced it.
+* :mod:`repro.obs.witness` — the minimal-witness extractor (``liberate obs
+  witness``): delta-debug a payload down to the minimal byte set that still
+  flips a classifier's verdict, replayed through the deterministic netsim.
 
 The live serving path adds the **operational** layer (wall-clock by design,
 segregated from every deterministic guarantee above):
@@ -45,6 +56,15 @@ See ``docs/OBSERVABILITY.md`` for the trace schema, metric catalog and the
 """
 
 from repro.obs.analyze import TraceIndex, summarize_tracer
+from repro.obs.coverage import (
+    COVERAGE_SCHEMA_VERSION,
+    CoverageRecorder,
+    automaton_digest,
+    covering,
+    disable_coverage,
+    enable_coverage,
+    ruleset_scope,
+)
 from repro.obs.diff import TraceDiff, diff_traces
 from repro.obs.flight import FlightRecorder, disable_flight, enable_flight
 from repro.obs.live import (
@@ -92,6 +112,11 @@ from repro.obs.report_html import (
     render_dashboard,
     write_dashboard,
 )
+from repro.obs.provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    explain_flow,
+    format_explain,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     FlowTracer,
@@ -104,10 +129,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COVERAGE_SCHEMA_VERSION",
     "DASHBOARD_SCHEMA_VERSION",
     "EVENTS_SCHEMA_VERSION",
     "HEADLINE_METRICS",
+    "PROVENANCE_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "CoverageRecorder",
     "FlowTracer",
     "LiveEvent",
     "LiveProgressView",
@@ -140,6 +168,13 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "collecting",
+    "enable_coverage",
+    "disable_coverage",
+    "covering",
+    "automaton_digest",
+    "ruleset_scope",
+    "explain_flow",
+    "format_explain",
     "enable_profiling",
     "disable_profiling",
     "profiled",
@@ -166,3 +201,4 @@ def observability_off() -> None:
     disable_bus()
     disable_ops()
     disable_flight()
+    disable_coverage()

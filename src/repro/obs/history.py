@@ -54,6 +54,13 @@ RSS_THRESHOLD = 0.25
 #: live SLO in :mod:`repro.obs.ops` handles operational targets.
 LATENCY_THRESHOLD = 1.0
 
+#: Noise band for ``coverage_overhead_ratio``: beyond median * (1 + this)
+#: flags.  The counted automaton walk replaces the bulk regex scan, so the
+#: ratio sits well above 1x by design; the watchdog exists to catch it
+#: *drifting* — a regression that doubles the coverage tax would silently
+#: discourage ever profiling coverage in CI.
+COVERAGE_THRESHOLD = 1.0
+
 #: BENCH files that are not per-run payloads (regression baseline, the
 #: history itself) and therefore never enter the history.
 EXCLUDED_STEMS = ("BENCH_baseline", "BENCH_history")
@@ -262,6 +269,31 @@ def check_regressions(
                             f"the history median {baseline:.1f}ms "
                             f"(threshold {1.0 + LATENCY_THRESHOLD:.2f}x over "
                             f"{len(past_p99)} runs)"
+                        ),
+                    )
+                )
+        cov = payload.get("coverage_overhead_ratio")
+        past_cov = [
+            e["coverage_overhead_ratio"]
+            for e in recorded
+            if isinstance(e.get("coverage_overhead_ratio"), (int, float))
+        ]
+        if isinstance(cov, (int, float)) and past_cov:
+            baseline = statistics.median(past_cov)
+            if baseline > 0 and cov > baseline * (1.0 + COVERAGE_THRESHOLD):
+                ratio = cov / baseline
+                flags.append(
+                    RegressionFlag(
+                        bench=name,
+                        key="coverage_overhead_ratio",
+                        baseline=round(baseline, 3),
+                        current=cov,
+                        ratio=round(ratio, 3),
+                        message=(
+                            f"{name}: coverage overhead {cov:.2f}x is "
+                            f"{ratio:.2f}x the history median {baseline:.2f}x "
+                            f"(threshold {1.0 + COVERAGE_THRESHOLD:.2f}x over "
+                            f"{len(past_cov)} runs)"
                         ),
                     )
                 )

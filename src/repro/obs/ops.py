@@ -467,6 +467,29 @@ def render_prometheus(
                     recorder.count,
                 )
             )
+    from repro.obs import coverage as obs_coverage
+
+    if obs_coverage.COVERAGE is not None:
+        snap = obs_coverage.COVERAGE.snapshot()
+        scopes = snap.get("scopes", {})
+        gauges = {
+            "ops.coverage.rules_total": sum(s["rules"] for s in scopes.values()),
+            "ops.coverage.rules_exercised": sum(
+                s["exercised"] for s in scopes.values()
+            ),
+            "ops.coverage.rules_dead": sum(len(s["dead"]) for s in scopes.values()),
+            "ops.coverage.rule_hits_total": snap.get("total_rule_hits", 0),
+            "ops.coverage.automaton_states_visited": sum(
+                a["states_visited"] for a in snap.get("automata", {}).values()
+            ),
+            "ops.coverage.automaton_edges_walked": sum(
+                a["edges_walked"] for a in snap.get("automata", {}).values()
+            ),
+        }
+        for name, value in gauges.items():
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_value(value)}")
     return "\n".join(lines) + "\n"
 
 

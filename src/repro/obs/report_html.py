@@ -48,6 +48,12 @@ HEADLINE_METRICS = (
     "env.created",
 )
 
+#: Keys a model's ``coverage`` section must carry for its dashboard section
+#: (and ``liberate obs coverage``) to render.  Checked by ``obs html
+#: --check`` alongside the headline metrics whenever a dashboard embeds a
+#: coverage snapshot.
+COVERAGE_MODEL_KEYS = ("schema", "scopes", "automata", "matrix", "total_rule_hits")
+
 _MODEL_ELEMENT_ID = "dashboard-model"
 
 
@@ -62,6 +68,7 @@ def build_model(
     history: dict[str, list[dict]] | None = None,
     flags: Sequence[dict] | None = None,
     ops: dict | None = None,
+    coverage: dict | None = None,
     title: str = "lib*erate experiment dashboard",
 ) -> dict:
     """Combine a run's observability artifacts into one JSON-ready model.
@@ -79,6 +86,9 @@ def build_model(
         ops: :meth:`repro.obs.ops.OpsRegistry.snapshot` output — wall-clock
             operational data, rendered in its own section and deliberately
             kept out of the deterministic ``metrics`` snapshot.
+        coverage: :meth:`repro.obs.coverage.CoverageRecorder.snapshot`
+            output — rule/automaton coverage plus the env × technique
+            matrix.
         title: the page heading.
     """
     return {
@@ -92,6 +102,7 @@ def build_model(
         "history": history,
         "flags": list(flags) if flags is not None else None,
         "ops": ops,
+        "coverage": coverage,
     }
 
 
@@ -105,9 +116,19 @@ def missing_metric_keys(model: dict) -> list[str]:
     """
     metrics = model.get("metrics")
     referenced = model.get("headline") or list(HEADLINE_METRICS)
-    if not metrics:
-        return list(referenced)
-    return [key for key in referenced if key not in metrics]
+    missing = (
+        list(referenced)
+        if not metrics
+        else [key for key in referenced if key not in metrics]
+    )
+    # A dashboard that embeds a coverage snapshot must carry every section
+    # the coverage renderer (and `obs coverage`) reads from it.
+    coverage = model.get("coverage")
+    if coverage:
+        missing.extend(
+            f"coverage.{key}" for key in COVERAGE_MODEL_KEYS if key not in coverage
+        )
+    return missing
 
 
 def load_model(path: str) -> dict:
@@ -167,6 +188,14 @@ def render_text(model: dict) -> str:
     flags = model.get("flags")
     if flags:
         lines.append(f"watchdog: {len(flags)} regression flag(s)")
+    coverage = model.get("coverage")
+    if coverage:
+        scopes = coverage.get("scopes") or {}
+        dead = sum(len(scope.get("dead") or []) for scope in scopes.values())
+        lines.append(
+            f"coverage: {len(scopes)} rule scope(s), {dead} dead rule(s), "
+            f"{coverage.get('total_rule_hits', 0)} rule hit(s)"
+        )
     ops = model.get("ops")
     if ops:
         latency = ops.get("latency") or {}
@@ -482,6 +511,96 @@ def _ops_section(model: dict) -> str:
     return _section("Live serving (wall clock)", "".join(parts))
 
 
+def _coverage_section(model: dict) -> str:
+    """Rule/automaton coverage: exercised vs. dead rules + the cell matrix.
+
+    Renders the ``--coverage`` snapshot: one table per rule scope (dead
+    rules highlighted — a registered rule no workload ever exercised is
+    exactly what this section exists to surface), automaton state/edge
+    visitation, and the env × technique coverage matrix.
+    """
+    coverage = model.get("coverage")
+    if not coverage:
+        return ""
+    parts = []
+    scopes = coverage.get("scopes") or {}
+    for scope, stats in sorted(scopes.items()):
+        dead = set(stats.get("dead") or [])
+        hits = dict(stats.get("hits") or {})
+        rows = "".join(
+            f'<tr><td><code>{_esc(rule)}</code></td>'
+            f'<td class="num">{_esc(count)}</td>'
+            + (
+                '<td class="bad">dead</td>'
+                if rule in dead
+                else '<td class="ok">exercised</td>'
+            )
+            + "</tr>"
+            for rule, count in sorted(hits.items())
+        )
+        parts.append(
+            f"<h3><code>{_esc(scope)}</code> — "
+            f"{_esc(stats.get('exercised', 0))}/{_esc(stats.get('rules', 0))} "
+            "rules exercised</h3>"
+            "<table><thead><tr><th>rule</th><th>hits</th><th>status</th>"
+            f"</tr></thead><tbody>{rows}</tbody></table>"
+        )
+    automata = coverage.get("automata") or {}
+    if automata:
+        rows = "".join(
+            f'<tr><td><code>{_esc(digest)}</code></td>'
+            f'<td class="num">{_esc(stats.get("patterns"))}</td>'
+            f'<td class="num">{_esc(stats.get("states_visited"))} / '
+            f'{_esc(stats.get("states"))}</td>'
+            f'<td class="num">{_esc(stats.get("edges_walked"))}</td></tr>'
+            for digest, stats in sorted(automata.items())
+        )
+        parts.append(
+            "<h3>automata</h3><table><thead><tr><th>automaton</th>"
+            "<th>patterns</th><th>states visited</th><th>edges walked</th>"
+            f"</tr></thead><tbody>{rows}</tbody></table>"
+        )
+    matrix = coverage.get("matrix") or {}
+    if matrix:
+        envs: list[str] = []
+        techniques: list[str] = []
+        by_key: dict[tuple[str, str], dict] = {}
+        for cell in matrix.values():
+            env, technique = str(cell.get("env")), str(cell.get("technique"))
+            if env not in envs:
+                envs.append(env)
+            if technique not in techniques:
+                techniques.append(technique)
+            by_key[(env, technique)] = cell
+        head = "<tr><th>technique</th>" + "".join(
+            f"<th>{_esc(env)}</th>" for env in sorted(envs)
+        ) + "</tr>"
+        rows = []
+        for technique in sorted(techniques):
+            tds = [f"<td><code>{_esc(technique)}</code></td>"]
+            for env in sorted(envs):
+                cell = by_key.get((env, technique))
+                if cell is None:
+                    tds.append("<td>·</td>")
+                    continue
+                rule_hits = cell.get("rule_hits", 0)
+                rules = len(cell.get("rules") or [])
+                klass = "ok" if rule_hits else "na"
+                tds.append(
+                    f'<td class="{klass}">{_esc(rule_hits)} hit(s), '
+                    f"{rules} rule(s)</td>"
+                )
+            rows.append("<tr>" + "".join(tds) + "</tr>")
+        parts.append(
+            "<h3>coverage matrix (env × technique)</h3>"
+            f"<table><thead>{head}</thead><tbody>{''.join(rows)}</tbody></table>"
+        )
+    total = coverage.get("total_rule_hits")
+    if total is not None:
+        parts.append(f"<p>{_esc(total)} rule hit(s) recorded in total.</p>")
+    return _section("Rule coverage", "".join(parts))
+
+
 def _history_section(model: dict) -> str:
     history = model.get("history")
     if not history:
@@ -567,6 +686,7 @@ def render_dashboard(model: dict) -> str:
             _trace_section,
             _events_section,
             _ops_section,
+            _coverage_section,
             _history_section,
         )
     )

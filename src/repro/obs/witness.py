@@ -1,0 +1,217 @@
+"""Minimal-witness extraction: the fewest bytes that flip a verdict.
+
+The paper's rule-exposure loop, packaged as a diagnostic: given an
+environment and a payload the classifier reacts to, delta-debug the payload
+down to a **minimal witness** — a smallest byte subset that still produces
+the same verdict when replayed through the deterministic netsim.  The
+witness is, in effect, the matched rule read back out of a black box: for a
+keyword rule it converges on exactly the keyword bytes (plus whatever
+protocol anchor the classifier insists on).
+
+Minimization is Zeller-style ddmin over byte positions.  Every probe builds
+a fresh environment from :data:`repro.envs.ENVIRONMENT_FACTORIES` (fixed
+seeds, virtual clock), replays a single-message synthetic trace through
+:class:`repro.replay.session.ReplaySession`, and judges the outcome — so
+the whole search is deterministic: same env, same payload, same witness,
+on every backend and every machine.  Probes are cached by candidate bytes;
+complement-heavy ddmin revisits subsets often.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.packets.flow import Direction
+from repro.traffic.trace import Trace, TracePacket
+
+#: Bumped when the witness-report layout changes shape.
+WITNESS_SCHEMA_VERSION = 1
+
+
+def ddmin(
+    items: Sequence[int], test: Callable[[list[int]], bool]
+) -> list[int]:
+    """Zeller's ddmin: a minimal sublist of *items* on which *test* holds.
+
+    *test* must hold on the full list (the caller checks); the result is
+    1-minimal — removing any single remaining item breaks the property.
+    Deterministic: chunk boundaries depend only on lengths, and candidate
+    order is fixed.
+    """
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk_size = max(1, len(current) // granularity)
+        chunks = [
+            current[start : start + chunk_size]
+            for start in range(0, len(current), chunk_size)
+        ]
+        reduced = False
+        for chunk in chunks:
+            if len(chunk) < len(current) and test(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for index in range(len(chunks)):
+                complement = [
+                    item
+                    for position, chunk in enumerate(chunks)
+                    for item in chunk
+                    if position != index
+                ]
+                if len(complement) < len(current) and test(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    if len(current) == 1 and test([]):
+        return []
+    return current
+
+
+class _Prober:
+    """Deterministic replay probe with per-payload caching."""
+
+    def __init__(
+        self,
+        env_name: str,
+        protocol: str,
+        server_port: int,
+        trace_name: str = "witness-probe",
+    ) -> None:
+        from repro.envs import ENVIRONMENT_FACTORIES
+
+        factory = ENVIRONMENT_FACTORIES.get(env_name)
+        if factory is None:
+            raise ValueError(
+                f"unknown environment {env_name!r}; expected one of "
+                f"{sorted(ENVIRONMENT_FACTORIES)}"
+            )
+        self._factory = factory
+        self.env_name = env_name
+        self.protocol = protocol
+        self.server_port = server_port
+        self.trace_name = trace_name
+        self.probes = 0
+        self._cache: dict[bytes, str | None] = {}
+
+    def verdict(self, payload: bytes) -> str | None:
+        """The environment's verdict label for a one-message dialogue.
+
+        Classification environments report the classifier's verdict string;
+        signal-only environments (throughput, zero-rating, RST injection)
+        report the sentinel ``"differentiated"`` or ``None`` — either way a
+        stable label the minimizer can compare.
+        """
+        cached = self._cache.get(payload, Ellipsis)
+        if cached is not Ellipsis:
+            return cached
+        self.probes += 1
+        from repro.replay.session import ReplaySession
+
+        env = self._factory()
+        trace = Trace(
+            name=self.trace_name,
+            protocol=self.protocol,
+            server_port=self.server_port,
+            packets=[
+                TracePacket(direction=Direction.CLIENT_TO_SERVER, payload=payload)
+            ],
+        )
+        outcome = ReplaySession(env, trace, server_port=self.server_port).run()
+        if outcome.classification is not None:
+            label: str | None = outcome.classification
+        elif outcome.differentiated:
+            label = "differentiated"
+        else:
+            label = None
+        self._cache[payload] = label
+        return label
+
+
+def _printable(data: bytes) -> str:
+    return "".join(chr(b) if 32 <= b < 127 else "·" for b in data)
+
+
+def minimal_payload_witness(
+    env_name: str,
+    payload: bytes,
+    protocol: str = "tcp",
+    server_port: int = 80,
+) -> dict:
+    """Delta-debug *payload* to the minimal byte set preserving its verdict.
+
+    Replays the full payload once to learn the target verdict, the empty
+    payload once to learn the control verdict, and — when they differ —
+    ddmin-minimizes the byte positions whose presence keeps the target
+    verdict.  Returns a schema-versioned JSON-ready report; when the full
+    payload already matches the control (nothing to witness), the report
+    says so and no minimization runs.
+    """
+    prober = _Prober(env_name, protocol, server_port)
+    target = prober.verdict(payload)
+    control = prober.verdict(b"")
+    report = {
+        "schema": WITNESS_SCHEMA_VERSION,
+        "env": env_name,
+        "protocol": protocol,
+        "server_port": server_port,
+        "payload_len": len(payload),
+        "verdict": target,
+        "control_verdict": control,
+    }
+    if target == control:
+        report.update(witness=None, probes=prober.probes)
+        return report
+
+    def keeps_verdict(positions: list[int]) -> bool:
+        candidate = bytes(payload[p] for p in positions)
+        return prober.verdict(candidate) == target
+
+    positions = ddmin(range(len(payload)), keeps_verdict)
+    witness = bytes(payload[p] for p in positions)
+    report.update(
+        witness={
+            "positions": positions,
+            "bytes_hex": witness.hex(),
+            "bytes_printable": _printable(witness),
+            "length": len(positions),
+        },
+        probes=prober.probes,
+    )
+    return report
+
+
+def format_witness(report: dict) -> str:
+    """Render a witness report for the terminal."""
+    lines = [
+        f"environment: {report['env']}  ({report['protocol']}"
+        f"/{report['server_port']})",
+        f"payload: {report['payload_len']} bytes  "
+        f"verdict={report['verdict']!r}  control={report['control_verdict']!r}",
+    ]
+    witness = report.get("witness")
+    if witness is None:
+        lines.append(
+            "no witness: the payload's verdict equals the empty-payload "
+            "control (nothing the classifier keyed on)"
+        )
+    else:
+        lines.append(
+            f"minimal witness: {witness['length']} of {report['payload_len']} "
+            f"bytes ({report['probes']} probes)"
+        )
+        lines.append(f"  bytes : {witness['bytes_printable']}")
+        lines.append(f"  hex   : {witness['bytes_hex']}")
+        positions = witness["positions"]
+        compact = ",".join(str(p) for p in positions[:32])
+        if len(positions) > 32:
+            compact += f",… (+{len(positions) - 32})"
+        lines.append(f"  at    : {compact}")
+    return "\n".join(lines)

@@ -61,6 +61,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import coverage as obs_coverage
 from repro.obs import flight as obs_flight
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
@@ -179,13 +180,14 @@ class _SeededCall:
 class _ObsPayload:
     """A task result bundled with the worker-side observability it produced."""
 
-    __slots__ = ("result", "metrics", "profile", "events")
+    __slots__ = ("result", "metrics", "profile", "events", "coverage")
 
-    def __init__(self, result, metrics, profile, events) -> None:
+    def __init__(self, result, metrics, profile, events, coverage=None) -> None:
         self.result = result
         self.metrics = metrics
         self.profile = profile
         self.events = events
+        self.coverage = coverage
 
 
 class _ObsCall:
@@ -209,19 +211,21 @@ class _ObsCall:
 
     def __init__(
         self, call: Callable[[T], R], ship_metrics: bool, ship_profile: bool,
-        buffer_events: bool, stream=None,
+        buffer_events: bool, stream=None, ship_coverage: bool = False,
     ) -> None:
         self.call = call
         self.ship_metrics = ship_metrics
         self.ship_profile = ship_profile
         self.buffer_events = buffer_events
         self.stream = stream
+        self.ship_coverage = ship_coverage
 
     def __call__(self, item: T) -> "_ObsPayload":
         if self.buffer_events:
             obs_live.begin_task(stream=self.stream)
         registry = obs_metrics.enable_metrics() if self.ship_metrics else None
         profiler = obs_profiling.enable_profiling() if self.ship_profile else None
+        recorder = obs_coverage.enable_coverage() if self.ship_coverage else None
         try:
             result = self.call(item)
         except BaseException:
@@ -234,6 +238,7 @@ class _ObsCall:
             registry.dump() if registry is not None else None,
             profiler.dump() if profiler is not None else None,
             events,
+            recorder.dump() if recorder is not None else None,
         )
 
 
@@ -371,12 +376,16 @@ class WorkerPool:
         ship = self.backend is Backend.PROCESS
         ship_metrics = ship and obs_metrics.METRICS is not None
         ship_profile = ship and obs_profiling.PROFILER is not None
+        ship_coverage = ship and obs_coverage.COVERAGE is not None
         bus = obs_live.BUS
-        if not (ship_metrics or ship_profile or bus is not None):
+        if not (ship_metrics or ship_profile or ship_coverage or bus is not None):
             return None
         stream = bus.stream if bus is not None else None
         return [
-            _ObsCall(call, ship_metrics, ship_profile, bus is not None, stream)
+            _ObsCall(
+                call, ship_metrics, ship_profile, bus is not None, stream,
+                ship_coverage,
+            )
             for call in calls
         ]
 
@@ -394,6 +403,8 @@ class WorkerPool:
                 obs_metrics.METRICS.merge_dump(result.metrics)
             if result.profile is not None and obs_profiling.PROFILER is not None:
                 obs_profiling.PROFILER.merge_dump(result.profile)
+            if result.coverage is not None and obs_coverage.COVERAGE is not None:
+                obs_coverage.COVERAGE.merge_dump(result.coverage)
             if result.events is not None:
                 buffers.append(result.events)
             merged.append(result.result)

@@ -19,6 +19,7 @@ import pytest
 
 from repro.core.evasion import ALL_TECHNIQUES
 from repro.experiments.table3 import run_table3
+from repro.obs import coverage as obs_coverage
 from repro.obs import flight as obs_flight
 from repro.obs import live as obs_live
 from repro.obs import metrics as obs_metrics
@@ -43,6 +44,28 @@ def test_observability_disabled_by_default():
     assert obs_live.BUS is None
     assert obs_ops.OPS is None
     assert obs_flight.FLIGHT is None
+    assert obs_coverage.COVERAGE is None
+
+
+def test_coverage_does_not_change_results():
+    """A coverage-profiled run reports the same cells as a plain run.
+
+    Coverage swaps the automaton's bulk regex scan for the counted
+    byte-walk; the differential suite pins their equivalence, and this
+    pins the end-to-end consequence: identical Table 3 cells.
+    """
+
+    def cells(rows):
+        return [
+            (row.technique, name, cell.cc, cell.rs)
+            for row in rows
+            for name, cell in sorted(row.cells.items())
+        ]
+
+    plain = cells(run_table3(**_KWARGS))
+    with obs_coverage.covering():
+        covered = cells(run_table3(**_KWARGS))
+    assert covered == plain
 
 
 def test_bus_guard_is_single_none_check():
